@@ -1,0 +1,45 @@
+"""Figure 3: analytical IPC vs fault frequency with Y = 20 cycles.
+
+Regenerates the three curves (R=2 rewind, R=3 rewind, R=3 majority)
+with IPC1 = B normalised to 1, and asserts the figure's structural
+properties: flat plateaus at 1/2 and 1/3, collapse when 1/lambda nears
+Y, and the late R=2 / R=3-majority crossover.
+"""
+
+from repro.analytical.figures import (figure3_series,
+                                      format_figure_table)
+from repro.analytical.model import crossover_frequency
+from repro.harness.report import ascii_chart
+
+
+def bench_figure3_analytical(benchmark, record_table):
+    series = benchmark.pedantic(figure3_series, rounds=1, iterations=1)
+    table = format_figure_table(
+        series, "Figure 3: IPC vs fault frequency (Y=20, IPC1=B=1)")
+    chart = ascii_chart(
+        [("R=2", "2", [(p.lam, p.ipc_r2) for p in series]),
+         ("R=3 rewind", "3",
+          [(p.lam, p.ipc_r3_rewind) for p in series]),
+         ("R=3 majority", "m",
+          [(p.lam, p.ipc_r3_majority) for p in series])],
+        title="Figure 3 (Y=20)")
+    record_table("figure3_analytical", table + "\n\n" + chart)
+
+    by_lam = {p.lam: p for p in series}
+    low = min(by_lam)
+    # Plateaus: IPC_2 = 1/2, IPC_3 = 1/3 at negligible fault rates.
+    assert abs(by_lam[low].ipc_r2 - 0.5) < 1e-4
+    assert abs(by_lam[low].ipc_r3_rewind - 1 / 3) < 1e-4
+    # R=2 stays within 2% of its plateau until lambda ~ 1e-4
+    # (two orders of magnitude from 1/Y = 0.05).
+    for point in series:
+        if point.lam <= 1e-4:
+            assert point.ipc_r2 > 0.49
+    # ... and collapses at the top of the sweep.
+    high = max(by_lam)
+    assert by_lam[high].ipc_r2 < 0.25
+    # Majority stays flat far longer than rewind-only designs.
+    assert by_lam[high].ipc_r3_majority > by_lam[high].ipc_r3_rewind
+    # The crossover exists and sits at a very high fault rate.
+    crossing = crossover_frequency(0.5, 1 / 3, 20)
+    assert crossing is not None and crossing > 1e-3

@@ -1,0 +1,36 @@
+"""Figure 4: the Figure-3 sweep with Y = 2000 (coarse-grain recovery).
+
+Asserts the paper's two observations: (a) for any reasonable fault
+frequency Y has only a minimal effect on average IPC; (b) with a large
+Y the collapse happens ~2 orders of magnitude earlier, which is what
+rules coarse-grain checkpointing out of fine-grain real-time use.
+"""
+
+from repro.analytical.figures import (figure3_series, figure4_series,
+                                      format_figure_table)
+from repro.harness.report import ascii_chart
+
+
+def bench_figure4_analytical(benchmark, record_table):
+    series = benchmark.pedantic(figure4_series, rounds=1, iterations=1)
+    table = format_figure_table(
+        series, "Figure 4: IPC vs fault frequency (Y=2000)")
+    chart = ascii_chart(
+        [("R=2", "2", [(p.lam, p.ipc_r2) for p in series]),
+         ("R=3 rewind", "3",
+          [(p.lam, p.ipc_r3_rewind) for p in series]),
+         ("R=3 majority", "m",
+          [(p.lam, p.ipc_r3_majority) for p in series])],
+        title="Figure 4 (Y=2000)")
+    record_table("figure4_analytical", table + "\n\n" + chart)
+
+    fig3 = {p.lam: p for p in figure3_series()}
+    fig4 = {p.lam: p for p in series}
+    # (a) At reasonable rates (<= 1e-6) the curves are indistinguishable.
+    for lam in fig4:
+        if lam <= 1e-6:
+            assert abs(fig4[lam].ipc_r2 - fig3[lam].ipc_r2) < 0.005
+    # (b) At 1e-4 the Y=2000 design has already lost >= 15% throughput
+    # while Y=20 is still within 1% of its plateau.
+    assert fig4[1e-4].ipc_r2 < 0.45
+    assert fig3[1e-4].ipc_r2 > 0.495

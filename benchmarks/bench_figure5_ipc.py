@@ -1,0 +1,50 @@
+"""Figure 5: steady-state IPC of SS-1 vs Static-2 vs SS-2.
+
+The paper's headline result.  Shape criteria asserted:
+
+* SS-2's IPC penalty spans roughly 2-45% with an average near 30%
+  (paper: 2-45%, 30-32% average);
+* ammp, go and vpr suffer the least penalty (ILP-/latency-limited);
+* Static-2 performs comparably to SS-2 overall but clearly wins on
+  fpppp, swim and art thanks to its extra FPMult/Div unit.
+"""
+
+from repro.harness.experiment import figure5_rows
+from repro.harness.report import format_figure5_table
+from repro.workloads.profiles import BENCHMARK_ORDER
+
+INSTRUCTIONS = 12_000
+
+
+def bench_figure5_ipc(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: figure5_rows(instructions=INSTRUCTIONS),
+        rounds=1, iterations=1)
+    record_table("figure5_ipc", format_figure5_table(rows))
+
+    assert [row.benchmark for row in rows] == list(BENCHMARK_ORDER)
+    penalties = {row.benchmark: row.ss2_penalty for row in rows}
+
+    # Penalty range and average (paper: 2-45%, average ~30%).
+    assert all(-0.02 <= p <= 0.50 for p in penalties.values()), penalties
+    average = sum(penalties.values()) / len(penalties)
+    assert 0.22 <= average <= 0.40, average
+    assert max(penalties.values()) >= 0.35
+    assert min(penalties.values()) <= 0.10
+
+    # ammp, go, vpr suffer less than every other benchmark.
+    lenient = {"ammp", "go", "vpr"}
+    worst_lenient = max(penalties[name] for name in lenient)
+    best_strict = min(penalty for name, penalty in penalties.items()
+                      if name not in lenient)
+    assert worst_lenient < best_strict, penalties
+
+    # Static-2 ~ SS-2 overall, but clearly ahead on fpppp/swim/art.
+    # (On the most memory-bound codes SS-2 pulls ahead instead: cache
+    # ports are shared, not replicated — the dynamic datapath's edge.)
+    for row in rows:
+        ratio = row.ipc("Static-2") / row.ipc("SS-2")
+        if row.benchmark in ("fpppp", "swim", "art"):
+            assert ratio > 1.05, (row.benchmark, ratio)
+        else:
+            assert 0.75 < ratio < 1.15, (row.benchmark, ratio)

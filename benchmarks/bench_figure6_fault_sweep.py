@@ -1,0 +1,58 @@
+"""Figure 6: simulated IPC vs fault frequency for fpppp.
+
+R=2 (rewind) against R=3 (2-of-3 majority election) on the Table-1
+datapath, with the fault injector sweeping faults-per-million-
+instructions.  Shape criteria from the paper:
+
+* both designs are flat at realistic rates;
+* R=2 starts clearly above R=3 (less redundancy = more throughput);
+* R=2 collapses once rewind penalties dominate, while the majority
+  design keeps committing through single-copy faults, so the curves
+  cross only at an extremely high fault frequency.
+"""
+
+from repro.harness.experiment import figure6_points
+from repro.harness.report import ascii_chart, format_figure6_table
+
+INSTRUCTIONS = 6_000
+RATES = (0.0, 100.0, 1000.0, 10_000.0, 60_000.0, 200_000.0)
+
+
+def bench_figure6_fault_sweep(benchmark, record_table):
+    points = benchmark.pedantic(
+        lambda: figure6_points(benchmark="fpppp", rates=RATES,
+                               instructions=INSTRUCTIONS),
+        rounds=1, iterations=1)
+    chart = ascii_chart(
+        [("R=2", "2", [(max(p.rate_per_million, 10.0),
+                        p.results["R=2"].ipc) for p in points]),
+         ("R=3 majority", "3", [(max(p.rate_per_million, 10.0),
+                                 p.results["R=3"].ipc)
+                                for p in points])],
+        title="Figure 6: IPC vs faults/M-instr (fpppp)")
+    record_table("figure6_fault_sweep",
+                 format_figure6_table(points) + "\n\n" + chart)
+
+    by_rate = {p.rate_per_million: p for p in points}
+    clean = by_rate[0.0]
+    # Fault-free: R=2 clearly outperforms R=3.
+    assert clean.results["R=2"].ipc > 1.15 * clean.results["R=3"].ipc
+    # Flat at realistic rates (100 faults/M is already ~10^6 times any
+    # physical soft-error rate), and only mildly dented at 1000/M.
+    assert by_rate[100.0].results["R=2"].ipc > \
+        0.97 * clean.results["R=2"].ipc
+    assert by_rate[1000.0].results["R=2"].ipc > \
+        0.85 * clean.results["R=2"].ipc
+    # R=3 with majority election rides out rates that already dent R=2:
+    # at 10k faults/M it commits through single-copy strikes.
+    assert by_rate[10_000.0].results["R=3"].ipc > \
+        0.90 * clean.results["R=3"].ipc
+    assert by_rate[10_000.0].results["R=3"].majority_commits > 0
+    # R=2 collapses under rewind pressure at extreme rates...
+    extreme = by_rate[200_000.0]
+    assert extreme.results["R=2"].ipc < 0.5 * clean.results["R=2"].ipc
+    # ...which is where the curves cross (paper: "much higher fault
+    # frequency than what our design is intended for").
+    assert extreme.results["R=3"].ipc > extreme.results["R=2"].ipc
+    # Recovery happens: rewinds observed.
+    assert by_rate[10_000.0].results["R=2"].rewinds > 0

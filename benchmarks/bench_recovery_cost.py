@@ -1,0 +1,52 @@
+"""Section 5.3 in-text claim: rewind recovery costs ~tens of cycles.
+
+"Typical recovery costs observed in fpppp simulations are around 30
+cycles" — we inject faults at a moderate rate into the fpppp workload
+on SS-2 and measure the observed per-rewind penalty (cycles from
+detection to the next successful commit), plus the end-to-end cost
+per fault including pipeline refill effects.
+"""
+
+from repro.core.faults import FaultConfig
+from repro.harness.experiment import run_on_model
+from repro.models.presets import ss2
+from repro.workloads.generator import build_workload
+
+INSTRUCTIONS = 8_000
+RATE = 300.0  # faults per million instructions per copy
+
+
+def bench_recovery_cost(benchmark, record_table):
+    program = build_workload("fpppp")
+
+    def run():
+        clean = run_on_model(program, ss2(),
+                             max_instructions=INSTRUCTIONS)
+        faulty = run_on_model(program, ss2(),
+                              max_instructions=INSTRUCTIONS,
+                              fault_config=FaultConfig(
+                                  rate_per_million=RATE, seed=31))
+        return clean, faulty
+
+    clean, faulty = benchmark.pedantic(run, rounds=1, iterations=1)
+    per_fault = 0.0
+    if faulty.rewinds:
+        per_fault = ((faulty.cycles - clean.cycles) / faulty.rewinds)
+    table = "\n".join([
+        "Recovery cost, fpppp on SS-2 at %.0f faults/M-instr" % RATE,
+        "  fault-free cycles        %8d" % clean.cycles,
+        "  faulty cycles            %8d" % faulty.cycles,
+        "  rewinds                  %8d" % faulty.rewinds,
+        "  observed penalty Y       %8.1f cycles (detect -> commit)"
+        % faulty.avg_recovery_penalty,
+        "  end-to-end cost          %8.1f cycles per fault" % per_fault,
+        "  IPC impact               %8.2f%%"
+        % (100 * (1 - faulty.ipc / clean.ipc)),
+    ])
+    record_table("recovery_cost", table)
+
+    assert faulty.rewinds >= 3
+    # "On the order of tens of cycles" (paper observed ~30).
+    assert 5 <= faulty.avg_recovery_penalty <= 100
+    # Negligible throughput impact at realistic rates (Section 5.3).
+    assert faulty.ipc > 0.90 * clean.ipc

@@ -1,0 +1,45 @@
+"""Table 1: baseline superscalar machine parameters.
+
+Regenerates the paper's machine-parameter table directly from the SS-1
+preset, asserting every Table-1 value.  The benchmark times a full
+(small) baseline simulation so the harness also tracks simulator speed
+on the Table-1 machine.
+"""
+
+from repro.harness.report import format_machine_table
+from repro.models.presets import baseline_config, ss1
+from repro.uarch.processor import Processor
+from repro.workloads.generator import build_workload
+
+INSTRUCTIONS = 4_000
+
+
+def bench_table1_machine(benchmark, record_table):
+    config = baseline_config()
+
+    def run():
+        processor = Processor(build_workload("gcc"),
+                              config=ss1().config, ft=ss1().ft)
+        processor.run(max_instructions=INSTRUCTIONS)
+        return processor
+
+    processor = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_machine_table(config)
+    record_table("table1_machine", table)
+
+    # Table 1 values, verbatim.
+    assert config.fetch_width == 8
+    assert config.rob_size == 128 and config.lsq_size == 64
+    assert config.branch.bimodal_size == 2048
+    assert config.branch.l2_size == 1024
+    assert config.branch.history_bits == 10
+    assert config.hierarchy.il1.size_bytes == 64 * 1024
+    assert config.hierarchy.il1.assoc == 2
+    assert config.hierarchy.dl1.size_bytes == 32 * 1024
+    assert config.hierarchy.dl1.assoc == 2
+    assert config.mem_ports == 2
+    assert config.hierarchy.l2.size_bytes == 512 * 1024
+    assert config.hierarchy.l2.assoc == 4
+    assert (config.int_alu, config.int_mult) == (4, 2)
+    assert (config.fp_add, config.fp_mult) == (2, 1)
+    assert processor.stats.instructions >= INSTRUCTIONS

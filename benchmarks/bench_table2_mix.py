@@ -1,0 +1,31 @@
+"""Table 2: dynamic instruction mix of the 11 benchmarks.
+
+Generates every synthetic workload, measures its dynamic mix on the
+functional simulator and checks each category against the paper's
+Table-2 percentages (the calibration target of the workload generator).
+"""
+
+import pytest
+
+from repro.harness.experiment import table2_rows
+from repro.workloads.mix import format_mix_table
+from repro.workloads.profiles import BENCHMARK_ORDER, get_profile
+
+INSTRUCTIONS = 20_000
+TOLERANCE = 2.5  # percentage points per category
+
+
+def bench_table2_mix(benchmark, record_table):
+    rows = benchmark.pedantic(
+        lambda: table2_rows(instructions=INSTRUCTIONS),
+        rounds=1, iterations=1)
+    record_table("table2_mix", format_mix_table(rows))
+
+    assert [row.name for row in rows] == list(BENCHMARK_ORDER)
+    for row in rows:
+        targets = get_profile(row.name).mix_targets()
+        for measured, target in zip(row.as_tuple(), targets):
+            assert measured == pytest.approx(target, abs=TOLERANCE), \
+                "%s: measured %s vs Table-2 %s" % (row.name,
+                                                   row.as_tuple(),
+                                                   targets)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The R=2 vs R=3 trade-off: rewind vs majority election (Section 3.2).
+
+Simulates the fpppp workload across fault frequencies on:
+
+* the R=2 design (rewind on any disagreement), and
+* the R=3 design with 2-of-3 majority election (commit the majority,
+  rewind only when no acceptable majority exists),
+
+then overlays the Section-4 analytical prediction.  The paper's
+conclusion: R=2 wins everywhere except at absurdly high fault rates, so
+R>=3 is only justified for extra fault-coverage confidence.
+
+Run:  python examples/reliability_tradeoff.py
+"""
+
+from repro import FaultConfig, Processor, ss2, ss3
+from repro.analytical import faulty_ipc
+from repro.workloads import build_workload
+
+RATES_PER_MILLION = (0.0, 1000.0, 10_000.0, 50_000.0, 200_000.0)
+INSTRUCTIONS = 8_000
+
+
+def simulate(model, program, rate):
+    fault_config = None
+    if rate > 0:
+        fault_config = FaultConfig(rate_per_million=rate,
+                                   seed=1234 + int(rate))
+    processor = Processor(program, config=model.config, ft=model.ft,
+                          fault_config=fault_config)
+    stats = processor.run(max_instructions=INSTRUCTIONS,
+                          max_cycles=2_000_000)
+    return stats
+
+
+def main():
+    program = build_workload("fpppp")
+    r2, r3 = ss2(), ss3(majority=True)
+    base2 = simulate(r2, program, 0.0).ipc
+    base3 = simulate(r3, program, 0.0).ipc
+    print("fault-free IPC:  R=2 %.3f   R=3 %.3f" % (base2, base3))
+    print()
+    header = ("%11s | %8s %8s | %8s %8s | %9s %9s"
+              % ("faults/M", "R=2 sim", "R=2 mdl", "R=3 sim", "R=3 mdl",
+                 "R2 rewnd", "R3 major"))
+    print(header)
+    print("-" * len(header))
+    for rate in RATES_PER_MILLION:
+        lam = rate / 1e6
+        stats2 = simulate(r2, program, rate)
+        stats3 = simulate(r3, program, rate)
+        # Analytical overlay, anchored at the measured fault-free IPC
+        # and the paper's nominal Y=30-cycle observed recovery cost.
+        model2 = faulty_ipc(base2, 2, 2 * base2, lam, 30.0)
+        model3 = faulty_ipc(base3, 3, 3 * base3, lam, 30.0,
+                            majority=True)
+        print("%11.0f | %8.3f %8.3f | %8.3f %8.3f | %9d %9d"
+              % (rate, stats2.ipc, model2, stats3.ipc, model3,
+                 stats2.rewinds, stats3.majority_commits))
+    print()
+    print("R=3 commits through single-copy faults by majority election "
+          "(last column) and only rewinds on multi-copy strikes, so its "
+          "curve stays flat — but it starts a third lower. R=2 is the "
+          "better design at every realistic fault rate.")
+
+
+if __name__ == "__main__":
+    main()

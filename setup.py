@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The sandboxed environment has setuptools but not the ``wheel`` package,
+so PEP 660 editable installs fail; this shim lets ``pip install -e .``
+fall back to the classic ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

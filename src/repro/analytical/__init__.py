@@ -1,0 +1,19 @@
+"""Section-4 analytical performance models and Figure 3/4 series."""
+
+from .figures import (FIGURE3_PENALTY, FIGURE4_PENALTY, FigurePoint,
+                      figure3_series, figure4_series, figure_series,
+                      format_figure_table, lambda_grid)
+from .model import (crossover_frequency, faulty_ipc, ipc_with_faults,
+                    min_guarantee_window, model_valid,
+                    rewind_rate_full_check, rewind_rate_majority,
+                    steady_state_ipc, steady_state_penalty,
+                    worst_case_instructions)
+
+__all__ = [
+    "FIGURE3_PENALTY", "FIGURE4_PENALTY", "FigurePoint", "figure3_series",
+    "figure4_series", "figure_series", "format_figure_table",
+    "lambda_grid", "crossover_frequency", "faulty_ipc", "ipc_with_faults",
+    "model_valid", "rewind_rate_full_check", "rewind_rate_majority",
+    "steady_state_ipc", "steady_state_penalty", "min_guarantee_window",
+    "worst_case_instructions",
+]

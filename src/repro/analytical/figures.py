@@ -1,0 +1,93 @@
+"""Series generators for Figures 3 and 4.
+
+Both figures plot idealised ``IPC_R(lam)`` with ``IPC_1 = B`` normalised
+to 1 (the paper's "single-thread execution already saturates the
+bottleneck" case), three curves each:
+
+* R=2, rewind recovery;
+* R=3, rewind recovery;
+* R=3, majority election (2-of-3) + rewind.
+
+Figure 3 uses a fine-grain rewind penalty Y=20 cycles; Figure 4 repeats
+the exercise with Y=2000 (a coarse-grain checkpointing scheme) to show
+that Y only matters at extreme fault frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .model import (faulty_ipc, model_valid)
+
+#: Normalised baseline: IPC_1 = B = 1.
+NORMALISED_IPC1 = 1.0
+NORMALISED_BOTTLENECK = 1.0
+
+FIGURE3_PENALTY = 20
+FIGURE4_PENALTY = 2000
+
+
+@dataclass(frozen=True)
+class FigurePoint:
+    """One x-position of a Figure 3/4 style plot."""
+
+    lam: float              # faults per instruction (per copy)
+    ipc_r2: float           # R=2, rewind
+    ipc_r3_rewind: float    # R=3, rewind
+    ipc_r3_majority: float  # R=3, 2-of-3 majority election
+    valid: bool             # inside the model's declared validity region
+
+
+def lambda_grid(start_exp=-8, stop_exp=-1, points_per_decade=4):
+    """Logarithmic grid of fault frequencies (faults per instruction)."""
+    grid = []
+    exponent = start_exp
+    while exponent <= stop_exp:
+        for step in range(points_per_decade):
+            lam = 10.0 ** (exponent + step / points_per_decade)
+            if lam <= 10.0 ** stop_exp:
+                grid.append(lam)
+        exponent += 1
+    return grid
+
+
+def figure_series(penalty_cycles, lambdas=None, ipc1=NORMALISED_IPC1,
+                  bottleneck=NORMALISED_BOTTLENECK):
+    """Compute the three curves of Figure 3 (or 4) on a lambda grid."""
+    lambdas = lambdas if lambdas is not None else lambda_grid()
+    series = []
+    for lam in lambdas:
+        series.append(FigurePoint(
+            lam=lam,
+            ipc_r2=faulty_ipc(ipc1, 2, bottleneck, lam, penalty_cycles),
+            ipc_r3_rewind=faulty_ipc(ipc1, 3, bottleneck, lam,
+                                     penalty_cycles),
+            ipc_r3_majority=faulty_ipc(ipc1, 3, bottleneck, lam,
+                                       penalty_cycles, majority=True),
+            valid=model_valid(lam, penalty_cycles)))
+    return series
+
+
+def figure3_series(lambdas=None):
+    """Figure 3: Y = 20 cycles."""
+    return figure_series(FIGURE3_PENALTY, lambdas)
+
+
+def figure4_series(lambdas=None):
+    """Figure 4: Y = 2000 cycles."""
+    return figure_series(FIGURE4_PENALTY, lambdas)
+
+
+def format_figure_table(series, title):
+    """Readable table of one figure's series."""
+    lines = [title,
+             "%12s %10s %12s %14s %s" % ("faults/instr", "IPC(R=2)",
+                                         "IPC(R=3,rw)", "IPC(R=3,maj)",
+                                         "model"),
+             "-" * 62]
+    for point in series:
+        lines.append("%12.3e %10.4f %12.4f %14.4f %s"
+                     % (point.lam, point.ipc_r2, point.ipc_r3_rewind,
+                        point.ipc_r3_majority,
+                        "ok" if point.valid else "(out of range)"))
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Section 4: analytical performance model of a fault-tolerant superscalar.
+
+Notation follows the paper:
+
+* ``R``      — degree of redundancy;
+* ``IPC_1``  — throughput of the unmodified datapath;
+* ``B``      — the first resource bottleneck exercised by an application
+  (e.g. the number of functional units of some type, in ops/cycle);
+* ``lam``    — average transient-fault frequency, in faults per
+  instruction *per redundant copy*;
+* ``Y``      — average rewind penalty in cycles.
+
+Steady state (Section 4.1)::
+
+    IPC_R = IPC_1 - max(0, (R * IPC_1 - B)) / R      (== min(IPC_1, B/R))
+
+i.e. replication is free until the R data-independent threads saturate
+the bottleneck, after which throughput degrades toward ``B / R``.
+
+Recovery (Section 4.2)::
+
+    CPI_R(lam) = CPI_R_ss + Y * R * lam
+    IPC_R(lam) = IPC_R_ss / (1 + Y * R * lam * IPC_R_ss)
+
+For an R >= 3 design with majority election, a rewind only happens when
+too few copies agree; for independent per-copy faults the per-instruction
+rewind probability replaces ``R * lam`` with the tail of a binomial.
+
+The model self-declares its validity region: it overestimates the
+penalty once faults are so frequent that ``1 / lam`` approaches ``Y``
+(rapid successions of faults merge into one rewind).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ConfigError
+
+
+def steady_state_ipc(ipc1, redundancy, bottleneck):
+    """IPC of the R-redundant datapath in the absence of faults."""
+    if redundancy < 1:
+        raise ConfigError("redundancy must be >= 1")
+    if ipc1 < 0 or bottleneck <= 0:
+        raise ConfigError("ipc1 must be >= 0 and bottleneck > 0")
+    penalty = max(0.0, redundancy * ipc1 - bottleneck) / redundancy
+    return ipc1 - penalty
+
+
+def steady_state_penalty(ipc1, redundancy, bottleneck):
+    """Fractional throughput loss of redundancy (0 = free, 0.5 = half)."""
+    if ipc1 == 0:
+        return 0.0
+    return 1.0 - steady_state_ipc(ipc1, redundancy, bottleneck) / ipc1
+
+
+def rewind_rate_full_check(redundancy, lam):
+    """Per-instruction rewind probability for a rewind-only design.
+
+    Any of the R copies being struck forces a rewind: ``~ R * lam`` for
+    small ``lam`` (the paper's first-order form), computed exactly as the
+    complement of "no copy struck".
+    """
+    lam = min(max(lam, 0.0), 1.0)
+    return 1.0 - (1.0 - lam) ** redundancy
+
+
+def rewind_rate_majority(redundancy, lam, threshold):
+    """Per-instruction rewind probability under majority election.
+
+    A rewind is needed only when fewer than ``threshold`` copies agree;
+    with independent single-copy faults this means more than
+    ``R - threshold`` copies were struck.
+    """
+    lam = min(max(lam, 0.0), 1.0)
+    max_struck_ok = redundancy - threshold
+    rate = 0.0
+    for struck in range(max_struck_ok + 1, redundancy + 1):
+        rate += (math.comb(redundancy, struck) * lam ** struck
+                 * (1.0 - lam) ** (redundancy - struck))
+    return rate
+
+
+def ipc_with_faults(ipc_ss, rewind_rate, penalty_cycles):
+    """IPC under a given per-instruction rewind probability.
+
+    ``CPI = CPI_ss + Y * p_rewind``, converted back to IPC.
+    """
+    if ipc_ss <= 0:
+        return 0.0
+    return ipc_ss / (1.0 + penalty_cycles * rewind_rate * ipc_ss)
+
+
+def faulty_ipc(ipc1, redundancy, bottleneck, lam, penalty_cycles,
+               majority=False, threshold=2):
+    """End-to-end Section-4 model: steady state + recovery penalty."""
+    ipc_ss = steady_state_ipc(ipc1, redundancy, bottleneck)
+    if majority:
+        rate = rewind_rate_majority(redundancy, lam, threshold)
+    else:
+        rate = rewind_rate_full_check(redundancy, lam)
+    return ipc_with_faults(ipc_ss, rate, penalty_cycles)
+
+
+def model_valid(lam, penalty_cycles, margin=10.0):
+    """True while the linear-penalty model is trustworthy.
+
+    The paper: "These equations are not accurate for very high error
+    frequency (i.e. 1/lam ~ Y) because at such frequencies, rapid
+    successions of faults may only incur one rewind penalty."
+    """
+    if lam <= 0:
+        return True
+    return 1.0 / lam >= margin * penalty_cycles
+
+
+def crossover_frequency(ipc_r2, ipc_r3, penalty_cycles, threshold=2,
+                        lo=1e-12, hi=0.5):
+    """Fault frequency where the R=3-majority design overtakes R=2.
+
+    Solves ``IPC_2(lam) == IPC_3_majority(lam)`` by bisection; returns
+    ``None`` if the curves do not cross in ``[lo, hi]`` (e.g. when the
+    R=2 design dominates everywhere in range).
+    """
+    def gap(lam):
+        two = ipc_with_faults(ipc_r2, rewind_rate_full_check(2, lam),
+                              penalty_cycles)
+        three = ipc_with_faults(ipc_r3, rewind_rate_majority(3, lam,
+                                                             threshold),
+                                penalty_cycles)
+        return two - three
+
+    if gap(lo) <= 0 or gap(hi) >= 0:
+        return None
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)  # bisect in log space
+        if gap(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return math.sqrt(lo * hi)
+
+
+# -- Section 4.3: real-time guarantees ---------------------------------------
+
+def worst_case_instructions(window_cycles, ipc_ss, penalty_cycles,
+                            max_faults):
+    """Guaranteed instruction count within a window of cycles.
+
+    Section 4.3: a real-time guarantee must budget for the worst case of
+    ``max_faults`` rewinds inside the window, each costing ``Y`` cycles
+    of lost progress.  With a large Y the budget devours small windows,
+    "making fine-grain real-time guarantees impossible".
+    """
+    if window_cycles < 0 or penalty_cycles < 0 or max_faults < 0:
+        raise ConfigError("window, penalty and fault count must be >= 0")
+    useful_cycles = max(0.0, window_cycles - max_faults * penalty_cycles)
+    return useful_cycles * ipc_ss
+
+
+def min_guarantee_window(instructions_required, ipc_ss, penalty_cycles,
+                         max_faults):
+    """Smallest window (cycles) that guarantees the instruction count.
+
+    Inverse of :func:`worst_case_instructions`: the fault-free execution
+    time plus the worst-case rewind budget.
+    """
+    if ipc_ss <= 0:
+        raise ConfigError("ipc_ss must be positive")
+    if instructions_required < 0:
+        raise ConfigError("instructions_required must be >= 0")
+    return (instructions_required / ipc_ss
+            + max_faults * penalty_cycles)

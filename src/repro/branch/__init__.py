@@ -1,0 +1,15 @@
+"""Branch prediction substrate."""
+
+from .base import DirectionPredictor, SaturatingCounter
+from .bimodal import BimodalPredictor
+from .btb import BranchTargetBuffer
+from .combined import CombinedPredictor
+from .ras import ReturnAddressStack
+from .static import AlwaysNotTaken, AlwaysTaken
+from .twolevel import TwoLevelPredictor
+
+__all__ = [
+    "DirectionPredictor", "SaturatingCounter", "BimodalPredictor",
+    "BranchTargetBuffer", "CombinedPredictor", "ReturnAddressStack",
+    "AlwaysNotTaken", "AlwaysTaken", "TwoLevelPredictor",
+]

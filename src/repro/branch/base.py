@@ -1,0 +1,49 @@
+"""Interfaces and helpers for branch direction predictors."""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class DirectionPredictor:
+    """Interface: predicts taken/not-taken for conditional branches."""
+
+    def predict(self, pc):
+        """Predicted direction for the branch at ``pc``."""
+        raise NotImplementedError
+
+    def update(self, pc, taken):
+        """Train with the resolved direction (called at commit)."""
+        raise NotImplementedError
+
+    def reset(self):
+        """Forget all learned state."""
+        raise NotImplementedError
+
+
+class SaturatingCounter:
+    """Reference 2-bit saturating counter (tables use raw ints for speed)."""
+
+    __slots__ = ("value", "max_value")
+
+    def __init__(self, bits=2, value=None):
+        self.max_value = (1 << bits) - 1
+        self.value = (self.max_value + 1) // 2 if value is None else value
+
+    @property
+    def taken(self):
+        return self.value > self.max_value // 2
+
+    def train(self, taken):
+        if taken:
+            if self.value < self.max_value:
+                self.value += 1
+        elif self.value > 0:
+            self.value -= 1
+
+
+def require_power_of_two(value, what):
+    if value <= 0 or value & (value - 1):
+        raise ConfigError("%s must be a power of two, got %d"
+                          % (what, value))
+    return value

@@ -1,0 +1,36 @@
+"""Bimodal branch predictor: a PC-indexed table of 2-bit counters."""
+
+from __future__ import annotations
+
+from .base import DirectionPredictor, require_power_of_two
+
+_WEAKLY_TAKEN = 2
+_MAX = 3
+
+
+class BimodalPredictor(DirectionPredictor):
+    """The 2K-entry bimodal component of the Table-1 combined predictor."""
+
+    def __init__(self, size=2048):
+        require_power_of_two(size, "bimodal table size")
+        self.size = size
+        self._mask = size - 1
+        self._table = [_WEAKLY_TAKEN] * size
+        self.lookups = 0
+
+    def predict(self, pc):
+        self.lookups += 1
+        return self._table[pc & self._mask] >= _WEAKLY_TAKEN
+
+    def update(self, pc, taken):
+        index = pc & self._mask
+        counter = self._table[index]
+        if taken:
+            if counter < _MAX:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+
+    def reset(self):
+        self._table = [_WEAKLY_TAKEN] * self.size
+        self.lookups = 0

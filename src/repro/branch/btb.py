@@ -1,0 +1,53 @@
+"""Branch target buffer: set-associative tag/target store.
+
+With decoded instructions, direct targets are computable at fetch; the
+BTB earns its keep on *indirect* jumps (``jr``/``jalr``) whose targets
+come from registers.  Per Section 3.4 the BTB needs no ECC protection —
+a corrupted target manifests as a recoverable misprediction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .base import require_power_of_two
+
+
+class BranchTargetBuffer:
+    """LRU set-associative BTB (default 512 sets x 4 ways)."""
+
+    def __init__(self, sets=512, assoc=4):
+        require_power_of_two(sets, "BTB set count")
+        if assoc <= 0:
+            raise ValueError("BTB associativity must be positive")
+        self.num_sets = sets
+        self.assoc = assoc
+        self._mask = sets - 1
+        self._sets = [OrderedDict() for _ in range(sets)]
+        self.lookups = 0
+        self.hits = 0
+
+    def lookup(self, pc):
+        """Predicted target for ``pc`` or ``None`` on a BTB miss."""
+        self.lookups += 1
+        entry_set = self._sets[pc & self._mask]
+        target = entry_set.get(pc)
+        if target is not None:
+            self.hits += 1
+            entry_set.move_to_end(pc)
+        return target
+
+    def update(self, pc, target):
+        """Install/refresh the target for ``pc``."""
+        entry_set = self._sets[pc & self._mask]
+        if pc in entry_set:
+            entry_set.move_to_end(pc)
+        elif len(entry_set) >= self.assoc:
+            entry_set.popitem(last=False)
+        entry_set[pc] = target
+
+    def reset(self):
+        for entry_set in self._sets:
+            entry_set.clear()
+        self.lookups = 0
+        self.hits = 0

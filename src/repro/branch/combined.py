@@ -1,0 +1,56 @@
+"""Combined (tournament) predictor: bimodal + 2-level with a chooser.
+
+This is the Table-1 configuration: "Combined predictor that selects
+between a 2K bimodal and a 2-level predictor".  The meta (chooser) table
+is a PC-indexed array of 2-bit counters trained toward whichever
+component was right when they disagree.
+"""
+
+from __future__ import annotations
+
+from .base import DirectionPredictor, require_power_of_two
+from .bimodal import BimodalPredictor
+from .twolevel import TwoLevelPredictor
+
+_PREFER_TWOLEVEL = 2
+_MAX = 3
+
+
+class CombinedPredictor(DirectionPredictor):
+    """Tournament of a bimodal and a two-level component."""
+
+    def __init__(self, bimodal=None, twolevel=None, meta_size=1024):
+        require_power_of_two(meta_size, "meta table size")
+        self.bimodal = bimodal or BimodalPredictor()
+        self.twolevel = twolevel or TwoLevelPredictor()
+        self.meta_size = meta_size
+        self._meta_mask = meta_size - 1
+        self._meta = [_PREFER_TWOLEVEL] * meta_size
+        self.lookups = 0
+
+    def predict(self, pc):
+        self.lookups += 1
+        if self._meta[pc & self._meta_mask] >= _PREFER_TWOLEVEL:
+            return self.twolevel.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc, taken):
+        bimodal_said = self.bimodal._table[pc & self.bimodal._mask] >= 2
+        twolevel_said = (self.twolevel._counters[
+            self.twolevel._l2_index(pc)] >= 2)
+        if bimodal_said != twolevel_said:
+            index = pc & self._meta_mask
+            counter = self._meta[index]
+            if twolevel_said == taken:
+                if counter < _MAX:
+                    self._meta[index] = counter + 1
+            elif counter > 0:
+                self._meta[index] = counter - 1
+        self.bimodal.update(pc, taken)
+        self.twolevel.update(pc, taken)
+
+    def reset(self):
+        self.bimodal.reset()
+        self.twolevel.reset()
+        self._meta = [_PREFER_TWOLEVEL] * self.meta_size
+        self.lookups = 0

@@ -1,0 +1,52 @@
+"""Return address stack with snapshot/restore for speculation repair.
+
+The RAS is updated speculatively at fetch (pushes on ``jal``/``jalr``,
+pops on ``jr r31``); each in-flight control instruction carries a
+snapshot so a branch misprediction can restore the stack, and a fault
+rewind simply clears it (the stack is a pure performance hint).
+"""
+
+from __future__ import annotations
+
+
+class ReturnAddressStack:
+    """Fixed-depth circular return-address stack."""
+
+    def __init__(self, depth=8):
+        if depth <= 0:
+            raise ValueError("RAS depth must be positive")
+        self.depth = depth
+        self._stack = [None] * depth
+        self._top = 0          # index of the next free slot
+        self._occupancy = 0
+        self.pushes = 0
+        self.pops = 0
+
+    def push(self, address):
+        self.pushes += 1
+        self._stack[self._top] = address
+        self._top = (self._top + 1) % self.depth
+        if self._occupancy < self.depth:
+            self._occupancy += 1
+
+    def pop(self):
+        """Pop the predicted return address, or ``None`` when empty."""
+        self.pops += 1
+        if self._occupancy == 0:
+            return None
+        self._top = (self._top - 1) % self.depth
+        self._occupancy -= 1
+        return self._stack[self._top]
+
+    def snapshot(self):
+        """Cheap copyable state for misprediction repair."""
+        return (self._top, self._occupancy, tuple(self._stack))
+
+    def restore(self, snap):
+        self._top, self._occupancy, stack = snap
+        self._stack = list(stack)
+
+    def clear(self):
+        self._stack = [None] * self.depth
+        self._top = 0
+        self._occupancy = 0

@@ -1,0 +1,31 @@
+"""Static direction predictors, for ablations and tests."""
+
+from __future__ import annotations
+
+from .base import DirectionPredictor
+
+
+class AlwaysTaken(DirectionPredictor):
+    """Predicts taken for every branch."""
+
+    def predict(self, pc):
+        return True
+
+    def update(self, pc, taken):
+        pass
+
+    def reset(self):
+        pass
+
+
+class AlwaysNotTaken(DirectionPredictor):
+    """Predicts not-taken for every branch."""
+
+    def predict(self, pc):
+        return False
+
+    def update(self, pc, taken):
+        pass
+
+    def reset(self):
+        pass

@@ -1,0 +1,62 @@
+"""Two-level adaptive predictor (SimpleScalar "2lev" style).
+
+Table 1 configures it as: 2-entry L1 of 10-bit history registers, a
+1024-entry L2 of 2-bit counters, and 1-bit XOR folding of the PC into
+the history when indexing L2 (gshare-flavoured).
+"""
+
+from __future__ import annotations
+
+from .base import DirectionPredictor, require_power_of_two
+
+_WEAKLY_TAKEN = 2
+_MAX = 3
+
+
+class TwoLevelPredictor(DirectionPredictor):
+    """L1 history registers indexing an L2 pattern-history table."""
+
+    def __init__(self, l1_size=2, l2_size=1024, history_bits=10,
+                 use_xor=True):
+        require_power_of_two(l1_size, "2-level L1 size")
+        require_power_of_two(l2_size, "2-level L2 size")
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self.l1_size = l1_size
+        self.l2_size = l2_size
+        self.history_bits = history_bits
+        self.use_xor = use_xor
+        self._history_mask = (1 << history_bits) - 1
+        self._l1_mask = l1_size - 1
+        self._l2_mask = l2_size - 1
+        self._histories = [0] * l1_size
+        self._counters = [_WEAKLY_TAKEN] * l2_size
+        self.lookups = 0
+
+    def _l2_index(self, pc):
+        history = self._histories[pc & self._l1_mask]
+        if self.use_xor:
+            return (history ^ pc) & self._l2_mask
+        return history & self._l2_mask
+
+    def predict(self, pc):
+        self.lookups += 1
+        return self._counters[self._l2_index(pc)] >= _WEAKLY_TAKEN
+
+    def update(self, pc, taken):
+        index = self._l2_index(pc)
+        counter = self._counters[index]
+        if taken:
+            if counter < _MAX:
+                self._counters[index] = counter + 1
+        elif counter > 0:
+            self._counters[index] = counter - 1
+        l1_index = pc & self._l1_mask
+        self._histories[l1_index] = (
+            ((self._histories[l1_index] << 1) | int(taken))
+            & self._history_mask)
+
+    def reset(self):
+        self._histories = [0] * self.l1_size
+        self._counters = [_WEAKLY_TAKEN] * self.l2_size
+        self.lookups = 0

@@ -1,0 +1,27 @@
+"""The paper's contribution: dual-use fault tolerance for superscalars.
+
+Instruction injection (replication), commit-stage cross-checking,
+rewind/majority recovery, transient-fault injection and the
+sphere-of-replication coverage audit.
+"""
+
+from .config import (DUAL_REDUNDANT, TRIPLE_MAJORITY, TRIPLE_REWIND,
+                     UNPROTECTED, FTConfig)
+from .detection import CheckResult, CommitChecker
+from .faults import (DEFAULT_KIND_WEIGHTS, FAULT_KINDS, FaultConfig,
+                     FaultInjector, FaultPlan)
+from .recovery import (ACTION_MAJORITY_COMMIT, ACTION_REWIND,
+                       RecoveryController)
+from .replication import Replicator
+from .rob import DONE, ISSUED, READY, WAITING, Group, RobEntry
+from .sphere import (FT_COVERAGE, UNPROTECTED_COVERAGE, StructureCoverage,
+                     audit, coverage_table)
+
+__all__ = [
+    "DUAL_REDUNDANT", "TRIPLE_MAJORITY", "TRIPLE_REWIND", "UNPROTECTED",
+    "FTConfig", "CheckResult", "CommitChecker", "DEFAULT_KIND_WEIGHTS",
+    "FAULT_KINDS", "FaultConfig", "FaultInjector", "FaultPlan",
+    "ACTION_MAJORITY_COMMIT", "ACTION_REWIND", "RecoveryController",
+    "Replicator", "FT_COVERAGE", "UNPROTECTED_COVERAGE",
+    "StructureCoverage", "audit", "coverage_table",
+]

@@ -1,0 +1,64 @@
+"""Fault-tolerance configuration (the paper's design knobs).
+
+``redundancy`` is the paper's R — the number of redundant dynamic
+threads created by instruction injection.  ``R = 1`` is the unprotected
+stock superscalar ("the modified datapath can still be returned to the
+performance of an optimally-tuned superscalar design").  ``R = 2`` is
+the rewind-recovery design evaluated as SS-2; ``R = 3`` optionally adds
+majority election with a configurable *correctness acceptance
+threshold* (Section 3.2, Recovery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FTConfig:
+    """Fault-tolerance mode of the dual-use datapath."""
+
+    #: Degree of redundancy R (1 = protection off).
+    redundancy: int = 1
+    #: For R >= 3: commit the majority result instead of rewinding when
+    #: at least ``acceptance_threshold`` copies agree.
+    majority_election: bool = False
+    #: Minimum number of agreeing copies for majority election.
+    acceptance_threshold: int = 2
+    #: Check every retiring instruction's PC against the ECC-protected
+    #: committed next-PC register (Section 3.2, Fault Detection).
+    check_pc_continuity: bool = True
+    #: Extra front-end restart penalty (cycles) charged on a rewind, on
+    #: top of the naturally modelled pipeline refill.
+    rewind_extra_penalty: int = 0
+
+    def __post_init__(self):
+        if self.redundancy < 1:
+            raise ConfigError("redundancy must be >= 1")
+        if self.majority_election:
+            if self.redundancy < 3:
+                raise ConfigError(
+                    "majority election requires redundancy >= 3")
+            if not 2 <= self.acceptance_threshold <= self.redundancy:
+                raise ConfigError(
+                    "acceptance threshold must be in [2, R]")
+        if self.rewind_extra_penalty < 0:
+            raise ConfigError("rewind_extra_penalty must be >= 0")
+
+    @property
+    def protected(self):
+        """True when redundant checking is active."""
+        return self.redundancy >= 2
+
+
+#: Protection off: the optimally-tuned baseline superscalar.
+UNPROTECTED = FTConfig(redundancy=1)
+#: The paper's main design point: two-way redundancy, rewind recovery.
+DUAL_REDUNDANT = FTConfig(redundancy=2)
+#: Three-way redundancy with 2-of-3 majority election.
+TRIPLE_MAJORITY = FTConfig(redundancy=3, majority_election=True,
+                           acceptance_threshold=2)
+#: Three-way redundancy, rewind-only (for the Figure 3 comparison).
+TRIPLE_REWIND = FTConfig(redundancy=3)

@@ -1,0 +1,110 @@
+"""Commit-stage fault detection: cross-checking redundant copies.
+
+Step (2) of the paper's mechanism: "When all copies of the same
+instruction have been executed and are the oldest entries in ROB, the R
+entries are cross-checked.  If all entries agree, then they are freed
+from ROB, retiring a single instruction.  If any fields of the entries
+disagree, then an error has occurred and recovery is required"
+(Section 3.2).
+
+The checked fields per copy are: result value, next PC, effective
+address and store data.  For R >= 3 with majority election, the checker
+also reports the representative copy whose signature reaches the
+acceptance threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..functional.numeric import values_equal
+
+
+@dataclass
+class CheckResult:
+    """Outcome of cross-checking one retiring group."""
+
+    ok: bool                 # all copies agree
+    representative: int      # index of the copy whose results to commit
+    majority: bool           # disagreement resolved by majority election
+    agree_count: int         # copies agreeing with the representative
+    mismatched_fields: tuple = ()
+
+
+_FIELDS = ("value", "next_pc", "addr", "store_val")
+
+
+def _signature(entry):
+    return (entry.value, entry.next_pc, entry.addr, entry.store_val)
+
+
+def _signatures_equal(a, b):
+    for left, right in zip(a, b):
+        if left is None and right is None:
+            continue
+        if left is None or right is None:
+            return False
+        if not values_equal(left, right):
+            return False
+    return True
+
+
+def _mismatched_fields(a, b):
+    fields = []
+    for name, left, right in zip(_FIELDS, a, b):
+        same = (left is None and right is None) or (
+            left is not None and right is not None
+            and values_equal(left, right))
+        if not same:
+            fields.append(name)
+    return tuple(fields)
+
+
+class CommitChecker:
+    """Cross-checks the R copies of a retiring instruction."""
+
+    def __init__(self, ft_config):
+        self.ft = ft_config
+        self.checks = 0
+        self.mismatches = 0
+
+    def check(self, group):
+        """Cross-check ``group``; never commits anything itself."""
+        copies = group.copies
+        self.checks += 1
+        signatures = [_signature(entry) for entry in copies]
+        first = signatures[0]
+        all_agree = all(_signatures_equal(first, sig)
+                        for sig in signatures[1:])
+        if all_agree:
+            return CheckResult(ok=True, representative=0, majority=False,
+                               agree_count=len(copies))
+        self.mismatches += 1
+        if self.ft.majority_election and len(copies) >= 3:
+            best_index, best_count = self._majority(signatures)
+            if best_count >= self.ft.acceptance_threshold:
+                return CheckResult(
+                    ok=False, representative=best_index, majority=True,
+                    agree_count=best_count,
+                    mismatched_fields=self._collect_mismatches(signatures))
+        return CheckResult(
+            ok=False, representative=-1, majority=False, agree_count=1,
+            mismatched_fields=self._collect_mismatches(signatures))
+
+    @staticmethod
+    def _majority(signatures):
+        best_index, best_count = 0, 0
+        for i, candidate in enumerate(signatures):
+            count = sum(1 for sig in signatures
+                        if _signatures_equal(candidate, sig))
+            if count > best_count:
+                best_index, best_count = i, count
+        return best_index, best_count
+
+    @staticmethod
+    def _collect_mismatches(signatures):
+        fields = set()
+        first = signatures[0]
+        for sig in signatures[1:]:
+            fields.update(_mismatched_fields(first, sig))
+        return tuple(sorted(fields))

@@ -1,0 +1,141 @@
+"""Transient-fault injection.
+
+Reproduces the paper's methodology: "we also introduced a 'fault
+injection' module that can randomly corrupt some instructions based on a
+user-specified probability distribution function. ... our fault
+injection module may decide to corrupt some part of an instruction at
+any stage of the pipeline" (Section 5.1.1).
+
+A fault strikes *one redundant copy* of an in-flight instruction (the
+sphere of replication covers speculative state only; committed state is
+ECC-protected and assumed immune).  Kinds model where the single-event
+upset lands:
+
+* ``value``   — the copy's result value (in an FU or its ROB slot);
+* ``address`` — the copy's computed effective address (memory ops);
+* ``branch``  — the copy's resolved branch outcome;
+* ``pc``      — the instruction's fetched PC *shared by all copies*
+  (models an upset in the unprotected PC register; only the committed
+  next-PC continuity check can catch this one — Section 3.4).
+
+Rates follow Section 4.2: the per-copy fault probability is ``lambda``
+per instruction, so an R-redundant machine sees a group corrupted at
+roughly ``R * lambda`` per architectural instruction.  Figure 6 expresses
+``lambda`` in faults per one million instructions, which is the unit
+used here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..isa.opcodes import Kind
+
+FAULT_KINDS = ("value", "address", "branch", "pc")
+
+#: Default mix of fault sites: mostly datapath values, some address
+#: calculation, some control.
+DEFAULT_KIND_WEIGHTS = {"value": 0.70, "address": 0.15, "branch": 0.10,
+                        "pc": 0.05}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A fault scheduled against one copy (or one group for ``pc``)."""
+
+    kind: str
+    bit: int
+
+
+@dataclass
+class FaultConfig:
+    """Injection rate and site distribution."""
+
+    #: Per-copy fault probability, in faults per million instructions.
+    rate_per_million: float = 0.0
+    seed: int = 12345
+    kind_weights: dict = field(
+        default_factory=lambda: dict(DEFAULT_KIND_WEIGHTS))
+
+    def __post_init__(self):
+        if self.rate_per_million < 0:
+            raise ConfigError("fault rate must be >= 0")
+        total = sum(self.kind_weights.values())
+        if total <= 0:
+            raise ConfigError("fault kind weights must sum to > 0")
+        unknown = set(self.kind_weights) - set(FAULT_KINDS)
+        if unknown:
+            raise ConfigError("unknown fault kinds: %s" % sorted(unknown))
+
+    @property
+    def rate(self):
+        """Per-copy probability per instruction."""
+        return self.rate_per_million / 1e6
+
+
+class FaultInjector:
+    """Draws fault plans for dispatched copies, deterministically."""
+
+    def __init__(self, config=None):
+        self.config = config or FaultConfig()
+        self._rng = random.Random(self.config.seed)
+        self._kinds = list(self.config.kind_weights.keys())
+        self._weights = list(self.config.kind_weights.values())
+        self.planned = 0
+
+    def reset(self):
+        self._rng = random.Random(self.config.seed)
+        self.planned = 0
+
+    def plan_for_copy(self, inst):
+        """Plan (or not) a fault against one dispatched copy of ``inst``.
+
+        Returns a :class:`FaultPlan` with kind in {value, address,
+        branch} or ``None``.  ``pc`` faults are group-level; see
+        :meth:`plan_for_group`.
+        """
+        rate = self.config.rate
+        if rate <= 0 or self._rng.random() >= rate:
+            return None
+        kind = self._draw_kind()
+        kind = self._fit_kind_to_inst(kind, inst)
+        if kind is None:
+            return None
+        self.planned += 1
+        return FaultPlan(kind=kind, bit=self._rng.randrange(64))
+
+    def plan_for_group(self, inst):
+        """Plan (or not) a group-level ``pc`` fault for one instruction."""
+        weights = self.config.kind_weights
+        pc_share = weights.get("pc", 0.0) / sum(weights.values())
+        rate = self.config.rate * pc_share
+        if rate <= 0 or self._rng.random() >= rate:
+            return None
+        self.planned += 1
+        return FaultPlan(kind="pc", bit=self._rng.randrange(16))
+
+    def _draw_kind(self):
+        choices = self._rng.choices(self._kinds, weights=self._weights)
+        return choices[0]
+
+    def _fit_kind_to_inst(self, kind, inst):
+        """Map the drawn kind onto a site that exists for ``inst``."""
+        info = inst.info
+        if kind == "pc":
+            # The pc share of the budget is spent at group level
+            # (plan_for_group); drawing it here produces no copy fault,
+            # otherwise pc faults would be double-counted.
+            return None
+        if kind == "address" and not info.is_mem:
+            kind = "value"
+        if kind == "branch" and not inst.is_control:
+            kind = "value"
+        if kind == "value":
+            if info.writes_reg or info.kind == Kind.STORE:
+                return "value"
+            if inst.is_control:
+                return "branch"
+            return None  # nop/halt: no architectural site to corrupt
+        return kind

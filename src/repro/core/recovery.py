@@ -1,0 +1,61 @@
+"""Transient-fault recovery: rewind and majority election.
+
+Step (3) of the paper's mechanism: "After an inconsistency is detected
+between redundantly executed copies of a retiring instruction, the
+default action is to completely rewind the ROB, i.e. discard the entire
+ROB contents and restart execution by refetching from the committed
+next-PC register" (Section 3.2).
+
+The controller decides the action (commit-by-majority vs full rewind)
+and keeps the recovery-cost bookkeeping used by the Figure 6 discussion
+("typical recovery costs observed in fpppp simulations are around 30
+cycles"): for every rewind we record the gap between the rewind cycle
+and the next successful commit, which is the throughput the fault
+actually cost.
+"""
+
+from __future__ import annotations
+
+#: Possible recovery actions for a failed cross-check.
+ACTION_MAJORITY_COMMIT = "majority_commit"
+ACTION_REWIND = "rewind"
+
+
+class RecoveryController:
+    """Chooses and accounts for recovery actions."""
+
+    def __init__(self, ft_config):
+        self.ft = ft_config
+        self.rewinds = 0
+        self.majority_commits = 0
+        #: Cycle of the most recent rewind with no commit yet, or None.
+        self._open_rewind_cycle = None
+        self.recovery_cycles = 0
+
+    def decide(self, check_result):
+        """Action for a mismatching group: majority commit or rewind."""
+        if check_result.majority:
+            self.majority_commits += 1
+            return ACTION_MAJORITY_COMMIT
+        self.rewinds += 1
+        return ACTION_REWIND
+
+    def on_rewind(self, cycle):
+        """Record the start of a rewind (detection time)."""
+        # Back-to-back faults before any commit merge into one outage;
+        # the model in Section 4.2 notes exactly this saturation effect.
+        if self._open_rewind_cycle is None:
+            self._open_rewind_cycle = cycle
+
+    def on_commit(self, cycle):
+        """First successful commit after a rewind closes the outage."""
+        if self._open_rewind_cycle is not None:
+            self.recovery_cycles += cycle - self._open_rewind_cycle
+            self._open_rewind_cycle = None
+
+    @property
+    def average_penalty(self):
+        """Observed mean rewind penalty Y in cycles."""
+        if not self.rewinds:
+            return 0.0
+        return self.recovery_cycles / self.rewinds

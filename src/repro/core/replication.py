@@ -1,0 +1,93 @@
+"""Instruction injection: dynamic replication at dispatch.
+
+This is step (1) of the paper's mechanism: "The instruction injection
+logic in the decode stage temporarily creates multiple redundant threads
+from a single instruction stream" (Section 3.2).  Each fetched
+instruction becomes a :class:`~repro.uarch.rob.Group` of R consecutive
+ROB entries; only copy 0 is renamed through the map table and copy *k*'s
+operand is deduced as copy *k* of the same producer group — the
+object-reference form of the paper's "+k tag offset" rule.
+
+The replicator owns the data-independence invariant: copy *k* of a
+consumer only ever reads values produced by copy *k* of a producer, or
+the (ECC-protected, shared) committed register file.
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import Kind
+from ..isa.registers import ZERO
+from .rob import DONE, READY, WAITING, Group, RobEntry
+from .rob_access import capture_operand
+
+
+class Replicator:
+    """Builds R-redundant groups from fetched instructions."""
+
+    def __init__(self, redundancy, renamer, committed_read,
+                 fault_injector=None, stats=None):
+        """``committed_read(areg)`` reads the committed register file."""
+        self.redundancy = redundancy
+        self.renamer = renamer
+        self.committed_read = committed_read
+        self.fault_injector = fault_injector
+        self.stats = stats
+        self._gseq = 0
+        self._seq = 0
+
+    def reset_sequence(self):
+        self._gseq = 0
+        self._seq = 0
+
+    def build_group(self, record, cycle):
+        """Replicate one fetched instruction into an R-copy group."""
+        inst = record.inst
+        group = Group(self._gseq, record.pc, inst, record.pred_npc,
+                      record.pred_taken, record.ras_snap, record.fetch_cycle)
+        self._gseq += 1
+        injector = self.fault_injector
+        if injector is not None:
+            plan = injector.plan_for_group(inst)
+            if plan is not None:
+                # Upset in the (unprotected) PC register: all copies see
+                # the same wrong PC; only PC-continuity checking catches
+                # it (Section 3.4).
+                group.pc ^= 1 << plan.bit
+                if self.stats is not None:
+                    self.stats.faults_injected += 1
+
+        info = inst.info
+        kind = info.kind
+        for copy in range(self.redundancy):
+            entry = RobEntry(self._seq, group.gseq * self.redundancy + copy,
+                             group, copy)
+            self._seq += 1
+            group.copies.append(entry)
+            if injector is not None:
+                plan = injector.plan_for_copy(inst)
+                if plan is not None:
+                    entry.fault_kind = plan.kind
+                    entry.fault_bit = plan.bit
+            if kind == Kind.NOP or kind == Kind.HALT:
+                # Nothing to execute: completes at dispatch.
+                entry.state = DONE
+                entry.next_pc = group.pc + (0 if kind == Kind.HALT else 1)
+                group.done_count += 1
+                continue
+            self._capture_operands(entry, inst, copy)
+            entry.state = READY if entry.pending == 0 else WAITING
+        # Register the destination mapping once per group (copy 0's tag;
+        # the offset rule recovers the other copies).
+        if info.writes_reg and inst.rd != ZERO:
+            self.renamer.set_dest(inst.rd, group)
+        return group
+
+    def _capture_operands(self, entry, inst, copy):
+        """Wire up to two source operands for one redundant copy."""
+        info = inst.info
+        if info.reads_rs1:
+            capture_operand(entry, 0, inst.rs1, copy, self.renamer,
+                            self.committed_read)
+        if info.reads_rs2:
+            capture_operand(entry, 1, inst.rs2, copy, self.renamer,
+                            self.committed_read)

@@ -1,0 +1,35 @@
+"""Operand capture: the rename-time read path shared by all copies."""
+
+from __future__ import annotations
+
+from ..isa.registers import ZERO
+from .rob import DONE
+
+
+def capture_operand(entry, slot, areg, copy, renamer, committed_read):
+    """Capture source operand ``slot`` (0 or 1) of one redundant copy.
+
+    Resolution order mirrors the paper's datapath:
+
+    1. ``r0`` reads constant zero.
+    2. A producer group in flight: copy *k* reads copy *k* of the
+       producer (the "+k offset" rule).  If that copy has completed, the
+       value is captured immediately from its rename register (its ROB
+       entry); otherwise the consumer waits on its completion broadcast.
+    3. No in-flight producer: read the ECC-protected committed register
+       file, which is identical for all copies.
+    """
+    if areg == ZERO:
+        entry.src_vals[slot] = 0
+        return
+    producer_group = renamer.lookup(areg)
+    if producer_group is None:
+        entry.src_vals[slot] = committed_read(areg)
+        return
+    producer = producer_group.copies[copy]
+    entry.src_tags[slot] = producer.vidx
+    if producer.state == DONE:
+        entry.src_vals[slot] = producer.value
+    else:
+        entry.pending += 1
+        producer.dependents.append((entry, slot))

@@ -1,0 +1,14 @@
+"""Information redundancy: Hamming SECDED, parity, protected storage."""
+
+from .hamming import (CODEWORD_BITS, DATA_BITS, DecodeStatus,
+                      UncorrectableError, decode, encode)
+from .parity import check as parity_check
+from .parity import encode as parity_encode
+from .parity import parity_bit
+from .protected import ProtectedArray, ProtectedRegister
+
+__all__ = [
+    "CODEWORD_BITS", "DATA_BITS", "DecodeStatus", "UncorrectableError",
+    "decode", "encode", "parity_check", "parity_encode", "parity_bit",
+    "ProtectedArray", "ProtectedRegister",
+]

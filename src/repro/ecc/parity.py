@@ -1,0 +1,25 @@
+"""Single-bit even parity, the cheapest information-redundancy scheme.
+
+Parity detects (but cannot correct) any odd number of bit flips.  It is
+included for the coverage-comparison experiments: structures such as the
+fetch queue could be parity- instead of ECC-protected at lower cost if a
+detected error can simply trigger a refetch.
+"""
+
+from __future__ import annotations
+
+
+def parity_bit(value):
+    """Even-parity bit over the 64-bit value."""
+    return bin(value & ((1 << 64) - 1)).count("1") & 1
+
+
+def encode(value):
+    """Return ``(value, parity)`` for storage."""
+    value &= (1 << 64) - 1
+    return value, parity_bit(value)
+
+
+def check(value, parity):
+    """True if the stored parity still matches the value."""
+    return parity_bit(value) == parity

@@ -1,0 +1,86 @@
+"""ECC-protected storage wrappers.
+
+:class:`ProtectedArray` stores 64-bit words as Hamming SECDED codewords.
+Reads transparently correct single-bit upsets (counting them) and raise
+:class:`~repro.ecc.hamming.UncorrectableError` on double-bit upsets.
+Used to demonstrate the paper's assumption that committed state (register
+file, rename map, caches) can be protected by information redundancy.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .hamming import (CODEWORD_BITS, DecodeStatus, UncorrectableError,
+                      decode, encode)
+
+
+class ProtectedArray:
+    """Fixed-size array of 64-bit words with SECDED protection."""
+
+    def __init__(self, size, fill=0):
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self._codewords = [encode(fill)] * size
+        self.corrected_errors = 0
+        self.detected_uncorrectable = 0
+
+    def __len__(self):
+        return len(self._codewords)
+
+    def read(self, index):
+        """Read (and scrub) the word at ``index``."""
+        data, status = decode(self._codewords[index])
+        if status is DecodeStatus.CORRECTED:
+            self.corrected_errors += 1
+            self._codewords[index] = encode(data)  # scrub on read
+        elif status is DecodeStatus.UNCORRECTABLE:
+            self.detected_uncorrectable += 1
+            raise UncorrectableError(
+                "uncorrectable (double-bit) error at index %d" % index)
+        return data
+
+    def write(self, index, value):
+        """Write a 64-bit word at ``index``."""
+        self._codewords[index] = encode(value)
+
+    def inject_bit_flip(self, index, bit):
+        """Flip one raw codeword bit (models a particle strike)."""
+        if not 0 <= bit < CODEWORD_BITS:
+            raise ValueError("bit must be in [0, %d)" % CODEWORD_BITS)
+        self._codewords[index] ^= 1 << bit
+
+    def inject_random_flips(self, index, count, rng=None):
+        """Flip ``count`` distinct random bits of one codeword."""
+        rng = rng or random.Random()
+        bits = rng.sample(range(CODEWORD_BITS), count)
+        for bit in bits:
+            self.inject_bit_flip(index, bit)
+        return bits
+
+
+class ProtectedRegister:
+    """A single SECDED-protected 64-bit register.
+
+    Models the ECC-protected *committed next-PC* register of Section 3.2,
+    which anchors PC-continuity checking and rewind-based recovery.
+    """
+
+    def __init__(self, value=0):
+        self._codeword = encode(value)
+        self.corrected_errors = 0
+
+    def read(self):
+        data, status = decode(self._codeword)
+        if status is DecodeStatus.CORRECTED:
+            self.corrected_errors += 1
+            self._codeword = encode(data)
+        elif status is DecodeStatus.UNCORRECTABLE:
+            raise UncorrectableError("uncorrectable error in register")
+        return data
+
+    def write(self, value):
+        self._codeword = encode(value)
+
+    def inject_bit_flip(self, bit):
+        self._codeword ^= 1 << (bit % CODEWORD_BITS)

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AssemblerError(ReproError):
+    """Raised when assembly source cannot be assembled."""
+
+    def __init__(self, message, line_number=None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = "line %d: %s" % (line_number, message)
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulator reaches an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """Raised when a machine configuration is invalid."""

@@ -1,0 +1,17 @@
+"""In-order functional simulation: the golden model and semantic kernel."""
+
+from .checker import StateDiff, assert_states_equal, compare_states
+from .kernel import (alu_value, branch_taken, control_next_pc,
+                     effective_address, static_target)
+from .numeric import (as_float, as_int, bits_to_float, flip_float_bit,
+                      flip_int_bit, float_to_bits, s64, u64, values_equal)
+from .simulator import FunctionalSimulator, MixCounters, run_functional
+from .state import ArchState
+
+__all__ = [
+    "StateDiff", "assert_states_equal", "compare_states", "alu_value",
+    "branch_taken", "control_next_pc", "effective_address", "static_target",
+    "as_float", "as_int", "bits_to_float", "flip_float_bit", "flip_int_bit",
+    "float_to_bits", "s64", "u64", "values_equal", "FunctionalSimulator",
+    "MixCounters", "run_functional", "ArchState",
+]

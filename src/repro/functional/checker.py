@@ -1,0 +1,73 @@
+"""Golden-state comparison between two committed architectural states.
+
+Mirrors the paper's sanity-check methodology: "we have the option to
+periodically drain the pipeline to compare the two sets of states to
+ensure our error detection scheme has captured the randomly injected
+faults and the recovery scheme has correctly restored the processor to a
+good state" (Section 5.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.registers import NUM_LOGICAL_REGS, reg_name
+from .numeric import values_equal
+
+
+@dataclass
+class StateDiff:
+    """Differences between two architectural states."""
+
+    reg_mismatches: list = field(default_factory=list)
+    mem_mismatches: list = field(default_factory=list)
+    pc_mismatch: tuple = None
+
+    @property
+    def clean(self):
+        return (not self.reg_mismatches and not self.mem_mismatches
+                and self.pc_mismatch is None)
+
+    def summary(self, limit=8):
+        if self.clean:
+            return "states identical"
+        lines = []
+        if self.pc_mismatch is not None:
+            lines.append("pc: %s != %s" % self.pc_mismatch)
+        for index, left, right in self.reg_mismatches[:limit]:
+            lines.append("%s: %r != %r" % (reg_name(index), left, right))
+        for address, left, right in self.mem_mismatches[:limit]:
+            lines.append("mem[%d]: %r != %r" % (address, left, right))
+        hidden = (len(self.reg_mismatches) + len(self.mem_mismatches)
+                  - min(limit, len(self.reg_mismatches))
+                  - min(limit, len(self.mem_mismatches)))
+        if hidden > 0:
+            lines.append("... and %d more" % hidden)
+        return "; ".join(lines)
+
+
+def compare_states(left, right, check_pc=False):
+    """Compare registers and memory of two states; return a StateDiff."""
+    diff = StateDiff()
+    for index in range(NUM_LOGICAL_REGS):
+        a, b = left.regs[index], right.regs[index]
+        if not values_equal(a, b):
+            diff.reg_mismatches.append((index, a, b))
+    left_cells = left.memory.snapshot()
+    right_cells = right.memory.snapshot()
+    if len(left_cells) != len(right_cells):
+        raise ValueError("cannot compare memories of different sizes")
+    for address, (a, b) in enumerate(zip(left_cells, right_cells)):
+        if not values_equal(a, b):
+            diff.mem_mismatches.append((address, a, b))
+    if check_pc and left.pc != right.pc:
+        diff.pc_mismatch = (left.pc, right.pc)
+    return diff
+
+
+def assert_states_equal(left, right, context=""):
+    """Raise AssertionError with a readable diff if the states differ."""
+    diff = compare_states(left, right)
+    if not diff.clean:
+        prefix = context + ": " if context else ""
+        raise AssertionError(prefix + diff.summary())

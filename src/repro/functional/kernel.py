@@ -1,0 +1,152 @@
+"""The pure semantic kernel of the ISA.
+
+Every simulator in the package — the in-order golden model and each
+redundant copy of an instruction flowing through the out-of-order
+pipeline — computes results through these pure functions.  They take
+operand *values* (never architectural state), which is exactly the shape
+the out-of-order core needs: operands are captured at rename time from
+the ROB or the committed register file.
+
+All handlers are total: division by zero, NaNs and overflow produce
+defined results rather than exceptions, because fault injection can and
+does feed arbitrary values into any operation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..isa.opcodes import Kind, Op
+from .numeric import MASK64, s64, u64
+
+
+def _div(a, b):
+    if b == 0:
+        return 0
+    quotient = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        quotient = -quotient
+    return s64(quotient)
+
+
+def _rem(a, b):
+    if b == 0:
+        return 0
+    return s64(a - _div(a, b) * b)
+
+
+def _fdiv(a, b):
+    try:
+        return a / b
+    except ZeroDivisionError:
+        if a == 0:
+            return math.nan
+        return math.copysign(math.inf, a) * math.copysign(1.0, b)
+
+
+def _fsqrt(a):
+    if a < 0 or math.isnan(a):
+        return math.nan
+    return math.sqrt(a)
+
+
+_VALUE_HANDLERS = {
+    Op.ADD: lambda a, b, imm, pc: s64(a + b),
+    Op.SUB: lambda a, b, imm, pc: s64(a - b),
+    Op.AND: lambda a, b, imm, pc: s64(a & b),
+    Op.OR: lambda a, b, imm, pc: s64(a | b),
+    Op.XOR: lambda a, b, imm, pc: s64(a ^ b),
+    Op.SLL: lambda a, b, imm, pc: s64(a << (b & 63)),
+    Op.SRL: lambda a, b, imm, pc: s64(u64(a) >> (b & 63)),
+    Op.SRA: lambda a, b, imm, pc: s64(a >> (b & 63)),
+    Op.SLT: lambda a, b, imm, pc: 1 if a < b else 0,
+    Op.SLTU: lambda a, b, imm, pc: 1 if u64(a) < u64(b) else 0,
+    Op.ADDI: lambda a, b, imm, pc: s64(a + imm),
+    Op.ANDI: lambda a, b, imm, pc: s64(a & imm),
+    Op.ORI: lambda a, b, imm, pc: s64(a | imm),
+    Op.XORI: lambda a, b, imm, pc: s64(a ^ imm),
+    Op.SLTI: lambda a, b, imm, pc: 1 if a < imm else 0,
+    Op.SLLI: lambda a, b, imm, pc: s64(a << (imm & 63)),
+    Op.SRLI: lambda a, b, imm, pc: s64(u64(a) >> (imm & 63)),
+    Op.SRAI: lambda a, b, imm, pc: s64(a >> (imm & 63)),
+    Op.LUI: lambda a, b, imm, pc: s64(imm << 16),
+    Op.MUL: lambda a, b, imm, pc: s64(a * b),
+    Op.MULH: lambda a, b, imm, pc: s64((a * b) >> 64),
+    Op.DIV: lambda a, b, imm, pc: _div(a, b),
+    Op.REM: lambda a, b, imm, pc: _rem(a, b),
+    Op.FADD: lambda a, b, imm, pc: a + b,
+    Op.FSUB: lambda a, b, imm, pc: a - b,
+    Op.FMUL: lambda a, b, imm, pc: a * b,
+    Op.FDIV: lambda a, b, imm, pc: _fdiv(a, b),
+    Op.FSQRT: lambda a, b, imm, pc: _fsqrt(a),
+    Op.FNEG: lambda a, b, imm, pc: -a,
+    Op.FABS: lambda a, b, imm, pc: abs(a),
+    Op.FMOV: lambda a, b, imm, pc: a,
+    Op.CVTIF: lambda a, b, imm, pc: float(a),
+    Op.CVTFI: lambda a, b, imm, pc: _cvtfi(a),
+    Op.FCMPEQ: lambda a, b, imm, pc: 1 if a == b else 0,
+    Op.FCMPLT: lambda a, b, imm, pc: 1 if a < b else 0,
+    Op.FCMPLE: lambda a, b, imm, pc: 1 if a <= b else 0,
+    Op.JAL: lambda a, b, imm, pc: pc + 1,
+    Op.JALR: lambda a, b, imm, pc: pc + 1,
+}
+
+_BRANCH_CONDITIONS = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: a < b,
+    Op.BGE: lambda a, b: a >= b,
+}
+
+
+def _cvtfi(a):
+    if math.isnan(a):
+        return 0
+    if math.isinf(a):
+        return (1 << 63) - 1 if a > 0 else -(1 << 63)
+    return s64(int(a))
+
+
+def alu_value(op, a, b, imm, pc):
+    """Result value of a value-producing opcode (ALU, FP, link writes)."""
+    return _VALUE_HANDLERS[op](a, b, imm, pc)
+
+
+def branch_taken(op, a, b):
+    """Resolved direction of a conditional branch."""
+    return _BRANCH_CONDITIONS[op](a, b)
+
+
+def effective_address(base, imm):
+    """Effective word address of a memory operation."""
+    return u64(base + imm)
+
+
+def control_next_pc(inst, a, b, pc):
+    """Architecturally correct next PC of any instruction.
+
+    ``a``/``b`` are the register operand values (ignored where unused).
+    """
+    op = inst.op
+    kind = inst.info.kind
+    if kind == Kind.BRANCH:
+        if _BRANCH_CONDITIONS[op](a, b):
+            return pc + 1 + inst.imm
+        return pc + 1
+    if kind == Kind.JUMP:
+        if op == Op.J or op == Op.JAL:
+            return inst.imm
+        return u64(a)  # JR / JALR: indirect through rs1
+    if kind == Kind.HALT:
+        return pc
+    return pc + 1
+
+
+def static_target(inst, pc):
+    """Target of a direct control instruction, or None if indirect."""
+    op = inst.op
+    if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+        return pc + 1 + inst.imm
+    if op in (Op.J, Op.JAL):
+        return inst.imm
+    return None

@@ -1,0 +1,87 @@
+"""Numeric helpers shared by the functional and timing simulators.
+
+Integer registers hold 64-bit two's-complement values represented as
+Python ints in ``[-2**63, 2**63)``.  Floating registers hold Python
+floats (IEEE-754 double).  Memory cells hold either, so coercion helpers
+define how a value read with the "wrong" type is interpreted — this
+matters under fault injection, where a corrupted address can make a load
+hit a float cell.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+MASK64 = (1 << 64) - 1
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+
+
+def s64(value):
+    """Wrap an int to signed 64-bit two's complement."""
+    value &= MASK64
+    if value > INT64_MAX:
+        value -= 1 << 64
+    return value
+
+
+def u64(value):
+    """Reinterpret a signed 64-bit value as unsigned."""
+    return value & MASK64
+
+
+def as_int(value):
+    """Coerce a memory/register cell value to a signed 64-bit integer."""
+    if isinstance(value, int):
+        return s64(value)
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            return 0
+        return s64(int(value))
+    raise TypeError("cannot interpret %r as an integer word" % (value,))
+
+
+def as_float(value):
+    """Coerce a memory/register cell value to a float."""
+    if isinstance(value, float):
+        return value
+    if isinstance(value, int):
+        return float(value)
+    raise TypeError("cannot interpret %r as a float word" % (value,))
+
+
+def float_to_bits(value):
+    """IEEE-754 bit pattern of a double, as an unsigned 64-bit int."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_float(bits):
+    """Double with the given IEEE-754 bit pattern."""
+    return struct.unpack("<d", struct.pack("<Q", bits & MASK64))[0]
+
+
+def flip_int_bit(value, bit):
+    """Flip one bit of a signed 64-bit integer (returns signed result)."""
+    return s64(u64(value) ^ (1 << (bit & 63)))
+
+
+def flip_float_bit(value, bit):
+    """Flip one bit of a double's IEEE-754 representation."""
+    return bits_to_float(float_to_bits(value) ^ (1 << (bit & 63)))
+
+
+def values_equal(a, b):
+    """Equality for committed values: exact, with NaN equal to NaN.
+
+    Redundantly executed copies perform identical operations on identical
+    inputs, so agreement is bit-exact; NaN results compare equal so that a
+    fault-free NaN-producing program does not trigger false detections.
+    """
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
+    if isinstance(a, float) or isinstance(b, float):
+        return False
+    return a == b

@@ -1,0 +1,152 @@
+"""In-order functional simulator — the golden model.
+
+This is the paper's "second set of committed state ... updated by
+executing the program in an in-order, non-speculative manner"
+(Section 5.1.1).  The out-of-order core's committed state is compared
+against it in tests, in the sanity-check mode of the harness, and after
+fault-injection runs to prove that detection + rewind restored correct
+execution.
+
+It also doubles as the dynamic instruction-mix profiler used to
+regenerate Table 2.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..errors import SimulationError
+from ..isa.opcodes import FuClass, Kind, Op
+from ..memory.main_memory import MainMemory
+from .kernel import (alu_value, branch_taken, control_next_pc,
+                     effective_address)
+from .numeric import as_float, as_int
+from .state import ArchState
+
+
+class MixCounters:
+    """Dynamic instruction-mix accounting (Table-2 categories)."""
+
+    def __init__(self):
+        self.total = 0
+        self.mem_ops = 0
+        self.int_ops = 0
+        self.fp_add = 0
+        self.fp_mult = 0
+        self.fp_div = 0
+        self.branches = 0
+        self.by_op = Counter()
+
+    def record(self, inst):
+        info = inst.info
+        self.total += 1
+        self.by_op[inst.op] += 1
+        if info.is_mem:
+            self.mem_ops += 1
+        elif inst.op == Op.FDIV or inst.op == Op.FSQRT:
+            self.fp_div += 1
+        elif info.fu == FuClass.FP_MULT:
+            self.fp_mult += 1
+        elif info.fu == FuClass.FP_ADD:
+            self.fp_add += 1
+        else:
+            # Integer ALU / mult / div, control flow, nop, halt: the paper
+            # folds everything non-memory, non-FP into "Int Ops".
+            self.int_ops += 1
+        if info.kind == Kind.BRANCH:
+            self.branches += 1
+
+    def percentages(self):
+        """Table-2 row: percent (mem, int, fp add, fp mult, fp div)."""
+        if self.total == 0:
+            return (0.0,) * 5
+        scale = 100.0 / self.total
+        return (self.mem_ops * scale, self.int_ops * scale,
+                self.fp_add * scale, self.fp_mult * scale,
+                self.fp_div * scale)
+
+
+class FunctionalSimulator:
+    """Executes a program one instruction at a time, in program order."""
+
+    def __init__(self, program, mem_size=None, strict_memory=False):
+        self.program = program
+        kwargs = {}
+        if mem_size is not None:
+            kwargs["size_words"] = mem_size
+        memory = MainMemory(image=program.data, strict=strict_memory,
+                            **kwargs)
+        self.state = ArchState(memory=memory, pc=program.entry)
+        self.instret = 0
+        self.mix = MixCounters()
+
+    def step(self):
+        """Execute one instruction.  Returns False once halted."""
+        state = self.state
+        if state.halted:
+            return False
+        inst = self.program.fetch(state.pc)
+        if inst is None:
+            raise SimulationError("functional PC ran off the text segment: "
+                                  "%d" % state.pc)
+        info = inst.info
+        a = state.read_reg(inst.rs1) if info.reads_rs1 else 0
+        b = state.read_reg(inst.rs2) if info.reads_rs2 else 0
+        kind = info.kind
+
+        if kind == Kind.ALU:
+            state.write_reg(inst.rd, alu_value(inst.op, a, b, inst.imm,
+                                               state.pc))
+            state.pc += 1
+        elif kind == Kind.LOAD:
+            address = effective_address(a, inst.imm)
+            value = state.memory.load(address)
+            if info.fp_dest:
+                state.write_reg(inst.rd, as_float(value))
+            else:
+                state.write_reg(inst.rd, as_int(value))
+            state.pc += 1
+        elif kind == Kind.STORE:
+            address = effective_address(a, inst.imm)
+            state.memory.store(address, b)
+            state.pc += 1
+        elif kind == Kind.BRANCH:
+            if branch_taken(inst.op, a, b):
+                state.pc = state.pc + 1 + inst.imm
+            else:
+                state.pc += 1
+        elif kind == Kind.JUMP:
+            next_pc = control_next_pc(inst, a, b, state.pc)
+            if info.writes_reg:
+                state.write_reg(inst.rd, state.pc + 1)
+            state.pc = next_pc
+        elif kind == Kind.HALT:
+            state.halted = True
+        elif kind == Kind.NOP:
+            state.pc += 1
+        else:  # pragma: no cover - exhaustive over Kind
+            raise SimulationError("unhandled kind %r" % kind)
+
+        self.instret += 1
+        self.mix.record(inst)
+        return not state.halted
+
+    def run(self, max_instructions=10_000_000):
+        """Run until HALT or the instruction budget is exhausted."""
+        remaining = max_instructions
+        while remaining > 0:
+            if not self.step():
+                return self.state
+            remaining -= 1
+        if not self.state.halted:
+            raise SimulationError(
+                "program did not halt within %d instructions"
+                % max_instructions)
+        return self.state
+
+
+def run_functional(program, max_instructions=10_000_000, mem_size=None):
+    """Convenience: run ``program`` to completion, return the simulator."""
+    simulator = FunctionalSimulator(program, mem_size=mem_size)
+    simulator.run(max_instructions=max_instructions)
+    return simulator

@@ -1,0 +1,46 @@
+"""Committed architectural state.
+
+One unified register file of 64 logical registers (integer 0..31,
+floating 32..63), the program counter, and a reference to main memory.
+Values are normalised on write (integers wrapped to signed 64-bit, float
+registers coerced to float), so two states that executed the same
+committed instruction sequence compare bit-equal.
+"""
+
+from __future__ import annotations
+
+from ..isa.registers import FP_BASE, NUM_LOGICAL_REGS, ZERO
+from ..memory.main_memory import DEFAULT_MEMORY_WORDS, MainMemory
+from .numeric import as_float, as_int
+
+
+class ArchState:
+    """Registers + PC + memory: everything inside the committed domain."""
+
+    def __init__(self, memory=None, pc=0, mem_size=DEFAULT_MEMORY_WORDS):
+        self.regs = [0] * FP_BASE + [0.0] * (NUM_LOGICAL_REGS - FP_BASE)
+        self.pc = pc
+        self.memory = memory if memory is not None else MainMemory(mem_size)
+        self.halted = False
+
+    def read_reg(self, index):
+        """Read logical register ``index`` (r0 always reads zero)."""
+        if index == ZERO:
+            return 0
+        return self.regs[index]
+
+    def write_reg(self, index, value):
+        """Write logical register ``index`` (writes to r0 are dropped)."""
+        if index == ZERO:
+            return
+        if index < FP_BASE:
+            self.regs[index] = as_int(value)
+        else:
+            self.regs[index] = as_float(value)
+
+    def copy(self):
+        """Deep copy (memory included)."""
+        clone = ArchState(memory=self.memory.copy(), pc=self.pc)
+        clone.regs = list(self.regs)
+        clone.halted = self.halted
+        return clone

@@ -1,0 +1,19 @@
+"""Experiment harness: runners, reports and the repro-ft CLI."""
+
+from .experiment import (DEFAULT_INSTRUCTIONS, FIGURE6_RATES, Figure5Row,
+                         Figure6Point, RunResult, SensitivityRow,
+                         figure5_rows, figure6_points, physreg_ablation,
+                         recovery_cost, rename_scheme_comparison,
+                         run_on_model, sensitivity_rows, table2_rows)
+from .report import (ascii_chart, format_figure5_table,
+                     format_figure6_table, format_machine_table,
+                     format_sensitivity_table)
+
+__all__ = [
+    "DEFAULT_INSTRUCTIONS", "FIGURE6_RATES", "Figure5Row", "Figure6Point",
+    "RunResult", "SensitivityRow", "figure5_rows", "figure6_points",
+    "physreg_ablation", "recovery_cost", "rename_scheme_comparison",
+    "run_on_model", "sensitivity_rows", "table2_rows", "ascii_chart",
+    "format_figure5_table", "format_figure6_table",
+    "format_machine_table", "format_sensitivity_table",
+]

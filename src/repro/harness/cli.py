@@ -1,0 +1,170 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples::
+
+    repro-ft table1
+    repro-ft table2 --instructions 30000
+    repro-ft figure3
+    repro-ft figure5 --instructions 20000
+    repro-ft figure6 --benchmark fpppp
+    repro-ft sensitivity --benchmarks go,vpr,ammp,gcc
+    repro-ft coverage
+    repro-ft demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..analytical.figures import (figure3_series, figure4_series,
+                                  format_figure_table)
+from ..core.sphere import FT_COVERAGE, coverage_table
+from ..models.presets import baseline_config
+from ..workloads.mix import format_mix_table
+from ..workloads.profiles import BENCHMARK_ORDER
+from . import experiment
+from .report import (ascii_chart, format_figure5_table,
+                     format_figure6_table, format_machine_table,
+                     format_sensitivity_table)
+
+
+def _add_common(parser):
+    parser.add_argument("--instructions", type=int, default=20_000,
+                        help="committed instructions per simulation")
+
+
+def _cmd_table1(args):
+    print("Table 1: baseline superscalar machine parameters\n")
+    print(format_machine_table(baseline_config()))
+
+
+def _cmd_table2(args):
+    rows = experiment.table2_rows(instructions=args.instructions)
+    print("Table 2: measured dynamic instruction mix "
+          "(synthetic workloads)\n")
+    print(format_mix_table(rows))
+
+
+def _cmd_figure3(args):
+    series = figure3_series()
+    print(format_figure_table(series, "Figure 3: IPC vs fault frequency "
+                                      "(Y = 20 cycles, IPC1 = B = 1)"))
+    print()
+    print(ascii_chart(
+        [("R=2", "2", [(p.lam, p.ipc_r2) for p in series]),
+         ("R=3 rewind", "3", [(p.lam, p.ipc_r3_rewind) for p in series]),
+         ("R=3 majority", "m",
+          [(p.lam, p.ipc_r3_majority) for p in series])],
+        title="Figure 3 (Y=20)"))
+
+
+def _cmd_figure4(args):
+    series = figure4_series()
+    print(format_figure_table(series, "Figure 4: IPC vs fault frequency "
+                                      "(Y = 2000 cycles)"))
+    print()
+    print(ascii_chart(
+        [("R=2", "2", [(p.lam, p.ipc_r2) for p in series]),
+         ("R=3 rewind", "3", [(p.lam, p.ipc_r3_rewind) for p in series]),
+         ("R=3 majority", "m",
+          [(p.lam, p.ipc_r3_majority) for p in series])],
+        title="Figure 4 (Y=2000)"))
+
+
+def _cmd_figure5(args):
+    benchmarks = args.benchmarks.split(",") if args.benchmarks \
+        else BENCHMARK_ORDER
+    rows = experiment.figure5_rows(benchmarks=benchmarks,
+                                   instructions=args.instructions)
+    print("Figure 5: steady-state IPC comparison\n")
+    print(format_figure5_table(rows))
+
+
+def _cmd_figure6(args):
+    points = experiment.figure6_points(benchmark=args.benchmark,
+                                       instructions=args.instructions)
+    print("Figure 6: IPC vs fault frequency for %s\n" % args.benchmark)
+    print(format_figure6_table(points))
+    print()
+    print(ascii_chart(
+        [("R=2", "2", [(max(p.rate_per_million, 1.0),
+                        p.results["R=2"].ipc) for p in points]),
+         ("R=3 majority", "3", [(max(p.rate_per_million, 1.0),
+                                 p.results["R=3"].ipc)
+                                for p in points])],
+        title="Figure 6 (%s)" % args.benchmark))
+
+
+def _cmd_sensitivity(args):
+    benchmarks = args.benchmarks.split(",") if args.benchmarks \
+        else BENCHMARK_ORDER
+    rows = experiment.sensitivity_rows(benchmarks=benchmarks,
+                                       instructions=args.instructions)
+    print("Section 5.2: FU / RUU sensitivity of the SS-1 baseline\n")
+    print(format_sensitivity_table(rows))
+
+
+def _cmd_coverage(args):
+    print("Sphere-of-replication coverage audit (Section 3.4)\n")
+    print(coverage_table(FT_COVERAGE))
+
+
+def _cmd_demo(args):
+    from ..core.faults import FaultConfig
+    from ..models.presets import ss1, ss2
+    from ..workloads.generator import build_workload
+    program = build_workload("gcc")
+    print("Demo: gcc-like workload, %d instructions\n"
+          % args.instructions)
+    for model in (ss1(), ss2()):
+        result = experiment.run_on_model(
+            program, model, max_instructions=args.instructions)
+        print("%-9s IPC %.3f" % (model.name, result.ipc))
+    faulty = experiment.run_on_model(
+        program, ss2(), max_instructions=args.instructions,
+        fault_config=FaultConfig(rate_per_million=500.0))
+    print("%-9s IPC %.3f with faults: %d injected, %d detected, "
+          "%d rewinds" % ("SS-2+f", faulty.ipc, faulty.faults_injected,
+                          faulty.faults_detected, faulty.rewinds))
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "figure3": _cmd_figure3,
+    "figure4": _cmd_figure4,
+    "figure5": _cmd_figure5,
+    "figure6": _cmd_figure6,
+    "sensitivity": _cmd_sensitivity,
+    "coverage": _cmd_coverage,
+    "demo": _cmd_demo,
+}
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-ft",
+        description="Regenerate tables and figures from 'Dual Use of "
+                    "Superscalar Datapath for Transient-Fault Detection "
+                    "and Recovery' (MICRO 2001).")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name in _COMMANDS:
+        sub = subparsers.add_parser(name)
+        _add_common(sub)
+        if name in ("figure5", "sensitivity"):
+            sub.add_argument("--benchmarks", default="",
+                             help="comma-separated benchmark names")
+        if name == "figure6":
+            sub.add_argument("--benchmark", default="fpppp")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    _COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

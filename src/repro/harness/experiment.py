@@ -1,0 +1,282 @@
+"""Experiment runners for every table and figure in the paper.
+
+Each function returns plain result objects that the report module can
+format and the benchmark suite can assert on.  Instruction budgets are
+parameters: the paper simulated 10^9 instructions per run; steady-state
+IPC of the loop-structured synthetic workloads converges within a few
+tens of thousands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.config import FTConfig
+from ..core.faults import FaultConfig
+from ..models.presets import MachineModel, get_model, ss2, ss3
+from ..models.scaling import (factor_for_label, scale_functional_units,
+                              scale_window)
+from ..uarch.processor import Processor
+from ..workloads.generator import build_workload
+from ..workloads.mix import measure_mix
+from ..workloads.profiles import BENCHMARK_ORDER
+
+DEFAULT_INSTRUCTIONS = 20_000
+#: Figure-6 x-axis: fault frequencies in faults per million instructions.
+FIGURE6_RATES = (0.0, 10.0, 100.0, 300.0, 1000.0, 3000.0, 10_000.0,
+                 30_000.0, 100_000.0)
+
+
+@dataclass
+class RunResult:
+    """One (benchmark, machine model) simulation."""
+
+    benchmark: str
+    model: str
+    ipc: float
+    cycles: int
+    instructions: int
+    branch_accuracy: float
+    rewinds: int = 0
+    faults_injected: int = 0
+    faults_detected: int = 0
+    majority_commits: int = 0
+    avg_recovery_penalty: float = 0.0
+
+    @classmethod
+    def from_stats(cls, benchmark, model, stats):
+        return cls(benchmark=benchmark, model=model, ipc=stats.ipc,
+                   cycles=stats.cycles, instructions=stats.instructions,
+                   branch_accuracy=stats.branch_accuracy,
+                   rewinds=stats.rewinds,
+                   faults_injected=stats.faults_injected,
+                   faults_detected=stats.faults_detected,
+                   majority_commits=stats.majority_commits,
+                   avg_recovery_penalty=stats.avg_recovery_penalty)
+
+
+def run_on_model(program, model, max_instructions=DEFAULT_INSTRUCTIONS,
+                 fault_config=None, lockstep=False, max_cycles=None,
+                 warmup_instructions=0):
+    """Simulate ``program`` on one machine model.
+
+    ``warmup_instructions`` commits that many instructions before the
+    measurement window, so caches and predictors reach steady state —
+    the small-budget stand-in for the paper's "skip the first billion
+    instructions" methodology.  IPC/cycles/instructions then refer to
+    the post-warmup window only.
+    """
+    processor = Processor(program, config=model.config, ft=model.ft,
+                          fault_config=fault_config)
+    if lockstep:
+        processor.enable_lockstep_check()
+    if max_cycles is None:
+        max_cycles = max(200_000,
+                         (max_instructions + warmup_instructions) * 60)
+    warm_cycles = warm_instructions = 0
+    if warmup_instructions:
+        processor.run(max_instructions=warmup_instructions,
+                      max_cycles=max_cycles)
+        warm_cycles = processor.cycle
+        warm_instructions = processor.stats.instructions
+    stats = processor.run(max_instructions=max_instructions,
+                          max_cycles=max_cycles)
+    result = RunResult.from_stats(program.name, model.name, stats)
+    if warmup_instructions:
+        cycles = stats.cycles - warm_cycles
+        instructions = stats.instructions - warm_instructions
+        result.cycles = cycles
+        result.instructions = instructions
+        result.ipc = instructions / cycles if cycles else 0.0
+    return result
+
+
+# -- Table 2 ---------------------------------------------------------------
+
+def table2_rows(benchmarks=BENCHMARK_ORDER,
+                instructions=DEFAULT_INSTRUCTIONS):
+    """Measured dynamic instruction mixes for the benchmark suite."""
+    return [measure_mix(build_workload(name), instructions=instructions)
+            for name in benchmarks]
+
+
+# -- Figure 5 --------------------------------------------------------------
+
+@dataclass
+class Figure5Row:
+    """Per-benchmark steady-state IPC of SS-1 / Static-2 / SS-2."""
+
+    benchmark: str
+    results: dict = field(default_factory=dict)  # model name -> RunResult
+
+    def ipc(self, model):
+        return self.results[model].ipc
+
+    @property
+    def ss2_penalty(self):
+        """Fractional IPC loss of SS-2 relative to SS-1."""
+        return 1.0 - self.ipc("SS-2") / self.ipc("SS-1")
+
+
+def figure5_rows(benchmarks=BENCHMARK_ORDER,
+                 instructions=DEFAULT_INSTRUCTIONS,
+                 model_names=("SS-1", "Static-2", "SS-2"),
+                 warmup=2_000):
+    """Reproduce Figure 5: steady-state IPC comparison."""
+    rows = []
+    for name in benchmarks:
+        program = build_workload(name)
+        row = Figure5Row(benchmark=name)
+        for model_name in model_names:
+            model = get_model(model_name)
+            row.results[model.name] = run_on_model(
+                program, model, max_instructions=instructions,
+                warmup_instructions=warmup)
+        rows.append(row)
+    return rows
+
+
+# -- Figure 6 --------------------------------------------------------------
+
+@dataclass
+class Figure6Point:
+    """IPC of the R=2 and R=3 designs at one fault frequency."""
+
+    rate_per_million: float
+    results: dict = field(default_factory=dict)  # design name -> RunResult
+
+
+def figure6_points(benchmark="fpppp", rates=FIGURE6_RATES,
+                   instructions=DEFAULT_INSTRUCTIONS, seed=20010,
+                   warmup=2_000):
+    """Reproduce Figure 6: IPC vs fault frequency for fpppp.
+
+    Designs: 'R=2' (rewind recovery) and 'R=3' (2-of-3 majority
+    election), both on the Table-1 datapath.
+    """
+    program = build_workload(benchmark)
+    designs = (("R=2", ss2()), ("R=3", ss3(majority=True)))
+    points = []
+    for rate in rates:
+        point = Figure6Point(rate_per_million=rate)
+        # Beyond ~50k faults/M the machine lives in a rewind storm;
+        # warming caches first is meaningless (and nearly impossible).
+        effective_warmup = warmup if rate < 50_000 else 0
+        for design_name, model in designs:
+            fault_config = None
+            if rate > 0:
+                fault_config = FaultConfig(rate_per_million=rate,
+                                           seed=seed + int(rate))
+            point.results[design_name] = run_on_model(
+                program, model, max_instructions=instructions,
+                fault_config=fault_config,
+                warmup_instructions=effective_warmup)
+        points.append(point)
+    return points
+
+
+# -- Section 5.2 sensitivity study ------------------------------------------
+
+@dataclass
+class SensitivityRow:
+    """IPC of one benchmark across resource scalings of the baseline."""
+
+    benchmark: str
+    base_ipc: float
+    fu_ipc: dict = field(default_factory=dict)    # label -> ipc
+    ruu_ipc: dict = field(default_factory=dict)   # label -> ipc
+
+    @property
+    def fu_limited(self):
+        """Doubling FUs helps noticeably => FU-limited baseline."""
+        return self.fu_ipc["2x"] > 1.10 * self.base_ipc
+
+    @property
+    def ruu_limited(self):
+        return self.ruu_ipc["2x"] > 1.10 * self.base_ipc
+
+    @property
+    def ilp_limited(self):
+        """Insensitive to both => limited by program parallelism."""
+        return not self.fu_limited and not self.ruu_limited
+
+
+def sensitivity_rows(benchmarks=BENCHMARK_ORDER,
+                     instructions=DEFAULT_INSTRUCTIONS,
+                     labels=("0.5x", "2x", "inf"), warmup=2_000):
+    """The Section-5.2 resource-sensitivity experiment on SS-1."""
+    rows = []
+    for name in benchmarks:
+        program = build_workload(name)
+        base_model = get_model("SS-1")
+        base = run_on_model(program, base_model,
+                            max_instructions=instructions,
+                            warmup_instructions=warmup)
+        row = SensitivityRow(benchmark=name, base_ipc=base.ipc)
+        for label in labels:
+            factor = factor_for_label(label)
+            fu_config = scale_functional_units(base_model.config, factor)
+            row.fu_ipc[label] = run_on_model(
+                program, MachineModel("SS-1", fu_config, base_model.ft),
+                max_instructions=instructions,
+                warmup_instructions=warmup).ipc
+            ruu_config = scale_window(base_model.config, factor)
+            row.ruu_ipc[label] = run_on_model(
+                program, MachineModel("SS-1", ruu_config, base_model.ft),
+                max_instructions=instructions,
+                warmup_instructions=warmup).ipc
+        rows.append(row)
+    return rows
+
+
+# -- recovery cost (Section 5.3 in-text) -------------------------------------
+
+def recovery_cost(benchmark="fpppp", rate_per_million=200.0,
+                  instructions=DEFAULT_INSTRUCTIONS, seed=42,
+                  warmup=2_000):
+    """Measure the observed rewind penalty Y (paper: ~30 cycles)."""
+    program = build_workload(benchmark)
+    fault_config = FaultConfig(rate_per_million=rate_per_million,
+                               seed=seed)
+    return run_on_model(program, ss2(), max_instructions=instructions,
+                        fault_config=fault_config,
+                        warmup_instructions=warmup)
+
+
+# -- Section 3.2 physical-register-pool ablation -----------------------------
+
+def physreg_ablation(benchmarks=("gcc", "fpppp", "go"),
+                     instructions=DEFAULT_INSTRUCTIONS, warmup=2_000):
+    """SS-2 vs SS-2 with a shared physical register pool.
+
+    The paper predicts the shared-pool variant is "slightly lower"
+    because corroboration costs R extra register-file reads per retiring
+    instruction.
+    """
+    rows = []
+    for name in benchmarks:
+        program = build_workload(name)
+        split = run_on_model(program, ss2(),
+                             max_instructions=instructions,
+                             warmup_instructions=warmup)
+        shared_model = ss2(shared_physical_regfile=True)
+        shared = run_on_model(program, shared_model,
+                              max_instructions=instructions,
+                              warmup_instructions=warmup)
+        rows.append((name, split.ipc, shared.ipc))
+    return rows
+
+
+# -- rename-scheme equivalence (Section 3.1 design alternative) --------------
+
+def rename_scheme_comparison(benchmark="vortex",
+                             instructions=5_000):
+    """Map-table vs associative-search renaming must agree exactly."""
+    program = build_workload(benchmark)
+    results = {}
+    for scheme in ("map", "associative"):
+        model = ss2(rename_scheme=scheme)
+        results[scheme] = run_on_model(program, model,
+                                       max_instructions=instructions)
+    return results

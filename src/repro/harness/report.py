@@ -1,0 +1,155 @@
+"""Plain-text report formatting: tables and ASCII charts.
+
+Everything the paper shows as a figure can be rendered as an ASCII chart
+(series over a log-x axis) so the benchmark harness works in a terminal
+with no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def format_figure5_table(rows):
+    """Figure-5 style table: per-benchmark IPC of the three machines."""
+    header = ("%-8s %8s %10s %8s %12s" % ("bench", "SS-1", "Static-2",
+                                          "SS-2", "SS-2 penalty"))
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("%-8s %8.3f %10.3f %8.3f %11.1f%%"
+                     % (row.benchmark, row.ipc("SS-1"),
+                        row.ipc("Static-2"), row.ipc("SS-2"),
+                        100.0 * row.ss2_penalty))
+    average = sum(row.ss2_penalty for row in rows) / len(rows)
+    lines.append("-" * len(header))
+    lines.append("%-8s %38s %11.1f%%" % ("average", "", 100.0 * average))
+    return "\n".join(lines)
+
+
+def format_figure6_table(points):
+    """Figure-6 style table: IPC vs fault frequency for both designs."""
+    header = ("%14s %10s %10s %10s %10s"
+              % ("faults/Minstr", "IPC R=2", "IPC R=3", "rewinds R2",
+                 "maj. R3"))
+    lines = [header, "-" * len(header)]
+    for point in points:
+        r2 = point.results["R=2"]
+        r3 = point.results["R=3"]
+        lines.append("%14.0f %10.3f %10.3f %10d %10d"
+                     % (point.rate_per_million, r2.ipc, r3.ipc,
+                        r2.rewinds, r3.majority_commits))
+    return "\n".join(lines)
+
+
+def format_sensitivity_table(rows):
+    """Section-5.2 sensitivity study table with limiter classification."""
+    header = ("%-8s %7s | %7s %7s %7s | %7s %7s %7s | %s"
+              % ("bench", "base", "fu.5x", "fu2x", "fuInf", "ruu.5x",
+                 "ruu2x", "ruuInf", "classification"))
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        tags = []
+        if row.fu_limited:
+            tags.append("FU-limited")
+        if row.ruu_limited:
+            tags.append("RUU-limited")
+        if row.ilp_limited:
+            tags.append("ILP-limited")
+        lines.append("%-8s %7.3f | %7.3f %7.3f %7.3f | %7.3f %7.3f "
+                     "%7.3f | %s"
+                     % (row.benchmark, row.base_ipc,
+                        row.fu_ipc["0.5x"], row.fu_ipc["2x"],
+                        row.fu_ipc["inf"], row.ruu_ipc["0.5x"],
+                        row.ruu_ipc["2x"], row.ruu_ipc["inf"],
+                        ", ".join(tags)))
+    return "\n".join(lines)
+
+
+def format_machine_table(config):
+    """Table-1 style machine-parameter listing from a MachineConfig."""
+    hierarchy = config.hierarchy
+    rows = [
+        ("Fetch/Decode/Dispatch/Issue width",
+         "%d" % config.fetch_width),
+        ("RUU/LSQ size", "%d/%d" % (config.rob_size, config.lsq_size)),
+        ("Branch predictor",
+         "combined: %d-entry bimodal + 2-level (%d-entry L1, %d-bit "
+         "history, %d-entry L2, xor=%s); %d-entry meta"
+         % (config.branch.bimodal_size, config.branch.l1_size,
+            config.branch.history_bits, config.branch.l2_size,
+            config.branch.use_xor, config.branch.meta_size)),
+        ("BTB / RAS", "%dx%d / %d deep"
+         % (config.branch.btb_sets, config.branch.btb_assoc,
+            config.branch.ras_depth)),
+        ("Instruction L1 cache", "%d KB, %d-way"
+         % (hierarchy.il1.size_bytes // 1024, hierarchy.il1.assoc)),
+        ("Data L1 cache", "%d KB, %d-way, %d R/W ports"
+         % (hierarchy.dl1.size_bytes // 1024, hierarchy.dl1.assoc,
+            config.mem_ports)),
+        ("Unified L2 cache", "%d KB, %d-way"
+         % (hierarchy.l2.size_bytes // 1024, hierarchy.l2.assoc)),
+        ("Functional unit mix",
+         "%d IntALU, %d IntMult, %d FPAdd, %d FPMult/Div"
+         % (config.int_alu, config.int_mult, config.fp_add,
+            config.fp_mult)),
+        ("Latencies",
+         "alu %d, imult %d, idiv %d (unpipelined), fpadd %d, fpmult %d, "
+         "fpdiv %d / fpsqrt %d (unpipelined)"
+         % (config.lat_int_alu, config.lat_int_mult, config.lat_int_div,
+            config.lat_fp_add, config.lat_fp_mult, config.lat_fp_div,
+            config.lat_fp_sqrt)),
+    ]
+    width = max(len(name) for name, _ in rows)
+    return "\n".join("%-*s  %s" % (width, name, value)
+                     for name, value in rows)
+
+
+def ascii_chart(series, width=64, height=16, logx=True, title=""):
+    """Render named (x, y) series as an ASCII chart.
+
+    ``series`` is a list of (name, marker, [(x, y), ...]) tuples.  The
+    x-axis is logarithmic by default (fault-frequency sweeps).
+    """
+    points = [(x, y) for _, _, data in series for x, y in data if x > 0
+              or not logx]
+    if not points:
+        return title + "\n(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if logx:
+        x_lo, x_hi = math.log10(x_lo), math.log10(x_hi)
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x, y, marker):
+        if logx:
+            if x <= 0:
+                return
+            x = math.log10(x)
+        col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    for _, marker, data in series:
+        for x, y in data:
+            place(x, y, marker)
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join("%s=%s" % (marker, name)
+                       for name, marker, _ in series)
+    lines.append(legend)
+    lines.append("%8.3f +%s" % (y_hi, "-" * width))
+    for row in grid:
+        lines.append("         |" + "".join(row))
+    lines.append("%8.3f +%s" % (y_lo, "-" * width))
+    if logx:
+        lines.append("          x: 1e%.1f .. 1e%.1f (log)" % (x_lo, x_hi))
+    else:
+        lines.append("          x: %g .. %g" % (x_lo, x_hi))
+    return "\n".join(lines)

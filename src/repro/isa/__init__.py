@@ -1,0 +1,24 @@
+"""The repro instruction-set architecture.
+
+A small MIPS/PISA-flavoured RISC ISA: 32 integer + 32 floating registers,
+word-addressed memory, PC counted in instruction indices (8 bytes per
+instruction for cache purposes, as in PISA).
+"""
+
+from .assembler import Assembler, assemble
+from .builder import ProgramBuilder
+from .disasm import disassemble, format_instruction
+from .encoding import decode, encode
+from .instruction import Instruction
+from .opcodes import FuClass, Kind, Op, OpInfo, op_info
+from .registers import (FP_BASE, NUM_INT_REGS, NUM_LOGICAL_REGS, RA, SP,
+                        ZERO, fp_reg, int_reg, is_fp_reg, parse_reg,
+                        reg_name)
+
+__all__ = [
+    "Assembler", "assemble", "ProgramBuilder", "disassemble",
+    "format_instruction", "decode", "encode", "Instruction", "FuClass",
+    "Kind", "Op", "OpInfo", "op_info", "FP_BASE", "NUM_INT_REGS",
+    "NUM_LOGICAL_REGS", "RA", "SP", "ZERO", "fp_reg", "int_reg",
+    "is_fp_reg", "parse_reg", "reg_name",
+]

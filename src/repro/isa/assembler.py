@@ -1,0 +1,257 @@
+"""Two-pass assembler for the repro ISA.
+
+Source syntax (one statement per line)::
+
+    ; comments run to end of line (also '#')
+    .text                ; switch to text segment (default)
+    .data                ; switch to data segment
+    .word 1, 2, 3        ; emit data words
+    .space 16            ; reserve 16 zeroed data words
+
+    loop:                ; label (text: instruction index; data: word addr)
+        addi r1, r1, -1
+        lw   r2, 4(r3)   ; displacement addressing
+        bne  r1, r0, loop
+        halt
+
+Conditional branches are PC-relative (``target = pc + 1 + imm``); the
+assembler converts label operands to the right immediate.  ``j``/``jal``
+take absolute instruction indices, so labels map directly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AssemblerError
+from ..program.image import Program
+from .instruction import Instruction
+from .opcodes import MNEMONIC_TO_OP, OP_INFO, Kind, Op
+from .registers import parse_reg
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$")
+_MEM_OPERAND_RE = re.compile(
+    r"^(-?(?:0x[0-9A-Fa-f]+|\d+)|[A-Za-z_][A-Za-z0-9_]*)\((\w+)\)$")
+_SYMBOL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _strip_comment(line):
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_int(text, line_number):
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError("malformed integer: %r" % text, line_number)
+
+
+class _Statement:
+    """One pending instruction with possibly-unresolved label operands."""
+
+    __slots__ = ("mnemonic", "operands", "line_number", "pc")
+
+    def __init__(self, mnemonic, operands, line_number, pc):
+        self.mnemonic = mnemonic
+        self.operands = operands
+        self.line_number = line_number
+        self.pc = pc
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`repro.program.Program`."""
+
+    def __init__(self):
+        self._statements = []
+        self._data = []
+        self._labels = {}
+        self._segment = "text"
+        self._pc = 0
+
+    def assemble(self, source, name="program"):
+        """Assemble ``source`` text into a :class:`Program`."""
+        for line_number, raw_line in enumerate(source.splitlines(), start=1):
+            self._consume_line(raw_line, line_number)
+        text = [self._resolve(stmt) for stmt in self._statements]
+        return Program(name=name, text=text, data=list(self._data))
+
+    # -- first pass ------------------------------------------------------
+
+    def _consume_line(self, raw_line, line_number):
+        line = _strip_comment(raw_line)
+        if not line:
+            return
+        match = _LABEL_RE.match(line)
+        if match:
+            label, rest = match.groups()
+            if label in self._labels:
+                raise AssemblerError("duplicate label %r" % label,
+                                     line_number)
+            position = self._pc if self._segment == "text" else len(self._data)
+            self._labels[label] = position
+            line = rest.strip()
+            if not line:
+                return
+        if line.startswith("."):
+            self._consume_directive(line, line_number)
+            return
+        if self._segment != "text":
+            raise AssemblerError("instruction outside .text segment",
+                                 line_number)
+        self._consume_instruction(line, line_number)
+
+    def _consume_directive(self, line, line_number):
+        parts = line.split(None, 1)
+        directive = parts[0]
+        argument = parts[1] if len(parts) > 1 else ""
+        if directive == ".text":
+            self._segment = "text"
+        elif directive == ".data":
+            self._segment = "data"
+        elif directive == ".word":
+            if self._segment != "data":
+                raise AssemblerError(".word outside .data segment",
+                                     line_number)
+            for chunk in argument.split(","):
+                chunk = chunk.strip()
+                if not chunk:
+                    raise AssemblerError("empty .word operand", line_number)
+                if "." in chunk or "e" in chunk.lower():
+                    try:
+                        self._data.append(float(chunk))
+                        continue
+                    except ValueError:
+                        pass
+                self._data.append(_parse_int(chunk, line_number))
+        elif directive == ".space":
+            if self._segment != "data":
+                raise AssemblerError(".space outside .data segment",
+                                     line_number)
+            count = _parse_int(argument.strip(), line_number)
+            if count < 0:
+                raise AssemblerError(".space count must be >= 0", line_number)
+            self._data.extend([0] * count)
+        else:
+            raise AssemblerError("unknown directive %r" % directive,
+                                 line_number)
+
+    def _consume_instruction(self, line, line_number):
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic not in MNEMONIC_TO_OP:
+            raise AssemblerError("unknown mnemonic %r" % mnemonic,
+                                 line_number)
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = [op.strip() for op in operand_text.split(",")] \
+            if operand_text.strip() else []
+        self._statements.append(
+            _Statement(mnemonic, operands, line_number, self._pc))
+        self._pc += 1
+
+    # -- second pass -----------------------------------------------------
+
+    def _resolve(self, stmt):
+        op = MNEMONIC_TO_OP[stmt.mnemonic]
+        info = OP_INFO[op]
+        operands = stmt.operands
+        line = stmt.line_number
+
+        def take(expected):
+            if len(operands) != expected:
+                raise AssemblerError(
+                    "%s expects %d operands, got %d"
+                    % (stmt.mnemonic, expected, len(operands)), line)
+
+        if info.kind in (Kind.NOP, Kind.HALT):
+            take(0)
+            return Instruction(op)
+        if info.kind == Kind.LOAD:
+            take(2)
+            rd = self._reg(operands[0], line)
+            imm, rs1 = self._mem_operand(operands[1], line)
+            return Instruction(op, rd=rd, rs1=rs1, imm=imm)
+        if info.kind == Kind.STORE:
+            take(2)
+            rs2 = self._reg(operands[0], line)
+            imm, rs1 = self._mem_operand(operands[1], line)
+            return Instruction(op, rs1=rs1, rs2=rs2, imm=imm)
+        if info.kind == Kind.BRANCH:
+            take(3)
+            rs1 = self._reg(operands[0], line)
+            rs2 = self._reg(operands[1], line)
+            imm = self._branch_offset(operands[2], stmt.pc, line)
+            return Instruction(op, rs1=rs1, rs2=rs2, imm=imm)
+        if op == Op.J:
+            take(1)
+            return Instruction(op, imm=self._abs_target(operands[0], line))
+        if op == Op.JAL:
+            take(2)
+            rd = self._reg(operands[0], line)
+            return Instruction(op, rd=rd,
+                               imm=self._abs_target(operands[1], line))
+        if op == Op.JR:
+            take(1)
+            return Instruction(op, rs1=self._reg(operands[0], line))
+        if op == Op.JALR:
+            take(2)
+            return Instruction(op, rd=self._reg(operands[0], line),
+                               rs1=self._reg(operands[1], line))
+        # Plain ALU forms: rd[, rs1][, rs2][, imm] as per metadata.
+        expected = (1 + int(info.reads_rs1) + int(info.reads_rs2)
+                    + int(info.uses_imm))
+        take(expected)
+        cursor = iter(operands)
+        rd = self._reg(next(cursor), line)
+        rs1 = self._reg(next(cursor), line) if info.reads_rs1 else None
+        rs2 = self._reg(next(cursor), line) if info.reads_rs2 else None
+        imm = self._imm_or_label(next(cursor), line) if info.uses_imm else 0
+        return Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+    def _reg(self, text, line):
+        try:
+            return parse_reg(text)
+        except ValueError as exc:
+            raise AssemblerError(str(exc), line) from None
+
+    def _mem_operand(self, text, line):
+        match = _MEM_OPERAND_RE.match(text.replace(" ", ""))
+        if match:
+            displacement = match.group(1)
+            if _SYMBOL_RE.match(displacement):
+                offset = self._label_value(displacement, line)
+            else:
+                offset = _parse_int(displacement, line)
+            return offset, self._reg(match.group(2), line)
+        if _SYMBOL_RE.match(text):
+            # Bare data label: absolute address with r0 base.
+            return self._label_value(text, line), 0
+        raise AssemblerError("malformed memory operand %r" % text, line)
+
+    def _label_value(self, label, line):
+        if label not in self._labels:
+            raise AssemblerError("undefined label %r" % label, line)
+        return self._labels[label]
+
+    def _branch_offset(self, text, pc, line):
+        if _SYMBOL_RE.match(text):
+            return self._label_value(text, line) - (pc + 1)
+        return _parse_int(text, line)
+
+    def _abs_target(self, text, line):
+        if _SYMBOL_RE.match(text):
+            return self._label_value(text, line)
+        return _parse_int(text, line)
+
+    def _imm_or_label(self, text, line):
+        if _SYMBOL_RE.match(text):
+            return self._label_value(text, line)
+        return _parse_int(text, line)
+
+
+def assemble(source, name="program"):
+    """Assemble ``source`` text into a :class:`repro.program.Program`."""
+    return Assembler().assemble(source, name=name)

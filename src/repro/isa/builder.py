@@ -1,0 +1,117 @@
+"""Programmatic program construction.
+
+:class:`ProgramBuilder` is the workhorse of the synthetic workload
+generator: it emits decoded instructions directly (no assembly text in
+the loop) while still supporting labels and forward references for
+control flow.
+
+Example::
+
+    b = ProgramBuilder("countdown")
+    b.emit(Op.ADDI, rd=1, rs1=0, imm=10)
+    b.label("loop")
+    b.emit(Op.ADDI, rd=1, rs1=1, imm=-1)
+    b.branch(Op.BNE, rs1=1, rs2=0, target="loop")
+    b.emit(Op.HALT)
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from ..errors import AssemblerError
+from ..program.image import Program
+from .instruction import Instruction
+from .opcodes import CONDITIONAL_BRANCHES, Op
+
+
+class ProgramBuilder:
+    """Accumulates instructions and data, resolving labels at build time."""
+
+    def __init__(self, name="program"):
+        self.name = name
+        self._text = []
+        self._data = []
+        self._labels = {}
+        # (index, kind, label) fixups; kind is "branch" or "jump".
+        self._fixups = []
+
+    # -- emission --------------------------------------------------------
+
+    @property
+    def pc(self):
+        """Index the next emitted instruction will occupy."""
+        return len(self._text)
+
+    def label(self, name):
+        """Define ``name`` at the current text position."""
+        if name in self._labels:
+            raise AssemblerError("duplicate label %r" % name)
+        self._labels[name] = len(self._text)
+        return self
+
+    def emit(self, op, rd=None, rs1=None, rs2=None, imm=0):
+        """Emit one instruction with already-numeric operands."""
+        self._text.append(Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm))
+        return self
+
+    def branch(self, op, rs1, rs2, target):
+        """Emit a conditional branch to a label or absolute index."""
+        if op not in CONDITIONAL_BRANCHES:
+            raise AssemblerError("%s is not a conditional branch" % op)
+        if isinstance(target, str):
+            self._fixups.append((len(self._text), "branch", target))
+            imm = 0
+        else:
+            imm = target - (len(self._text) + 1)
+        self._text.append(Instruction(op, rs1=rs1, rs2=rs2, imm=imm))
+        return self
+
+    def jump(self, target, link_reg=None):
+        """Emit ``j``/``jal`` to a label or absolute index."""
+        op = Op.JAL if link_reg is not None else Op.J
+        if isinstance(target, str):
+            self._fixups.append((len(self._text), "jump", target))
+            imm = 0
+        else:
+            imm = target
+        self._text.append(Instruction(op, rd=link_reg, imm=imm))
+        return self
+
+    def halt(self):
+        return self.emit(Op.HALT)
+
+    def nop(self):
+        return self.emit(Op.NOP)
+
+    # -- data segment ----------------------------------------------------
+
+    def word(self, *values):
+        """Append data words; returns the address of the first one."""
+        address = len(self._data)
+        self._data.extend(values)
+        return address
+
+    def space(self, count, fill=0):
+        """Reserve ``count`` data words; returns the starting address."""
+        address = len(self._data)
+        self._data.extend([fill] * count)
+        return address
+
+    # -- finalisation ----------------------------------------------------
+
+    def build(self, entry=0):
+        """Resolve fixups and return the finished :class:`Program`."""
+        for index, kind, label in self._fixups:
+            if label not in self._labels:
+                raise AssemblerError("undefined label %r" % label)
+            target = self._labels[label]
+            old = self._text[index]
+            if kind == "branch":
+                imm = target - (index + 1)
+            else:
+                imm = target
+            self._text[index] = Instruction(old.op, rd=old.rd, rs1=old.rs1,
+                                            rs2=old.rs2, imm=imm)
+        self._fixups = []
+        return Program(name=self.name, text=list(self._text),
+                       data=list(self._data), entry=entry)

@@ -1,0 +1,50 @@
+"""Disassembler: formats decoded instructions back into assembly text."""
+
+from __future__ import annotations
+
+from .opcodes import OP_INFO, Kind, Op
+from .registers import reg_name
+
+
+def format_instruction(inst):
+    """Render one instruction as canonical assembly text."""
+    info = OP_INFO[inst.op]
+    name = info.name
+    if inst.op == Op.NOP or inst.op == Op.HALT:
+        return name
+    if info.kind == Kind.LOAD:
+        return "%s %s, %d(%s)" % (name, reg_name(inst.rd), inst.imm,
+                                  reg_name(inst.rs1))
+    if info.kind == Kind.STORE:
+        return "%s %s, %d(%s)" % (name, reg_name(inst.rs2), inst.imm,
+                                  reg_name(inst.rs1))
+    if info.kind == Kind.BRANCH:
+        return "%s %s, %s, %d" % (name, reg_name(inst.rs1),
+                                  reg_name(inst.rs2), inst.imm)
+    if inst.op == Op.J:
+        return "%s %d" % (name, inst.imm)
+    if inst.op == Op.JAL:
+        return "%s %s, %d" % (name, reg_name(inst.rd), inst.imm)
+    if inst.op == Op.JR:
+        return "%s %s" % (name, reg_name(inst.rs1))
+    if inst.op == Op.JALR:
+        return "%s %s, %s" % (name, reg_name(inst.rd), reg_name(inst.rs1))
+    parts = []
+    if info.writes_reg:
+        parts.append(reg_name(inst.rd))
+    if info.reads_rs1:
+        parts.append(reg_name(inst.rs1))
+    if info.reads_rs2:
+        parts.append(reg_name(inst.rs2))
+    if info.uses_imm:
+        parts.append(str(inst.imm))
+    return "%s %s" % (name, ", ".join(parts))
+
+
+def disassemble(instructions, start_pc=0):
+    """Render a sequence of instructions, one "pc: text" line each."""
+    lines = []
+    for offset, inst in enumerate(instructions):
+        lines.append("%6d: %s" % (start_pc + offset,
+                                  format_instruction(inst)))
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""The decoded :class:`Instruction` record.
+
+Instructions are stored and simulated in decoded form (the binary
+encoding layer in :mod:`repro.isa.encoding` exists for completeness and
+round-trip testing, but the pipeline's hot loop works on these objects).
+
+Fields use the unified logical register index space of
+:mod:`repro.isa.registers` (integer registers 0..31, floating registers
+32..63).  Unused fields are ``None`` (registers) or ``0`` (immediate).
+"""
+
+from __future__ import annotations
+
+from .opcodes import OP_INFO, Kind, Op
+
+
+class Instruction:
+    """One decoded instruction: opcode + operands.
+
+    Instances are immutable by convention (nothing in the package mutates
+    them after construction) and hashable by identity, which lets the
+    pipeline reuse a single decoded object for every dynamic execution of
+    a static instruction.
+    """
+
+    __slots__ = ("op", "rd", "rs1", "rs2", "imm")
+
+    def __init__(self, op, rd=None, rs1=None, rs2=None, imm=0):
+        info = OP_INFO[op]
+        if info.writes_reg and rd is None:
+            raise ValueError("%s requires a destination register" % info.name)
+        if not info.writes_reg and rd is not None:
+            raise ValueError("%s takes no destination register" % info.name)
+        if info.reads_rs1 and rs1 is None:
+            raise ValueError("%s requires rs1" % info.name)
+        if info.reads_rs2 and rs2 is None:
+            raise ValueError("%s requires rs2" % info.name)
+        self.op = op
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+
+    @property
+    def info(self):
+        """Static opcode metadata (:class:`repro.isa.opcodes.OpInfo`)."""
+        return OP_INFO[self.op]
+
+    @property
+    def is_branch(self):
+        return OP_INFO[self.op].kind == Kind.BRANCH
+
+    @property
+    def is_control(self):
+        return OP_INFO[self.op].kind in (Kind.BRANCH, Kind.JUMP)
+
+    @property
+    def is_load(self):
+        return OP_INFO[self.op].kind == Kind.LOAD
+
+    @property
+    def is_store(self):
+        return OP_INFO[self.op].kind == Kind.STORE
+
+    @property
+    def is_mem(self):
+        kind = OP_INFO[self.op].kind
+        return kind == Kind.LOAD or kind == Kind.STORE
+
+    @property
+    def is_halt(self):
+        return self.op == Op.HALT
+
+    def __eq__(self, other):
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (self.op == other.op and self.rd == other.rd
+                and self.rs1 == other.rs1 and self.rs2 == other.rs2
+                and self.imm == other.imm)
+
+    def __hash__(self):
+        return hash((self.op, self.rd, self.rs1, self.rs2, self.imm))
+
+    def __repr__(self):
+        from .disasm import format_instruction
+        return "<Instruction %s>" % format_instruction(self)

@@ -1,0 +1,241 @@
+"""Opcode definitions and static metadata for the repro ISA.
+
+The ISA is a small MIPS/PISA-flavoured RISC instruction set, rich enough
+to express the SPEC-like synthetic workloads used by the paper's
+evaluation: integer ALU/multiply/divide, floating add/multiply/divide,
+word loads and stores for both register files, and the usual control-flow
+instructions.
+
+Each opcode carries static metadata (:class:`OpInfo`) describing which
+functional-unit class executes it, which operands it reads, whether it
+writes a destination register, and how it affects control flow.  The
+metadata drives the assembler, the functional simulator and the
+out-of-order pipeline, so all three always agree on operand shapes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FuClass(enum.IntEnum):
+    """Functional-unit classes, mirroring SimpleScalar's resource pools."""
+
+    NONE = 0       # executes in zero time / no unit (nop)
+    INT_ALU = 1    # integer ALU (also branch resolution, address generation)
+    INT_MULT = 2   # integer multiply/divide unit
+    FP_ADD = 3     # floating add/compare/convert unit
+    FP_MULT = 4    # floating multiply/divide unit
+    MEM_PORT = 5   # L1D cache port (loads; stores access at commit)
+
+
+class Kind(enum.IntEnum):
+    """Coarse behavioural class of an opcode."""
+
+    ALU = 0
+    LOAD = 1
+    STORE = 2
+    BRANCH = 3    # conditional, PC-relative
+    JUMP = 4      # unconditional, direct or indirect
+    HALT = 5
+    NOP = 6
+
+
+class Op(enum.IntEnum):
+    """All opcodes of the repro ISA."""
+
+    NOP = 0
+    # --- integer ALU, register-register ---
+    ADD = 1
+    SUB = 2
+    AND = 3
+    OR = 4
+    XOR = 5
+    SLL = 6
+    SRL = 7
+    SRA = 8
+    SLT = 9
+    SLTU = 10
+    # --- integer ALU, register-immediate ---
+    ADDI = 11
+    ANDI = 12
+    ORI = 13
+    XORI = 14
+    SLTI = 15
+    SLLI = 16
+    SRLI = 17
+    SRAI = 18
+    LUI = 19
+    # --- integer multiply / divide ---
+    MUL = 20
+    MULH = 21
+    DIV = 22
+    REM = 23
+    # --- floating point ---
+    FADD = 24
+    FSUB = 25
+    FMUL = 26
+    FDIV = 27
+    FSQRT = 28
+    FNEG = 29
+    FABS = 30
+    FMOV = 31
+    CVTIF = 32   # int -> float  (reads int rs1, writes fp rd)
+    CVTFI = 33   # float -> int  (reads fp rs1, writes int rd)
+    FCMPEQ = 34  # fp compare, writes 0/1 to int rd
+    FCMPLT = 35
+    FCMPLE = 36
+    # --- memory ---
+    LW = 37      # int load:  rd <- mem[rs1 + imm]
+    SW = 38      # int store: mem[rs1 + imm] <- rs2
+    FLW = 39     # fp load
+    FSW = 40     # fp store (value from fp rs2)
+    # --- control flow ---
+    BEQ = 41     # pc-relative: target = pc + 1 + imm
+    BNE = 42
+    BLT = 43
+    BGE = 44
+    J = 45       # absolute: target = imm
+    JAL = 46     # absolute, rd (r31 by convention) <- pc + 1
+    JR = 47      # indirect: target = rs1
+    JALR = 48    # indirect with link
+    HALT = 49
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    name: str
+    fu: FuClass
+    kind: Kind
+    writes_reg: bool = False      # has a destination register
+    fp_dest: bool = False         # destination is a floating register
+    reads_rs1: bool = False
+    fp_rs1: bool = False
+    reads_rs2: bool = False
+    fp_rs2: bool = False
+    uses_imm: bool = False
+    unpipelined: bool = False     # occupies its FU for the whole latency
+
+    @property
+    def is_control(self):
+        return self.kind in (Kind.BRANCH, Kind.JUMP)
+
+    @property
+    def is_mem(self):
+        return self.kind in (Kind.LOAD, Kind.STORE)
+
+
+def _alu_rr(name):
+    return OpInfo(name, FuClass.INT_ALU, Kind.ALU, writes_reg=True,
+                  reads_rs1=True, reads_rs2=True)
+
+
+def _alu_ri(name):
+    return OpInfo(name, FuClass.INT_ALU, Kind.ALU, writes_reg=True,
+                  reads_rs1=True, uses_imm=True)
+
+
+def _fp_rr(name, fu, unpipelined=False):
+    return OpInfo(name, fu, Kind.ALU, writes_reg=True, fp_dest=True,
+                  reads_rs1=True, fp_rs1=True, reads_rs2=True, fp_rs2=True,
+                  unpipelined=unpipelined)
+
+
+def _fp_r(name, fu, unpipelined=False):
+    return OpInfo(name, fu, Kind.ALU, writes_reg=True, fp_dest=True,
+                  reads_rs1=True, fp_rs1=True, unpipelined=unpipelined)
+
+
+def _fp_cmp(name):
+    return OpInfo(name, FuClass.FP_ADD, Kind.ALU, writes_reg=True,
+                  reads_rs1=True, fp_rs1=True, reads_rs2=True, fp_rs2=True)
+
+
+def _branch(name):
+    return OpInfo(name, FuClass.INT_ALU, Kind.BRANCH,
+                  reads_rs1=True, reads_rs2=True, uses_imm=True)
+
+
+OP_INFO = {
+    Op.NOP: OpInfo("nop", FuClass.NONE, Kind.NOP),
+    Op.ADD: _alu_rr("add"),
+    Op.SUB: _alu_rr("sub"),
+    Op.AND: _alu_rr("and"),
+    Op.OR: _alu_rr("or"),
+    Op.XOR: _alu_rr("xor"),
+    Op.SLL: _alu_rr("sll"),
+    Op.SRL: _alu_rr("srl"),
+    Op.SRA: _alu_rr("sra"),
+    Op.SLT: _alu_rr("slt"),
+    Op.SLTU: _alu_rr("sltu"),
+    Op.ADDI: _alu_ri("addi"),
+    Op.ANDI: _alu_ri("andi"),
+    Op.ORI: _alu_ri("ori"),
+    Op.XORI: _alu_ri("xori"),
+    Op.SLTI: _alu_ri("slti"),
+    Op.SLLI: _alu_ri("slli"),
+    Op.SRLI: _alu_ri("srli"),
+    Op.SRAI: _alu_ri("srai"),
+    Op.LUI: OpInfo("lui", FuClass.INT_ALU, Kind.ALU, writes_reg=True,
+                   uses_imm=True),
+    Op.MUL: OpInfo("mul", FuClass.INT_MULT, Kind.ALU, writes_reg=True,
+                   reads_rs1=True, reads_rs2=True),
+    Op.MULH: OpInfo("mulh", FuClass.INT_MULT, Kind.ALU, writes_reg=True,
+                    reads_rs1=True, reads_rs2=True),
+    Op.DIV: OpInfo("div", FuClass.INT_MULT, Kind.ALU, writes_reg=True,
+                   reads_rs1=True, reads_rs2=True, unpipelined=True),
+    Op.REM: OpInfo("rem", FuClass.INT_MULT, Kind.ALU, writes_reg=True,
+                   reads_rs1=True, reads_rs2=True, unpipelined=True),
+    Op.FADD: _fp_rr("fadd", FuClass.FP_ADD),
+    Op.FSUB: _fp_rr("fsub", FuClass.FP_ADD),
+    Op.FMUL: _fp_rr("fmul", FuClass.FP_MULT),
+    Op.FDIV: _fp_rr("fdiv", FuClass.FP_MULT, unpipelined=True),
+    Op.FSQRT: _fp_r("fsqrt", FuClass.FP_MULT, unpipelined=True),
+    Op.FNEG: _fp_r("fneg", FuClass.FP_ADD),
+    Op.FABS: _fp_r("fabs", FuClass.FP_ADD),
+    Op.FMOV: _fp_r("fmov", FuClass.FP_ADD),
+    Op.CVTIF: OpInfo("cvtif", FuClass.FP_ADD, Kind.ALU, writes_reg=True,
+                     fp_dest=True, reads_rs1=True),
+    Op.CVTFI: OpInfo("cvtfi", FuClass.FP_ADD, Kind.ALU, writes_reg=True,
+                     reads_rs1=True, fp_rs1=True),
+    Op.FCMPEQ: _fp_cmp("fcmpeq"),
+    Op.FCMPLT: _fp_cmp("fcmplt"),
+    Op.FCMPLE: _fp_cmp("fcmple"),
+    Op.LW: OpInfo("lw", FuClass.MEM_PORT, Kind.LOAD, writes_reg=True,
+                  reads_rs1=True, uses_imm=True),
+    Op.SW: OpInfo("sw", FuClass.MEM_PORT, Kind.STORE,
+                  reads_rs1=True, reads_rs2=True, uses_imm=True),
+    Op.FLW: OpInfo("flw", FuClass.MEM_PORT, Kind.LOAD, writes_reg=True,
+                   fp_dest=True, reads_rs1=True, uses_imm=True),
+    Op.FSW: OpInfo("fsw", FuClass.MEM_PORT, Kind.STORE,
+                   reads_rs1=True, reads_rs2=True, fp_rs2=True,
+                   uses_imm=True),
+    Op.BEQ: _branch("beq"),
+    Op.BNE: _branch("bne"),
+    Op.BLT: _branch("blt"),
+    Op.BGE: _branch("bge"),
+    Op.J: OpInfo("j", FuClass.INT_ALU, Kind.JUMP, uses_imm=True),
+    Op.JAL: OpInfo("jal", FuClass.INT_ALU, Kind.JUMP, writes_reg=True,
+                   uses_imm=True),
+    Op.JR: OpInfo("jr", FuClass.INT_ALU, Kind.JUMP, reads_rs1=True),
+    Op.JALR: OpInfo("jalr", FuClass.INT_ALU, Kind.JUMP, writes_reg=True,
+                    reads_rs1=True),
+    Op.HALT: OpInfo("halt", FuClass.NONE, Kind.HALT),
+}
+
+#: Map from mnemonic text to opcode, used by the assembler.
+MNEMONIC_TO_OP = {info.name: op for op, info in OP_INFO.items()}
+
+#: Opcodes whose resolved direction depends on register operands.
+CONDITIONAL_BRANCHES = frozenset({Op.BEQ, Op.BNE, Op.BLT, Op.BGE})
+
+#: Opcodes whose target cannot be computed from the instruction alone.
+INDIRECT_JUMPS = frozenset({Op.JR, Op.JALR})
+
+
+def op_info(op):
+    """Return the :class:`OpInfo` metadata for ``op``."""
+    return OP_INFO[op]

@@ -1,0 +1,69 @@
+"""Register file naming and numbering for the repro ISA.
+
+The ISA has 32 integer registers (``r0``..``r31``) and 32 floating-point
+registers (``f0``..``f31``).  Internally both spaces are folded into one
+*unified logical index* space of 64 names so that the rename map table in
+the out-of-order core is a single flat array:
+
+* integer register ``rN``  -> unified index ``N``       (0..31)
+* floating register ``fN`` -> unified index ``32 + N``  (32..63)
+
+``r0`` is hard-wired to zero, as in MIPS/PISA.  By software convention
+``r29`` is the stack pointer and ``r31`` the link register (written by
+``jal``/``jalr``).
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_LOGICAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Unified index of the hard-wired zero register.
+ZERO = 0
+#: Unified index of the conventional stack pointer.
+SP = 29
+#: Unified index of the link register written by jal/jalr.
+RA = 31
+
+#: Unified index of the first floating-point register (``f0``).
+FP_BASE = NUM_INT_REGS
+
+
+def int_reg(n):
+    """Unified index of integer register ``rN``."""
+    if not 0 <= n < NUM_INT_REGS:
+        raise ValueError("integer register number out of range: %r" % (n,))
+    return n
+
+
+def fp_reg(n):
+    """Unified index of floating-point register ``fN``."""
+    if not 0 <= n < NUM_FP_REGS:
+        raise ValueError("fp register number out of range: %r" % (n,))
+    return FP_BASE + n
+
+
+def is_fp_reg(index):
+    """True if the unified register index names a floating-point register."""
+    return index >= FP_BASE
+
+
+def reg_name(index):
+    """Human-readable name (``r5`` / ``f3``) for a unified register index."""
+    if not 0 <= index < NUM_LOGICAL_REGS:
+        raise ValueError("register index out of range: %r" % (index,))
+    if index < FP_BASE:
+        return "r%d" % index
+    return "f%d" % (index - FP_BASE)
+
+
+def parse_reg(name):
+    """Parse a register name (``r12`` or ``f7``) into a unified index."""
+    text = name.strip().lower()
+    if len(text) < 2 or text[0] not in ("r", "f") or not text[1:].isdigit():
+        raise ValueError("malformed register name: %r" % (name,))
+    number = int(text[1:])
+    if text[0] == "r":
+        return int_reg(number)
+    return fp_reg(number)

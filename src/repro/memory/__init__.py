@@ -1,0 +1,11 @@
+"""Memory substrate: main memory, caches, and the Table-1 hierarchy."""
+
+from .cache import Cache, CacheParams, MemoryTiming
+from .hierarchy import WORD_SHIFT, HierarchyParams, MemoryHierarchy
+from .main_memory import DEFAULT_MEMORY_WORDS, MainMemory
+
+__all__ = [
+    "Cache", "CacheParams", "MemoryTiming", "WORD_SHIFT",
+    "HierarchyParams", "MemoryHierarchy", "DEFAULT_MEMORY_WORDS",
+    "MainMemory",
+]

@@ -1,0 +1,146 @@
+"""Set-associative cache timing model.
+
+Write-back, write-allocate, true-LRU caches in the SimpleScalar mould.
+The model is *timing only*: data lives in :class:`~repro.memory.
+main_memory.MainMemory`; the caches compute access latencies and
+hit/miss statistics.  Addresses are byte addresses (the pipeline
+converts word addresses by shifting, 8 bytes per word/instruction).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+def _is_power_of_two(value):
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Geometry and latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    assoc: int
+    block_bytes: int
+    hit_latency: int
+
+    def __post_init__(self):
+        if self.size_bytes % (self.assoc * self.block_bytes):
+            raise ConfigError("%s: size not divisible by assoc*block"
+                              % self.name)
+        if not _is_power_of_two(self.block_bytes):
+            raise ConfigError("%s: block size must be a power of two"
+                              % self.name)
+        if self.hit_latency < 1:
+            raise ConfigError("%s: hit latency must be >= 1" % self.name)
+
+    @property
+    def num_sets(self):
+        return self.size_bytes // (self.assoc * self.block_bytes)
+
+
+class MemoryTiming:
+    """Terminal level: flat main-memory access latency."""
+
+    def __init__(self, latency=24):
+        self.latency = latency
+        self.accesses = 0
+
+    def access(self, address, write=False):
+        self.accesses += 1
+        return self.latency
+
+    def reset_stats(self):
+        self.accesses = 0
+
+
+class Cache:
+    """One level of set-associative, write-back, write-allocate cache."""
+
+    def __init__(self, params, next_level):
+        self.params = params
+        self.next_level = next_level
+        if not _is_power_of_two(params.num_sets):
+            raise ConfigError("%s: number of sets must be a power of two"
+                              % params.name)
+        self._set_mask = params.num_sets - 1
+        self._block_shift = params.block_bytes.bit_length() - 1
+        # Each set: OrderedDict tag -> dirty flag; LRU at the front.
+        self._sets = [OrderedDict() for _ in range(params.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def name(self):
+        return self.params.name
+
+    def block_address(self, address):
+        """Byte address of the block containing ``address``."""
+        return address >> self._block_shift << self._block_shift
+
+    def _locate(self, address):
+        block = address >> self._block_shift
+        return self._sets[block & self._set_mask], block >> 0
+
+    def access(self, address, write=False):
+        """Access one byte address; returns total latency in cycles.
+
+        A hit costs ``hit_latency``; a miss additionally pays for the
+        next-level access (recursively).  Dirty evictions count as
+        writebacks but are charged to statistics only — the writeback
+        happens off the critical path of the triggering access.
+        """
+        cache_set, block = self._locate(address)
+        if block in cache_set:
+            self.hits += 1
+            cache_set.move_to_end(block)
+            if write:
+                cache_set[block] = True
+            return self.params.hit_latency
+        self.misses += 1
+        fill_latency = self.next_level.access(address, write=False)
+        if len(cache_set) >= self.params.assoc:
+            victim, dirty = next(iter(cache_set.items()))
+            del cache_set[victim]
+            self.evictions += 1
+            if dirty:
+                self.writebacks += 1
+                self.next_level.access(victim << self._block_shift,
+                                       write=True)
+        cache_set[block] = bool(write)
+        return self.params.hit_latency + fill_latency
+
+    def probe(self, address):
+        """Hit/miss check without any state change (for tests)."""
+        cache_set, block = self._locate(address)
+        return block in cache_set
+
+    def flush(self):
+        """Invalidate all blocks (writebacks counted, not timed)."""
+        for cache_set in self._sets:
+            for _, dirty in cache_set.items():
+                if dirty:
+                    self.writebacks += 1
+            cache_set.clear()
+
+    def reset_stats(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self):
+        total = self.accesses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,84 @@
+"""The Table-1 memory hierarchy: split L1s over a unified L2.
+
+Baseline geometry (Section 5.1.2):
+
+* L1 I-cache: 64 KB, 2-way set associative
+* L1 D-cache: 32 KB, 2-way set associative, 2 read/write ports
+* Unified L2: 512 KB, 4-way set associative
+
+Ports are arbitrated by the pipeline (a per-cycle counter); this module
+provides latencies and statistics.  Instructions are 8 bytes (PISA-style)
+and data words are 8 bytes, so word/instruction index ``i`` lives at byte
+address ``i << 3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import Cache, CacheParams, MemoryTiming
+
+WORD_SHIFT = 3  # 8-byte instructions and data words
+
+
+@dataclass(frozen=True)
+class HierarchyParams:
+    """Parameters for the full cache hierarchy."""
+
+    il1: CacheParams = field(default_factory=lambda: CacheParams(
+        "il1", size_bytes=64 * 1024, assoc=2, block_bytes=64,
+        hit_latency=1))
+    dl1: CacheParams = field(default_factory=lambda: CacheParams(
+        "dl1", size_bytes=32 * 1024, assoc=2, block_bytes=32,
+        hit_latency=1))
+    l2: CacheParams = field(default_factory=lambda: CacheParams(
+        "l2", size_bytes=512 * 1024, assoc=4, block_bytes=64,
+        hit_latency=6))
+    memory_latency: int = 24
+
+
+class MemoryHierarchy:
+    """Split L1 instruction/data caches over a shared unified L2."""
+
+    def __init__(self, params=None):
+        self.params = params or HierarchyParams()
+        self.memory_timing = MemoryTiming(self.params.memory_latency)
+        self.l2 = Cache(self.params.l2, self.memory_timing)
+        self.il1 = Cache(self.params.il1, self.l2)
+        self.dl1 = Cache(self.params.dl1, self.l2)
+
+    def fetch_latency(self, pc):
+        """Latency of fetching the instruction at index ``pc``."""
+        return self.il1.access((pc & ((1 << 48) - 1)) << WORD_SHIFT)
+
+    def instruction_line(self, pc):
+        """Block address of the I-cache line holding instruction ``pc``."""
+        return self.il1.block_address((pc & ((1 << 48) - 1)) << WORD_SHIFT)
+
+    def load_latency(self, word_address):
+        """Latency of a data load from ``word_address``."""
+        return self.dl1.access((word_address & ((1 << 48) - 1))
+                               << WORD_SHIFT)
+
+    def store_access(self, word_address):
+        """Perform the timing side of a committed store."""
+        return self.dl1.access((word_address & ((1 << 48) - 1))
+                               << WORD_SHIFT, write=True)
+
+    def reset_stats(self):
+        for cache in (self.il1, self.dl1, self.l2):
+            cache.reset_stats()
+        self.memory_timing.reset_stats()
+
+    def stats(self):
+        """Per-level accesses/hits/misses as a nested dict."""
+        return {
+            cache.name: {
+                "accesses": cache.accesses,
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "miss_rate": cache.miss_rate,
+                "writebacks": cache.writebacks,
+            }
+            for cache in (self.il1, self.dl1, self.l2)
+        }

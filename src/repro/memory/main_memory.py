@@ -1,0 +1,69 @@
+"""Flat word-addressed main memory.
+
+Memory cells hold numeric values (int or float).  Addresses are word
+indices; out-of-range addresses wrap modulo the memory size by default so
+that fault-injected (corrupted) addresses reach *some* cell instead of
+crashing the simulator — exactly what real hardware would do.  A strict
+mode raises instead, for tests of well-formed programs.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+DEFAULT_MEMORY_WORDS = 1 << 16
+
+
+class MainMemory:
+    """Word-addressed backing store for both simulators."""
+
+    def __init__(self, size_words=DEFAULT_MEMORY_WORDS, image=None,
+                 strict=False):
+        if size_words <= 0:
+            raise ValueError("memory size must be positive")
+        self.size = size_words
+        self.strict = strict
+        self._cells = [0] * size_words
+        self.reads = 0
+        self.writes = 0
+        if image:
+            if len(image) > size_words:
+                raise SimulationError(
+                    "data image (%d words) larger than memory (%d words)"
+                    % (len(image), size_words))
+            self._cells[:len(image)] = list(image)
+
+    def _index(self, address):
+        if 0 <= address < self.size:
+            return address
+        if self.strict:
+            raise SimulationError("memory address out of range: %d"
+                                  % address)
+        return address % self.size
+
+    def load(self, address):
+        """Read the cell at ``address`` (word index)."""
+        self.reads += 1
+        return self._cells[self._index(address)]
+
+    def store(self, address, value):
+        """Write ``value`` to the cell at ``address``."""
+        self.writes += 1
+        self._cells[self._index(address)] = value
+
+    def peek(self, address):
+        """Read without counting a simulated access (for checkers)."""
+        return self._cells[self._index(address)]
+
+    def snapshot(self):
+        """Copy of the full cell array (for golden-state comparison)."""
+        return list(self._cells)
+
+    def copy(self):
+        """Independent deep copy with the same contents and strictness."""
+        clone = MainMemory(self.size, strict=self.strict)
+        clone._cells = list(self._cells)
+        return clone
+
+    def __len__(self):
+        return self.size

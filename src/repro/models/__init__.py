@@ -1,0 +1,14 @@
+"""Machine-model presets and resource-scaling helpers."""
+
+from .presets import (FIGURE5_MODELS, MachineModel, baseline_config,
+                      get_model, ss1, ss2, ss3, static2)
+from .scaling import (INFINITE_FU, INFINITE_LSQ, INFINITE_ROB,
+                      SCALE_LABELS, factor_for_label,
+                      scale_functional_units, scale_window)
+
+__all__ = [
+    "FIGURE5_MODELS", "MachineModel", "baseline_config", "get_model",
+    "ss1", "ss2", "ss3", "static2", "INFINITE_FU", "INFINITE_LSQ",
+    "INFINITE_ROB", "SCALE_LABELS", "factor_for_label",
+    "scale_functional_units", "scale_window",
+]

@@ -1,0 +1,97 @@
+"""The paper's simulated machine models (Section 5.1.2).
+
+* **SS-1** — the baseline single-thread out-of-order superscalar with
+  the Table-1 parameters (stock ``sim-outorder`` configuration).
+* **SS-2** — the same datapath in 2-way dynamically redundant
+  fault-tolerant mode (the paper's main design point).
+* **SS-3** — 3-way redundancy; by default with 2-of-3 majority election
+  (the Figure 6 comparison design).  The ROB size is trimmed to the
+  nearest multiple of 3, per the paper's alignment requirement.
+* **Static-2** — a statically redundant processor: two identical
+  lock-step pipelines, each with half of the baseline resources *except*
+  caches and branch-prediction hardware — and each with its own
+  FPMult/Div unit, which the paper's footnote 3 calls out as Static-2's
+  structural advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import (DUAL_REDUNDANT, TRIPLE_MAJORITY, TRIPLE_REWIND,
+                           UNPROTECTED, FTConfig)
+from ..uarch.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A named (machine config, fault-tolerance mode) pair."""
+
+    name: str
+    config: MachineConfig
+    ft: FTConfig
+
+    @property
+    def redundancy(self):
+        return self.ft.redundancy
+
+
+def baseline_config(**overrides):
+    """The Table-1 machine configuration."""
+    return MachineConfig(name="ss-1").derive(**overrides) \
+        if overrides else MachineConfig(name="ss-1")
+
+
+def ss1(**overrides):
+    """SS-1: the unprotected baseline superscalar."""
+    return MachineModel("SS-1", baseline_config(**overrides), UNPROTECTED)
+
+
+def ss2(**overrides):
+    """SS-2: 2-way redundant fault-tolerant superscalar."""
+    config = baseline_config(**overrides).derive(name="ss-2")
+    return MachineModel("SS-2", config, DUAL_REDUNDANT)
+
+
+def ss3(majority=True, **overrides):
+    """SS-3: 3-way redundant design (majority election by default)."""
+    config = baseline_config(**overrides)
+    rob = config.rob_size - (config.rob_size % 3)
+    config = config.derive(name="ss-3", rob_size=rob)
+    ft = TRIPLE_MAJORITY if majority else TRIPLE_REWIND
+    return MachineModel("SS-3", config, ft)
+
+
+def static2(**overrides):
+    """Static-2: two lock-step half-resource pipelines (per-pipe model).
+
+    Simulated as one pipeline with half the Table-1 resources; caches
+    and branch predictor stay full-size, and the pipe keeps a full
+    FPMult/Div unit (the paper's footnote 3).
+    """
+    config = baseline_config(**overrides).derive(
+        name="static-2",
+        fetch_width=4, dispatch_width=4, issue_width=4, commit_width=4,
+        ifq_size=8, rob_size=64, lsq_size=32,
+        int_alu=2, int_mult=1, fp_add=1, fp_mult=1, mem_ports=1)
+    return MachineModel("Static-2", config, UNPROTECTED)
+
+
+#: The Figure-5 model line-up, in presentation order.
+FIGURE5_MODELS = ("SS-1", "Static-2", "SS-2")
+
+
+def get_model(name, **overrides):
+    """Model by name: SS-1, SS-2, SS-3, SS-3-rewind or Static-2."""
+    key = name.lower().replace("_", "-")
+    if key == "ss-1":
+        return ss1(**overrides)
+    if key == "ss-2":
+        return ss2(**overrides)
+    if key == "ss-3":
+        return ss3(majority=True, **overrides)
+    if key == "ss-3-rewind":
+        return ss3(majority=False, **overrides)
+    if key == "static-2":
+        return static2(**overrides)
+    raise KeyError("unknown machine model %r" % name)

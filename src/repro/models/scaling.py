@@ -1,0 +1,66 @@
+"""Resource-scaling helpers for the Section-5.2 sensitivity study.
+
+The paper explains each benchmark's redundancy penalty by testing its
+"sensitivity to varying numbers of functional units (0.5x, 2x, infinite)
+and RUU sizes (0.5x, 2x, infinite)".  These helpers derive those scaled
+configurations from any base machine.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Practical stand-ins for "infinite": far beyond what an 8-wide front
+#: end can consume, while keeping per-cycle scans cheap.
+INFINITE_FU = 64
+INFINITE_ROB = 2048
+INFINITE_LSQ = 1024
+
+#: The factor labels used in the study.
+SCALE_LABELS = ("0.5x", "1x", "2x", "inf")
+
+
+def _scaled(value, factor, minimum=1, infinite=INFINITE_FU):
+    if math.isinf(factor):
+        return infinite
+    return max(minimum, int(round(value * factor)))
+
+
+def scale_functional_units(config, factor):
+    """Scale every FU pool (and D-cache ports) by ``factor``."""
+    return config.derive(
+        name="%s-fu%s" % (config.name, _label(factor)),
+        int_alu=_scaled(config.int_alu, factor),
+        int_mult=_scaled(config.int_mult, factor),
+        fp_add=_scaled(config.fp_add, factor),
+        fp_mult=_scaled(config.fp_mult, factor),
+        mem_ports=_scaled(config.mem_ports, factor))
+
+
+def scale_window(config, factor):
+    """Scale the RUU (ROB) and LSQ sizes by ``factor``."""
+    if math.isinf(factor):
+        rob, lsq = INFINITE_ROB, INFINITE_LSQ
+    else:
+        rob = max(8, int(round(config.rob_size * factor)))
+        lsq = max(4, int(round(config.lsq_size * factor)))
+        rob -= rob % 2  # keep even so R=2 alignment always works
+    return config.derive(name="%s-ruu%s" % (config.name, _label(factor)),
+                         rob_size=rob, lsq_size=lsq)
+
+
+def _label(factor):
+    if math.isinf(factor):
+        return "inf"
+    if factor == int(factor):
+        return "%dx" % int(factor)
+    return "%gx" % factor
+
+
+def factor_for_label(label):
+    """Inverse of the study labels: '0.5x' -> 0.5, 'inf' -> math.inf."""
+    if label == "inf":
+        return math.inf
+    if not label.endswith("x"):
+        raise ValueError("bad scale label %r" % label)
+    return float(label[:-1])

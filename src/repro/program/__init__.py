@@ -1,0 +1,8 @@
+"""Program images and loaders."""
+
+from .image import Program
+from .loader import (load_program, program_from_dict, program_to_dict,
+                     save_program)
+
+__all__ = ["Program", "load_program", "program_from_dict",
+           "program_to_dict", "save_program"]

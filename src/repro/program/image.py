@@ -1,0 +1,47 @@
+"""Program image: the loadable unit consumed by every simulator.
+
+A :class:`Program` is a decoded text segment (list of
+:class:`~repro.isa.instruction.Instruction`) plus an initial data segment
+(list of numeric memory words, loaded at word address 0) and an entry
+point (instruction index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Program:
+    """An executable program image."""
+
+    name: str
+    text: list
+    data: list = field(default_factory=list)
+    entry: int = 0
+
+    def __post_init__(self):
+        if not self.text:
+            raise ValueError("program has an empty text segment")
+        if not 0 <= self.entry < len(self.text):
+            raise ValueError("entry point %d outside text segment"
+                             % self.entry)
+
+    def __len__(self):
+        return len(self.text)
+
+    @property
+    def static_instruction_count(self):
+        """Number of static instructions in the text segment."""
+        return len(self.text)
+
+    def fetch(self, pc):
+        """Instruction at instruction-index ``pc`` or ``None`` if outside."""
+        if 0 <= pc < len(self.text):
+            return self.text[pc]
+        return None
+
+    def disassemble(self):
+        """Full text-segment disassembly as a string."""
+        from ..isa.disasm import disassemble
+        return disassemble(self.text)

@@ -1,0 +1,54 @@
+"""Program serialisation: save/load program images as JSON.
+
+Uses the binary instruction encoding of :mod:`repro.isa.encoding`, so a
+saved file is a faithful machine-level image (64-bit instruction words +
+data segment) rather than a pickle of Python objects.  Useful for
+shipping generated workloads between runs or inspecting them with
+external tools.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import SimulationError
+from ..isa.encoding import decode, encode
+from .image import Program
+
+FORMAT_VERSION = 1
+
+
+def program_to_dict(program):
+    """Serialisable dict form of a program image."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": program.name,
+        "entry": program.entry,
+        "text": [encode(inst) for inst in program.text],
+        "data": list(program.data),
+    }
+
+
+def program_from_dict(payload):
+    """Rebuild a :class:`Program` from :func:`program_to_dict` output."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise SimulationError("unsupported program format: %r"
+                              % payload.get("format"))
+    text = [decode(word) for word in payload["text"]]
+    return Program(name=payload["name"], text=text,
+                   data=list(payload["data"]),
+                   entry=payload.get("entry", 0))
+
+
+def save_program(program, path):
+    """Write a program image to ``path`` as JSON."""
+    with open(path, "w") as handle:
+        json.dump(program_to_dict(program), handle)
+    return path
+
+
+def load_program(path):
+    """Read a program image previously written by :func:`save_program`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return program_from_dict(payload)

@@ -1,0 +1,153 @@
+"""Instruction fetch unit.
+
+Fetches up to ``fetch_width`` instructions per cycle from the I-cache,
+subject to the Table-1 front-end rules:
+
+* fetch never crosses an I-cache line boundary in one cycle;
+* one branch prediction per cycle: fetch stops *after* a predicted-taken
+  control instruction and *before* a second control instruction;
+* an I-cache miss stalls fetch until the fill returns;
+* fetch freezes after a ``halt`` enters the stream (the paper's machine
+  would simply run out of useful work).
+
+Wrong-path fetch is modelled faithfully: after a corrupted or
+mispredicted redirect, the unit happily fetches garbage until the
+pipeline squashes and redirects it.  Running off the text segment simply
+produces no instructions (the stream starves until recovery).
+"""
+
+from __future__ import annotations
+
+from ..branch.bimodal import BimodalPredictor
+from ..branch.btb import BranchTargetBuffer
+from ..branch.combined import CombinedPredictor
+from ..branch.ras import ReturnAddressStack
+from ..branch.twolevel import TwoLevelPredictor
+from ..isa.opcodes import Kind, Op
+from ..isa.registers import RA
+
+
+class FetchRecord:
+    """One fetched instruction en route to dispatch."""
+
+    __slots__ = ("pc", "inst", "pred_npc", "pred_taken", "ras_snap",
+                 "fetch_cycle")
+
+    def __init__(self, pc, inst, pred_npc, pred_taken, ras_snap,
+                 fetch_cycle):
+        self.pc = pc
+        self.inst = inst
+        self.pred_npc = pred_npc
+        self.pred_taken = pred_taken
+        self.ras_snap = ras_snap
+        self.fetch_cycle = fetch_cycle
+
+
+def build_predictor(params):
+    """Construct the combined predictor described by the config."""
+    bimodal = BimodalPredictor(params.bimodal_size)
+    twolevel = TwoLevelPredictor(params.l1_size, params.l2_size,
+                                 params.history_bits, params.use_xor)
+    return CombinedPredictor(bimodal, twolevel, params.meta_size)
+
+
+class FetchUnit:
+    """Front end: PC management, prediction, I-cache timing."""
+
+    def __init__(self, program, config, hierarchy):
+        self.program = program
+        self.config = config
+        self.hierarchy = hierarchy
+        self.predictor = build_predictor(config.branch)
+        self.btb = BranchTargetBuffer(config.branch.btb_sets,
+                                      config.branch.btb_assoc)
+        self.ras = ReturnAddressStack(config.branch.ras_depth)
+        self.pc = program.entry
+        self.stall_until = 0
+        self.halted = False
+
+    def redirect(self, target, cycle, penalty=0):
+        """Restart fetching at ``target`` after a squash or rewind."""
+        self.pc = target
+        self.stall_until = cycle + 1 + penalty
+        self.halted = False
+
+    def restore_ras(self, snapshot):
+        if snapshot is not None:
+            self.ras.restore(snapshot)
+
+    def fetch_cycle(self, cycle, budget):
+        """Fetch up to ``budget`` instructions; returns FetchRecords."""
+        if self.halted or cycle < self.stall_until or budget <= 0:
+            return []
+        latency = self.hierarchy.fetch_latency(self.pc)
+        hit_latency = self.hierarchy.params.il1.hit_latency
+        if latency > hit_latency:
+            self.stall_until = cycle + latency
+            return []
+        records = []
+        line = self.hierarchy.instruction_line(self.pc)
+        control_seen = 0
+        while budget > 0:
+            inst = self.program.fetch(self.pc)
+            if inst is None:
+                break  # off the text segment (wrong path): starve
+            if self.hierarchy.instruction_line(self.pc) != line:
+                break  # next cache line: wait for next cycle
+            kind = inst.info.kind
+            is_control = kind in (Kind.BRANCH, Kind.JUMP)
+            if is_control and control_seen >= 1:
+                break  # one prediction per cycle (Table 1)
+            pred_taken = False
+            snapshot = None
+            if kind == Kind.HALT:
+                record = FetchRecord(self.pc, inst, self.pc, False, None,
+                                     cycle)
+                records.append(record)
+                self.halted = True
+                break
+            if is_control:
+                snapshot = self.ras.snapshot()
+                pred_npc, pred_taken = self._predict_control(inst)
+                control_seen += 1
+            else:
+                pred_npc = self.pc + 1
+            records.append(FetchRecord(self.pc, inst, pred_npc, pred_taken,
+                                       snapshot, cycle))
+            self.pc = pred_npc
+            budget -= 1
+            if is_control and pred_taken:
+                break  # stop after a predicted-taken control instruction
+        return records
+
+    def _predict_control(self, inst):
+        """Predict next PC for a control instruction at ``self.pc``."""
+        pc = self.pc
+        op = inst.op
+        if inst.is_branch:
+            taken = self.predictor.predict(pc)
+            target = pc + 1 + inst.imm if taken else pc + 1
+            return target, taken
+        if op == Op.J:
+            return inst.imm, True
+        if op == Op.JAL:
+            self.ras.push(pc + 1)
+            return inst.imm, True
+        if op == Op.JR:
+            if inst.rs1 == RA:
+                predicted = self.ras.pop()
+            else:
+                predicted = self.btb.lookup(pc)
+            return (predicted if predicted is not None else pc + 1), True
+        # JALR: push the return address, predict through the BTB.
+        self.ras.push(pc + 1)
+        predicted = self.btb.lookup(pc)
+        return (predicted if predicted is not None else pc + 1), True
+
+    def train_commit(self, group, actual_next_pc, taken):
+        """Non-speculative predictor/BTB training at commit."""
+        inst = group.inst
+        if inst.is_branch:
+            self.predictor.update(group.pc, taken)
+        elif inst.op in (Op.JR, Op.JALR):
+            self.btb.update(group.pc, actual_next_pc)

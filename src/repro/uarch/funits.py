@@ -1,0 +1,96 @@
+"""Functional-unit pools with pipelined and unpipelined operations.
+
+Each pool owns ``count`` units.  A pipelined operation occupies a unit's
+issue port for one cycle (the unit accepts a new operation every cycle);
+an unpipelined operation (integer and FP division, per Table 1) blocks
+its unit for the full latency.
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import FuClass
+
+
+class FuPool:
+    """One class of functional units."""
+
+    __slots__ = ("fu_class", "count", "_busy_until", "issued_ops",
+                 "busy_cycles")
+
+    def __init__(self, fu_class, count):
+        self.fu_class = fu_class
+        self.count = count
+        # Per-unit cycle at which the unit can next *accept* an operation.
+        self._busy_until = [0] * count
+        self.issued_ops = 0
+        self.busy_cycles = 0
+
+    def try_issue(self, cycle, latency, unpipelined, avoid=None):
+        """Try to start an operation; returns the unit index or None.
+
+        ``avoid`` is a unit index to steer away from: Section 3.5
+        suggests "co-scheduling redundant copies of the same instruction
+        such that they are executed on different physical functional
+        units whenever possible" to expose slow-transient faults.  The
+        avoided unit is still used when it is the only one free.
+        """
+        busy = self._busy_until
+
+        def occupy(index):
+            if unpipelined:
+                busy[index] = cycle + latency
+                self.busy_cycles += latency
+            else:
+                busy[index] = cycle + 1
+                self.busy_cycles += 1
+            self.issued_ops += 1
+            return index
+
+        fallback = None
+        for index in range(self.count):
+            if busy[index] <= cycle:
+                if index == avoid:
+                    fallback = index
+                    continue
+                return occupy(index)
+        if fallback is not None:
+            return occupy(fallback)
+        return None
+
+    def available(self, cycle):
+        """Number of units able to accept an operation this cycle."""
+        return sum(1 for b in self._busy_until if b <= cycle)
+
+    def reset(self):
+        self._busy_until = [0] * self.count
+        self.issued_ops = 0
+        self.busy_cycles = 0
+
+
+class FuBank:
+    """All pools of one machine, keyed by :class:`FuClass`."""
+
+    def __init__(self, config):
+        self.pools = {
+            FuClass.INT_ALU: FuPool(FuClass.INT_ALU, config.int_alu),
+            FuClass.INT_MULT: FuPool(FuClass.INT_MULT, config.int_mult),
+            FuClass.FP_ADD: FuPool(FuClass.FP_ADD, config.fp_add),
+            FuClass.FP_MULT: FuPool(FuClass.FP_MULT, config.fp_mult),
+        }
+
+    def try_issue(self, fu_class, cycle, latency, unpipelined,
+                  avoid=None):
+        """Returns the accepting unit's index, or None."""
+        pool = self.pools.get(fu_class)
+        if pool is None or pool.count == 0:
+            return None
+        return pool.try_issue(cycle, latency, unpipelined, avoid=avoid)
+
+    def utilisation(self, cycles):
+        """Fraction of issue slots used per pool, over ``cycles``."""
+        result = {}
+        for fu_class, pool in self.pools.items():
+            capacity = pool.count * max(cycles, 1)
+            result[fu_class.name] = pool.busy_cycles / capacity \
+                if capacity else 0.0
+        return result

@@ -1,0 +1,85 @@
+"""Load/store queue with conservative disambiguation and forwarding.
+
+Memory groups enter the LSQ in program order at dispatch.  A load may
+perform its (single) cache access only when every older store knows its
+address; if the youngest older store with a matching address has its
+data ready, the load forwards from it instead of accessing the cache.
+Stores update the cache and memory only at commit.
+
+Disambiguation uses copy 0's computed address — if a fault corrupts it,
+the wrong value flows into *younger* instructions only, and the
+corrupted store/load itself is caught by the commit-stage address
+cross-check before anything younger can retire.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class LoadStoreQueue:
+    """Program-ordered window of in-flight memory groups."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._queue = deque()
+
+    def __len__(self):
+        return len(self._queue)
+
+    def __iter__(self):
+        return iter(self._queue)
+
+    @property
+    def full(self):
+        return len(self._queue) >= self.capacity
+
+    def insert(self, group):
+        self._queue.append(group)
+
+    def remove_committed(self, group):
+        """Drop the oldest entry, which must be ``group``."""
+        if not self._queue or self._queue[0] is not group:
+            raise AssertionError("LSQ commit order violated")
+        self._queue.popleft()
+
+    def squash_younger(self, gseq):
+        """Drop every group younger than ``gseq`` (exclusive)."""
+        queue = self._queue
+        while queue and queue[-1].gseq > gseq:
+            queue.pop()
+
+    def clear(self):
+        self._queue.clear()
+
+    # -- disambiguation ---------------------------------------------------
+
+    def load_status(self, load_group):
+        """Can ``load_group`` access memory yet?
+
+        Returns one of:
+
+        * ``("blocked", None)`` — an older store's address is unknown, or
+          a matching older store's data is not ready yet;
+        * ``("forward", store_group)`` — youngest older store matches the
+          load address and has its data: forward from it;
+        * ``("access", None)`` — no conflict: go to the cache.
+        """
+        load_addr = load_group.copies[0].addr
+        match = None
+        for group in self._queue:
+            if group.gseq >= load_group.gseq:
+                break
+            if not group.is_store:
+                continue
+            head = group.copies[0]
+            if not head.agen_done:
+                return ("blocked", None)
+            if head.addr == load_addr:
+                match = group
+        if match is None:
+            return ("access", None)
+        head = match.copies[0]
+        if head.store_val is None:
+            return ("blocked", None)
+        return ("forward", match)

@@ -1,0 +1,610 @@
+"""The cycle-level out-of-order superscalar engine.
+
+One engine serves every machine in the paper: with ``FTConfig(redundancy
+=1)`` it is the stock SS-1 superscalar; with R >= 2 the dual-use
+extensions of :mod:`repro.core` (replication, commit cross-checking,
+rewind/majority recovery, fault injection) activate on the same
+datapath.
+
+Stage ordering within one simulated cycle (a conventional conservative
+model — results written back in cycle T are visible to commit in T+1):
+
+1. **commit** — retire whole redundant groups in program order, running
+   the commit-stage cross-check and PC-continuity check;
+2. **writeback** — completions scheduled for this cycle: finalize
+   results, apply planned transient faults, resolve control flow, wake
+   dependents, deliver the shared load value to all copies;
+3. **issue** — send ready entries to functional units (age priority),
+   and progress pending loads through disambiguation/forwarding/cache
+   access within the D-cache port budget;
+4. **dispatch** — replicate fetched instructions into R-aligned ROB
+   groups, renaming copy 0 through the map table and deriving the other
+   copies' tags;
+5. **fetch** — predict and fetch up to the fetch width from the I-cache.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heapify, heappop, heappush
+
+from ..core.config import FTConfig, UNPROTECTED
+from ..core.detection import CommitChecker
+from ..core.faults import FaultInjector
+from ..core.recovery import ACTION_REWIND, RecoveryController
+from ..core.replication import Replicator
+from ..errors import ConfigError, SimulationError
+from ..functional.kernel import (alu_value, branch_taken,
+                                 effective_address)
+from ..functional.numeric import (as_float, as_int, flip_float_bit,
+                                  flip_int_bit, u64, values_equal)
+from ..functional.simulator import FunctionalSimulator
+from ..functional.state import ArchState
+from ..isa.opcodes import FuClass, Kind, Op
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.main_memory import MainMemory
+from .config import MachineConfig
+from .fetch import FetchUnit
+from .funits import FuBank
+from .lsq import LoadStoreQueue
+from .rename import make_renamer
+from .rob import DONE, ISSUED, READY, WAITING
+from .stats import PipelineStats
+
+_EVENT_EXEC = 0
+_EVENT_LOAD_VALUE = 1
+
+
+class Processor:
+    """A simulated out-of-order superscalar processor."""
+
+    def __init__(self, program, config=None, ft=None, fault_config=None):
+        self.program = program
+        self.config = config or MachineConfig()
+        self.ft = ft or UNPROTECTED
+        self.redundancy = self.ft.redundancy
+        if self.config.rob_size % self.redundancy:
+            raise ConfigError(
+                "ROB size (%d) must be a multiple of the redundancy "
+                "degree (%d)" % (self.config.rob_size, self.redundancy))
+
+        memory = MainMemory(self.config.mem_size_words, image=program.data)
+        self.arch = ArchState(memory=memory, pc=program.entry)
+        self.hierarchy = MemoryHierarchy(self.config.hierarchy)
+        self.fetch_unit = FetchUnit(program, self.config, self.hierarchy)
+        self.fus = FuBank(self.config)
+
+        self.groups = deque()             # in-flight groups, program order
+        self.renamer = make_renamer(self.config.rename_scheme, self.groups)
+        self.injector = None
+        if fault_config is not None and fault_config.rate_per_million > 0:
+            self.injector = FaultInjector(fault_config)
+        self.stats = PipelineStats()
+        self.replicator = Replicator(self.redundancy, self.renamer,
+                                     self.arch.read_reg, self.injector,
+                                     stats=self.stats)
+        self.checker = CommitChecker(self.ft)
+        self.recovery = RecoveryController(self.ft)
+        self.lsq = LoadStoreQueue(self.config.lsq_size)
+        self.ifq = deque()
+        self.ready = []                   # heap of (seq, entry)
+        self.events = {}                  # cycle -> [(kind, payload)]
+        self.pending_loads = []           # load groups awaiting access
+
+        self.committed_next_pc = program.entry  # the ECC-protected register
+        self._outstanding_misses = 0
+        self.cycle = 0
+        self.halted = False
+        self.rob_entries = 0
+        self._ports_used = 0
+        self._last_commit_cycle = 0
+        self._lockstep = None
+        self._tracer = None
+
+    # -- public API -------------------------------------------------------
+
+    def enable_lockstep_check(self):
+        """Verify every commit against the in-order golden model.
+
+        The strongest correctness oracle: the committed instruction
+        stream (including across fault rewinds) must match in-order
+        execution exactly.
+        """
+        self._lockstep = FunctionalSimulator(
+            self.program, mem_size=self.config.mem_size_words)
+
+    def attach_tracer(self, tracer):
+        """Record per-instruction lifecycle events into ``tracer``."""
+        self._tracer = tracer
+
+    def run(self, max_instructions=None, max_cycles=None):
+        """Simulate until HALT commits or a budget is exhausted."""
+        instruction_target = None
+        if max_instructions is not None:
+            instruction_target = self.stats.instructions + max_instructions
+        while not self.halted:
+            if max_cycles is not None and self.cycle >= max_cycles:
+                break
+            if (instruction_target is not None
+                    and self.stats.instructions >= instruction_target):
+                break
+            self.step()
+        self.stats.cycles = self.cycle
+        return self.stats
+
+    def step(self):
+        """Advance the machine by one cycle."""
+        self.cycle += 1
+        cycle = self.cycle
+        self._ports_used = 0
+        self._commit_stage(cycle)
+        if self.halted:
+            self.stats.cycles = cycle
+            return
+        self._writeback_stage(cycle)
+        self._issue_stage(cycle)
+        self._dispatch_stage(cycle)
+        self._fetch_stage(cycle)
+        self.stats.rob_occupancy_sum += self.rob_entries
+        self.stats.ifq_occupancy_sum += len(self.ifq)
+        if (not self.groups and not self.ifq
+                and not self.fetch_unit.halted
+                and cycle >= self.fetch_unit.stall_until
+                and self.program.fetch(self.fetch_unit.pc) is None):
+            # The committed control flow has left the program: with
+            # protection off, a corrupted branch can retire and strand
+            # the machine on garbage addresses.  Real hardware would
+            # fetch junk or trap; we record the crash and stop.
+            self.stats.crashed = True
+            self.halted = True
+        if cycle - self._last_commit_cycle > self.config.deadlock_cycles:
+            raise SimulationError(
+                "deadlock: no commit for %d cycles (cycle=%d, rob=%d, "
+                "ifq=%d, pending_loads=%d, head=%r)"
+                % (self.config.deadlock_cycles, cycle, self.rob_entries,
+                   len(self.ifq), len(self.pending_loads),
+                   self.groups[0] if self.groups else None))
+
+    # -- commit -----------------------------------------------------------
+
+    def _commit_stage(self, cycle):
+        budget = self.config.commit_width
+        protected = self.redundancy >= 2
+        while self.groups and budget > 0:
+            group = self.groups[0]
+            copies = len(group.copies)
+            cost = copies * (2 if self.config.shared_physical_regfile
+                             else 1)
+            if cost > budget:
+                break
+            if not group.complete:
+                break
+            if protected:
+                if (self.ft.check_pc_continuity
+                        and group.pc != self.committed_next_pc):
+                    self.stats.pc_continuity_violations += 1
+                    self.stats.faults_detected += 1
+                    self.recovery.rewinds += 1
+                    self._begin_rewind(cycle)
+                    return
+                result = self.checker.check(group)
+                if not result.ok:
+                    self.stats.faults_detected += 1
+                    if self.recovery.decide(result) == ACTION_REWIND:
+                        self._begin_rewind(cycle)
+                        return
+                    self.stats.majority_commits += 1
+                    representative = group.copies[result.representative]
+                else:
+                    representative = group.copies[0]
+            else:
+                representative = group.copies[0]
+                if any(entry.fault_applied for entry in group.copies):
+                    self.stats.silent_commits += 1
+            if not self._retire_group(group, representative, cycle):
+                break  # structural stall (store port); retry next cycle
+            budget -= cost
+            if self.halted:
+                return
+
+    def _retire_group(self, group, representative, cycle):
+        """Commit one verified group; False on a store-port stall."""
+        inst = group.inst
+        info = inst.info
+        if group.is_store:
+            if self._ports_used >= self.config.mem_ports:
+                return False
+            self._ports_used += 1
+            self.hierarchy.store_access(representative.addr)
+            self.arch.memory.store(representative.addr,
+                                   representative.store_val)
+            self.stats.stores_committed += 1
+        if info.writes_reg:
+            self.arch.write_reg(inst.rd, representative.value)
+            self.renamer.on_commit(inst.rd, group)
+        if info.kind == Kind.BRANCH:
+            taken = representative.next_pc != group.pc + 1
+            self.fetch_unit.train_commit(group, representative.next_pc,
+                                         taken)
+            self.stats.branches_committed += 1
+            if representative.next_pc != group.pred_npc:
+                self.stats.branch_mispredicts += 1
+        elif info.kind == Kind.JUMP:
+            self.fetch_unit.train_commit(group, representative.next_pc,
+                                         True)
+            self.stats.jumps_committed += 1
+            if representative.next_pc != group.pred_npc:
+                self.stats.indirect_mispredicts += 1
+        self.committed_next_pc = representative.next_pc
+        self.groups.popleft()
+        self.rob_entries -= len(group.copies)
+        if group.is_mem:
+            self.lsq.remove_committed(group)
+        self.stats.instructions += 1
+        self.stats.entries_committed += len(group.copies)
+        self.recovery.on_commit(cycle)
+        self.stats.recovery_cycles = self.recovery.recovery_cycles
+        self._last_commit_cycle = cycle
+        if self._tracer is not None:
+            self._tracer.on_commit(group, cycle)
+        if self._lockstep is not None:
+            self._lockstep_check(group, representative)
+        if inst.is_halt:
+            self.halted = True
+        return True
+
+    def _lockstep_check(self, group, representative):
+        golden = self._lockstep
+        golden.step()
+        inst = group.inst
+        if golden.state.pc != self.committed_next_pc and not inst.is_halt:
+            raise SimulationError(
+                "lockstep divergence at pc=%d: committed next-PC %d, "
+                "golden %d" % (group.pc, self.committed_next_pc,
+                               golden.state.pc))
+        if inst.info.writes_reg:
+            expected = golden.state.read_reg(inst.rd)
+            actual = self.arch.read_reg(inst.rd)
+            if not values_equal(expected, actual):
+                raise SimulationError(
+                    "lockstep divergence at pc=%d: r%d committed %r, "
+                    "golden %r" % (group.pc, inst.rd, actual, expected))
+        if group.is_store:
+            address = representative.addr
+            expected = golden.state.memory.peek(address)
+            actual = self.arch.memory.peek(address)
+            if not values_equal(expected, actual):
+                raise SimulationError(
+                    "lockstep divergence at pc=%d: mem[%d] committed %r, "
+                    "golden %r" % (group.pc, address, actual, expected))
+
+    # -- recovery ---------------------------------------------------------
+
+    def _begin_rewind(self, cycle):
+        """Discard all speculative state; refetch from committed next-PC."""
+        self.stats.rewinds += 1
+        self.recovery.on_rewind(cycle)
+        for group in self.groups:
+            group.mark_squashed()
+        self.groups.clear()
+        self.lsq.clear()
+        self.ifq.clear()
+        self.ready = []
+        self.pending_loads = []
+        self.rob_entries = 0
+        self.renamer.clear()
+        self.fetch_unit.ras.clear()
+        self.fetch_unit.redirect(self.committed_next_pc, cycle,
+                                 penalty=self.ft.rewind_extra_penalty)
+        if self._tracer is not None:
+            self._tracer.on_rewind(cycle, self.committed_next_pc)
+
+    # -- writeback --------------------------------------------------------
+
+    def _schedule(self, cycle, kind, payload):
+        bucket = self.events.get(cycle)
+        if bucket is None:
+            self.events[cycle] = [(kind, payload)]
+        else:
+            bucket.append((kind, payload))
+
+    def _writeback_stage(self, cycle):
+        bucket = self.events.pop(cycle, None)
+        if not bucket:
+            return
+        for kind, payload in bucket:
+            if kind == _EVENT_EXEC:
+                entry = payload
+                if not entry.squashed:
+                    self._complete_execution(entry, cycle)
+            else:
+                group, value, was_miss = payload
+                if was_miss:
+                    # The fill returns and frees its MSHR even if the
+                    # consuming load was squashed meanwhile.
+                    self._outstanding_misses -= 1
+                if not group.squashed:
+                    self._deliver_load_value(group, value, cycle)
+
+    def _complete_execution(self, entry, cycle):
+        group = entry.group
+        inst = group.inst
+        info = inst.info
+        kind = info.kind
+        if kind == Kind.LOAD or kind == Kind.STORE:
+            if entry.fault_kind == "address" and not entry.fault_applied:
+                entry.addr = u64(entry.addr ^ (1 << (entry.fault_bit & 63)))
+                entry.fault_applied = True
+                self.stats.faults_injected += 1
+            entry.agen_done = True
+            if kind == Kind.STORE:
+                entry.store_val = entry.src_vals[1]
+                if entry.fault_kind == "value" and not entry.fault_applied:
+                    entry.store_val = self._flip_value(entry.store_val,
+                                                       entry.fault_bit)
+                    entry.fault_applied = True
+                    self.stats.faults_injected += 1
+                self._finalize_entry(entry, cycle)
+            else:
+                if entry.copy == 0 and not group.mem_issued:
+                    self.pending_loads.append(group)
+                if group.value_ready:
+                    self._finish_load_copy(entry, group.load_value, cycle)
+            return
+        self._apply_datapath_fault(entry, group)
+        self._finalize_entry(entry, cycle)
+
+    def _apply_datapath_fault(self, entry, group):
+        if entry.fault_kind is None or entry.fault_applied:
+            return
+        inst = group.inst
+        if entry.fault_kind == "value" and inst.info.writes_reg:
+            entry.value = self._flip_value(entry.value, entry.fault_bit)
+            entry.fault_applied = True
+            self.stats.faults_injected += 1
+        elif entry.fault_kind == "branch" and inst.is_control:
+            entry.next_pc = self._corrupt_next_pc(entry, group)
+            entry.fault_applied = True
+            self.stats.faults_injected += 1
+        elif entry.fault_kind == "value" and inst.is_control:
+            entry.next_pc = self._corrupt_next_pc(entry, group)
+            entry.fault_applied = True
+            self.stats.faults_injected += 1
+
+    def _corrupt_next_pc(self, entry, group):
+        inst = group.inst
+        if inst.is_branch:
+            fallthrough = group.pc + 1
+            target = group.pc + 1 + inst.imm
+            return target if entry.next_pc == fallthrough else fallthrough
+        return u64(entry.next_pc ^ (1 << (entry.fault_bit % 16)))
+
+    @staticmethod
+    def _flip_value(value, bit):
+        if isinstance(value, float):
+            return flip_float_bit(value, bit)
+        return flip_int_bit(value if value is not None else 0, bit)
+
+    def _finalize_entry(self, entry, cycle):
+        entry.state = DONE
+        entry.done_cycle = cycle
+        group = entry.group
+        group.done_count += 1
+        if entry.dependents:
+            value = entry.value
+            for dependent, slot in entry.dependents:
+                if dependent.squashed:
+                    continue
+                dependent.src_vals[slot] = value
+                dependent.pending -= 1
+                if dependent.pending == 0 and dependent.state == WAITING:
+                    dependent.state = READY
+                    heappush(self.ready, (dependent.seq, dependent))
+            entry.dependents = []
+        if group.is_control:
+            self._resolve_control(entry, cycle)
+
+    def _resolve_control(self, entry, cycle):
+        group = entry.group
+        if group.resolved:
+            # A later copy disagreeing with the followed path is caught
+            # by the commit-stage cross-check; nothing to do here.
+            return
+        group.resolved = True
+        group.resolved_npc = entry.next_pc
+        if entry.next_pc != group.pred_npc:
+            self._squash_younger(group)
+            self.fetch_unit.restore_ras(group.ras_snap)
+            self.fetch_unit.redirect(entry.next_pc, cycle,
+                                     penalty=self.config.redirect_penalty)
+
+    def _squash_younger(self, group):
+        """Branch-misprediction squash of everything younger than group."""
+        groups = self.groups
+        while groups and groups[-1].gseq > group.gseq:
+            victim = groups.pop()
+            victim.mark_squashed()
+            self.rob_entries -= len(victim.copies)
+        self.lsq.squash_younger(group.gseq)
+        self.ifq.clear()
+        if self.pending_loads:
+            self.pending_loads = [g for g in self.pending_loads
+                                  if not g.squashed]
+        if self.ready:
+            self.ready = [(seq, entry) for seq, entry in self.ready
+                          if not entry.squashed]
+            heapify(self.ready)
+        self.renamer.rebuild(groups)
+
+    def _deliver_load_value(self, group, raw_value, cycle):
+        """The single shared memory access returned: fan out to copies."""
+        if group.inst.info.fp_dest:
+            value = as_float(raw_value)
+        else:
+            value = as_int(raw_value)
+        group.load_value = value
+        group.value_ready = True
+        group.value_cycle = cycle
+        for entry in group.copies:
+            if entry.agen_done and entry.state != DONE:
+                self._finish_load_copy(entry, value, cycle)
+
+    def _finish_load_copy(self, entry, value, cycle):
+        entry.value = value
+        if entry.fault_kind == "value" and not entry.fault_applied:
+            entry.value = self._flip_value(entry.value, entry.fault_bit)
+            entry.fault_applied = True
+            self.stats.faults_injected += 1
+        self._finalize_entry(entry, cycle)
+
+    # -- issue ------------------------------------------------------------
+
+    def _issue_stage(self, cycle):
+        self._progress_pending_loads(cycle)
+        budget = self.config.issue_width
+        deferred = []
+        ready = self.ready
+        saturated = set()
+        co_schedule = self.config.co_schedule_copies
+        num_classes = 4  # INT_ALU, INT_MULT, FP_ADD, FP_MULT
+        while budget > 0 and ready and len(saturated) < num_classes:
+            _, entry = heappop(ready)
+            if entry.squashed or entry.state != READY:
+                continue
+            info = entry.group.inst.info
+            fu_class = FuClass.INT_ALU if info.is_mem else info.fu
+            if fu_class in saturated:
+                deferred.append((entry.seq, entry))
+                continue
+            avoid = None
+            if co_schedule and entry.copy > 0:
+                # Section 3.5: prefer a different physical unit than the
+                # sibling copy, so a slow-transient FU fault cannot
+                # corrupt both redundant results identically.
+                avoid = entry.group.copies[0].fu_unit
+            latency = self.config.op_latency(entry.group.inst.op)
+            unit = self.fus.try_issue(fu_class, cycle, latency,
+                                      info.unpipelined, avoid=avoid)
+            if unit is not None:
+                entry.fu_unit = unit
+                self._execute(entry, cycle, latency)
+                budget -= 1
+            else:
+                saturated.add(fu_class)
+                deferred.append((entry.seq, entry))
+        for item in deferred:
+            heappush(ready, item)
+
+    def _execute(self, entry, cycle, latency):
+        """Start execution: compute results, schedule the completion."""
+        group = entry.group
+        inst = group.inst
+        kind = inst.info.kind
+        a, b = entry.src_vals
+        if kind == Kind.ALU:
+            entry.value = alu_value(inst.op, a, b, inst.imm, group.pc)
+            entry.next_pc = group.pc + 1
+        elif kind == Kind.LOAD or kind == Kind.STORE:
+            entry.addr = effective_address(a, inst.imm)
+            entry.next_pc = group.pc + 1
+        elif kind == Kind.BRANCH:
+            taken = branch_taken(inst.op, a, b)
+            entry.next_pc = group.pc + 1 + inst.imm if taken \
+                else group.pc + 1
+        elif kind == Kind.JUMP:
+            if inst.op == Op.J or inst.op == Op.JAL:
+                entry.next_pc = inst.imm
+            else:
+                entry.next_pc = u64(as_int(a))
+            if inst.info.writes_reg:
+                entry.value = group.pc + 1
+        entry.state = ISSUED
+        entry.issue_cycle = cycle
+        self.stats.issued += 1
+        self._schedule(cycle + latency, _EVENT_EXEC, entry)
+
+    def _progress_pending_loads(self, cycle):
+        if not self.pending_loads:
+            return
+        self.pending_loads.sort(key=lambda g: g.gseq)
+        still_pending = []
+        for group in self.pending_loads:
+            if group.squashed or group.mem_issued:
+                continue
+            status, match = self.lsq.load_status(group)
+            if status == "blocked":
+                still_pending.append(group)
+            elif status == "forward":
+                group.mem_issued = True
+                self.stats.store_forwards += 1
+                self.stats.loads_executed += 1
+                self._schedule(cycle + 1, _EVENT_LOAD_VALUE,
+                               (group, match.copies[0].store_val, False))
+            else:  # cache access
+                if self._ports_used >= self.config.mem_ports:
+                    still_pending.append(group)
+                    continue
+                address = group.copies[0].addr
+                mshrs = self.config.mshr_count
+                is_miss = not self.hierarchy.dl1.probe(
+                    (address & ((1 << 48) - 1)) << 3)
+                if (mshrs is not None and is_miss
+                        and self._outstanding_misses >= mshrs):
+                    still_pending.append(group)  # MSHRs exhausted
+                    continue
+                self._ports_used += 1
+                latency = self.hierarchy.load_latency(address)
+                value = self.arch.memory.load(address)
+                if is_miss:
+                    self._outstanding_misses += 1
+                group.mem_issued = True
+                self.stats.loads_executed += 1
+                self._schedule(cycle + latency, _EVENT_LOAD_VALUE,
+                               (group, value, is_miss))
+        self.pending_loads = still_pending
+
+    # -- dispatch / fetch ---------------------------------------------------
+
+    def _dispatch_stage(self, cycle):
+        budget = self.config.dispatch_width
+        redundancy = self.redundancy
+        while self.ifq and budget >= redundancy:
+            if self.rob_entries + redundancy > self.config.rob_size:
+                break
+            record = self.ifq[0]
+            if record.inst.is_mem and self.lsq.full:
+                break
+            self.ifq.popleft()
+            group = self.replicator.build_group(record, cycle)
+            group.dispatch_cycle = cycle
+            self.groups.append(group)
+            self.rob_entries += redundancy
+            if group.is_mem:
+                self.lsq.insert(group)
+            for entry in group.copies:
+                if entry.state == READY:
+                    heappush(self.ready, (entry.seq, entry))
+            budget -= redundancy
+            self.stats.dispatched_groups += 1
+            self.stats.dispatched_entries += redundancy
+
+    def _fetch_stage(self, cycle):
+        space = self.config.ifq_size - len(self.ifq)
+        budget = min(self.config.fetch_width, space)
+        if budget <= 0:
+            return
+        records = self.fetch_unit.fetch_cycle(cycle, budget)
+        if records:
+            self.ifq.extend(records)
+            self.stats.fetched += len(records)
+
+
+def simulate(program, config=None, ft=None, fault_config=None,
+             max_instructions=None, max_cycles=None, lockstep=False):
+    """One-call simulation helper; returns the finished Processor."""
+    processor = Processor(program, config=config, ft=ft,
+                          fault_config=fault_config)
+    if lockstep:
+        processor.enable_lockstep_check()
+    processor.run(max_instructions=max_instructions, max_cycles=max_cycles)
+    return processor

@@ -1,0 +1,100 @@
+"""Register renaming schemes.
+
+The paper's primary scheme keeps rename registers with ROB entries and a
+*single map table* regardless of the degree of redundancy: the table
+maps a logical register to copy 0's entry and copy *k* deduces its tag by
+offset.  The alternative discussed in Section 3.2 — associatively
+searching the ROB's "logical destination" column with the thread-
+alignment condition added to the match criteria — is implemented as
+:class:`AssociativeRenamer` and tested for equivalence.
+"""
+
+from __future__ import annotations
+
+from ..isa.registers import NUM_LOGICAL_REGS, ZERO
+
+
+class MapTableRenamer:
+    """Map table: logical register -> youngest producing group.
+
+    The table contents are assumed ECC protected (Section 3.2: "The
+    contents of the sole rename table must be protected by ECC").
+    """
+
+    name = "map"
+
+    def __init__(self):
+        self._table = [None] * NUM_LOGICAL_REGS
+
+    def lookup(self, areg):
+        """Youngest in-flight producer group of ``areg`` (or None)."""
+        if areg == ZERO:
+            return None
+        return self._table[areg]
+
+    def set_dest(self, areg, group):
+        """Record ``group`` as the current producer of ``areg``."""
+        if areg != ZERO:
+            self._table[areg] = group
+
+    def on_commit(self, areg, group):
+        """Drop the mapping if the committing group still owns it."""
+        if areg != ZERO and self._table[areg] is group:
+            self._table[areg] = None
+
+    def rebuild(self, live_groups):
+        """Reconstruct the table from surviving groups (after a squash)."""
+        self._table = [None] * NUM_LOGICAL_REGS
+        for group in live_groups:
+            inst = group.inst
+            if inst.info.writes_reg:
+                self._table[inst.rd] = group
+
+    def clear(self):
+        self._table = [None] * NUM_LOGICAL_REGS
+
+
+class AssociativeRenamer:
+    """Renaming by associative search of in-flight groups.
+
+    Models renaming "by associatively searching the 'logical destination'
+    column of ROB"; the search walks program order youngest-first, which
+    is exactly what the hardware's priority match would produce.
+    """
+
+    name = "associative"
+
+    def __init__(self, groups):
+        # Shared, live program-order deque of in-flight groups (owned by
+        # the processor); the renamer only ever reads it.
+        self._groups = groups
+
+    def lookup(self, areg):
+        if areg == ZERO:
+            return None
+        for group in reversed(self._groups):
+            inst = group.inst
+            if inst.info.writes_reg and inst.rd == areg:
+                return group
+        return None
+
+    def set_dest(self, areg, group):
+        """No table to maintain: the ROB itself is the rename store."""
+
+    def on_commit(self, areg, group):
+        """Nothing to clean up; committed groups leave the search window."""
+
+    def rebuild(self, live_groups):
+        """Nothing to rebuild; the search window shrank by itself."""
+
+    def clear(self):
+        """Nothing to clear."""
+
+
+def make_renamer(scheme, groups):
+    """Construct the renamer named by ``scheme`` ("map"/"associative")."""
+    if scheme == "map":
+        return MapTableRenamer()
+    if scheme == "associative":
+        return AssociativeRenamer(groups)
+    raise ValueError("unknown rename scheme %r" % scheme)

@@ -1,0 +1,11 @@
+"""Re-export of the ROB structures.
+
+The entry/group structures live in :mod:`repro.core.rob` (they embody
+the paper's replication invariants), but the out-of-order substrate is
+their natural home from an API perspective, so they are re-exported
+here.
+"""
+
+from ..core.rob import DONE, ISSUED, READY, WAITING, Group, RobEntry
+
+__all__ = ["DONE", "ISSUED", "READY", "WAITING", "Group", "RobEntry"]

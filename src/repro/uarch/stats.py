@@ -1,0 +1,106 @@
+"""Pipeline statistics collected by the timing simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PipelineStats:
+    """Counters accumulated over one simulation run.
+
+    ``instructions`` counts *architectural* (logical) instructions, i.e.
+    one per redundantly executed group, matching how the paper reports
+    IPC for redundant machines.
+    """
+
+    cycles: int = 0
+    instructions: int = 0            # committed logical instructions
+    entries_committed: int = 0       # committed ROB entries (x R)
+    fetched: int = 0
+    dispatched_groups: int = 0
+    dispatched_entries: int = 0
+    issued: int = 0
+    loads_executed: int = 0
+    stores_committed: int = 0
+    store_forwards: int = 0
+    # Control flow.
+    branches_committed: int = 0
+    branch_mispredicts: int = 0
+    jumps_committed: int = 0
+    indirect_mispredicts: int = 0
+    # Fault tolerance.
+    faults_injected: int = 0
+    faults_detected: int = 0
+    rewinds: int = 0
+    majority_commits: int = 0
+    pc_continuity_violations: int = 0
+    silent_commits: int = 0          # faulty values committed (R=1 only)
+    crashed: bool = False            # committed control flow left the
+                                     # program (unprotected mode only)
+    # Recovery-cost bookkeeping: cycles from detection to the next commit.
+    recovery_cycles: int = 0
+    # Structure occupancy integrals (averages = integral / cycles).
+    rob_occupancy_sum: int = 0
+    ifq_occupancy_sum: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self):
+        """Committed logical instructions per cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self):
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def branch_accuracy(self):
+        if not self.branches_committed:
+            return 1.0
+        return 1.0 - self.branch_mispredicts / self.branches_committed
+
+    @property
+    def avg_rob_occupancy(self):
+        return self.rob_occupancy_sum / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_recovery_penalty(self):
+        """Observed mean cycles from fault detection to pipeline restart."""
+        if not self.rewinds:
+            return 0.0
+        return self.recovery_cycles / self.rewinds
+
+    def as_dict(self):
+        """All counters plus derived metrics, for JSON/CSV export."""
+        from dataclasses import asdict
+        data = asdict(self)
+        data["ipc"] = self.ipc
+        data["cpi"] = self.cpi
+        data["branch_accuracy"] = self.branch_accuracy
+        data["avg_rob_occupancy"] = self.avg_rob_occupancy
+        data["avg_recovery_penalty"] = self.avg_recovery_penalty
+        return data
+
+    def summary(self):
+        """Readable multi-line run summary."""
+        lines = [
+            "cycles               %12d" % self.cycles,
+            "instructions         %12d" % self.instructions,
+            "IPC                  %12.4f" % self.ipc,
+            "branch accuracy      %12.4f" % self.branch_accuracy,
+            "mispredicts          %12d" % self.branch_mispredicts,
+            "loads / stores       %8d / %d" % (self.loads_executed,
+                                               self.stores_committed),
+            "store forwards       %12d" % self.store_forwards,
+        ]
+        if self.faults_injected or self.rewinds:
+            lines += [
+                "faults injected      %12d" % self.faults_injected,
+                "faults detected      %12d" % self.faults_detected,
+                "rewinds              %12d" % self.rewinds,
+                "majority commits     %12d" % self.majority_commits,
+                "avg recovery penalty %12.1f cycles"
+                % self.avg_recovery_penalty,
+            ]
+        return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Pipeline tracing: per-instruction lifecycle records.
+
+Attach a :class:`PipelineTracer` to a processor to capture, for every
+*committed* group, the cycles at which it was fetched, dispatched,
+issued (per copy), completed (per copy) and committed — plus rewind
+events.  The formatter renders the classic pipeline diagram used to
+eyeball scheduling behaviour:
+
+    seq      pc  instruction            F     D     I0/I1    W0/W1    C
+    ...
+
+Tracing is opt-in (``processor.attach_tracer(...)``) and adds one list
+append per commit, so it is safe to leave on for small runs and off for
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.disasm import format_instruction
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """Lifecycle of one committed architectural instruction."""
+
+    gseq: int
+    pc: int
+    text: str
+    fetch_cycle: int
+    dispatch_cycle: int
+    issue_cycles: tuple     # per redundant copy (None: never issued)
+    done_cycles: tuple      # per redundant copy
+    fu_units: tuple         # physical unit index per copy
+    commit_cycle: int
+
+    @property
+    def latency(self):
+        """Fetch-to-commit latency in cycles."""
+        return self.commit_cycle - self.fetch_cycle
+
+
+@dataclass(frozen=True)
+class RewindRecord:
+    """One detected-fault rewind."""
+
+    cycle: int
+    restart_pc: int
+
+
+class PipelineTracer:
+    """Collects commit-time lifecycle records and rewind events."""
+
+    def __init__(self, limit=None):
+        self.records = []
+        self.rewinds = []
+        self.limit = limit
+
+    def on_commit(self, group, cycle):
+        if self.limit is not None and len(self.records) >= self.limit:
+            return
+        copies = group.copies
+        self.records.append(TraceRecord(
+            gseq=group.gseq,
+            pc=group.pc,
+            text=format_instruction(group.inst),
+            fetch_cycle=group.fetch_cycle,
+            dispatch_cycle=group.dispatch_cycle,
+            issue_cycles=tuple(entry.issue_cycle for entry in copies),
+            done_cycles=tuple(entry.done_cycle for entry in copies),
+            fu_units=tuple(entry.fu_unit for entry in copies),
+            commit_cycle=cycle))
+
+    def on_rewind(self, cycle, restart_pc):
+        self.rewinds.append(RewindRecord(cycle=cycle,
+                                         restart_pc=restart_pc))
+
+    def format_table(self, last=30):
+        """Render the most recent ``last`` committed instructions."""
+        rows = self.records[-last:]
+        if not rows:
+            return "(no trace records)"
+        header = ("%6s %6s  %-24s %6s %6s %-13s %-13s %6s"
+                  % ("seq", "pc", "instruction", "F", "D", "issue",
+                     "done", "C"))
+        lines = [header, "-" * len(header)]
+        for record in rows:
+            issues = "/".join("-" if c is None else str(c)
+                              for c in record.issue_cycles)
+            dones = "/".join("-" if c is None else str(c)
+                             for c in record.done_cycles)
+            lines.append("%6d %6d  %-24s %6d %6d %-13s %-13s %6d"
+                         % (record.gseq, record.pc, record.text[:24],
+                            record.fetch_cycle, record.dispatch_cycle,
+                            issues, dones, record.commit_cycle))
+        if self.rewinds:
+            lines.append("rewinds: %s"
+                         % ", ".join("@%d->pc %d" % (r.cycle,
+                                                     r.restart_pc)
+                                     for r in self.rewinds[-8:]))
+        return "\n".join(lines)
+
+    def average_commit_latency(self):
+        """Mean fetch-to-commit latency over traced instructions."""
+        if not self.records:
+            return 0.0
+        return (sum(record.latency for record in self.records)
+                / len(self.records))

@@ -1,0 +1,16 @@
+"""Synthetic SPEC-like workloads calibrated to the paper's Table 2."""
+
+from .generator import (UNBOUNDED_ITERATIONS, WorkloadGenerator,
+                        build_workload)
+from .microbench import (branch_pattern, dot_product, fibonacci,
+                         pointer_chase, vector_sum)
+from .mix import MixRow, format_mix_table, measure_mix
+from .profiles import (BENCHMARK_ORDER, PROFILES, BenchmarkProfile,
+                       get_profile)
+
+__all__ = [
+    "UNBOUNDED_ITERATIONS", "WorkloadGenerator", "build_workload",
+    "branch_pattern", "dot_product", "fibonacci", "pointer_chase",
+    "vector_sum", "MixRow", "format_mix_table", "measure_mix",
+    "BENCHMARK_ORDER", "PROFILES", "BenchmarkProfile", "get_profile",
+]

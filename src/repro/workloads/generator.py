@@ -1,0 +1,310 @@
+"""Synthetic workload generator.
+
+Turns a :class:`~repro.workloads.profiles.BenchmarkProfile` into an
+executable loop program whose dynamic instruction mix matches the
+profile's Table-2 targets and whose dependency/branch/memory structure
+realises the profile's bottleneck.
+
+Structure of a generated program::
+
+    init:   constants, chain seeds (loaded from the data segment),
+            induction registers
+    loop:   shuffled body of `body_size` slots — chained integer ALU ops,
+            independent or serial FP ops, strided loads/stores,
+            spill/reload (store->load forwarding) pairs, test+branch
+            pairs — followed by induction update and the loop branch
+    end:    halt
+
+Register conventions (integer): r10 loop counter, r11 induction index,
+r12 footprint mask, r14 entropy accumulator, r15.. integer chains,
+r20..r23 load temporaries, r24 constant 1, r1 branch-test temporary.
+Floating: f10.. chain/destination registers, f20 = 0.0, f21 = 1.0,
+f28 = 3.0, f29 = 0.5.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from ..errors import ConfigError
+from ..isa.builder import ProgramBuilder
+from ..isa.opcodes import Op
+from ..isa.registers import fp_reg
+from .profiles import get_profile
+
+# Integer register roles.
+_R_COUNTER = 10
+_R_INDEX = 11
+_R_MASK = 12
+_R_ENTROPY = 14
+_R_CHAIN_BASE = 15      # chains occupy r15..r15+n-1 (n <= 5 -> r19)
+_R_LOAD_TMP = (20, 21, 22, 23)
+_R_ONE = 24
+_R_TEST = 1
+
+# Floating register roles (unified indices via fp_reg()).
+_F_CHAIN_BASE = 10
+_F_SERIAL = fp_reg(9)   # the single serial FP dependency chain
+_F_ZERO = fp_reg(20)
+_F_ONE = fp_reg(21)
+_F_A = fp_reg(28)
+_F_B = fp_reg(29)
+
+_MAX_INT_CHAINS = 5     # r15..r19
+_MAX_FP_CHAINS = 10     # f10..f19
+
+#: Default iteration count: effectively unbounded, the simulator's
+#: ``max_instructions`` budget terminates the run.
+UNBOUNDED_ITERATIONS = 1 << 20
+
+
+class WorkloadGenerator:
+    """Deterministic generator for one benchmark profile."""
+
+    def __init__(self, profile, seed=1_000_003):
+        if isinstance(profile, str):
+            profile = get_profile(profile)
+        self.profile = profile
+        self.seed = seed
+
+    # -- composition -------------------------------------------------------
+
+    def slot_plan(self):
+        """Per-iteration action counts derived from the mix targets.
+
+        Returns a dict of action -> count where actions are:
+        ``plain_load``, ``plain_store``, ``spill_pair``, ``int_alu``,
+        ``int_mul``, ``int_div``, ``fp_add``, ``fp_mult``, ``fp_div``,
+        ``branch_pair``.  Fixed loop overhead (5 integer instructions)
+        is accounted against the integer budget.
+        """
+        p = self.profile
+        total = p.body_size
+        overhead = 5  # counter add, loop branch, index add/mask, entropy
+        n_branch_pairs = int(round(p.data_branch_fraction * total))
+        # Dynamic total includes the ~0.5 skipped-or-not nop per branch
+        # pair; mix targets are computed against it so the measured
+        # dynamic mix matches Table 2.
+        effective_total = total + 0.5 * n_branch_pairs
+        n_mem = round(p.pct_mem / 100.0 * effective_total)
+        n_spill_pairs = int(round(p.spill_fraction * n_mem / 2.0))
+        plain_mem = n_mem - 2 * n_spill_pairs
+        n_loads = int(round(p.load_fraction * plain_mem))
+        n_stores = plain_mem - n_loads
+        n_fp_add = round(p.pct_fp_add / 100.0 * effective_total)
+        n_fp_mult = round(p.pct_fp_mult / 100.0 * effective_total)
+        n_fp_div = round(p.pct_fp_div / 100.0 * effective_total)
+        n_div = total // p.serial_div_every if p.serial_div_every else 0
+        n_int = (total - n_mem - n_fp_add - n_fp_mult - n_fp_div
+                 - 2 * n_branch_pairs - overhead - n_div)
+        if n_int < 0:
+            raise ConfigError(
+                "profile %s over-commits the body: %d integer slots left"
+                % (p.name, n_int))
+        n_mul = int(round(p.int_mult_fraction * n_int))
+        return {
+            "plain_load": n_loads,
+            "plain_store": n_stores,
+            "spill_pair": n_spill_pairs,
+            "int_alu": n_int - n_mul,
+            "int_mul": n_mul,
+            "int_div": n_div,
+            "fp_add": n_fp_add,
+            "fp_mult": n_fp_mult,
+            "fp_div": n_fp_div,
+            "branch_pair": n_branch_pairs,
+        }
+
+    def expected_mix(self):
+        """Analytic dynamic mix of the generated loop, in percent.
+
+        Accounts for the ~0.5 dynamically skipped nop per branch pair.
+        Used by calibration tests against the Table-2 targets.
+        """
+        plan = self.slot_plan()
+        mem = (plan["plain_load"] + plan["plain_store"]
+               + 2 * plan["spill_pair"])
+        integer = (plan["int_alu"] + plan["int_mul"] + plan["int_div"]
+                   + 2 * plan["branch_pair"] + 5
+                   + 0.5 * plan["branch_pair"])  # skipped-or-not nops
+        fp_add = plan["fp_add"]
+        fp_mult = plan["fp_mult"]
+        fp_div = plan["fp_div"]
+        total = mem + integer + fp_add + fp_mult + fp_div
+        scale = 100.0 / total
+        return (mem * scale, integer * scale, fp_add * scale,
+                fp_mult * scale, fp_div * scale)
+
+    # -- emission ----------------------------------------------------------
+
+    def build(self, iterations=None):
+        """Generate the program (``iterations`` loop trips, then halt)."""
+        p = self.profile
+        iterations = iterations or UNBOUNDED_ITERATIONS
+        # zlib.crc32 is stable across processes (unlike hash()), keeping
+        # generated workloads bit-identical run to run.
+        rng = random.Random(self.seed ^ zlib.crc32(p.name.encode()))
+        builder = ProgramBuilder(p.name)
+        n_int_chains = min(p.int_chains, _MAX_INT_CHAINS)
+        n_fp_chains = min(p.fp_chains, _MAX_FP_CHAINS)
+        plan = self.slot_plan()
+        spill_base = p.footprint_words + p.offset_span
+
+        # Data segment: pseudo-random words for the access window, the
+        # spill slots and the chain seeds.
+        data_words = p.footprint_words + p.offset_span \
+            + 2 * plan["spill_pair"] + 16
+        builder.word(*[rng.randrange(1, 1 << 31) for _ in
+                       range(data_words)])
+
+        self._emit_init(builder, rng, iterations, n_int_chains,
+                        n_fp_chains)
+        builder.label("loop")
+        actions = self._action_list(plan, rng)
+        spill_slot = spill_base
+        for action in actions:
+            spill_slot = self._emit_action(builder, rng, action,
+                                           n_int_chains, n_fp_chains,
+                                           spill_slot, spill_base)
+        # Loop overhead: entropy mix-in, induction update, loop control.
+        builder.emit(Op.ADD, rd=_R_ENTROPY, rs1=_R_ENTROPY,
+                     rs2=_R_LOAD_TMP[0])
+        builder.emit(Op.ADDI, rd=_R_INDEX, rs1=_R_INDEX,
+                     imm=p.stride_words)
+        builder.emit(Op.AND, rd=_R_INDEX, rs1=_R_INDEX, rs2=_R_MASK)
+        builder.emit(Op.ADDI, rd=_R_COUNTER, rs1=_R_COUNTER, imm=-1)
+        builder.branch(Op.BNE, rs1=_R_COUNTER, rs2=0, target="loop")
+        builder.halt()
+        return builder.build()
+
+    def _emit_init(self, builder, rng, iterations, n_int_chains,
+                   n_fp_chains):
+        p = self.profile
+        builder.emit(Op.ADDI, rd=_R_ONE, rs1=0, imm=1)
+        builder.emit(Op.ADDI, rd=_R_COUNTER, rs1=0, imm=iterations)
+        builder.emit(Op.ADDI, rd=_R_INDEX, rs1=0, imm=0)
+        builder.emit(Op.ADDI, rd=_R_MASK, rs1=0,
+                     imm=p.footprint_words - 1)
+        builder.emit(Op.ADDI, rd=_R_ENTROPY, rs1=0, imm=rng.randrange(97))
+        for i in range(n_int_chains):
+            builder.emit(Op.LW, rd=_R_CHAIN_BASE + i, rs1=0, imm=i)
+        for reg in _R_LOAD_TMP:
+            builder.emit(Op.ADDI, rd=reg, rs1=0, imm=rng.randrange(256))
+        # FP constants and chain seeds.
+        builder.emit(Op.CVTIF, rd=_F_ZERO, rs1=0)
+        builder.emit(Op.CVTIF, rd=_F_ONE, rs1=_R_ONE)
+        builder.emit(Op.ADDI, rd=_R_TEST, rs1=0, imm=3)
+        builder.emit(Op.CVTIF, rd=_F_A, rs1=_R_TEST)
+        builder.emit(Op.FDIV, rd=_F_B, rs1=_F_ONE, rs2=_F_A)  # 1/3
+        builder.emit(Op.CVTIF, rd=_F_SERIAL, rs1=_R_ONE)
+        for i in range(n_fp_chains):
+            builder.emit(Op.CVTIF, rd=fp_reg(_F_CHAIN_BASE + i),
+                         rs1=_R_ONE)
+
+    def _action_list(self, plan, rng):
+        actions = []
+        for action, count in plan.items():
+            actions.extend([action] * count)
+        rng.shuffle(actions)
+        return actions
+
+    def _emit_action(self, builder, rng, action, n_int_chains,
+                     n_fp_chains, spill_slot, spill_base):
+        p = self.profile
+        if action == "int_alu":
+            self._emit_int_alu(builder, rng, n_int_chains)
+        elif action == "int_mul":
+            chain = _R_CHAIN_BASE + rng.randrange(n_int_chains)
+            builder.emit(Op.MUL, rd=chain, rs1=chain, rs2=_R_ONE)
+        elif action == "int_div":
+            # Serial division chain: always chain 0 (the critical path).
+            builder.emit(Op.DIV, rd=_R_CHAIN_BASE, rs1=_R_CHAIN_BASE,
+                         rs2=_R_ONE)
+        elif action == "plain_load":
+            temp = _R_LOAD_TMP[rng.randrange(len(_R_LOAD_TMP))]
+            builder.emit(Op.LW, rd=temp, rs1=_R_INDEX,
+                         imm=rng.randrange(p.offset_span))
+        elif action == "plain_store":
+            chain = _R_CHAIN_BASE + rng.randrange(n_int_chains)
+            builder.emit(Op.SW, rs1=_R_INDEX, rs2=chain,
+                         imm=rng.randrange(p.offset_span))
+        elif action == "spill_pair":
+            chain = _R_CHAIN_BASE + rng.randrange(n_int_chains)
+            builder.emit(Op.SW, rs1=0, rs2=chain, imm=spill_slot)
+            builder.emit(Op.LW, rd=chain, rs1=0, imm=spill_slot)
+            spill_slot += 1
+        elif action == "fp_add":
+            self._emit_fp(builder, rng, Op.FADD, n_fp_chains)
+        elif action == "fp_mult":
+            self._emit_fp(builder, rng, Op.FMUL, n_fp_chains)
+        elif action == "fp_div":
+            op = Op.FSQRT if p.fp_div_op == "fsqrt" else Op.FDIV
+            self._emit_fp(builder, rng, op, n_fp_chains)
+        elif action == "branch_pair":
+            self._emit_branch_pair(builder, rng)
+        else:  # pragma: no cover - plan keys are closed
+            raise ConfigError("unknown action %r" % action)
+        return spill_slot
+
+    def _emit_int_alu(self, builder, rng, n_int_chains):
+        chain = _R_CHAIN_BASE + rng.randrange(n_int_chains)
+        choice = rng.randrange(5)
+        if choice == 0:
+            builder.emit(Op.ADDI, rd=chain, rs1=chain,
+                         imm=rng.randrange(1, 64))
+        elif choice == 1:
+            builder.emit(Op.XOR, rd=chain, rs1=chain,
+                         rs2=_R_LOAD_TMP[rng.randrange(4)])
+        elif choice == 2:
+            builder.emit(Op.ADD, rd=chain, rs1=chain, rs2=_R_ONE)
+        elif choice == 3:
+            builder.emit(Op.ORI, rd=chain, rs1=chain,
+                         imm=rng.randrange(1, 32))
+        else:
+            builder.emit(Op.SUB, rd=chain, rs1=chain, rs2=_R_ONE)
+
+    def _emit_fp(self, builder, rng, op, n_fp_chains):
+        """One FP operation: independent, or on the serial chain.
+
+        A ``fp_serial_fraction`` share of FP operations extends one
+        serial dependency chain (register f9, value pinned at 1.0), so
+        that share of the FP work is latency- rather than
+        throughput-bound — the ammp-style critical path of Section 5.2.
+        """
+        if rng.random() < self.profile.fp_serial_fraction:
+            if op == Op.FSQRT:
+                builder.emit(op, rd=_F_SERIAL, rs1=_F_SERIAL)
+            elif op == Op.FADD:
+                builder.emit(op, rd=_F_SERIAL, rs1=_F_SERIAL,
+                             rs2=_F_ZERO)
+            else:  # FMUL / FDIV by 1.0 keep the value stable
+                builder.emit(op, rd=_F_SERIAL, rs1=_F_SERIAL,
+                             rs2=_F_ONE)
+            return
+        dest = fp_reg(_F_CHAIN_BASE + rng.randrange(n_fp_chains))
+        if op == Op.FSQRT:
+            builder.emit(op, rd=dest, rs1=_F_ONE)
+        else:  # FADD / FMUL / FDIV on loop-invariant inputs
+            builder.emit(op, rd=dest, rs1=_F_A, rs2=_F_B)
+
+    def _emit_branch_pair(self, builder, rng):
+        """A data-dependent (or loop-parity) test + short forward branch."""
+        p = self.profile
+        if rng.random() < p.predictable_branch_bias:
+            source = _R_COUNTER      # loop parity: learnable pattern
+            mask = 1
+        else:
+            source = _R_ENTROPY      # memory-derived: effectively random
+            # Different static branches test different entropy bits so
+            # their directions decorrelate within one iteration.
+            mask = 1 << rng.randrange(6)
+        builder.emit(Op.ANDI, rd=_R_TEST, rs1=source, imm=mask)
+        builder.emit(Op.BNE, rs1=_R_TEST, rs2=0, imm=1)  # skip one nop
+        builder.nop()
+
+
+def build_workload(name, iterations=None, seed=1_000_003):
+    """Generate the named Table-2 benchmark as a runnable Program."""
+    return WorkloadGenerator(get_profile(name), seed=seed).build(
+        iterations=iterations)

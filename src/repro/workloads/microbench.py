@@ -1,0 +1,114 @@
+"""Small hand-written programs used by tests and examples."""
+
+from __future__ import annotations
+
+from ..isa.builder import ProgramBuilder
+from ..isa.opcodes import Op
+from ..isa.registers import fp_reg
+
+
+def vector_sum(length=64, seed=7):
+    """Sum ``length`` data words into memory cell ``length``."""
+    import random
+    rng = random.Random(seed)
+    builder = ProgramBuilder("vector_sum")
+    builder.word(*[rng.randrange(1, 1000) for _ in range(length)])
+    builder.emit(Op.ADDI, rd=1, rs1=0, imm=0)       # i
+    builder.emit(Op.ADDI, rd=2, rs1=0, imm=0)       # sum
+    builder.emit(Op.ADDI, rd=3, rs1=0, imm=length)  # n
+    builder.label("loop")
+    builder.emit(Op.LW, rd=4, rs1=1, imm=0)
+    builder.emit(Op.ADD, rd=2, rs1=2, rs2=4)
+    builder.emit(Op.ADDI, rd=1, rs1=1, imm=1)
+    builder.branch(Op.BNE, rs1=1, rs2=3, target="loop")
+    builder.emit(Op.SW, rs1=0, rs2=2, imm=length)
+    builder.halt()
+    return builder.build()
+
+
+def fibonacci(n=20):
+    """Iterative Fibonacci; result in r2 and memory cell 0."""
+    builder = ProgramBuilder("fibonacci")
+    builder.space(4)
+    builder.emit(Op.ADDI, rd=1, rs1=0, imm=1)
+    builder.emit(Op.ADDI, rd=2, rs1=0, imm=1)
+    builder.emit(Op.ADDI, rd=3, rs1=0, imm=n - 2)
+    builder.label("loop")
+    builder.emit(Op.ADD, rd=4, rs1=1, rs2=2)
+    builder.emit(Op.ADDI, rd=1, rs1=2, imm=0)
+    builder.emit(Op.ADDI, rd=2, rs1=4, imm=0)
+    builder.emit(Op.ADDI, rd=3, rs1=3, imm=-1)
+    builder.branch(Op.BNE, rs1=3, rs2=0, target="loop")
+    builder.emit(Op.SW, rs1=0, rs2=2, imm=0)
+    builder.halt()
+    return builder.build()
+
+
+def dot_product(length=32, seed=11):
+    """Floating dot product of two vectors; result stored at cell 200."""
+    import random
+    rng = random.Random(seed)
+    builder = ProgramBuilder("dot_product")
+    values = [float(rng.randrange(1, 10)) for _ in range(2 * length)]
+    builder.word(*values)
+    acc, va, vb = fp_reg(1), fp_reg(2), fp_reg(3)
+    builder.emit(Op.ADDI, rd=1, rs1=0, imm=0)            # i
+    builder.emit(Op.ADDI, rd=2, rs1=0, imm=length)       # n
+    builder.emit(Op.CVTIF, rd=acc, rs1=0)                # acc = 0.0
+    builder.label("loop")
+    builder.emit(Op.FLW, rd=va, rs1=1, imm=0)
+    builder.emit(Op.FLW, rd=vb, rs1=1, imm=length)
+    builder.emit(Op.FMUL, rd=va, rs1=va, rs2=vb)
+    builder.emit(Op.FADD, rd=acc, rs1=acc, rs2=va)
+    builder.emit(Op.ADDI, rd=1, rs1=1, imm=1)
+    builder.branch(Op.BNE, rs1=1, rs2=2, target="loop")
+    builder.emit(Op.FSW, rs1=0, rs2=acc, imm=200)
+    builder.halt()
+    return builder.build()
+
+
+def pointer_chase(length=128, seed=3):
+    """Serial pointer chase through a shuffled ring (ILP = 1)."""
+    import random
+    rng = random.Random(seed)
+    order = list(range(1, length))
+    rng.shuffle(order)
+    order.append(0)  # close the cycle back at the start
+    # Build a single cycle covering all cells.
+    ring = [0] * length
+    current = 0
+    for nxt in order:
+        ring[current] = nxt
+        current = nxt
+    builder = ProgramBuilder("pointer_chase")
+    builder.word(*ring)
+    builder.emit(Op.ADDI, rd=1, rs1=0, imm=0)            # cursor
+    builder.emit(Op.ADDI, rd=2, rs1=0, imm=length)       # hops
+    builder.label("loop")
+    builder.emit(Op.LW, rd=1, rs1=1, imm=0)
+    builder.emit(Op.ADDI, rd=2, rs1=2, imm=-1)
+    builder.branch(Op.BNE, rs1=2, rs2=0, target="loop")
+    builder.emit(Op.SW, rs1=0, rs2=1, imm=length)
+    builder.halt()
+    return builder.build()
+
+
+def branch_pattern(iterations=256, period=3):
+    """A branch whose direction repeats with a short period."""
+    builder = ProgramBuilder("branch_pattern")
+    builder.space(4)
+    builder.emit(Op.ADDI, rd=1, rs1=0, imm=iterations)
+    builder.emit(Op.ADDI, rd=2, rs1=0, imm=0)        # phase
+    builder.emit(Op.ADDI, rd=3, rs1=0, imm=period)
+    builder.emit(Op.ADDI, rd=5, rs1=0, imm=0)        # taken counter
+    builder.label("loop")
+    builder.emit(Op.ADDI, rd=2, rs1=2, imm=1)
+    builder.emit(Op.BLT, rs1=2, rs2=3, imm=1)        # skip reset
+    builder.emit(Op.ADDI, rd=2, rs1=0, imm=0)
+    builder.emit(Op.SLT, rd=4, rs1=0, rs2=2)         # phase > 0 ?
+    builder.emit(Op.ADD, rd=5, rs1=5, rs2=4)
+    builder.emit(Op.ADDI, rd=1, rs1=1, imm=-1)
+    builder.branch(Op.BNE, rs1=1, rs2=0, target="loop")
+    builder.emit(Op.SW, rs1=0, rs2=5, imm=0)
+    builder.halt()
+    return builder.build()

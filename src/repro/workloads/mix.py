@@ -1,0 +1,55 @@
+"""Dynamic instruction-mix measurement (regenerates Table 2).
+
+Runs a workload on the in-order functional simulator and reports the
+measured dynamic mix in the paper's Table-2 categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..functional.simulator import FunctionalSimulator
+
+
+@dataclass(frozen=True)
+class MixRow:
+    """One Table-2 row: measured dynamic instruction percentages."""
+
+    name: str
+    instructions: int
+    pct_mem: float
+    pct_int: float
+    pct_fp_add: float
+    pct_fp_mult: float
+    pct_fp_div: float
+
+    def as_tuple(self):
+        return (self.pct_mem, self.pct_int, self.pct_fp_add,
+                self.pct_fp_mult, self.pct_fp_div)
+
+
+def measure_mix(program, instructions=50_000, name=None):
+    """Execute ``program`` functionally and measure its dynamic mix."""
+    simulator = FunctionalSimulator(program)
+    remaining = instructions
+    while remaining > 0 and simulator.step():
+        remaining -= 1
+    mem, integer, fp_add, fp_mult, fp_div = simulator.mix.percentages()
+    return MixRow(name=name or program.name,
+                  instructions=simulator.instret,
+                  pct_mem=mem, pct_int=integer, pct_fp_add=fp_add,
+                  pct_fp_mult=fp_mult, pct_fp_div=fp_div)
+
+
+def format_mix_table(rows):
+    """Render measured rows in the shape of the paper's Table 2."""
+    header = ("%-8s %12s %8s %8s %8s %9s %8s"
+              % ("bench", "instrs", "%mem", "%int", "%fpadd", "%fpmult",
+                 "%fpdiv"))
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("%-8s %12d %8.2f %8.2f %8.2f %9.2f %8.2f"
+                     % (row.name, row.instructions, row.pct_mem,
+                        row.pct_int, row.pct_fp_add, row.pct_fp_mult,
+                        row.pct_fp_div))
+    return "\n".join(lines)

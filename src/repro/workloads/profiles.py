@@ -1,0 +1,167 @@
+"""Benchmark profiles calibrated to Table 2 of the paper.
+
+Each profile drives the synthetic workload generator so that the
+*dynamic* instruction mix matches the paper's Table 2 (percent memory
+ops, integer ops, FP add, FP mult, FP div) and the *bottleneck
+structure* matches the Section 5.2 characterisation:
+
+* FU-limited benchmarks (high ILP, saturating a functional-unit class or
+  the D-cache ports) suffer large redundancy penalties;
+* ILP-limited benchmarks (``go``, ``vpr``: few dependency chains and
+  unpredictable branches; ``ammp``: a serial division chain on the
+  critical path) leave resources idle that the redundant thread can use
+  for (nearly) free;
+* ``swim`` additionally stresses the RUU window (long-latency FP chains);
+* ``fpppp``/``swim``/``art`` exercise the FP mult/div unit hard enough
+  that the statically partitioned machine's extra FPMult/Div unit
+  matters (the paper's footnote 3).
+
+These synthetic stand-ins replace the 1-billion-instruction SPEC
+reference runs (see DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Generator parameters for one synthetic SPEC-like benchmark."""
+
+    name: str
+    suite: str
+    # Table-2 dynamic mix targets, in percent of all instructions.
+    pct_mem: float
+    pct_int: float
+    pct_fp_add: float
+    pct_fp_mult: float
+    pct_fp_div: float
+    # Memory behaviour.
+    load_fraction: float = 0.65     # loads / all plain memory ops
+    spill_fraction: float = 0.0     # of mem ops paired as store->load
+    footprint_words: int = 2048     # power of two, regular-access window
+    stride_words: int = 3           # induction stride through the window
+    offset_span: int = 8            # displacement range of regular
+                                    # accesses; small spans alias recent
+                                    # stores and forward without a port
+    # Parallelism structure.
+    int_chains: int = 8             # independent integer dependency chains
+    fp_chains: int = 4              # rotating FP destination registers
+    fp_serial_fraction: float = 0.0  # share of FP ops on one serial
+                                     # dependency chain (1.0 = ammp-style
+                                     # fully latency-bound FP)
+    int_mult_fraction: float = 0.0  # of plain int ops emitted as MUL
+    serial_div_every: int = 0       # serial int DIV each N slots (0 = off)
+    # Control behaviour.
+    data_branch_fraction: float = 0.02  # of slots that are test+branch
+    predictable_branch_bias: float = 0.5  # keyed to loop parity
+    # FP division flavour: "fdiv" (lat 12) or "fsqrt" (lat 24).
+    fp_div_op: str = "fdiv"
+    # Body shape.
+    body_size: int = 160            # dynamic instructions per iteration
+    #: Bottleneck classification from Section 5.2 (documentation + tests).
+    limiter: str = "fu"
+
+    def mix_targets(self):
+        """(mem, int, fp_add, fp_mult, fp_div) percentages."""
+        return (self.pct_mem, self.pct_int, self.pct_fp_add,
+                self.pct_fp_mult, self.pct_fp_div)
+
+
+# Table 2 percentages are taken verbatim from the paper.
+PROFILES = {
+    "gcc": BenchmarkProfile(
+        name="gcc", suite="SPEC95",
+        pct_mem=74.55, pct_int=25.45, pct_fp_add=0.0, pct_fp_mult=0.0,
+        pct_fp_div=0.0,
+        load_fraction=0.62, footprint_words=2048, int_chains=10,
+        offset_span=32, data_branch_fraction=0.015, limiter="fu"),
+    "vortex": BenchmarkProfile(
+        name="vortex", suite="SPEC95",
+        pct_mem=54.56, pct_int=45.44, pct_fp_add=0.0, pct_fp_mult=0.0,
+        pct_fp_div=0.0,
+        load_fraction=0.65, footprint_words=4096, int_chains=10,
+        offset_span=32, data_branch_fraction=0.02, limiter="fu"),
+    "go": BenchmarkProfile(
+        name="go", suite="SPEC95",
+        pct_mem=29.49, pct_int=70.50, pct_fp_add=0.0, pct_fp_mult=0.0,
+        pct_fp_div=0.0,
+        load_fraction=0.70, footprint_words=4096, int_chains=1,
+        data_branch_fraction=0.21, predictable_branch_bias=0.1,
+        limiter="ilp"),
+    "bzip": BenchmarkProfile(
+        name="bzip", suite="SPEC2000",
+        pct_mem=29.84, pct_int=70.16, pct_fp_add=0.0, pct_fp_mult=0.0,
+        pct_fp_div=0.0,
+        load_fraction=0.68, footprint_words=8192, int_chains=8,
+        int_mult_fraction=0.10, data_branch_fraction=0.065,
+        predictable_branch_bias=0.60, limiter="fu"),
+    "ijpeg": BenchmarkProfile(
+        name="ijpeg", suite="SPEC95",
+        pct_mem=26.06, pct_int=73.94, pct_fp_add=0.0, pct_fp_mult=0.0,
+        pct_fp_div=0.0,
+        load_fraction=0.72, footprint_words=2048, int_chains=10,
+        int_mult_fraction=0.18, data_branch_fraction=0.02,
+        predictable_branch_bias=0.9, limiter="fu"),
+    "vpr": BenchmarkProfile(
+        name="vpr", suite="SPEC2000",
+        pct_mem=31.30, pct_int=63.61, pct_fp_add=3.57, pct_fp_mult=1.38,
+        pct_fp_div=0.15,
+        load_fraction=0.66, footprint_words=4096, int_chains=1,
+        data_branch_fraction=0.10, predictable_branch_bias=0.30,
+        body_size=640, limiter="ilp"),
+    "equake": BenchmarkProfile(
+        name="equake", suite="SPEC2000",
+        pct_mem=34.55, pct_int=52.82, pct_fp_add=6.06, pct_fp_mult=6.41,
+        pct_fp_div=0.16,
+        load_fraction=0.70, footprint_words=4096, int_chains=6,
+        fp_chains=4, data_branch_fraction=0.045, body_size=640,
+        limiter="fu"),
+    "ammp": BenchmarkProfile(
+        name="ammp", suite="SPEC2000",
+        pct_mem=41.35, pct_int=56.64, pct_fp_add=1.49, pct_fp_mult=0.50,
+        pct_fp_div=0.02,
+        load_fraction=0.68, footprint_words=2048, int_chains=2,
+        fp_serial_fraction=1.0, serial_div_every=28,
+        data_branch_fraction=0.03, predictable_branch_bias=0.8,
+        limiter="div"),
+    "fpppp": BenchmarkProfile(
+        name="fpppp", suite="SPEC95",
+        pct_mem=52.43, pct_int=15.03, pct_fp_add=15.53, pct_fp_mult=16.84,
+        pct_fp_div=0.16,
+        load_fraction=0.55, spill_fraction=0.62, footprint_words=1024,
+        int_chains=8, fp_chains=8, fp_div_op="fsqrt",
+        fp_serial_fraction=0.20,
+        data_branch_fraction=0.004, predictable_branch_bias=0.95,
+        body_size=600, limiter="fpmult"),
+    "swim": BenchmarkProfile(
+        name="swim", suite="SPEC2000",
+        pct_mem=32.71, pct_int=37.41, pct_fp_add=19.31, pct_fp_mult=10.12,
+        pct_fp_div=0.47,
+        load_fraction=0.60, footprint_words=8192, int_chains=8,
+        fp_chains=8, fp_div_op="fsqrt", fp_serial_fraction=0.28,
+        data_branch_fraction=0.005, predictable_branch_bias=0.95,
+        body_size=200, limiter="fpmult+ruu"),
+    "art": BenchmarkProfile(
+        name="art", suite="SPEC2000",
+        pct_mem=35.29, pct_int=43.50, pct_fp_add=11.07, pct_fp_mult=8.39,
+        pct_fp_div=1.36,
+        load_fraction=0.64, footprint_words=8192, int_chains=6,
+        fp_chains=6, fp_div_op="fdiv", fp_serial_fraction=0.28,
+        data_branch_fraction=0.01, predictable_branch_bias=0.9,
+        body_size=200, limiter="fpmult"),
+}
+
+#: Benchmark presentation order used by Figure 5 / Table 2.
+BENCHMARK_ORDER = ("gcc", "vortex", "go", "bzip", "ijpeg", "vpr",
+                   "equake", "ammp", "fpppp", "swim", "art")
+
+
+def get_profile(name):
+    """Profile by benchmark name (KeyError lists the valid names)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError("unknown benchmark %r; choose from %s"
+                       % (name, ", ".join(BENCHMARK_ORDER))) from None

@@ -1,0 +1,164 @@
+"""Section-4 analytical model tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analytical.figures import (figure3_series, figure4_series,
+                                      format_figure_table, lambda_grid)
+from repro.analytical.model import (crossover_frequency, faulty_ipc,
+                                    ipc_with_faults, model_valid,
+                                    rewind_rate_full_check,
+                                    rewind_rate_majority,
+                                    steady_state_ipc,
+                                    steady_state_penalty)
+from repro.errors import ConfigError
+
+rates = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestSteadyState:
+    def test_free_redundancy_below_bottleneck(self):
+        # IPC1=1, bottleneck 4: two threads fit without contention.
+        assert steady_state_ipc(1.0, 2, 4.0) == pytest.approx(1.0)
+
+    def test_saturated_redundancy_halves(self):
+        # The paper's IPC1 = B case: IPC_2 = B/2.
+        assert steady_state_ipc(4.0, 2, 4.0) == pytest.approx(2.0)
+        assert steady_state_ipc(4.0, 3, 4.0) == pytest.approx(4.0 / 3)
+
+    def test_formula_equals_min_form(self):
+        """IPC_R = IPC1 - max(0, R*IPC1 - B)/R == min(IPC1, B/R)."""
+        for ipc1 in (0.5, 1.0, 2.0, 4.0):
+            for redundancy in (1, 2, 3):
+                for bottleneck in (1.0, 2.0, 8.0):
+                    assert steady_state_ipc(
+                        ipc1, redundancy, bottleneck) == pytest.approx(
+                        min(ipc1, bottleneck / redundancy))
+
+    def test_penalty_fraction(self):
+        assert steady_state_penalty(4.0, 2, 4.0) == pytest.approx(0.5)
+        assert steady_state_penalty(1.0, 2, 4.0) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            steady_state_ipc(1.0, 0, 1.0)
+        with pytest.raises(ConfigError):
+            steady_state_ipc(1.0, 2, 0.0)
+
+
+class TestRewindRates:
+    @given(rates)
+    def test_full_check_rate_bounded(self, lam):
+        rate = rewind_rate_full_check(2, lam)
+        assert 0.0 <= rate <= 1.0
+
+    def test_full_check_linear_for_small_lambda(self):
+        assert rewind_rate_full_check(2, 1e-6) == pytest.approx(
+            2e-6, rel=1e-3)
+        assert rewind_rate_full_check(3, 1e-6) == pytest.approx(
+            3e-6, rel=1e-3)
+
+    def test_majority_rate_is_quadratic(self):
+        lam = 1e-4
+        majority = rewind_rate_majority(3, lam, 2)
+        assert majority == pytest.approx(3 * lam * lam, rel=1e-2)
+
+    @given(rates)
+    def test_majority_never_exceeds_full_check(self, lam):
+        assert rewind_rate_majority(3, lam, 2) <= \
+            rewind_rate_full_check(3, lam) + 1e-12
+
+    def test_unanimous_threshold_rewinds_on_any_strike(self):
+        lam = 0.01
+        assert rewind_rate_majority(3, lam, 3) == pytest.approx(
+            rewind_rate_full_check(3, lam))
+
+
+class TestFaultyIpc:
+    def test_zero_rate_is_steady_state(self):
+        assert faulty_ipc(1.0, 2, 1.0, 0.0, 20) == pytest.approx(0.5)
+
+    def test_monotone_decreasing_in_lambda(self):
+        values = [faulty_ipc(1.0, 2, 1.0, lam, 20)
+                  for lam in (1e-6, 1e-4, 1e-2)]
+        assert values[0] > values[1] > values[2]
+
+    def test_flat_until_lambda_approaches_inverse_penalty(self):
+        """The paper: IPC stays constant until 1/lam is within ~2 orders
+        of magnitude of Y."""
+        flat = faulty_ipc(1.0, 2, 1.0, 1e-6, 20)
+        assert flat == pytest.approx(0.5, rel=1e-3)
+
+    def test_higher_penalty_hurts_more(self):
+        lam = 1e-3
+        assert faulty_ipc(1.0, 2, 1.0, lam, 2000) < \
+            faulty_ipc(1.0, 2, 1.0, lam, 20)
+
+    def test_zero_ipc_guard(self):
+        assert ipc_with_faults(0.0, 0.5, 20) == 0.0
+
+
+class TestCrossover:
+    def test_r2_beats_r3_at_low_rates(self):
+        low = 1e-6
+        r2 = faulty_ipc(1.0, 2, 1.0, low, 20)
+        r3 = faulty_ipc(1.0, 3, 1.0, low, 20, majority=True)
+        assert r2 > r3
+
+    def test_r3_majority_wins_at_extreme_rates(self):
+        high = 0.05
+        r2 = faulty_ipc(1.0, 2, 1.0, high, 20)
+        r3 = faulty_ipc(1.0, 3, 1.0, high, 20, majority=True)
+        assert r3 > r2
+
+    def test_crossover_found_and_high(self):
+        crossing = crossover_frequency(0.5, 1.0 / 3, 20)
+        assert crossing is not None
+        # The paper: "the cross-over occurs at a much higher fault
+        # frequency than what our design is intended for".
+        assert crossing > 1e-3
+
+    def test_no_crossover_reported_when_absent(self):
+        # With identical steady states, R=2 dominates at every rate.
+        assert crossover_frequency(0.5, 0.5, 20, hi=1e-4) is None
+
+
+class TestFigures:
+    def test_lambda_grid_is_monotone(self):
+        grid = lambda_grid()
+        assert all(a < b for a, b in zip(grid, grid[1:]))
+
+    def test_figure3_baselines(self):
+        series = figure3_series()
+        first = series[0]
+        assert first.ipc_r2 == pytest.approx(0.5, rel=1e-4)
+        assert first.ipc_r3_rewind == pytest.approx(1 / 3, rel=1e-4)
+
+    def test_figure4_only_differs_at_high_rates(self):
+        """Y has 'minimal effect on average IPC for reasonable lam'."""
+        fig3 = {p.lam: p for p in figure3_series()}
+        fig4 = {p.lam: p for p in figure4_series()}
+        low = 1e-7
+        assert fig3[low].ipc_r2 == pytest.approx(fig4[low].ipc_r2,
+                                                 rel=1e-2)
+        high = max(fig3)
+        assert fig4[high].ipc_r2 < fig3[high].ipc_r2
+
+    def test_figure3_curves_cross(self):
+        series = figure3_series()
+        r2_beats = [p.ipc_r2 > p.ipc_r3_majority for p in series]
+        assert r2_beats[0] and not r2_beats[-1]
+
+    def test_validity_flag_marks_extreme_rates(self):
+        series = figure4_series()  # Y=2000: invalid region starts early
+        assert not series[-1].valid
+        assert series[0].valid
+
+    def test_format_table(self):
+        table = format_figure_table(figure3_series()[:3], "Figure 3")
+        assert "Figure 3" in table and "IPC(R=2)" in table
+
+    def test_model_validity_boundary(self):
+        assert model_valid(1e-6, 20)
+        assert not model_valid(0.01, 2000)

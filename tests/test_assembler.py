@@ -1,0 +1,137 @@
+"""Assembler tests: syntax, labels, directives, diagnostics."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Op
+from repro.isa.registers import fp_reg
+
+
+class TestBasicSyntax:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            assemble("")
+
+    def test_single_halt(self):
+        program = assemble("halt")
+        assert len(program.text) == 1
+        assert program.text[0].op == Op.HALT
+
+    def test_comments_and_blank_lines(self):
+        program = assemble("""
+        ; full-line comment
+        # hash comment
+        addi r1, r0, 5   ; trailing comment
+        halt
+        """)
+        assert len(program.text) == 2
+
+    def test_alu_register_forms(self):
+        program = assemble("add r1, r2, r3\nhalt")
+        inst = program.text[0]
+        assert (inst.op, inst.rd, inst.rs1, inst.rs2) == (Op.ADD, 1, 2, 3)
+
+    def test_immediates_decimal_and_hex(self):
+        program = assemble("addi r1, r0, -42\nori r2, r0, 0x1F\nhalt")
+        assert program.text[0].imm == -42
+        assert program.text[1].imm == 31
+
+    def test_memory_operand_form(self):
+        program = assemble("lw r1, 8(r2)\nsw r3, -4(r5)\nhalt")
+        load, store = program.text[0], program.text[1]
+        assert (load.rd, load.rs1, load.imm) == (1, 2, 8)
+        assert (store.rs2, store.rs1, store.imm) == (3, 5, -4)
+
+    def test_fp_instructions(self):
+        program = assemble("fadd f1, f2, f3\nflw f4, 0(r1)\nhalt")
+        assert program.text[0].rd == fp_reg(1)
+        assert program.text[1].rd == fp_reg(4)
+
+
+class TestLabels:
+    def test_backward_branch(self):
+        program = assemble("""
+        loop: addi r1, r1, -1
+              bne r1, r0, loop
+              halt
+        """)
+        branch = program.text[1]
+        assert branch.imm == -2  # target 0 = pc(1) + 1 + imm
+
+    def test_forward_branch(self):
+        program = assemble("""
+              beq r1, r0, done
+              addi r2, r0, 1
+        done: halt
+        """)
+        assert program.text[0].imm == 1
+
+    def test_jump_targets_are_absolute(self):
+        program = assemble("""
+              j entry
+              nop
+        entry: halt
+        """)
+        assert program.text[0].imm == 2
+
+    def test_data_labels_resolve_to_word_addresses(self):
+        program = assemble("""
+        .data
+        a:  .word 1, 2
+        b:  .word 3
+        .text
+            lw r1, b(r0)
+            halt
+        """)
+        assert program.text[0].imm == 2
+        assert program.data == [1, 2, 3]
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: halt")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere\nhalt")
+
+
+class TestDirectives:
+    def test_space_reserves_zeroed_words(self):
+        program = assemble(".data\n.space 3\n.word 9\n.text\nhalt")
+        assert program.data == [0, 0, 0, 9]
+
+    def test_float_words(self):
+        program = assemble(".data\n.word 1.5, 2\n.text\nhalt")
+        assert program.data == [1.5, 2]
+
+    def test_word_outside_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".word 1\nhalt")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".bogus 1\nhalt")
+
+    def test_negative_space_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\n.space -1\n.text\nhalt")
+
+
+class TestDiagnostics:
+    def test_unknown_mnemonic_reports_line(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble("nop\nfrobnicate r1\nhalt")
+        assert "line 2" in str(excinfo.value)
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2\nhalt")
+
+    def test_instruction_in_data_segment_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nadd r1, r2, r3")
+
+    def test_malformed_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble("lw r1, 4[r2]\nhalt")

@@ -1,0 +1,192 @@
+"""Branch prediction substrate tests."""
+
+import pytest
+
+from repro.branch.bimodal import BimodalPredictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.combined import CombinedPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.branch.static import AlwaysNotTaken, AlwaysTaken
+from repro.branch.twolevel import TwoLevelPredictor
+from repro.errors import ConfigError
+
+
+class TestBimodal:
+    def test_initial_prediction_weakly_taken(self):
+        assert BimodalPredictor(16).predict(0)
+
+    def test_learns_not_taken(self):
+        predictor = BimodalPredictor(16)
+        predictor.update(0, False)
+        predictor.update(0, False)
+        assert not predictor.predict(0)
+
+    def test_hysteresis(self):
+        predictor = BimodalPredictor(16)
+        for _ in range(4):
+            predictor.update(0, True)
+        predictor.update(0, False)  # one anomaly
+        assert predictor.predict(0)
+
+    def test_aliasing_by_index(self):
+        predictor = BimodalPredictor(16)
+        for _ in range(2):
+            predictor.update(0, False)
+        assert not predictor.predict(16)  # same table slot
+        assert predictor.predict(1)
+
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            BimodalPredictor(1000)
+
+    def test_reset(self):
+        predictor = BimodalPredictor(16)
+        predictor.update(0, False)
+        predictor.update(0, False)
+        predictor.reset()
+        assert predictor.predict(0)
+
+
+class TestTwoLevel:
+    def test_learns_alternating_pattern(self):
+        predictor = TwoLevelPredictor(l1_size=1, l2_size=64,
+                                      history_bits=4, use_xor=False)
+        outcome = True
+        for _ in range(64):
+            predictor.update(0, outcome)
+            outcome = not outcome
+        hits = 0
+        for _ in range(20):
+            if predictor.predict(0) == outcome:
+                hits += 1
+            predictor.update(0, outcome)
+            outcome = not outcome
+        assert hits == 20
+
+    def test_learns_short_period_pattern(self):
+        predictor = TwoLevelPredictor(l1_size=1, l2_size=256,
+                                      history_bits=8, use_xor=False)
+        pattern = [True, True, False]
+        for i in range(300):
+            predictor.update(0, pattern[i % 3])
+        hits = 0
+        for i in range(30):
+            if predictor.predict(0) == pattern[i % 3]:
+                hits += 1
+            predictor.update(0, pattern[i % 3])
+        assert hits >= 28
+
+    def test_xor_mixes_pc(self):
+        plain = TwoLevelPredictor(use_xor=False)
+        mixed = TwoLevelPredictor(use_xor=True)
+        assert plain._l2_index(0b1010) != mixed._l2_index(0b1010) or \
+            plain._histories != mixed._histories  # xor changes indexing
+
+    def test_history_bits_validated(self):
+        with pytest.raises(ValueError):
+            TwoLevelPredictor(history_bits=0)
+
+
+class TestCombined:
+    def test_chooser_prefers_better_component(self):
+        predictor = CombinedPredictor(BimodalPredictor(16),
+                                      TwoLevelPredictor(l1_size=1,
+                                                        l2_size=64,
+                                                        history_bits=4,
+                                                        use_xor=False),
+                                      meta_size=16)
+        # An alternating pattern: the two-level learns it, bimodal can't.
+        outcome = True
+        for _ in range(100):
+            predictor.update(0, outcome)
+            outcome = not outcome
+        # Over the next 20 branches, accuracy should be near-perfect.
+        correct = 0
+        for _ in range(20):
+            if predictor.predict(0) == outcome:
+                correct += 1
+            predictor.update(0, outcome)
+            outcome = not outcome
+        assert correct >= 19
+
+    def test_reset_clears_everything(self):
+        predictor = CombinedPredictor(meta_size=16)
+        predictor.update(0, False)
+        predictor.reset()
+        assert predictor.lookups == 0
+
+
+class TestStatic:
+    def test_always_taken(self):
+        assert AlwaysTaken().predict(123)
+
+    def test_always_not_taken(self):
+        assert not AlwaysNotTaken().predict(123)
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(sets=16, assoc=2)
+        assert btb.lookup(5) is None
+        btb.update(5, 99)
+        assert btb.lookup(5) == 99
+
+    def test_lru_within_set(self):
+        btb = BranchTargetBuffer(sets=1, assoc=2)
+        btb.update(0, 10)
+        btb.update(1, 11)
+        btb.lookup(0)        # refresh 0
+        btb.update(2, 12)    # evicts 1
+        assert btb.lookup(0) == 10
+        assert btb.lookup(1) is None
+
+    def test_update_replaces_target(self):
+        btb = BranchTargetBuffer(sets=4, assoc=1)
+        btb.update(0, 10)
+        btb.update(0, 20)
+        assert btb.lookup(0) == 20
+
+    def test_hit_statistics(self):
+        btb = BranchTargetBuffer(sets=4, assoc=1)
+        btb.lookup(0)
+        btb.update(0, 5)
+        btb.lookup(0)
+        assert btb.lookups == 2 and btb.hits == 1
+
+
+class TestRas:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(4)
+        ras.push(10)
+        ras.push(20)
+        assert ras.pop() == 20
+        assert ras.pop() == 10
+        assert ras.pop() is None
+
+    def test_overflow_wraps_oldest(self):
+        ras = ReturnAddressStack(2)
+        for address in (1, 2, 3):
+            ras.push(address)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None  # 1 was overwritten
+
+    def test_snapshot_restore(self):
+        ras = ReturnAddressStack(4)
+        ras.push(10)
+        snap = ras.snapshot()
+        ras.push(20)
+        ras.pop()
+        ras.pop()
+        ras.restore(snap)
+        assert ras.pop() == 10
+
+    def test_clear(self):
+        ras = ReturnAddressStack(4)
+        ras.push(1)
+        ras.clear()
+        assert ras.pop() is None
+
+    def test_depth_validated(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)

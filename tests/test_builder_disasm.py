@@ -1,0 +1,107 @@
+"""ProgramBuilder and disassembler tests."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.builder import ProgramBuilder
+from repro.isa.disasm import disassemble, format_instruction
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+class TestBuilder:
+    def test_forward_label_fixup(self):
+        builder = ProgramBuilder()
+        builder.branch(Op.BEQ, rs1=1, rs2=0, target="end")
+        builder.nop()
+        builder.label("end")
+        builder.halt()
+        program = builder.build()
+        assert program.text[0].imm == 1
+
+    def test_backward_label(self):
+        builder = ProgramBuilder()
+        builder.label("top")
+        builder.emit(Op.ADDI, rd=1, rs1=1, imm=-1)
+        builder.branch(Op.BNE, rs1=1, rs2=0, target="top")
+        builder.halt()
+        assert builder.build().text[1].imm == -2
+
+    def test_jump_with_link(self):
+        builder = ProgramBuilder()
+        builder.jump("func", link_reg=31)
+        builder.halt()
+        builder.label("func")
+        builder.emit(Op.JR, rs1=31)
+        program = builder.build()
+        assert program.text[0].op == Op.JAL
+        assert program.text[0].imm == 2
+
+    def test_numeric_branch_target(self):
+        builder = ProgramBuilder()
+        builder.branch(Op.BEQ, rs1=0, rs2=0, target=0)
+        builder.halt()
+        assert builder.build().text[0].imm == -1
+
+    def test_data_words_and_space(self):
+        builder = ProgramBuilder()
+        first = builder.word(1, 2, 3)
+        second = builder.space(4, fill=9)
+        builder.halt()
+        program = builder.build()
+        assert first == 0 and second == 3
+        assert program.data == [1, 2, 3, 9, 9, 9, 9]
+
+    def test_undefined_label_raises_at_build(self):
+        builder = ProgramBuilder()
+        builder.branch(Op.BNE, rs1=1, rs2=0, target="missing")
+        builder.halt()
+        with pytest.raises(AssemblerError):
+            builder.build()
+
+    def test_duplicate_label_rejected(self):
+        builder = ProgramBuilder()
+        builder.label("a")
+        with pytest.raises(AssemblerError):
+            builder.label("a")
+
+    def test_non_branch_op_rejected_in_branch(self):
+        builder = ProgramBuilder()
+        with pytest.raises(AssemblerError):
+            builder.branch(Op.ADD, rs1=1, rs2=2, target="x")
+
+    def test_pc_property_tracks_emission(self):
+        builder = ProgramBuilder()
+        assert builder.pc == 0
+        builder.nop()
+        assert builder.pc == 1
+
+
+class TestDisassembler:
+    @pytest.mark.parametrize("source", [
+        "add r1, r2, r3",
+        "addi r1, r2, -7",
+        "lw r4, 12(r5)",
+        "sw r4, -8(r5)",
+        "flw f2, 4(r1)",
+        "beq r1, r2, 3",
+        "jal r31, 7",
+        "jr r31",
+        "jalr r31, r5",
+        "fadd f1, f2, f3",
+        "nop",
+        "halt",
+    ])
+    def test_disassembly_reassembles_identically(self, source):
+        program = assemble(source + "\nhalt")
+        text = format_instruction(program.text[0])
+        reassembled = assemble(text + "\nhalt")
+        assert reassembled.text[0] == program.text[0]
+
+    def test_disassemble_listing(self):
+        listing = disassemble([Instruction(Op.NOP),
+                               Instruction(Op.HALT)], start_pc=10)
+        lines = listing.splitlines()
+        assert lines[0].strip().startswith("10:")
+        assert "halt" in lines[1]

@@ -1,0 +1,160 @@
+"""Cache model tests: geometry, LRU, write-back, hierarchy wiring."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memory.cache import Cache, CacheParams, MemoryTiming
+from repro.memory.hierarchy import HierarchyParams, MemoryHierarchy
+
+
+def _small_cache(assoc=2, sets=4, block=16, hit=1, mem_lat=10):
+    params = CacheParams("test", size_bytes=sets * assoc * block,
+                         assoc=assoc, block_bytes=block, hit_latency=hit)
+    return Cache(params, MemoryTiming(mem_lat))
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        params = CacheParams("x", size_bytes=32 * 1024, assoc=2,
+                             block_bytes=32, hit_latency=1)
+        assert params.num_sets == 512
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheParams("x", size_bytes=1000, assoc=3, block_bytes=32,
+                        hit_latency=1)
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheParams("x", size_bytes=960, assoc=2, block_bytes=30,
+                        hit_latency=1)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheParams("x", size_bytes=1024, assoc=2, block_bytes=32,
+                        hit_latency=0)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = _small_cache()
+        assert cache.access(0) == 11   # 1 + 10 memory
+        assert cache.access(0) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_block_different_bytes_hit(self):
+        cache = _small_cache(block=16)
+        cache.access(0)
+        assert cache.access(15) == 1
+        assert cache.access(16) == 11  # next block
+
+    def test_miss_rate(self):
+        cache = _small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+
+class TestLruReplacement:
+    def test_lru_eviction_order(self):
+        cache = _small_cache(assoc=2, sets=1, block=16)
+        cache.access(0)      # A
+        cache.access(16)     # B
+        cache.access(0)      # touch A: B becomes LRU
+        cache.access(32)     # C evicts B
+        assert cache.probe(0)
+        assert not cache.probe(16)
+        assert cache.probe(32)
+
+    def test_eviction_counted(self):
+        cache = _small_cache(assoc=1, sets=1, block=16)
+        cache.access(0)
+        cache.access(16)
+        assert cache.evictions == 1
+
+
+class TestWriteBack:
+    def test_dirty_eviction_writes_back(self):
+        cache = _small_cache(assoc=1, sets=1, block=16)
+        cache.access(0, write=True)
+        cache.access(16)
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        cache = _small_cache(assoc=1, sets=1, block=16)
+        cache.access(0)
+        cache.access(16)
+        assert cache.writebacks == 0
+
+    def test_write_hit_marks_dirty(self):
+        cache = _small_cache(assoc=1, sets=1, block=16)
+        cache.access(0)               # clean fill
+        cache.access(4, write=True)   # dirty the same block
+        cache.access(16)              # evict
+        assert cache.writebacks == 1
+
+    def test_flush_counts_dirty_blocks(self):
+        cache = _small_cache(assoc=2, sets=2, block=16)
+        cache.access(0, write=True)
+        cache.access(16)
+        cache.flush()
+        assert cache.writebacks == 1
+        assert not cache.probe(0)
+
+
+class TestHierarchy:
+    def test_l1_miss_fills_from_l2(self):
+        hierarchy = MemoryHierarchy()
+        first = hierarchy.load_latency(0)
+        second = hierarchy.load_latency(0)
+        assert first > second == hierarchy.params.dl1.hit_latency
+        assert hierarchy.l2.misses == 1
+
+    def test_l2_shared_between_l1s(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.fetch_latency(0)
+        before = hierarchy.l2.accesses
+        hierarchy.load_latency(0)
+        assert hierarchy.l2.accesses == before + 1
+
+    def test_l2_hit_cheaper_than_memory(self):
+        hierarchy = MemoryHierarchy()
+        cold = hierarchy.load_latency(0)
+        # Evict from L1 by filling its set, then reload: L2 hit.
+        dl1 = hierarchy.params.dl1
+        way_stride = dl1.num_sets * dl1.block_bytes // 8  # in words
+        hierarchy.load_latency(way_stride)
+        hierarchy.load_latency(2 * way_stride)
+        warm = hierarchy.load_latency(0)
+        assert warm < cold
+        assert warm > dl1.hit_latency
+
+    def test_instruction_line_identifies_blocks(self):
+        hierarchy = MemoryHierarchy()
+        block_insts = hierarchy.params.il1.block_bytes // 8
+        assert (hierarchy.instruction_line(0)
+                == hierarchy.instruction_line(block_insts - 1))
+        assert (hierarchy.instruction_line(0)
+                != hierarchy.instruction_line(block_insts))
+
+    def test_stats_structure(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.load_latency(0)
+        stats = hierarchy.stats()
+        assert stats["dl1"]["misses"] == 1
+        assert set(stats) == {"il1", "dl1", "l2"}
+
+    def test_reset_stats(self):
+        hierarchy = MemoryHierarchy()
+        hierarchy.load_latency(0)
+        hierarchy.reset_stats()
+        assert hierarchy.dl1.accesses == 0
+
+    def test_table1_geometry(self):
+        params = HierarchyParams()
+        assert params.il1.size_bytes == 64 * 1024
+        assert params.il1.assoc == 2
+        assert params.dl1.size_bytes == 32 * 1024
+        assert params.dl1.assoc == 2
+        assert params.l2.size_bytes == 512 * 1024
+        assert params.l2.assoc == 4

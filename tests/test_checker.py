@@ -1,0 +1,71 @@
+"""Golden-state checker tests."""
+
+import pytest
+
+from repro.functional.checker import (assert_states_equal, compare_states)
+from repro.functional.state import ArchState
+from repro.memory.main_memory import MainMemory
+
+
+def _pair(mem_size=64):
+    return (ArchState(memory=MainMemory(mem_size)),
+            ArchState(memory=MainMemory(mem_size)))
+
+
+class TestCompareStates:
+    def test_fresh_states_equal(self):
+        left, right = _pair()
+        assert compare_states(left, right).clean
+
+    def test_register_difference_detected(self):
+        left, right = _pair()
+        left.write_reg(5, 42)
+        diff = compare_states(left, right)
+        assert not diff.clean
+        assert diff.reg_mismatches[0][0] == 5
+
+    def test_memory_difference_detected(self):
+        left, right = _pair()
+        left.memory.store(10, 99)
+        diff = compare_states(left, right)
+        assert diff.mem_mismatches == [(10, 99, 0)]
+
+    def test_pc_checked_only_on_request(self):
+        left, right = _pair()
+        left.pc = 5
+        assert compare_states(left, right).clean
+        assert compare_states(left, right,
+                              check_pc=True).pc_mismatch == (5, 0)
+
+    def test_different_sizes_rejected(self):
+        left = ArchState(memory=MainMemory(32))
+        right = ArchState(memory=MainMemory(64))
+        with pytest.raises(ValueError):
+            compare_states(left, right)
+
+    def test_float_vs_int_cell_mismatch(self):
+        left, right = _pair()
+        left.memory.store(0, 1)
+        right.memory.store(0, 1.0)
+        assert not compare_states(left, right).clean
+
+
+class TestAssertHelper:
+    def test_passes_on_equal(self):
+        left, right = _pair()
+        assert_states_equal(left, right)
+
+    def test_raises_with_context(self):
+        left, right = _pair()
+        left.write_reg(3, 1)
+        with pytest.raises(AssertionError) as excinfo:
+            assert_states_equal(left, right, context="after run")
+        assert "after run" in str(excinfo.value)
+        assert "r3" in str(excinfo.value)
+
+    def test_summary_caps_output(self):
+        left, right = _pair()
+        for index in range(1, 20):
+            left.write_reg(index, index)
+        diff = compare_states(left, right)
+        assert "more" in diff.summary(limit=4)

@@ -1,0 +1,112 @@
+"""Commit-stage cross-checker tests (the paper's fault detection)."""
+
+from repro.core.config import (DUAL_REDUNDANT, TRIPLE_MAJORITY, FTConfig)
+from repro.core.detection import CommitChecker
+from repro.core.rob import Group, RobEntry
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+def _group(redundancy, op=Op.ADD, values=None, next_pcs=None, addrs=None,
+           store_vals=None):
+    if op == Op.ADD:
+        inst = Instruction(op, rd=1, rs1=2, rs2=3)
+    elif op == Op.SW:
+        inst = Instruction(op, rs1=2, rs2=3, imm=0)
+    else:
+        inst = Instruction(op, rs1=1, rs2=2, imm=4)
+    group = Group(0, pc=10, inst=inst, pred_npc=11)
+    for copy in range(redundancy):
+        entry = RobEntry(copy, copy, group, copy)
+        entry.value = values[copy] if values else None
+        entry.next_pc = next_pcs[copy] if next_pcs else 11
+        entry.addr = addrs[copy] if addrs else None
+        entry.store_val = store_vals[copy] if store_vals else None
+        group.copies.append(entry)
+    return group
+
+
+class TestDualRedundant:
+    def test_agreement_passes(self):
+        checker = CommitChecker(DUAL_REDUNDANT)
+        result = checker.check(_group(2, values=[5, 5]))
+        assert result.ok and result.representative == 0
+        assert result.agree_count == 2
+
+    def test_value_mismatch_detected(self):
+        checker = CommitChecker(DUAL_REDUNDANT)
+        result = checker.check(_group(2, values=[5, 6]))
+        assert not result.ok and not result.majority
+        assert "value" in result.mismatched_fields
+
+    def test_next_pc_mismatch_detected(self):
+        checker = CommitChecker(DUAL_REDUNDANT)
+        result = checker.check(_group(2, values=[5, 5],
+                                      next_pcs=[11, 99]))
+        assert not result.ok
+        assert "next_pc" in result.mismatched_fields
+
+    def test_address_mismatch_detected(self):
+        checker = CommitChecker(DUAL_REDUNDANT)
+        group = _group(2, op=Op.SW, addrs=[100, 108],
+                       store_vals=[7, 7])
+        result = checker.check(group)
+        assert not result.ok
+        assert "addr" in result.mismatched_fields
+
+    def test_store_data_mismatch_detected(self):
+        checker = CommitChecker(DUAL_REDUNDANT)
+        group = _group(2, op=Op.SW, addrs=[100, 100],
+                       store_vals=[7, 8])
+        result = checker.check(group)
+        assert not result.ok
+        assert "store_val" in result.mismatched_fields
+
+    def test_mismatch_statistics(self):
+        checker = CommitChecker(DUAL_REDUNDANT)
+        checker.check(_group(2, values=[5, 5]))
+        checker.check(_group(2, values=[5, 6]))
+        assert checker.checks == 2 and checker.mismatches == 1
+
+    def test_float_nan_agreement(self):
+        checker = CommitChecker(DUAL_REDUNDANT)
+        nan = float("nan")
+        result = checker.check(_group(2, values=[nan, nan]))
+        assert result.ok
+
+
+class TestMajorityElection:
+    def test_single_corruption_elects_majority(self):
+        checker = CommitChecker(TRIPLE_MAJORITY)
+        result = checker.check(_group(3, values=[5, 99, 5]))
+        assert not result.ok and result.majority
+        assert result.representative in (0, 2)
+        assert result.agree_count == 2
+
+    def test_majority_representative_has_correct_value(self):
+        checker = CommitChecker(TRIPLE_MAJORITY)
+        group = _group(3, values=[99, 5, 5])
+        result = checker.check(group)
+        assert group.copies[result.representative].value == 5
+
+    def test_no_majority_forces_rewind(self):
+        checker = CommitChecker(TRIPLE_MAJORITY)
+        result = checker.check(_group(3, values=[1, 2, 3]))
+        assert not result.ok and not result.majority
+
+    def test_rewind_only_mode_never_elects(self):
+        checker = CommitChecker(FTConfig(redundancy=3))
+        result = checker.check(_group(3, values=[5, 99, 5]))
+        assert not result.ok and not result.majority
+
+    def test_unanimous_threshold(self):
+        strict = FTConfig(redundancy=3, majority_election=True,
+                          acceptance_threshold=3)
+        checker = CommitChecker(strict)
+        result = checker.check(_group(3, values=[5, 99, 5]))
+        assert not result.ok and not result.majority  # 2 < threshold 3
+
+    def test_all_three_agree(self):
+        checker = CommitChecker(TRIPLE_MAJORITY)
+        result = checker.check(_group(3, values=[5, 5, 5]))
+        assert result.ok and result.agree_count == 3

@@ -1,0 +1,128 @@
+"""ECC tests: Hamming SECDED codec, parity, protected storage."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ecc.hamming import (CODEWORD_BITS, DecodeStatus,
+                               UncorrectableError, decode, encode)
+from repro.ecc.parity import check as parity_check
+from repro.ecc.parity import encode as parity_encode
+from repro.ecc.parity import parity_bit
+from repro.ecc.protected import ProtectedArray, ProtectedRegister
+
+u64s = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+class TestHammingCodec:
+    @given(u64s)
+    def test_clean_round_trip(self, value):
+        data, status = decode(encode(value))
+        assert data == value
+        assert status is DecodeStatus.CLEAN
+
+    @given(u64s, st.integers(min_value=0, max_value=CODEWORD_BITS - 1))
+    def test_any_single_bit_flip_corrected(self, value, bit):
+        corrupted = encode(value) ^ (1 << bit)
+        data, status = decode(corrupted)
+        assert data == value
+        assert status is DecodeStatus.CORRECTED
+
+    @given(u64s,
+           st.lists(st.integers(min_value=0, max_value=CODEWORD_BITS - 1),
+                    min_size=2, max_size=2, unique=True))
+    def test_any_double_bit_flip_detected(self, value, bits):
+        corrupted = encode(value)
+        for bit in bits:
+            corrupted ^= 1 << bit
+        _, status = decode(corrupted)
+        assert status is DecodeStatus.UNCORRECTABLE
+
+    def test_exhaustive_single_flip_for_one_word(self):
+        word = 0xDEADBEEFCAFEF00D
+        codeword = encode(word)
+        for bit in range(CODEWORD_BITS):
+            data, status = decode(codeword ^ (1 << bit))
+            assert data == word
+            assert status is DecodeStatus.CORRECTED
+
+    def test_codeword_range_validated(self):
+        with pytest.raises(ValueError):
+            decode(1 << CODEWORD_BITS)
+
+
+class TestParity:
+    @given(u64s)
+    def test_encode_check_round_trip(self, value):
+        stored, parity = parity_encode(value)
+        assert parity_check(stored, parity)
+
+    @given(u64s, st.integers(min_value=0, max_value=63))
+    def test_single_flip_detected(self, value, bit):
+        stored, parity = parity_encode(value)
+        assert not parity_check(stored ^ (1 << bit), parity)
+
+    def test_parity_bit_values(self):
+        assert parity_bit(0) == 0
+        assert parity_bit(1) == 1
+        assert parity_bit(0b11) == 0
+
+
+class TestProtectedArray:
+    def test_read_write(self):
+        array = ProtectedArray(8)
+        array.write(3, 12345)
+        assert array.read(3) == 12345
+
+    def test_single_flip_corrected_and_counted(self):
+        array = ProtectedArray(4)
+        array.write(0, 777)
+        array.inject_bit_flip(0, 13)
+        assert array.read(0) == 777
+        assert array.corrected_errors == 1
+
+    def test_scrub_on_read(self):
+        array = ProtectedArray(4)
+        array.write(0, 777)
+        array.inject_bit_flip(0, 13)
+        array.read(0)
+        array.read(0)
+        assert array.corrected_errors == 1  # second read is clean
+
+    def test_double_flip_raises(self):
+        array = ProtectedArray(4)
+        array.write(1, 42)
+        array.inject_random_flips(1, 2, random.Random(0))
+        with pytest.raises(UncorrectableError):
+            array.read(1)
+        assert array.detected_uncorrectable == 1
+
+    def test_bit_range_validated(self):
+        array = ProtectedArray(1)
+        with pytest.raises(ValueError):
+            array.inject_bit_flip(0, CODEWORD_BITS)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            ProtectedArray(0)
+
+    def test_len(self):
+        assert len(ProtectedArray(17)) == 17
+
+
+class TestProtectedRegister:
+    def test_models_committed_next_pc(self):
+        register = ProtectedRegister(0)
+        register.write(4096)
+        register.inject_bit_flip(7)
+        assert register.read() == 4096
+        assert register.corrected_errors == 1
+
+    def test_double_flip_raises(self):
+        register = ProtectedRegister(99)
+        register.inject_bit_flip(3)
+        register.inject_bit_flip(11)
+        with pytest.raises(UncorrectableError):
+            register.read()

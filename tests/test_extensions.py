@@ -1,0 +1,108 @@
+"""Tests for the extension features: Section-4.3 real-time analysis,
+the MSHR limit, and stats export."""
+
+import json
+
+import pytest
+
+from repro.analytical.model import (min_guarantee_window,
+                                    worst_case_instructions)
+from repro.core.config import DUAL_REDUNDANT
+from repro.errors import ConfigError
+from repro.functional.checker import compare_states
+from repro.functional.simulator import run_functional
+from repro.uarch.config import MachineConfig
+from repro.uarch.processor import simulate
+from repro.workloads.microbench import vector_sum
+
+
+class TestRealTimeGuarantees:
+    def test_no_faults_full_window(self):
+        assert worst_case_instructions(1000, 2.0, 20, 0) == 2000
+
+    def test_faults_eat_the_window(self):
+        assert worst_case_instructions(1000, 2.0, 20, 5) == 1800
+
+    def test_window_can_be_devoured(self):
+        """Fine-grain guarantees become impossible with large Y."""
+        assert worst_case_instructions(1000, 2.0, 2000, 1) == 0
+
+    def test_min_window_inverse_relation(self):
+        window = min_guarantee_window(1800, 2.0, 20, 5)
+        assert worst_case_instructions(window, 2.0, 20, 5) == \
+            pytest.approx(1800)
+
+    def test_min_window_linear_in_penalty(self):
+        """Section 4.3: a large Y can only be amortised over a
+        correspondingly large window."""
+        fine = min_guarantee_window(1000, 1.0, 20, 3)
+        coarse = min_guarantee_window(1000, 1.0, 2000, 3)
+        assert coarse - fine == pytest.approx(3 * (2000 - 20))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            worst_case_instructions(-1, 1.0, 20, 0)
+        with pytest.raises(ConfigError):
+            min_guarantee_window(100, 0.0, 20, 0)
+
+
+class TestMshrLimit:
+    def _missy_program(self):
+        # A footprint far larger than the 32 KB L1D, strided to miss.
+        from repro.isa.builder import ProgramBuilder
+        from repro.isa.opcodes import Op
+        builder = ProgramBuilder("missy")
+        builder.space(1 << 14)
+        builder.emit(Op.ADDI, rd=1, rs1=0, imm=0)
+        builder.emit(Op.ADDI, rd=2, rs1=0, imm=256)
+        builder.label("loop")
+        for offset in range(0, 32, 8):
+            builder.emit(Op.LW, rd=3, rs1=1, imm=offset * 16)
+        builder.emit(Op.ADDI, rd=1, rs1=1, imm=8)
+        builder.emit(Op.ANDI, rd=1, rs1=1, imm=(1 << 14) - 1)
+        builder.emit(Op.ADDI, rd=2, rs1=2, imm=-1)
+        builder.branch(Op.BNE, rs1=2, rs2=0, target="loop")
+        builder.halt()
+        return builder.build()
+
+    def test_unlimited_by_default(self):
+        assert MachineConfig().mshr_count is None
+
+    def test_limit_preserves_correctness(self):
+        program = self._missy_program()
+        golden = run_functional(program)
+        processor = simulate(program,
+                             config=MachineConfig(mshr_count=1),
+                             lockstep=True)
+        assert compare_states(processor.arch, golden.state).clean
+
+    def test_tight_limit_costs_cycles(self):
+        program = self._missy_program()
+        free = simulate(program, config=MachineConfig())
+        tight = simulate(program, config=MachineConfig(mshr_count=1))
+        assert tight.stats.cycles > free.stats.cycles
+
+    def test_limit_with_redundancy(self):
+        program = self._missy_program()
+        golden = run_functional(program)
+        processor = simulate(program,
+                             config=MachineConfig(mshr_count=2),
+                             ft=DUAL_REDUNDANT, lockstep=True)
+        assert compare_states(processor.arch, golden.state).clean
+
+
+class TestStatsExport:
+    def test_as_dict_round_trips_through_json(self):
+        processor = simulate(vector_sum(length=32))
+        data = processor.stats.as_dict()
+        encoded = json.dumps(data)
+        decoded = json.loads(encoded)
+        assert decoded["instructions"] == processor.stats.instructions
+        assert decoded["ipc"] == pytest.approx(processor.stats.ipc)
+
+    def test_derived_metrics_present(self):
+        processor = simulate(vector_sum(length=32))
+        data = processor.stats.as_dict()
+        for key in ("ipc", "cpi", "branch_accuracy",
+                    "avg_recovery_penalty"):
+            assert key in data

@@ -1,0 +1,131 @@
+"""In-order functional simulator tests (the golden model itself)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.functional.simulator import FunctionalSimulator, run_functional
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Op
+from repro.workloads.microbench import (branch_pattern, dot_product,
+                                        fibonacci, pointer_chase,
+                                        vector_sum)
+
+
+class TestMicrobenchmarks:
+    def test_vector_sum(self):
+        program = vector_sum(length=32, seed=5)
+        sim = run_functional(program)
+        assert sim.state.memory.peek(32) == sum(program.data[:32])
+
+    def test_fibonacci(self):
+        sim = run_functional(fibonacci(n=12))
+        assert sim.state.memory.peek(0) == 144
+
+    def test_dot_product(self):
+        program = dot_product(length=8, seed=2)
+        sim = run_functional(program)
+        a = program.data[:8]
+        b = program.data[8:16]
+        expected = sum(x * y for x, y in zip(a, b))
+        assert sim.state.memory.peek(200) == pytest.approx(expected)
+
+    def test_pointer_chase_returns_to_start(self):
+        program = pointer_chase(length=64, seed=9)
+        sim = run_functional(program)
+        # After exactly `length` hops around a full cycle we are back
+        # at node 0.
+        assert sim.state.memory.peek(64) == 0
+
+    def test_branch_pattern_counts_taken(self):
+        sim = run_functional(branch_pattern(iterations=30, period=3))
+        assert sim.state.memory.peek(0) > 0
+
+
+class TestExecutionControl:
+    def test_step_returns_false_after_halt(self):
+        sim = FunctionalSimulator(assemble("halt"))
+        assert sim.step() is False
+        assert sim.state.halted
+        assert sim.step() is False
+
+    def test_instret_counts_halt(self):
+        sim = FunctionalSimulator(assemble("nop\nhalt"))
+        sim.run()
+        assert sim.instret == 2
+
+    def test_budget_exhaustion_raises(self):
+        source = "loop: j loop\nhalt"
+        with pytest.raises(SimulationError):
+            run_functional(assemble(source), max_instructions=100)
+
+    def test_pc_off_text_raises(self):
+        sim = FunctionalSimulator(assemble("j 99\nhalt"))
+        sim.step()
+        with pytest.raises(SimulationError):
+            sim.step()
+
+    def test_r0_is_immutable(self):
+        sim = run_functional(assemble("addi r0, r0, 5\nhalt"))
+        assert sim.state.read_reg(0) == 0
+
+
+class TestCallReturn:
+    def test_jal_jr_round_trip(self):
+        source = """
+            jal r31, func
+            sw  r1, 0(r0)
+            halt
+        func:
+            addi r1, r0, 77
+            jr r31
+        """
+        sim = run_functional(assemble(source))
+        assert sim.state.memory.peek(0) == 77
+
+    def test_jalr_indirect_call(self):
+        source = """
+            addi r5, r0, 4
+            jalr r31, r5
+            halt
+            nop
+            addi r1, r0, 9
+            jr r31
+        """
+        sim = run_functional(assemble(source))
+        assert sim.state.read_reg(1) == 9
+
+
+class TestMixCounters:
+    def test_categories_sum_to_total(self):
+        program = vector_sum(length=16)
+        sim = run_functional(program)
+        mix = sim.mix
+        assert (mix.mem_ops + mix.int_ops + mix.fp_add + mix.fp_mult
+                + mix.fp_div) == mix.total
+
+    def test_fp_classification(self):
+        source = """
+            addi r1, r0, 2
+            cvtif f1, r1
+            fadd f2, f1, f1
+            fmul f3, f1, f1
+            fdiv f4, f1, f1
+            fsqrt f5, f1
+            halt
+        """
+        sim = run_functional(assemble(source))
+        assert sim.mix.fp_add == 2   # cvtif + fadd
+        assert sim.mix.fp_mult == 1
+        assert sim.mix.fp_div == 2   # fdiv + fsqrt
+
+    def test_branch_counter(self):
+        sim = run_functional(fibonacci(n=10))
+        assert sim.mix.branches == 8
+
+    def test_percentages_sum_to_100(self):
+        sim = run_functional(fibonacci(n=10))
+        assert sum(sim.mix.percentages()) == pytest.approx(100.0)
+
+    def test_by_op_counter(self):
+        sim = run_functional(assemble("nop\nnop\nhalt"))
+        assert sim.mix.by_op[Op.NOP] == 2

@@ -1,0 +1,90 @@
+"""Functional-unit pool tests: pipelining vs blocking semantics."""
+
+from repro.isa.opcodes import FuClass
+from repro.uarch.config import MachineConfig
+from repro.uarch.funits import FuBank, FuPool
+
+
+class TestPipelinedIssue:
+    def test_one_issue_per_unit_per_cycle(self):
+        pool = FuPool(FuClass.INT_ALU, 2)
+        assert pool.try_issue(1, latency=1, unpipelined=False) is not None
+        assert pool.try_issue(1, latency=1, unpipelined=False) is not None
+        assert pool.try_issue(1, latency=1, unpipelined=False) is None
+
+    def test_next_cycle_frees_issue_port(self):
+        pool = FuPool(FuClass.INT_ALU, 1)
+        assert pool.try_issue(1, 1, False) is not None
+        assert pool.try_issue(2, 1, False) is not None
+
+    def test_long_latency_pipelined_still_issues_every_cycle(self):
+        pool = FuPool(FuClass.FP_MULT, 1)
+        for cycle in range(1, 5):
+            assert pool.try_issue(cycle, latency=4,
+                                  unpipelined=False) is not None
+
+
+class TestUnpipelinedIssue:
+    def test_blocks_unit_for_full_latency(self):
+        pool = FuPool(FuClass.INT_MULT, 1)
+        assert pool.try_issue(1, latency=20, unpipelined=True) is not None
+        assert pool.try_issue(2, 20, True) is None
+        assert pool.try_issue(20, 20, True) is None
+        assert pool.try_issue(21, 20, True) is not None
+
+    def test_second_unit_takes_overflow(self):
+        pool = FuPool(FuClass.INT_MULT, 2)
+        assert pool.try_issue(1, 20, True) == 0
+        assert pool.try_issue(1, 20, True) == 1
+        assert pool.try_issue(1, 20, True) is None
+
+    def test_mixed_pipelined_and_unpipelined(self):
+        # A divide blocks one unit; a multiply can still use the other.
+        pool = FuPool(FuClass.INT_MULT, 2)
+        assert pool.try_issue(1, 20, True) == 0    # div
+        assert pool.try_issue(1, 3, False) == 1    # mul on unit 2
+        assert pool.try_issue(1, 3, False) is None
+        assert pool.try_issue(2, 3, False) == 1    # unit 2 pipelined
+
+    def test_avoid_steers_to_other_unit(self):
+        pool = FuPool(FuClass.INT_ALU, 2)
+        assert pool.try_issue(1, 1, False, avoid=0) == 1
+        # avoid falls back to the avoided unit when it is the only one.
+        assert pool.try_issue(1, 1, False, avoid=0) == 0
+        assert pool.try_issue(1, 1, False, avoid=0) is None
+
+    def test_avoid_none_takes_first_free(self):
+        pool = FuPool(FuClass.INT_ALU, 2)
+        assert pool.try_issue(1, 1, False) == 0
+
+
+class TestAccounting:
+    def test_busy_cycles(self):
+        pool = FuPool(FuClass.INT_MULT, 1)
+        pool.try_issue(1, 20, True)
+        assert pool.busy_cycles == 20
+        pool.reset()
+        assert pool.busy_cycles == 0
+
+    def test_available(self):
+        pool = FuPool(FuClass.INT_ALU, 3)
+        pool.try_issue(1, 1, False)
+        assert pool.available(1) == 2
+        assert pool.available(2) == 3
+
+
+class TestBank:
+    def test_bank_reflects_config(self):
+        bank = FuBank(MachineConfig())
+        assert bank.pools[FuClass.INT_ALU].count == 4
+        assert bank.pools[FuClass.FP_MULT].count == 1
+
+    def test_zero_unit_class_never_issues(self):
+        bank = FuBank(MachineConfig(fp_mult=0))
+        assert bank.try_issue(FuClass.FP_MULT, 1, 4, False) is None
+
+    def test_utilisation(self):
+        bank = FuBank(MachineConfig())
+        bank.try_issue(FuClass.INT_ALU, 1, 1, False)
+        util = bank.utilisation(cycles=10)
+        assert 0 < util["INT_ALU"] <= 1

@@ -1,0 +1,141 @@
+"""Harness tests: experiment runners, report formatting, the CLI."""
+
+import pytest
+
+from repro.harness import experiment
+from repro.harness.cli import build_parser, main
+from repro.harness.report import (ascii_chart, format_figure5_table,
+                                  format_figure6_table,
+                                  format_machine_table,
+                                  format_sensitivity_table)
+from repro.models.presets import baseline_config, ss1, ss2
+from repro.workloads.generator import build_workload
+
+QUICK = 1_500  # instructions per quick simulation
+
+
+class TestRunners:
+    def test_run_on_model(self):
+        result = experiment.run_on_model(build_workload("go"), ss1(),
+                                         max_instructions=QUICK)
+        assert result.model == "SS-1"
+        assert result.instructions >= QUICK
+        assert 0 < result.ipc <= 8
+
+    def test_table2_rows(self):
+        rows = experiment.table2_rows(benchmarks=("go",),
+                                      instructions=QUICK)
+        assert rows[0].name == "go"
+        assert rows[0].pct_int > 50
+
+    def test_figure5_rows(self):
+        rows = experiment.figure5_rows(benchmarks=("go", "vortex"),
+                                       instructions=QUICK)
+        assert len(rows) == 2
+        for row in rows:
+            assert set(row.results) == {"SS-1", "Static-2", "SS-2"}
+            assert 0.0 <= row.ss2_penalty < 1.0
+
+    def test_figure6_points(self):
+        points = experiment.figure6_points(
+            benchmark="go", rates=(0.0, 5000.0), instructions=QUICK)
+        assert len(points) == 2
+        clean, faulty = points
+        assert clean.results["R=2"].rewinds == 0
+        assert faulty.results["R=2"].rewinds > 0
+
+    def test_sensitivity_rows(self):
+        rows = experiment.sensitivity_rows(benchmarks=("go",),
+                                           instructions=QUICK,
+                                           labels=("0.5x", "2x", "inf"))
+        row = rows[0]
+        assert set(row.fu_ipc) == {"0.5x", "2x", "inf"}
+        assert row.base_ipc > 0
+
+    def test_recovery_cost(self):
+        result = experiment.recovery_cost(benchmark="go",
+                                          rate_per_million=3000,
+                                          instructions=QUICK)
+        assert result.rewinds >= 1
+        assert result.avg_recovery_penalty > 0
+
+    def test_physreg_ablation(self):
+        rows = experiment.physreg_ablation(benchmarks=("go",),
+                                           instructions=QUICK)
+        name, split_ipc, shared_ipc = rows[0]
+        assert name == "go"
+        assert shared_ipc <= split_ipc * 1.02
+
+    def test_rename_scheme_comparison(self):
+        results = experiment.rename_scheme_comparison(benchmark="go",
+                                                      instructions=800)
+        assert results["map"].cycles == results["associative"].cycles
+        assert results["map"].ipc == results["associative"].ipc
+
+
+class TestReportFormatting:
+    def test_figure5_table(self):
+        rows = experiment.figure5_rows(benchmarks=("go",),
+                                       instructions=QUICK)
+        table = format_figure5_table(rows)
+        assert "go" in table and "average" in table
+
+    def test_figure6_table(self):
+        points = experiment.figure6_points(benchmark="go",
+                                           rates=(0.0,),
+                                           instructions=QUICK)
+        table = format_figure6_table(points)
+        assert "IPC R=2" in table
+
+    def test_sensitivity_table(self):
+        rows = experiment.sensitivity_rows(benchmarks=("go",),
+                                           instructions=QUICK)
+        table = format_sensitivity_table(rows)
+        assert "limited" in table
+
+    def test_machine_table_lists_table1(self):
+        table = format_machine_table(baseline_config())
+        assert "128/64" in table
+        assert "4 IntALU" in table
+
+    def test_ascii_chart_renders(self):
+        chart = ascii_chart(
+            [("a", "*", [(1e-6, 0.5), (1e-3, 0.4)]),
+             ("b", "+", [(1e-6, 0.3), (1e-3, 0.3)])],
+            width=20, height=5, title="demo")
+        assert "demo" in chart and "*" in chart and "+" in chart
+
+    def test_ascii_chart_empty(self):
+        assert "(no data)" in ascii_chart([("a", "*", [])], title="t")
+
+
+class TestCli:
+    def test_parser_covers_all_commands(self):
+        parser = build_parser()
+        for command in ("table1", "table2", "figure3", "figure4",
+                        "figure5", "figure6", "sensitivity", "coverage",
+                        "demo"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        assert "RUU/LSQ" in capsys.readouterr().out
+
+    def test_figure3_runs(self, capsys):
+        assert main(["figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_coverage_runs(self, capsys):
+        assert main(["coverage"]) == 0
+        assert "sphere" in capsys.readouterr().out.lower()
+
+    def test_figure5_quick(self, capsys):
+        assert main(["figure5", "--benchmarks", "go",
+                     "--instructions", "800"]) == 0
+        assert "go" in capsys.readouterr().out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,83 @@
+"""Binary encoding round-trip tests, including property-based coverage."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OP_INFO, Op
+
+
+def _instruction_strategy():
+    """Generate arbitrary well-formed instructions."""
+    def build(op, rd, rs1, rs2, imm):
+        info = OP_INFO[op]
+        return Instruction(
+            op,
+            rd=rd if info.writes_reg else None,
+            rs1=rs1 if info.reads_rs1 else None,
+            rs2=rs2 if info.reads_rs2 else None,
+            imm=imm if info.uses_imm else 0)
+
+    return st.builds(
+        build,
+        op=st.sampled_from(list(Op)),
+        rd=st.integers(min_value=0, max_value=63),
+        rs1=st.integers(min_value=0, max_value=63),
+        rs2=st.integers(min_value=0, max_value=63),
+        imm=st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+
+
+class TestRoundTrip:
+    @given(_instruction_strategy())
+    def test_encode_decode_round_trip(self, inst):
+        assert decode(encode(inst)) == inst
+
+    def test_negative_immediate(self):
+        inst = Instruction(Op.ADDI, rd=1, rs1=2, imm=-12345)
+        assert decode(encode(inst)).imm == -12345
+
+    def test_extreme_immediates(self):
+        for imm in (-(1 << 31), (1 << 31) - 1, 0):
+            inst = Instruction(Op.ADDI, rd=1, rs1=0, imm=imm)
+            assert decode(encode(inst)).imm == imm
+
+    def test_none_registers_survive(self):
+        inst = Instruction(Op.J, imm=99)
+        decoded = decode(encode(inst))
+        assert decoded.rd is None and decoded.rs1 is None
+
+
+class TestErrors:
+    def test_immediate_out_of_range(self):
+        inst = Instruction(Op.ADDI, rd=1, rs1=0, imm=1 << 31)
+        with pytest.raises(EncodingError):
+            encode(inst)
+
+    def test_unknown_opcode_field(self):
+        with pytest.raises(EncodingError):
+            decode(0xFF << 56)
+
+    def test_word_out_of_range(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 64)
+        with pytest.raises(EncodingError):
+            decode(-1)
+
+    def test_inconsistent_operand_fields(self):
+        # A store must not carry a destination register.
+        word = encode(Instruction(Op.SW, rs1=1, rs2=2, imm=0))
+        word |= 5 << 49  # forge an rd field
+        with pytest.raises(EncodingError):
+            decode(word)
+
+
+class TestProgramHelpers:
+    def test_encode_decode_program(self):
+        from repro.isa.encoding import (decode_program_text,
+                                        encode_program_text)
+        text = [Instruction(Op.ADDI, rd=1, rs1=0, imm=5),
+                Instruction(Op.HALT)]
+        assert decode_program_text(encode_program_text(text)) == text

@@ -1,0 +1,61 @@
+"""Unit tests for the decoded Instruction record."""
+
+import pytest
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+class TestConstruction:
+    def test_minimal_alu(self):
+        inst = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        assert (inst.rd, inst.rs1, inst.rs2, inst.imm) == (1, 2, 3, 0)
+
+    def test_missing_destination_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rs1=1, rs2=2)
+
+    def test_spurious_destination_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.SW, rd=1, rs1=2, rs2=3)
+
+    def test_missing_source_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rd=1, rs1=2)
+
+    def test_nop_and_halt_take_no_operands(self):
+        assert Instruction(Op.NOP).rd is None
+        assert Instruction(Op.HALT).rs1 is None
+
+
+class TestClassifiers:
+    def test_branch_flags(self):
+        branch = Instruction(Op.BNE, rs1=1, rs2=0, imm=-3)
+        assert branch.is_branch and branch.is_control
+        assert not branch.is_mem
+
+    def test_jump_is_control_not_branch(self):
+        jump = Instruction(Op.J, imm=5)
+        assert jump.is_control and not jump.is_branch
+
+    def test_memory_flags(self):
+        load = Instruction(Op.LW, rd=1, rs1=2, imm=4)
+        store = Instruction(Op.SW, rs1=2, rs2=3, imm=4)
+        assert load.is_load and load.is_mem and not load.is_store
+        assert store.is_store and store.is_mem and not store.is_load
+
+    def test_halt_flag(self):
+        assert Instruction(Op.HALT).is_halt
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self):
+        a = Instruction(Op.ADDI, rd=1, rs1=2, imm=7)
+        b = Instruction(Op.ADDI, rd=1, rs1=2, imm=7)
+        c = Instruction(Op.ADDI, rd=1, rs1=2, imm=8)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_uses_disassembly(self):
+        inst = Instruction(Op.ADDI, rd=1, rs1=0, imm=42)
+        assert "addi" in repr(inst)

@@ -1,0 +1,102 @@
+"""Unit tests for opcode metadata consistency."""
+
+import pytest
+
+from repro.isa.opcodes import (CONDITIONAL_BRANCHES, INDIRECT_JUMPS,
+                               MNEMONIC_TO_OP, OP_INFO, FuClass, Kind, Op,
+                               op_info)
+
+
+class TestMetadataCoverage:
+    def test_every_opcode_has_info(self):
+        for op in Op:
+            assert op in OP_INFO
+
+    def test_mnemonics_unique_and_total(self):
+        assert len(MNEMONIC_TO_OP) == len(Op)
+
+    def test_op_info_helper(self):
+        assert op_info(Op.ADD) is OP_INFO[Op.ADD]
+
+
+class TestOperandShapes:
+    def test_alu_rr_reads_both_sources(self):
+        info = OP_INFO[Op.ADD]
+        assert info.reads_rs1 and info.reads_rs2 and info.writes_reg
+        assert not info.uses_imm
+
+    def test_alu_ri_uses_imm(self):
+        info = OP_INFO[Op.ADDI]
+        assert info.reads_rs1 and not info.reads_rs2 and info.uses_imm
+
+    def test_store_reads_value_and_base(self):
+        info = OP_INFO[Op.SW]
+        assert info.reads_rs1 and info.reads_rs2
+        assert not info.writes_reg
+
+    def test_fp_store_reads_fp_value(self):
+        info = OP_INFO[Op.FSW]
+        assert info.fp_rs2 and not info.fp_rs1
+
+    def test_loads_write_correct_regfile(self):
+        assert not OP_INFO[Op.LW].fp_dest
+        assert OP_INFO[Op.FLW].fp_dest
+
+    def test_conversions_cross_register_files(self):
+        cvtif = OP_INFO[Op.CVTIF]
+        assert cvtif.fp_dest and not cvtif.fp_rs1
+        cvtfi = OP_INFO[Op.CVTFI]
+        assert not cvtfi.fp_dest and cvtfi.fp_rs1
+
+    def test_fp_compare_writes_int_register(self):
+        info = OP_INFO[Op.FCMPLT]
+        assert not info.fp_dest and info.fp_rs1 and info.fp_rs2
+
+
+class TestFunctionalUnitAssignment:
+    def test_divisions_are_unpipelined(self):
+        for op in (Op.DIV, Op.REM, Op.FDIV, Op.FSQRT):
+            assert OP_INFO[op].unpipelined, op
+
+    def test_everything_else_is_pipelined(self):
+        unpipelined = {Op.DIV, Op.REM, Op.FDIV, Op.FSQRT}
+        for op in Op:
+            if op not in unpipelined:
+                assert not OP_INFO[op].unpipelined, op
+
+    def test_int_div_shares_multiplier_unit(self):
+        assert OP_INFO[Op.DIV].fu == FuClass.INT_MULT
+        assert OP_INFO[Op.MUL].fu == FuClass.INT_MULT
+
+    def test_fp_div_shares_fp_mult_unit(self):
+        assert OP_INFO[Op.FDIV].fu == FuClass.FP_MULT
+        assert OP_INFO[Op.FSQRT].fu == FuClass.FP_MULT
+
+    def test_memory_ops_use_mem_port_class(self):
+        for op in (Op.LW, Op.SW, Op.FLW, Op.FSW):
+            assert OP_INFO[op].fu == FuClass.MEM_PORT
+
+
+class TestControlFlowClasses:
+    def test_conditional_branch_set(self):
+        assert CONDITIONAL_BRANCHES == {Op.BEQ, Op.BNE, Op.BLT, Op.BGE}
+        for op in CONDITIONAL_BRANCHES:
+            assert OP_INFO[op].kind == Kind.BRANCH
+
+    def test_indirect_jump_set(self):
+        assert INDIRECT_JUMPS == {Op.JR, Op.JALR}
+
+    def test_links_write_registers(self):
+        assert OP_INFO[Op.JAL].writes_reg
+        assert OP_INFO[Op.JALR].writes_reg
+        assert not OP_INFO[Op.J].writes_reg
+        assert not OP_INFO[Op.JR].writes_reg
+
+    @pytest.mark.parametrize("op", [Op.BEQ, Op.J, Op.JR])
+    def test_is_control_property(self, op):
+        assert OP_INFO[op].is_control
+
+    def test_mem_property(self):
+        assert OP_INFO[Op.LW].is_mem
+        assert OP_INFO[Op.FSW].is_mem
+        assert not OP_INFO[Op.ADD].is_mem

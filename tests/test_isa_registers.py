@@ -1,0 +1,64 @@
+"""Unit tests for register naming and the unified index space."""
+
+import pytest
+
+from repro.isa.registers import (FP_BASE, NUM_INT_REGS, NUM_LOGICAL_REGS,
+                                 RA, SP, ZERO, fp_reg, int_reg, is_fp_reg,
+                                 parse_reg, reg_name)
+
+
+class TestIndexSpace:
+    def test_int_regs_map_identity(self):
+        assert int_reg(0) == 0
+        assert int_reg(31) == 31
+
+    def test_fp_regs_offset_by_base(self):
+        assert fp_reg(0) == FP_BASE
+        assert fp_reg(31) == FP_BASE + 31
+
+    def test_space_is_disjoint(self):
+        ints = {int_reg(i) for i in range(NUM_INT_REGS)}
+        fps = {fp_reg(i) for i in range(32)}
+        assert not ints & fps
+        assert len(ints | fps) == NUM_LOGICAL_REGS
+
+    def test_conventional_registers(self):
+        assert ZERO == 0
+        assert SP == 29
+        assert RA == 31
+
+    @pytest.mark.parametrize("bad", [-1, 32, 100])
+    def test_out_of_range_int_reg(self, bad):
+        with pytest.raises(ValueError):
+            int_reg(bad)
+
+    @pytest.mark.parametrize("bad", [-1, 32])
+    def test_out_of_range_fp_reg(self, bad):
+        with pytest.raises(ValueError):
+            fp_reg(bad)
+
+
+class TestNaming:
+    def test_round_trip_all_registers(self):
+        for index in range(NUM_LOGICAL_REGS):
+            assert parse_reg(reg_name(index)) == index
+
+    def test_is_fp_reg(self):
+        assert not is_fp_reg(0)
+        assert not is_fp_reg(31)
+        assert is_fp_reg(FP_BASE)
+        assert is_fp_reg(NUM_LOGICAL_REGS - 1)
+
+    def test_parse_accepts_whitespace_and_case(self):
+        assert parse_reg(" R5 ") == 5
+        assert parse_reg("F3") == fp_reg(3)
+
+    @pytest.mark.parametrize("bad", ["x5", "r", "f", "r-1", "rr2", "5",
+                                     "r32", "f99"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_reg(bad)
+
+    def test_name_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(NUM_LOGICAL_REGS)

@@ -1,0 +1,148 @@
+"""Semantic-kernel tests: ALU, FP, branch and address semantics."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.functional.kernel import (alu_value, branch_taken,
+                                     control_next_pc, effective_address,
+                                     static_target)
+from repro.functional.numeric import s64, u64
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+i64 = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+
+class TestIntegerAlu:
+    def test_add_wraps(self):
+        top = (1 << 63) - 1
+        assert alu_value(Op.ADD, top, 1, 0, 0) == -(1 << 63)
+
+    def test_sub(self):
+        assert alu_value(Op.SUB, 5, 9, 0, 0) == -4
+
+    def test_logic_ops(self):
+        assert alu_value(Op.AND, 0b1100, 0b1010, 0, 0) == 0b1000
+        assert alu_value(Op.OR, 0b1100, 0b1010, 0, 0) == 0b1110
+        assert alu_value(Op.XOR, 0b1100, 0b1010, 0, 0) == 0b0110
+
+    def test_shifts_mask_amount(self):
+        assert alu_value(Op.SLL, 1, 64, 0, 0) == 1  # shift by 64 & 63 = 0
+        assert alu_value(Op.SRL, -1, 60, 0, 0) == 15
+
+    def test_arithmetic_shift_preserves_sign(self):
+        assert alu_value(Op.SRA, -8, 2, 0, 0) == -2
+
+    def test_set_less_than(self):
+        assert alu_value(Op.SLT, -1, 0, 0, 0) == 1
+        assert alu_value(Op.SLTU, -1, 0, 0, 0) == 0  # unsigned compare
+
+    def test_immediates(self):
+        assert alu_value(Op.ADDI, 10, 0, -3, 0) == 7
+        assert alu_value(Op.LUI, 0, 0, 5, 0) == 5 << 16
+
+    @given(i64, i64)
+    def test_mul_matches_wrapped_python(self, a, b):
+        assert alu_value(Op.MUL, a, b, 0, 0) == s64(a * b)
+
+    def test_mulh_high_bits(self):
+        a = 1 << 40
+        assert alu_value(Op.MULH, a, a, 0, 0) == s64((a * a) >> 64)
+
+
+class TestDivision:
+    def test_truncating_division(self):
+        assert alu_value(Op.DIV, 7, 2, 0, 0) == 3
+        assert alu_value(Op.DIV, -7, 2, 0, 0) == -3
+        assert alu_value(Op.DIV, 7, -2, 0, 0) == -3
+
+    def test_divide_by_zero_is_defined(self):
+        assert alu_value(Op.DIV, 42, 0, 0, 0) == 0
+        assert alu_value(Op.REM, 42, 0, 0, 0) == 0
+
+    def test_remainder_sign_follows_dividend(self):
+        assert alu_value(Op.REM, 7, 2, 0, 0) == 1
+        assert alu_value(Op.REM, -7, 2, 0, 0) == -1
+
+    @given(i64, i64.filter(lambda v: v != 0))
+    def test_div_rem_identity(self, a, b):
+        q = alu_value(Op.DIV, a, b, 0, 0)
+        r = alu_value(Op.REM, a, b, 0, 0)
+        assert s64(q * b + r) == s64(a)
+
+    def test_int_min_overflow_wraps(self):
+        int_min = -(1 << 63)
+        assert alu_value(Op.DIV, int_min, -1, 0, 0) == int_min  # wraps
+
+
+class TestFloatingPoint:
+    def test_basic_arithmetic(self):
+        assert alu_value(Op.FADD, 1.5, 2.5, 0, 0) == 4.0
+        assert alu_value(Op.FMUL, 3.0, 0.5, 0, 0) == 1.5
+
+    def test_division_by_zero_is_total(self):
+        assert alu_value(Op.FDIV, 1.0, 0.0, 0, 0) == math.inf
+        assert alu_value(Op.FDIV, -1.0, 0.0, 0, 0) == -math.inf
+        assert math.isnan(alu_value(Op.FDIV, 0.0, 0.0, 0, 0))
+
+    def test_sqrt_of_negative_is_nan(self):
+        assert math.isnan(alu_value(Op.FSQRT, -4.0, 0.0, 0, 0))
+        assert alu_value(Op.FSQRT, 9.0, 0.0, 0, 0) == 3.0
+
+    def test_conversions(self):
+        assert alu_value(Op.CVTIF, 3, 0, 0, 0) == 3.0
+        assert alu_value(Op.CVTFI, 3.7, 0, 0, 0) == 3
+
+    def test_cvtfi_saturates_infinities(self):
+        assert alu_value(Op.CVTFI, math.inf, 0, 0, 0) == (1 << 63) - 1
+        assert alu_value(Op.CVTFI, -math.inf, 0, 0, 0) == -(1 << 63)
+        assert alu_value(Op.CVTFI, math.nan, 0, 0, 0) == 0
+
+    def test_compares(self):
+        assert alu_value(Op.FCMPLT, 1.0, 2.0, 0, 0) == 1
+        assert alu_value(Op.FCMPLE, 2.0, 2.0, 0, 0) == 1
+        assert alu_value(Op.FCMPEQ, 2.0, 2.1, 0, 0) == 0
+
+
+class TestControlFlow:
+    def test_branch_conditions(self):
+        assert branch_taken(Op.BEQ, 5, 5)
+        assert branch_taken(Op.BNE, 5, 6)
+        assert branch_taken(Op.BLT, -1, 0)
+        assert branch_taken(Op.BGE, 0, 0)
+
+    def test_branch_next_pc(self):
+        taken = Instruction(Op.BEQ, rs1=1, rs2=2, imm=5)
+        assert control_next_pc(taken, 3, 3, 10) == 16
+        assert control_next_pc(taken, 3, 4, 10) == 11
+
+    def test_jump_next_pc(self):
+        assert control_next_pc(Instruction(Op.J, imm=7), 0, 0, 2) == 7
+        jr = Instruction(Op.JR, rs1=1)
+        assert control_next_pc(jr, 123, 0, 2) == 123
+
+    def test_link_values(self):
+        assert alu_value(Op.JAL, 0, 0, 7, 10) == 11
+        assert alu_value(Op.JALR, 0, 0, 0, 10) == 11
+
+    def test_halt_next_pc_is_self(self):
+        assert control_next_pc(Instruction(Op.HALT), 0, 0, 9) == 9
+
+    def test_static_targets(self):
+        assert static_target(Instruction(Op.BEQ, rs1=0, rs2=0, imm=3),
+                             10) == 14
+        assert static_target(Instruction(Op.J, imm=4), 10) == 4
+        assert static_target(Instruction(Op.JR, rs1=1), 10) is None
+
+
+class TestEffectiveAddress:
+    def test_positive(self):
+        assert effective_address(100, 8) == 108
+
+    def test_negative_displacement(self):
+        assert effective_address(100, -8) == 92
+
+    def test_wraps_unsigned(self):
+        assert effective_address(0, -1) == u64(-1)

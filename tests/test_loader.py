@@ -1,0 +1,46 @@
+"""Program save/load round-trip tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.functional.checker import compare_states
+from repro.functional.simulator import run_functional
+from repro.program.loader import (load_program, program_from_dict,
+                                  program_to_dict, save_program)
+from repro.workloads.generator import build_workload
+from repro.workloads.microbench import dot_product, fibonacci
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        program = fibonacci(n=16)
+        clone = program_from_dict(program_to_dict(program))
+        assert clone.text == program.text
+        assert clone.data == program.data
+        assert clone.name == program.name
+
+    def test_file_round_trip(self, tmp_path):
+        program = dot_product(length=8)
+        path = save_program(program, tmp_path / "prog.json")
+        clone = load_program(path)
+        assert clone.text == program.text
+        assert clone.data == program.data
+
+    def test_float_data_survives(self, tmp_path):
+        program = dot_product(length=4)
+        clone = load_program(save_program(program,
+                                          tmp_path / "p.json"))
+        assert any(isinstance(cell, float) for cell in clone.data)
+
+    def test_reloaded_program_executes_identically(self, tmp_path):
+        program = build_workload("go", iterations=5)
+        clone = load_program(save_program(program,
+                                          tmp_path / "go.json"))
+        original = run_functional(program, max_instructions=200_000)
+        reloaded = run_functional(clone, max_instructions=200_000)
+        assert compare_states(original.state, reloaded.state).clean
+        assert original.instret == reloaded.instret
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SimulationError):
+            program_from_dict({"format": 99})

@@ -1,0 +1,111 @@
+"""Load/store-queue disambiguation and forwarding tests."""
+
+import pytest
+
+from repro.core.rob import Group, RobEntry
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.uarch.lsq import LoadStoreQueue
+
+
+def _mem_group(gseq, op, addr=None, store_val=None):
+    if op == Op.LW:
+        inst = Instruction(op, rd=1, rs1=2, imm=0)
+    else:
+        inst = Instruction(op, rs1=2, rs2=3, imm=0)
+    group = Group(gseq, pc=gseq, inst=inst, pred_npc=gseq + 1)
+    entry = RobEntry(gseq, gseq, group, 0)
+    group.copies.append(entry)
+    if addr is not None:
+        entry.addr = addr
+        entry.agen_done = True
+    entry.store_val = store_val
+    return group
+
+
+class TestOrdering:
+    def test_commit_order_enforced(self):
+        lsq = LoadStoreQueue(8)
+        a = _mem_group(0, Op.SW, addr=4, store_val=1)
+        b = _mem_group(1, Op.SW, addr=8, store_val=2)
+        lsq.insert(a)
+        lsq.insert(b)
+        with pytest.raises(AssertionError):
+            lsq.remove_committed(b)
+        lsq.remove_committed(a)
+        lsq.remove_committed(b)
+        assert len(lsq) == 0
+
+    def test_squash_younger(self):
+        lsq = LoadStoreQueue(8)
+        for gseq in range(4):
+            lsq.insert(_mem_group(gseq, Op.SW, addr=gseq))
+        lsq.squash_younger(1)
+        assert [g.gseq for g in lsq] == [0, 1]
+
+    def test_capacity(self):
+        lsq = LoadStoreQueue(2)
+        lsq.insert(_mem_group(0, Op.LW, addr=0))
+        assert not lsq.full
+        lsq.insert(_mem_group(1, Op.LW, addr=4))
+        assert lsq.full
+
+
+class TestDisambiguation:
+    def test_no_older_stores_allows_access(self):
+        lsq = LoadStoreQueue(8)
+        load = _mem_group(0, Op.LW, addr=4)
+        lsq.insert(load)
+        assert lsq.load_status(load) == ("access", None)
+
+    def test_unknown_store_address_blocks(self):
+        lsq = LoadStoreQueue(8)
+        store = _mem_group(0, Op.SW)  # address not computed yet
+        load = _mem_group(1, Op.LW, addr=4)
+        lsq.insert(store)
+        lsq.insert(load)
+        assert lsq.load_status(load)[0] == "blocked"
+
+    def test_non_matching_store_allows_access(self):
+        lsq = LoadStoreQueue(8)
+        store = _mem_group(0, Op.SW, addr=8, store_val=7)
+        load = _mem_group(1, Op.LW, addr=4)
+        lsq.insert(store)
+        lsq.insert(load)
+        assert lsq.load_status(load) == ("access", None)
+
+    def test_matching_store_with_data_forwards(self):
+        lsq = LoadStoreQueue(8)
+        store = _mem_group(0, Op.SW, addr=4, store_val=99)
+        load = _mem_group(1, Op.LW, addr=4)
+        lsq.insert(store)
+        lsq.insert(load)
+        status, source = lsq.load_status(load)
+        assert status == "forward" and source is store
+
+    def test_matching_store_without_data_blocks(self):
+        lsq = LoadStoreQueue(8)
+        store = _mem_group(0, Op.SW, addr=4)
+        store.copies[0].agen_done = True  # address known, data missing
+        load = _mem_group(1, Op.LW, addr=4)
+        lsq.insert(store)
+        lsq.insert(load)
+        assert lsq.load_status(load)[0] == "blocked"
+
+    def test_youngest_matching_store_wins(self):
+        lsq = LoadStoreQueue(8)
+        old = _mem_group(0, Op.SW, addr=4, store_val=1)
+        new = _mem_group(1, Op.SW, addr=4, store_val=2)
+        load = _mem_group(2, Op.LW, addr=4)
+        for group in (old, new, load):
+            lsq.insert(group)
+        status, source = lsq.load_status(load)
+        assert status == "forward" and source is new
+
+    def test_younger_stores_ignored(self):
+        lsq = LoadStoreQueue(8)
+        load = _mem_group(0, Op.LW, addr=4)
+        younger = _mem_group(1, Op.SW, addr=4, store_val=9)
+        lsq.insert(load)
+        lsq.insert(younger)
+        assert lsq.load_status(load) == ("access", None)

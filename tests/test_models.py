@@ -1,0 +1,106 @@
+"""Machine-model preset and scaling tests."""
+
+import math
+
+import pytest
+
+from repro.models.presets import (FIGURE5_MODELS, get_model, ss1, ss2,
+                                  ss3, static2)
+from repro.models.scaling import (INFINITE_FU, INFINITE_ROB,
+                                  factor_for_label,
+                                  scale_functional_units, scale_window)
+
+
+class TestPresets:
+    def test_ss1_is_unprotected_table1(self):
+        model = ss1()
+        assert model.redundancy == 1
+        assert model.config.rob_size == 128
+        assert model.config.int_alu == 4
+
+    def test_ss2_same_hardware_dual_mode(self):
+        base, redundant = ss1(), ss2()
+        assert redundant.redundancy == 2
+        # Same physical datapath: only the mode differs.
+        for field in ("fetch_width", "rob_size", "lsq_size", "int_alu",
+                      "int_mult", "fp_add", "fp_mult", "mem_ports"):
+            assert getattr(redundant.config, field) == \
+                getattr(base.config, field)
+
+    def test_ss3_rob_multiple_of_three(self):
+        model = ss3()
+        assert model.redundancy == 3
+        assert model.config.rob_size % 3 == 0
+        assert model.ft.majority_election
+
+    def test_ss3_rewind_variant(self):
+        model = get_model("ss-3-rewind")
+        assert model.redundancy == 3
+        assert not model.ft.majority_election
+
+    def test_static2_halves_resources(self):
+        half, full = static2().config, ss1().config
+        assert half.fetch_width == full.fetch_width // 2
+        assert half.rob_size == full.rob_size // 2
+        assert half.lsq_size == full.lsq_size // 2
+        assert half.int_alu == full.int_alu // 2
+        assert half.mem_ports == full.mem_ports // 2
+
+    def test_static2_keeps_caches_and_predictor(self):
+        half, full = static2().config, ss1().config
+        assert half.hierarchy == full.hierarchy
+        assert half.branch == full.branch
+
+    def test_static2_keeps_full_fp_mult_div(self):
+        """The paper's footnote 3: each pipe has an FPMult/Div unit."""
+        assert static2().config.fp_mult == ss1().config.fp_mult == 1
+
+    def test_get_model_names(self):
+        for name in FIGURE5_MODELS:
+            assert get_model(name).name == name
+        with pytest.raises(KeyError):
+            get_model("cray-1")
+
+    def test_overrides_pass_through(self):
+        model = ss2(mem_size_words=1 << 12)
+        assert model.config.mem_size_words == 1 << 12
+
+
+class TestScaling:
+    def test_half_fu(self):
+        config = scale_functional_units(ss1().config, 0.5)
+        assert config.int_alu == 2
+        assert config.fp_mult == 1  # floor at 1 unit
+
+    def test_double_fu(self):
+        config = scale_functional_units(ss1().config, 2)
+        assert config.int_alu == 8
+        assert config.fp_mult == 2
+
+    def test_infinite_fu(self):
+        config = scale_functional_units(ss1().config, math.inf)
+        assert config.int_alu == INFINITE_FU
+
+    def test_window_scaling(self):
+        config = scale_window(ss1().config, 0.5)
+        assert config.rob_size == 64
+        assert config.lsq_size == 32
+
+    def test_window_infinite(self):
+        config = scale_window(ss1().config, math.inf)
+        assert config.rob_size == INFINITE_ROB
+
+    def test_window_stays_even(self):
+        config = scale_window(ss1().config.derive(rob_size=10), 0.5)
+        assert config.rob_size % 2 == 0
+
+    def test_factor_labels(self):
+        assert factor_for_label("0.5x") == 0.5
+        assert factor_for_label("2x") == 2.0
+        assert math.isinf(factor_for_label("inf"))
+        with pytest.raises(ValueError):
+            factor_for_label("huge")
+
+    def test_scaled_names_distinct(self):
+        config = ss1().config
+        assert scale_functional_units(config, 2).name != config.name

@@ -1,0 +1,97 @@
+"""Numeric helper tests, including property-based wrap-around checks."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.functional.numeric import (as_float, as_int, bits_to_float,
+                                      flip_float_bit, flip_int_bit,
+                                      float_to_bits, s64, u64,
+                                      values_equal)
+
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+
+
+class TestWrap:
+    @given(st.integers())
+    def test_s64_always_in_range(self, value):
+        wrapped = s64(value)
+        assert INT64_MIN <= wrapped <= INT64_MAX
+
+    @given(st.integers())
+    def test_s64_idempotent(self, value):
+        assert s64(s64(value)) == s64(value)
+
+    @given(st.integers(min_value=INT64_MIN, max_value=INT64_MAX))
+    def test_s64_identity_in_range(self, value):
+        assert s64(value) == value
+
+    def test_overflow_wraps(self):
+        assert s64(INT64_MAX + 1) == INT64_MIN
+        assert s64(INT64_MIN - 1) == INT64_MAX
+
+    @given(st.integers(min_value=INT64_MIN, max_value=INT64_MAX))
+    def test_u64_round_trip(self, value):
+        assert s64(u64(value)) == value
+
+
+class TestCoercion:
+    def test_as_int_truncates_floats(self):
+        assert as_int(3.9) == 3
+        assert as_int(-3.9) == -3
+
+    def test_as_int_handles_nan_inf(self):
+        assert as_int(math.nan) == 0
+        assert as_int(math.inf) == 0
+
+    def test_as_float_of_int(self):
+        assert as_float(3) == 3.0
+
+    def test_as_int_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_int("nope")
+
+
+class TestBitManipulation:
+    @given(st.floats(allow_nan=False))
+    def test_float_bits_round_trip(self, value):
+        assert bits_to_float(float_to_bits(value)) == value
+
+    @given(st.integers(min_value=INT64_MIN, max_value=INT64_MAX),
+           st.integers(min_value=0, max_value=63))
+    def test_int_flip_is_involution(self, value, bit):
+        assert flip_int_bit(flip_int_bit(value, bit), bit) == value
+
+    @given(st.integers(min_value=INT64_MIN, max_value=INT64_MAX),
+           st.integers(min_value=0, max_value=63))
+    def test_int_flip_changes_value(self, value, bit):
+        assert flip_int_bit(value, bit) != value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.integers(min_value=0, max_value=62))
+    def test_float_flip_changes_representation(self, value, bit):
+        flipped = flip_float_bit(value, bit)
+        assert float_to_bits(flipped) != float_to_bits(value)
+
+
+class TestValuesEqual:
+    def test_exact_ints(self):
+        assert values_equal(5, 5)
+        assert not values_equal(5, 6)
+
+    def test_nan_equals_nan(self):
+        assert values_equal(math.nan, math.nan)
+
+    def test_signed_zero_distinguished(self):
+        assert not values_equal(0.0, -0.0)
+        assert values_equal(-0.0, -0.0)
+
+    def test_type_mismatch_is_unequal(self):
+        assert not values_equal(1, 1.0)
+
+    @given(st.floats(allow_nan=False))
+    def test_reflexive_on_floats(self, value):
+        assert values_equal(value, value)

@@ -1,0 +1,135 @@
+"""Baseline (R=1) out-of-order engine tests against the golden model."""
+
+import pytest
+
+from repro.core.config import UNPROTECTED
+from repro.errors import ConfigError
+from repro.functional.checker import compare_states
+from repro.functional.simulator import run_functional
+from repro.isa.assembler import assemble
+from repro.uarch.config import MachineConfig
+from repro.uarch.processor import Processor, simulate
+from repro.workloads.microbench import (branch_pattern, dot_product,
+                                        fibonacci, pointer_chase,
+                                        vector_sum)
+
+MICROBENCHES = [vector_sum(length=48), fibonacci(n=24),
+                dot_product(length=24), pointer_chase(length=96),
+                branch_pattern(iterations=200, period=3)]
+
+
+@pytest.mark.parametrize("program", MICROBENCHES,
+                         ids=lambda p: p.name)
+def test_matches_golden_model(program):
+    golden = run_functional(program)
+    processor = simulate(program, lockstep=True)
+    assert processor.halted
+    assert compare_states(processor.arch, golden.state).clean
+
+
+@pytest.mark.parametrize("program", MICROBENCHES,
+                         ids=lambda p: p.name)
+def test_instruction_count_matches_golden(program):
+    golden = run_functional(program)
+    processor = simulate(program)
+    assert processor.stats.instructions == golden.instret
+
+
+class TestTimingSanity:
+    def test_ipc_bounded_by_width(self):
+        processor = simulate(vector_sum(length=64))
+        assert 0 < processor.stats.ipc <= processor.config.commit_width
+
+    def test_serial_chain_is_slow(self):
+        # A pointer chase cannot run faster than the L1 hit path allows.
+        chase = simulate(pointer_chase(length=128))
+        parallel = simulate(vector_sum(length=128))
+        assert chase.stats.ipc < parallel.stats.ipc
+
+    def test_predictor_learns_loop_branch(self):
+        processor = simulate(fibonacci(n=200))
+        assert processor.stats.branch_accuracy > 0.9
+
+    def test_cycles_grow_with_work(self):
+        small = simulate(vector_sum(length=16))
+        large = simulate(vector_sum(length=256))
+        assert large.stats.cycles > small.stats.cycles
+
+    def test_stores_counted(self):
+        processor = simulate(vector_sum(length=8))
+        assert processor.stats.stores_committed == 1
+
+    def test_max_cycles_cuts_run(self):
+        processor = Processor(vector_sum(length=256))
+        processor.run(max_cycles=10)
+        assert not processor.halted
+        assert processor.cycle == 10
+
+    def test_max_instructions_cuts_run(self):
+        processor = Processor(vector_sum(length=256))
+        stats = processor.run(max_instructions=50)
+        assert not processor.halted
+        assert 50 <= stats.instructions <= 60
+
+
+class TestStructuralLimits:
+    def test_tiny_rob_still_correct(self):
+        program = vector_sum(length=32)
+        golden = run_functional(program)
+        config = MachineConfig(rob_size=8, lsq_size=4, ifq_size=2)
+        processor = simulate(program, config=config, lockstep=True)
+        assert compare_states(processor.arch, golden.state).clean
+
+    def test_tiny_rob_is_slower(self):
+        program = vector_sum(length=64)
+        big = simulate(program)
+        small = simulate(program, config=MachineConfig(rob_size=8,
+                                                       lsq_size=4))
+        assert small.stats.cycles > big.stats.cycles
+
+    def test_single_issue_machine(self):
+        program = fibonacci(n=16)
+        golden = run_functional(program)
+        config = MachineConfig(fetch_width=1, dispatch_width=1,
+                               issue_width=1, commit_width=1,
+                               int_alu=1, mem_ports=1)
+        processor = simulate(program, config=config, lockstep=True)
+        assert compare_states(processor.arch, golden.state).clean
+        assert processor.stats.ipc <= 1.0
+
+    def test_fewer_ports_slower_on_memory_code(self):
+        program = vector_sum(length=256)
+        two = simulate(program)
+        one = simulate(program, config=MachineConfig(mem_ports=1))
+        assert one.stats.cycles >= two.stats.cycles
+
+    def test_rob_must_be_multiple_of_redundancy(self):
+        from repro.core.config import TRIPLE_MAJORITY
+        with pytest.raises(ConfigError):
+            Processor(fibonacci(n=8), config=MachineConfig(rob_size=128),
+                      ft=TRIPLE_MAJORITY)
+
+
+class TestRenameSchemes:
+    @pytest.mark.parametrize("program", MICROBENCHES,
+                             ids=lambda p: p.name)
+    def test_associative_renamer_equivalent(self, program):
+        map_run = simulate(program,
+                           config=MachineConfig(rename_scheme="map"))
+        assoc_run = simulate(
+            program, config=MachineConfig(rename_scheme="associative"))
+        assert compare_states(map_run.arch, assoc_run.arch).clean
+        assert map_run.stats.cycles == assoc_run.stats.cycles
+        assert map_run.stats.instructions == assoc_run.stats.instructions
+
+
+class TestUnprotectedMode:
+    def test_default_ft_is_unprotected(self):
+        processor = Processor(fibonacci(n=8))
+        assert processor.ft is UNPROTECTED
+        assert processor.redundancy == 1
+
+    def test_no_checks_run_without_redundancy(self):
+        processor = simulate(fibonacci(n=32))
+        assert processor.checker.checks == 0
+        assert processor.stats.rewinds == 0

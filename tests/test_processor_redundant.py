@@ -1,0 +1,139 @@
+"""Redundant-mode (R >= 2) engine tests: correctness and invariants."""
+
+import pytest
+
+from repro.core.config import (DUAL_REDUNDANT, TRIPLE_MAJORITY,
+                               TRIPLE_REWIND, FTConfig)
+from repro.functional.checker import compare_states
+from repro.functional.simulator import run_functional
+from repro.uarch.config import MachineConfig
+from repro.uarch.processor import Processor, simulate
+from repro.workloads.microbench import (branch_pattern, dot_product,
+                                        fibonacci, pointer_chase,
+                                        vector_sum)
+
+MICROBENCHES = [vector_sum(length=48), fibonacci(n=24),
+                dot_product(length=24), pointer_chase(length=64),
+                branch_pattern(iterations=150, period=3)]
+
+R3_CONFIG = MachineConfig(rob_size=126)
+
+
+@pytest.mark.parametrize("program", MICROBENCHES, ids=lambda p: p.name)
+def test_r2_matches_golden_model(program):
+    golden = run_functional(program)
+    processor = simulate(program, ft=DUAL_REDUNDANT, lockstep=True)
+    assert processor.halted
+    assert compare_states(processor.arch, golden.state).clean
+
+
+@pytest.mark.parametrize("program", MICROBENCHES, ids=lambda p: p.name)
+def test_r3_matches_golden_model(program):
+    golden = run_functional(program)
+    processor = simulate(program, config=R3_CONFIG, ft=TRIPLE_REWIND,
+                         lockstep=True)
+    assert compare_states(processor.arch, golden.state).clean
+
+
+class TestRedundancyCosts:
+    def test_r2_never_faster_than_baseline(self):
+        for program in MICROBENCHES:
+            base = simulate(program)
+            redundant = simulate(program, ft=DUAL_REDUNDANT)
+            assert redundant.stats.cycles >= base.stats.cycles, \
+                program.name
+
+    def test_r3_slower_than_r2_on_saturating_code(self):
+        program = vector_sum(length=256)
+        r2 = simulate(program, ft=DUAL_REDUNDANT)
+        r3 = simulate(program, config=R3_CONFIG, ft=TRIPLE_REWIND)
+        assert r3.stats.cycles > r2.stats.cycles
+
+    def test_entries_are_r_times_instructions(self):
+        program = fibonacci(n=32)
+        processor = simulate(program, ft=DUAL_REDUNDANT)
+        stats = processor.stats
+        assert stats.entries_committed == 2 * stats.instructions
+
+    def test_fault_free_run_has_no_rewinds(self):
+        processor = simulate(vector_sum(length=64), ft=DUAL_REDUNDANT)
+        assert processor.stats.rewinds == 0
+        assert processor.stats.faults_detected == 0
+
+    def test_checks_performed_per_commit(self):
+        processor = simulate(fibonacci(n=16), ft=DUAL_REDUNDANT)
+        assert processor.checker.checks >= processor.stats.instructions
+
+
+class TestReplicationInvariants:
+    def _capture_groups(self, ft, config=None):
+        """Run a short program and harvest dispatched groups."""
+        program = dot_product(length=16)
+        processor = Processor(program, config=config, ft=ft)
+        captured = []
+        original = processor.replicator.build_group
+
+        def spy(record, cycle):
+            group = original(record, cycle)
+            captured.append(group)
+            return group
+
+        processor.replicator.build_group = spy
+        processor.run()
+        return captured
+
+    def test_group_has_r_copies(self):
+        for group in self._capture_groups(DUAL_REDUNDANT):
+            assert len(group.copies) == 2
+
+    def test_copies_are_vidx_aligned(self):
+        """The paper's invariant: copy k sits at aligned index + k."""
+        for group in self._capture_groups(DUAL_REDUNDANT):
+            base = group.copies[0].vidx
+            assert base % 2 == 0
+            for k, entry in enumerate(group.copies):
+                assert entry.vidx == base + k
+                assert entry.copy == k
+
+    def test_operand_tags_differ_by_copy_offset(self):
+        """Copy k's producer tag = copy 0's tag + k (Section 3.2)."""
+        for group in self._capture_groups(DUAL_REDUNDANT):
+            head = group.copies[0]
+            for slot in range(2):
+                if head.src_tags[slot] is None:
+                    continue
+                for k, entry in enumerate(group.copies):
+                    assert entry.src_tags[slot] == \
+                        head.src_tags[slot] + k
+
+    def test_r3_alignment(self):
+        groups = self._capture_groups(TRIPLE_REWIND, config=R3_CONFIG)
+        for group in groups:
+            assert len(group.copies) == 3
+            assert group.copies[0].vidx % 3 == 0
+
+
+class TestPhysicalRegisterPoolVariant:
+    def test_shared_pool_is_slightly_slower(self):
+        """Section 3.2: corroboration costs R extra reads per retire."""
+        program = vector_sum(length=256)
+        split = simulate(program, ft=DUAL_REDUNDANT)
+        shared = simulate(
+            program, config=MachineConfig(shared_physical_regfile=True),
+            ft=DUAL_REDUNDANT)
+        assert shared.stats.cycles >= split.stats.cycles
+        golden = run_functional(program)
+        assert compare_states(shared.arch, golden.state).clean
+
+
+class TestRewindExtraPenalty:
+    def test_extra_penalty_costs_cycles_under_faults(self):
+        from repro.core.faults import FaultConfig
+        program = vector_sum(length=256)
+        fault_config = FaultConfig(rate_per_million=5000, seed=5)
+        fast = simulate(program, ft=DUAL_REDUNDANT,
+                        fault_config=fault_config)
+        slow_ft = FTConfig(redundancy=2, rewind_extra_penalty=50)
+        slow = simulate(program, ft=slow_ft, fault_config=fault_config)
+        assert slow.stats.rewinds > 0
+        assert slow.stats.cycles > fast.stats.cycles

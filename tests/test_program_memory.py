@@ -1,0 +1,102 @@
+"""Program image and main-memory substrate tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.memory.main_memory import MainMemory
+from repro.program.image import Program
+
+
+def _program(n=4):
+    text = [Instruction(Op.NOP) for _ in range(n - 1)]
+    text.append(Instruction(Op.HALT))
+    return Program(name="p", text=text)
+
+
+class TestProgram:
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            Program(name="p", text=[])
+
+    def test_entry_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Program(name="p", text=[Instruction(Op.HALT)], entry=1)
+
+    def test_fetch_in_bounds(self):
+        program = _program(4)
+        assert program.fetch(0) is program.text[0]
+        assert program.fetch(3) is program.text[3]
+
+    def test_fetch_out_of_bounds_is_none(self):
+        program = _program(4)
+        assert program.fetch(4) is None
+        assert program.fetch(-1) is None
+        assert program.fetch(10 ** 9) is None
+
+    def test_len_and_static_count(self):
+        program = _program(6)
+        assert len(program) == 6
+        assert program.static_instruction_count == 6
+
+    def test_disassemble(self):
+        listing = _program(2).disassemble()
+        assert "nop" in listing and "halt" in listing
+
+
+class TestMainMemory:
+    def test_image_loaded_at_zero(self):
+        memory = MainMemory(16, image=[7, 8, 9])
+        assert memory.peek(0) == 7
+        assert memory.peek(2) == 9
+        assert memory.peek(3) == 0
+
+    def test_image_too_large_rejected(self):
+        with pytest.raises(SimulationError):
+            MainMemory(2, image=[1, 2, 3])
+
+    def test_load_store(self):
+        memory = MainMemory(16)
+        memory.store(5, 42)
+        assert memory.load(5) == 42
+        assert memory.reads == 1 and memory.writes == 1
+
+    def test_out_of_range_wraps_by_default(self):
+        memory = MainMemory(16)
+        memory.store(16, 9)     # wraps to 0
+        assert memory.peek(0) == 9
+        assert memory.load(-1) == memory.peek(15)
+
+    def test_strict_mode_raises(self):
+        memory = MainMemory(16, strict=True)
+        with pytest.raises(SimulationError):
+            memory.load(16)
+        with pytest.raises(SimulationError):
+            memory.store(-1, 0)
+
+    def test_peek_does_not_count(self):
+        memory = MainMemory(16)
+        memory.peek(3)
+        assert memory.reads == 0
+
+    def test_snapshot_is_a_copy(self):
+        memory = MainMemory(4)
+        snap = memory.snapshot()
+        memory.store(0, 5)
+        assert snap[0] == 0
+
+    def test_copy_is_independent(self):
+        memory = MainMemory(4, image=[1, 2])
+        clone = memory.copy()
+        memory.store(0, 99)
+        assert clone.peek(0) == 1
+
+    def test_float_cells(self):
+        memory = MainMemory(4)
+        memory.store(1, 2.5)
+        assert memory.load(1) == 2.5
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            MainMemory(0)

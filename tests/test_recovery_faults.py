@@ -1,0 +1,147 @@
+"""RecoveryController and FaultInjector unit tests."""
+
+import pytest
+
+from repro.core.config import DUAL_REDUNDANT, TRIPLE_MAJORITY, FTConfig
+from repro.core.detection import CheckResult
+from repro.core.faults import (FaultConfig, FaultInjector)
+from repro.core.recovery import (ACTION_MAJORITY_COMMIT, ACTION_REWIND,
+                                 RecoveryController)
+from repro.errors import ConfigError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+class TestFtConfig:
+    def test_r1_is_unprotected(self):
+        assert not FTConfig(redundancy=1).protected
+        assert DUAL_REDUNDANT.protected
+
+    def test_majority_requires_r3(self):
+        with pytest.raises(ConfigError):
+            FTConfig(redundancy=2, majority_election=True)
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ConfigError):
+            FTConfig(redundancy=3, majority_election=True,
+                     acceptance_threshold=4)
+        with pytest.raises(ConfigError):
+            FTConfig(redundancy=3, majority_election=True,
+                     acceptance_threshold=1)
+
+    def test_zero_redundancy_rejected(self):
+        with pytest.raises(ConfigError):
+            FTConfig(redundancy=0)
+
+
+class TestRecoveryController:
+    def _mismatch(self, majority):
+        return CheckResult(ok=False, representative=0 if majority else -1,
+                           majority=majority, agree_count=2)
+
+    def test_rewind_decision(self):
+        controller = RecoveryController(DUAL_REDUNDANT)
+        assert controller.decide(self._mismatch(False)) == ACTION_REWIND
+        assert controller.rewinds == 1
+
+    def test_majority_decision(self):
+        controller = RecoveryController(TRIPLE_MAJORITY)
+        action = controller.decide(self._mismatch(True))
+        assert action == ACTION_MAJORITY_COMMIT
+        assert controller.majority_commits == 1
+        assert controller.rewinds == 0
+
+    def test_penalty_accounting(self):
+        controller = RecoveryController(DUAL_REDUNDANT)
+        controller.decide(self._mismatch(False))
+        controller.on_rewind(100)
+        controller.on_commit(130)
+        assert controller.average_penalty == pytest.approx(30.0)
+
+    def test_back_to_back_rewinds_merge(self):
+        controller = RecoveryController(DUAL_REDUNDANT)
+        controller.decide(self._mismatch(False))
+        controller.decide(self._mismatch(False))
+        controller.on_rewind(100)
+        controller.on_rewind(110)  # before any commit: same outage
+        controller.on_commit(140)
+        assert controller.recovery_cycles == 40
+        assert controller.average_penalty == pytest.approx(20.0)
+
+    def test_commit_without_rewind_is_noop(self):
+        controller = RecoveryController(DUAL_REDUNDANT)
+        controller.on_commit(50)
+        assert controller.recovery_cycles == 0
+
+
+class TestFaultConfig:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(rate_per_million=-1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultConfig(kind_weights={"bogus": 1.0})
+
+    def test_rate_conversion(self):
+        assert FaultConfig(rate_per_million=100).rate == pytest.approx(
+            1e-4)
+
+
+class TestFaultInjector:
+    def test_zero_rate_never_plans(self):
+        injector = FaultInjector(FaultConfig(rate_per_million=0))
+        inst = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        assert all(injector.plan_for_copy(inst) is None
+                   for _ in range(1000))
+
+    def test_deterministic_given_seed(self):
+        inst = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        plans_a = [FaultInjector(FaultConfig(rate_per_million=50_000,
+                                             seed=3)).plan_for_copy(inst)
+                   for _ in range(1)]
+        injector_b = FaultInjector(FaultConfig(rate_per_million=50_000,
+                                               seed=3))
+        assert plans_a[0] == injector_b.plan_for_copy(inst)
+
+    def test_rate_approximately_respected(self):
+        injector = FaultInjector(FaultConfig(rate_per_million=100_000,
+                                             seed=1))
+        inst = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        hits = sum(injector.plan_for_copy(inst) is not None
+                   for _ in range(20_000))
+        assert 1500 < hits < 2600  # expect ~2000
+
+    def test_address_kind_only_for_mem(self):
+        weights = {"address": 1.0}
+        injector = FaultInjector(FaultConfig(rate_per_million=1_000_000,
+                                             kind_weights=weights))
+        alu = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        plan = injector.plan_for_copy(alu)
+        assert plan.kind == "value"  # refitted to an existing site
+        load = Instruction(Op.LW, rd=1, rs1=2, imm=0)
+        assert injector.plan_for_copy(load).kind == "address"
+
+    def test_branch_kind_only_for_control(self):
+        weights = {"branch": 1.0}
+        injector = FaultInjector(FaultConfig(rate_per_million=1_000_000,
+                                             kind_weights=weights))
+        branch = Instruction(Op.BNE, rs1=1, rs2=0, imm=1)
+        assert injector.plan_for_copy(branch).kind == "branch"
+        alu = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        assert injector.plan_for_copy(alu).kind == "value"
+
+    def test_nop_has_no_fault_site(self):
+        weights = {"value": 1.0}
+        injector = FaultInjector(FaultConfig(rate_per_million=1_000_000,
+                                             kind_weights=weights))
+        assert injector.plan_for_copy(Instruction(Op.NOP)) is None
+
+    def test_reset_restores_sequence(self):
+        injector = FaultInjector(FaultConfig(rate_per_million=200_000,
+                                             seed=11))
+        inst = Instruction(Op.ADD, rd=1, rs1=2, rs2=3)
+        first = [injector.plan_for_copy(inst) for _ in range(50)]
+        injector.reset()
+        second = [injector.plan_for_copy(inst) for _ in range(50)]
+        assert first == second

@@ -1,0 +1,54 @@
+"""Sphere-of-replication audit tests."""
+
+from repro.core.sphere import (FT_COVERAGE, PROTECTION_ECC,
+                               PROTECTION_NONE, PROTECTION_REPLICATION,
+                               UNPROTECTED_COVERAGE, audit,
+                               coverage_table)
+
+
+class TestFtCoverage:
+    def test_no_correctness_gaps_in_ft_mode(self):
+        _, uncovered = audit(FT_COVERAGE)
+        assert uncovered == []
+
+    def test_speculative_domain_is_replicated(self):
+        for item in FT_COVERAGE:
+            if item.domain == "speculative":
+                assert item.protection == PROTECTION_REPLICATION, item
+
+    def test_committed_domain_is_ecc(self):
+        for item in FT_COVERAGE:
+            if item.domain == "committed":
+                assert item.protection == PROTECTION_ECC, item
+
+    def test_hints_may_be_unprotected(self):
+        unprotected = [item for item in FT_COVERAGE
+                       if item.protection == PROTECTION_NONE]
+        assert unprotected
+        assert all(item.domain == "hint" for item in unprotected)
+
+    def test_inventory_names_paper_structures(self):
+        names = " ".join(item.name for item in FT_COVERAGE)
+        for required in ("reorder buffer", "rename map",
+                         "committed next-PC", "fetch queue",
+                         "branch target buffer"):
+            assert required in names
+
+
+class TestUnprotectedCoverage:
+    def test_r1_loses_speculative_protection(self):
+        _, uncovered = audit(UNPROTECTED_COVERAGE)
+        assert len(uncovered) == 4
+        assert all(item.domain == "speculative" for item in uncovered)
+
+    def test_committed_ecc_survives_mode_switch(self):
+        for item in UNPROTECTED_COVERAGE:
+            if item.domain == "committed":
+                assert item.protection == PROTECTION_ECC
+
+
+class TestTable:
+    def test_coverage_table_renders(self):
+        table = coverage_table()
+        assert "structure" in table
+        assert len(table.splitlines()) == len(FT_COVERAGE) + 1

@@ -1,0 +1,119 @@
+"""PipelineStats and renamer unit tests."""
+
+import pytest
+
+from repro.core.rob import Group
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.uarch.rename import (AssociativeRenamer, MapTableRenamer,
+                                make_renamer)
+from repro.uarch.stats import PipelineStats
+
+
+class TestPipelineStats:
+    def test_ipc_cpi(self):
+        stats = PipelineStats(cycles=100, instructions=250)
+        assert stats.ipc == pytest.approx(2.5)
+        assert stats.cpi == pytest.approx(0.4)
+
+    def test_zero_guards(self):
+        stats = PipelineStats()
+        assert stats.ipc == 0.0
+        assert stats.cpi == 0.0
+        assert stats.avg_recovery_penalty == 0.0
+        assert stats.branch_accuracy == 1.0
+
+    def test_branch_accuracy(self):
+        stats = PipelineStats(branches_committed=100,
+                              branch_mispredicts=7)
+        assert stats.branch_accuracy == pytest.approx(0.93)
+
+    def test_avg_occupancy(self):
+        stats = PipelineStats(cycles=10, rob_occupancy_sum=500)
+        assert stats.avg_rob_occupancy == pytest.approx(50.0)
+
+    def test_recovery_penalty(self):
+        stats = PipelineStats(rewinds=4, recovery_cycles=100)
+        assert stats.avg_recovery_penalty == pytest.approx(25.0)
+
+    def test_summary_renders(self):
+        stats = PipelineStats(cycles=10, instructions=20)
+        text = stats.summary()
+        assert "IPC" in text and "2.0000" in text
+
+    def test_summary_includes_fault_block_when_relevant(self):
+        quiet = PipelineStats(cycles=10, instructions=20)
+        assert "rewinds" not in quiet.summary()
+        noisy = PipelineStats(cycles=10, instructions=20, rewinds=2,
+                              faults_injected=3, faults_detected=2)
+        assert "rewinds" in noisy.summary()
+
+
+def _group(gseq, dest):
+    inst = Instruction(Op.ADDI, rd=dest, rs1=0, imm=gseq)
+    return Group(gseq, pc=gseq, inst=inst, pred_npc=gseq + 1)
+
+
+class TestMapTableRenamer:
+    def test_lookup_unmapped_is_none(self):
+        assert MapTableRenamer().lookup(5) is None
+
+    def test_set_and_lookup(self):
+        renamer = MapTableRenamer()
+        group = _group(0, dest=5)
+        renamer.set_dest(5, group)
+        assert renamer.lookup(5) is group
+
+    def test_r0_never_mapped(self):
+        renamer = MapTableRenamer()
+        renamer.set_dest(0, _group(0, dest=1))
+        assert renamer.lookup(0) is None
+
+    def test_commit_clears_only_own_mapping(self):
+        renamer = MapTableRenamer()
+        old, new = _group(0, 5), _group(1, 5)
+        renamer.set_dest(5, old)
+        renamer.set_dest(5, new)
+        renamer.on_commit(5, old)   # stale: must not clear
+        assert renamer.lookup(5) is new
+        renamer.on_commit(5, new)
+        assert renamer.lookup(5) is None
+
+    def test_rebuild_prefers_youngest(self):
+        renamer = MapTableRenamer()
+        groups = [_group(0, 5), _group(1, 5), _group(2, 6)]
+        renamer.rebuild(groups)
+        assert renamer.lookup(5) is groups[1]
+        assert renamer.lookup(6) is groups[2]
+
+    def test_clear(self):
+        renamer = MapTableRenamer()
+        renamer.set_dest(5, _group(0, 5))
+        renamer.clear()
+        assert renamer.lookup(5) is None
+
+
+class TestAssociativeRenamer:
+    def test_searches_youngest_first(self):
+        window = [_group(0, 5), _group(1, 5)]
+        renamer = AssociativeRenamer(window)
+        assert renamer.lookup(5) is window[1]
+
+    def test_miss_returns_none(self):
+        renamer = AssociativeRenamer([_group(0, 5)])
+        assert renamer.lookup(6) is None
+        assert renamer.lookup(0) is None
+
+    def test_window_shrinks_naturally(self):
+        window = [_group(0, 5)]
+        renamer = AssociativeRenamer(window)
+        window.pop()
+        assert renamer.lookup(5) is None
+
+    def test_factory(self):
+        window = []
+        assert isinstance(make_renamer("map", window), MapTableRenamer)
+        assert isinstance(make_renamer("associative", window),
+                          AssociativeRenamer)
+        with pytest.raises(ValueError):
+            make_renamer("bogus", window)

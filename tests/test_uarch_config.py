@@ -1,0 +1,82 @@
+"""MachineConfig validation and latency-table tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa.opcodes import FuClass, Op
+from repro.uarch.config import MachineConfig
+
+
+class TestDefaults:
+    def test_table1_widths(self):
+        config = MachineConfig()
+        assert config.fetch_width == 8
+        assert config.dispatch_width == 8
+        assert config.issue_width == 8
+        assert config.commit_width == 8
+
+    def test_table1_window(self):
+        config = MachineConfig()
+        assert config.rob_size == 128
+        assert config.lsq_size == 64
+
+    def test_table1_fu_mix(self):
+        config = MachineConfig()
+        assert (config.int_alu, config.int_mult) == (4, 2)
+        assert (config.fp_add, config.fp_mult) == (2, 1)
+        assert config.mem_ports == 2
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["fetch_width", "issue_width",
+                                       "rob_size", "lsq_size",
+                                       "mem_ports", "int_alu"])
+    def test_zero_width_rejected(self, field):
+        with pytest.raises(ConfigError):
+            MachineConfig(**{field: 0})
+
+    def test_optional_units_may_be_zero(self):
+        config = MachineConfig(fp_mult=0, fp_add=0, int_mult=0)
+        assert config.fp_mult == 0
+
+    def test_unknown_rename_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(rename_scheme="magic")
+
+
+class TestLatencies:
+    def test_alu_single_cycle(self):
+        assert MachineConfig().op_latency(Op.ADD) == 1
+
+    def test_division_latencies(self):
+        config = MachineConfig()
+        assert config.op_latency(Op.DIV) == config.lat_int_div
+        assert config.op_latency(Op.FDIV) == config.lat_fp_div
+        assert config.op_latency(Op.FSQRT) == config.lat_fp_sqrt
+
+    def test_memory_ops_use_agen_latency(self):
+        config = MachineConfig(lat_agen=2)
+        assert config.op_latency(Op.LW) == 2
+        assert config.op_latency(Op.SW) == 2
+
+    def test_latency_tracks_config_changes(self):
+        config = MachineConfig(lat_fp_mult=7)
+        assert config.op_latency(Op.FMUL) == 7
+
+    def test_every_opcode_has_a_latency(self):
+        config = MachineConfig()
+        for op in Op:
+            assert config.op_latency(op) >= 1
+
+
+class TestDerive:
+    def test_derive_changes_only_named_fields(self):
+        base = MachineConfig()
+        derived = base.derive(int_alu=8)
+        assert derived.int_alu == 8
+        assert derived.rob_size == base.rob_size
+
+    def test_fu_count_lookup(self):
+        config = MachineConfig()
+        assert config.fu_count(FuClass.INT_ALU) == 4
+        assert config.fu_count(FuClass.MEM_PORT) == 2

@@ -1,0 +1,100 @@
+"""Workload generator tests: calibration, determinism, feasibility."""
+
+import pytest
+
+from repro.functional.simulator import run_functional
+from repro.workloads.generator import WorkloadGenerator, build_workload
+from repro.workloads.mix import format_mix_table, measure_mix
+from repro.workloads.profiles import (BENCHMARK_ORDER, PROFILES,
+                                      get_profile)
+
+
+class TestProfiles:
+    def test_all_eleven_benchmarks_present(self):
+        assert len(BENCHMARK_ORDER) == 11
+        assert set(BENCHMARK_ORDER) == set(PROFILES)
+
+    def test_table2_percentages_sum_to_100(self):
+        # The paper's own art row sums to 99.61; allow that slack.
+        for profile in PROFILES.values():
+            assert sum(profile.mix_targets()) == pytest.approx(
+                100.0, abs=0.5), profile.name
+
+    def test_paper_values_verbatim(self):
+        gcc = get_profile("gcc")
+        assert gcc.mix_targets() == (74.55, 25.45, 0.0, 0.0, 0.0)
+        fpppp = get_profile("fpppp")
+        assert fpppp.mix_targets() == (52.43, 15.03, 15.53, 16.84, 0.16)
+
+    def test_limiter_classification_from_section_5_2(self):
+        assert get_profile("go").limiter == "ilp"
+        assert get_profile("vpr").limiter == "ilp"
+        assert get_profile("ammp").limiter == "div"
+        assert "ruu" in get_profile("swim").limiter
+
+    def test_unknown_benchmark_lists_names(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_profile("doom")
+        assert "gcc" in str(excinfo.value)
+
+
+class TestSlotPlans:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_plan_feasible(self, name):
+        plan = WorkloadGenerator(name).slot_plan()
+        assert all(count >= 0 for count in plan.values()), plan
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_expected_mix_close_to_table2(self, name):
+        generator = WorkloadGenerator(name)
+        expected = generator.expected_mix()
+        targets = generator.profile.mix_targets()
+        for got, want in zip(expected, targets):
+            assert got == pytest.approx(want, abs=1.6), \
+                "%s: %s vs %s" % (name, expected, targets)
+
+    def test_fp_div_represented_where_significant(self):
+        for name in ("swim", "art", "fpppp"):
+            assert WorkloadGenerator(name).slot_plan()["fp_div"] >= 1
+
+
+class TestGeneratedPrograms:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_measured_mix_matches_table2(self, name):
+        program = build_workload(name)
+        row = measure_mix(program, instructions=12_000)
+        targets = get_profile(name).mix_targets()
+        for got, want in zip(row.as_tuple(), targets):
+            assert got == pytest.approx(want, abs=2.5), \
+                "%s: measured %s, target %s" % (name, row.as_tuple(),
+                                                targets)
+
+    def test_generation_is_deterministic(self):
+        a = build_workload("gcc", seed=5)
+        b = build_workload("gcc", seed=5)
+        assert a.text == b.text and a.data == b.data
+
+    def test_different_seeds_differ(self):
+        a = build_workload("gcc", seed=5)
+        b = build_workload("gcc", seed=6)
+        assert a.text != b.text
+
+    def test_finite_iterations_halt(self):
+        program = build_workload("go", iterations=3)
+        sim = run_functional(program, max_instructions=100_000)
+        assert sim.state.halted
+
+    def test_memory_accesses_stay_in_data_segment(self):
+        program = build_workload("vortex", iterations=5)
+        sim = run_functional(program, max_instructions=200_000)
+        # Strict-mode replay: no out-of-range accesses.
+        from repro.functional.simulator import FunctionalSimulator
+        strict = FunctionalSimulator(program, strict_memory=True)
+        strict.run(max_instructions=200_000)
+        assert strict.state.halted
+        assert sim.instret == strict.instret
+
+    def test_mix_table_formatting(self):
+        rows = [measure_mix(build_workload("go"), instructions=2000)]
+        table = format_mix_table(rows)
+        assert "go" in table and "%mem" in table
