@@ -1,0 +1,111 @@
+"""Campaign engine at statistical scale: a 64-trial Monte Carlo grid.
+
+Runs the (gcc, go) x (SS-1, SS-2) x (0, 1k, 10k, 30k faults/M) grid with
+4 replicates per cell through the campaign path — the scaled-up version
+of the paper's Figure-6 methodology, now with outcome classification and
+Wilson confidence intervals — and demonstrates that the process-pool
+engine beats serial wall-clock while producing byte-identical results.
+
+Shape criteria:
+
+* SS-2 commits no corrupted state at rates within the paper's
+  single-fault model (up to 10k faults/M here): coverage 1.0, zero
+  SDC.  At 30k faults/M (~3% of instructions) the lambda^2 escape
+  window opens — both copies of one branch can be struck, and branch
+  corruption is a deterministic taken<->not-taken flip, so the copies
+  agree on the same wrong next-PC and R=2 cross-checking is blind to
+  it — so coverage there is only required to stay high, not perfect;
+* SS-1 has no detection, so at high rates it leaks SDCs or dies;
+* the redundant machine's IPC degrades with the fault rate (recovery
+  costs cycles) — the Figure-6 trend through the campaign engine;
+* workers=4 is faster than serial (on multi-core hosts) and
+  bit-identical to it everywhere.
+"""
+
+import os
+import time
+
+from repro.campaign import (CampaignSpec, aggregate, cells_to_json,
+                            run_campaign)
+from repro.harness.report import format_campaign_table
+
+SPEC = CampaignSpec(
+    name="bench-campaign",
+    workloads=("gcc", "go"),
+    models=("SS-1", "SS-2"),
+    rates_per_million=(0.0, 1_000.0, 10_000.0, 30_000.0),
+    replicates=4,
+    instructions=1_500,
+)
+
+WORKERS = 4
+
+
+def bench_campaign_engine(benchmark, record_table):
+    assert SPEC.grid_size == 64
+
+    serial_start = time.monotonic()
+    serial = run_campaign(SPEC, workers=1)
+    serial_elapsed = time.monotonic() - serial_start
+
+    parallel_start = time.monotonic()
+    parallel = benchmark.pedantic(
+        lambda: run_campaign(SPEC, workers=WORKERS),
+        rounds=1, iterations=1)
+    parallel_elapsed = time.monotonic() - parallel_start
+
+    cells = aggregate(serial.records)
+    table = format_campaign_table(cells)
+    cores = len(os.sched_getaffinity(0))
+    timing = ("serial %.2fs, %d workers %.2fs (speedup %.2fx on %d "
+              "cores)"
+              % (serial_elapsed, WORKERS, parallel_elapsed,
+                 serial_elapsed / parallel_elapsed, cores))
+    record_table("campaign_engine", table + "\n\n" + timing)
+
+    # Parallel execution is a pure wall-clock optimisation: identical
+    # records, identical aggregate, less time (given cores to use; on
+    # a single-core host only the overhead bound is checkable).
+    assert serial.records == parallel.records
+    assert cells_to_json(aggregate(parallel.records)) \
+        == cells_to_json(cells)
+    if cores >= 2:
+        assert parallel_elapsed < serial_elapsed
+    else:
+        assert parallel_elapsed < 1.5 * serial_elapsed
+
+    by_cell = {(c.workload, c.model, c.rate_per_million): c
+               for c in cells}
+    for cell in cells:
+        assert cell.n == 4
+        if cell.model == "SS-2":
+            if cell.rate_per_million <= 10_000.0:
+                # The paper's design point: full detection coverage
+                # within the single-fault model.
+                assert cell.counts["sdc"] == 0
+                if cell.faulty_trials:
+                    assert cell.coverage == 1.0
+            else:
+                # Extreme-rate cell: the lambda^2 common-mode window
+                # may leak, but detection still dominates.
+                assert cell.coverage >= 0.5
+        if cell.rate_per_million >= 10_000.0:
+            assert cell.faulty_trials > 0, \
+                "no faults struck %s at %g/M" % (cell.workload,
+                                                 cell.rate_per_million)
+    # SS-1 leaks: pooled over both workloads at the heavy rates, some
+    # trial ends in silent corruption or a crash/timeout.
+    leaks = sum(by_cell[(w, "SS-1", r)].counts["sdc"]
+                + by_cell[(w, "SS-1", r)].counts["timeout"]
+                for w in ("gcc", "go")
+                for r in (10_000.0, 30_000.0))
+    assert leaks > 0
+    # Figure-6 trend via the campaign path: recovery work costs IPC.
+    for workload in ("gcc", "go"):
+        clean = by_cell[(workload, "SS-2", 0.0)].mean_ipc
+        stormy = by_cell[(workload, "SS-2", 30_000.0)].mean_ipc
+        assert stormy < clean
+        # Recovery penalty Y is observed and plausible (paper: ~30
+        # cycles at full budgets; small windows see the same order).
+        heavy = by_cell[(workload, "SS-2", 30_000.0)]
+        assert heavy.mean_recovery_penalty > 0

@@ -17,7 +17,10 @@ The package implements, from scratch and in pure Python:
   (:mod:`repro.models`);
 * the Section-4 analytical model (:mod:`repro.analytical`) and an
   experiment harness regenerating every table and figure
-  (:mod:`repro.harness`).
+  (:mod:`repro.harness`);
+* resumable, parallel Monte Carlo fault-injection campaigns with
+  outcome classification and Wilson confidence intervals
+  (:mod:`repro.campaign`).
 
 Quickstart::
 
@@ -29,6 +32,7 @@ Quickstart::
         print(model.name, result.ipc)
 """
 
+from .campaign import CampaignSpec, run_campaign
 from .core.config import (DUAL_REDUNDANT, TRIPLE_MAJORITY, TRIPLE_REWIND,
                           UNPROTECTED, FTConfig)
 from .core.faults import FaultConfig, FaultInjector
@@ -42,9 +46,10 @@ from .uarch.config import MachineConfig
 from .uarch.processor import Processor, simulate
 from .workloads.generator import build_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CampaignSpec", "run_campaign",
     "DUAL_REDUNDANT", "TRIPLE_MAJORITY", "TRIPLE_REWIND", "UNPROTECTED",
     "FTConfig", "FaultConfig", "FaultInjector", "run_on_model",
     "assemble", "ProgramBuilder", "MachineModel", "baseline_config",

@@ -1,0 +1,43 @@
+"""Parallel Monte Carlo fault-injection campaigns.
+
+Turns one-off ``run_on_model`` simulations into resumable, parallel,
+statistically aggregated injection campaigns:
+
+* :mod:`~repro.campaign.spec` — declarative grid of (workload x model x
+  fault rate x kind mix x replicate), expanded into content-keyed trials;
+* :mod:`~repro.campaign.outcome` — per-trial golden-reference
+  classification (masked / detected_recovered / sdc / timeout);
+* :mod:`~repro.campaign.engine` — serial or process-pool execution with
+  order-independent determinism;
+* :mod:`~repro.campaign.store` — JSONL persistence keyed by trial hash,
+  the substrate for ``--resume``;
+* :mod:`~repro.campaign.aggregate` — per-cell coverage / SDC-rate / IPC
+  statistics with Wilson confidence intervals.
+
+Quickstart::
+
+    from repro.campaign import CampaignSpec, aggregate, run_campaign
+
+    spec = CampaignSpec(workloads=("gcc",), models=("SS-1", "SS-2"),
+                        rates_per_million=(0.0, 3000.0), replicates=8,
+                        instructions=2_000)
+    result = run_campaign(spec, workers=4)
+    for cell in aggregate(result.records):
+        print(cell.workload, cell.model, cell.rate_per_million,
+              cell.counts, cell.coverage)
+"""
+
+from .aggregate import (CellStats, aggregate, cells_to_json,
+                        wilson_interval)
+from .engine import CampaignResult, execute_trial_payload, run_campaign
+from .outcome import (DETECTED_RECOVERED, MASKED, OUTCOMES, SDC, TIMEOUT,
+                      TrialResult, run_trial)
+from .spec import CampaignSpec, Trial
+from .store import ResultStore
+
+__all__ = [
+    "CellStats", "aggregate", "cells_to_json", "wilson_interval",
+    "CampaignResult", "execute_trial_payload", "run_campaign",
+    "DETECTED_RECOVERED", "MASKED", "OUTCOMES", "SDC", "TIMEOUT",
+    "TrialResult", "run_trial", "CampaignSpec", "Trial", "ResultStore",
+]

@@ -1,0 +1,160 @@
+"""Statistical reduction of trial records into per-cell campaign results.
+
+A *cell* is one (workload, model, fault rate, kind mix) point of the
+grid; its replicates are the Monte Carlo sample.  Binomial proportions
+(SDC rate, detection coverage) carry Wilson score confidence intervals —
+the interval of choice for the small-n, near-0/near-1 proportions that
+fault-injection campaigns produce, where the normal approximation is
+degenerate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from .outcome import DETECTED_RECOVERED, MASKED, OUTCOMES, SDC, TIMEOUT
+
+#: 95% two-sided normal quantile, the campaign-wide default.
+DEFAULT_Z = 1.96
+
+
+def wilson_interval(successes, total, z=DEFAULT_Z):
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)``; ``(0.0, 1.0)`` when there is no sample.
+    """
+    if total <= 0:
+        return (0.0, 1.0)
+    if successes < 0 or successes > total:
+        raise ValueError("successes must be within [0, total]")
+    p = successes / total
+    z2 = z * z
+    denominator = 1.0 + z2 / total
+    centre = (p + z2 / (2.0 * total)) / denominator
+    half = (z * math.sqrt(p * (1.0 - p) / total
+                          + z2 / (4.0 * total * total))) / denominator
+    return (max(0.0, centre - half), min(1.0, centre + half))
+
+
+@dataclass
+class CellStats:
+    """Aggregated statistics of one campaign grid cell."""
+
+    workload: str
+    model: str
+    rate_per_million: float
+    mix: str
+    n: int = 0
+    counts: dict = field(
+        default_factory=lambda: {name: 0 for name in OUTCOMES})
+    #: Trials in which at least one fault actually struck.
+    faulty_trials: int = 0
+    #: Of the faulty trials, how many ended architecturally correct.
+    covered_trials: int = 0
+    mean_ipc: float = 0.0
+    mean_recovery_penalty: float = 0.0
+    total_faults_injected: int = 0
+    total_faults_detected: int = 0
+    total_rewinds: int = 0
+
+    @property
+    def sdc_rate(self):
+        return self.counts[SDC] / self.n if self.n else 0.0
+
+    @property
+    def sdc_interval(self):
+        return wilson_interval(self.counts[SDC], self.n)
+
+    @property
+    def coverage(self):
+        """Fraction of fault-struck trials that stayed correct.
+
+        ``None`` when no trial of the cell saw a fault (rate-0 cells).
+        """
+        if not self.faulty_trials:
+            return None
+        return self.covered_trials / self.faulty_trials
+
+    @property
+    def coverage_interval(self):
+        if not self.faulty_trials:
+            return None
+        return wilson_interval(self.covered_trials, self.faulty_trials)
+
+    def as_dict(self):
+        """JSON-friendly cell summary (stable field order)."""
+        coverage_ci = self.coverage_interval
+        sdc_ci = self.sdc_interval
+        return {
+            "workload": self.workload,
+            "model": self.model,
+            "rate_per_million": self.rate_per_million,
+            "mix": self.mix,
+            "n": self.n,
+            "counts": {name: self.counts[name] for name in OUTCOMES},
+            "faulty_trials": self.faulty_trials,
+            "coverage": self.coverage,
+            "coverage_ci": list(coverage_ci) if coverage_ci else None,
+            "sdc_rate": self.sdc_rate,
+            "sdc_ci": list(sdc_ci),
+            "mean_ipc": self.mean_ipc,
+            "mean_recovery_penalty": self.mean_recovery_penalty,
+            "total_faults_injected": self.total_faults_injected,
+            "total_faults_detected": self.total_faults_detected,
+            "total_rewinds": self.total_rewinds,
+        }
+
+
+def _cell_key(record):
+    trial = record["trial"]
+    return (trial["workload"], trial["model"],
+            trial["rate_per_million"], trial["mix"])
+
+
+def aggregate(records):
+    """Reduce trial records into sorted per-cell statistics."""
+    cells = {}
+    ipc_sums = {}
+    penalty_sums = {}       # (sum, count) over trials with rewinds
+    for record in records:
+        key = _cell_key(record)
+        cell = cells.get(key)
+        if cell is None:
+            cell = CellStats(workload=key[0], model=key[1],
+                             rate_per_million=key[2], mix=key[3])
+            cells[key] = cell
+            ipc_sums[key] = [0.0, 0]
+            penalty_sums[key] = [0.0, 0]
+        outcome = record["outcome"]
+        if outcome not in cell.counts:
+            cell.counts[outcome] = 0
+        cell.counts[outcome] += 1
+        cell.n += 1
+        cell.total_faults_injected += record["faults_injected"]
+        cell.total_faults_detected += record["faults_detected"]
+        cell.total_rewinds += record["rewinds"]
+        if record["faults_injected"] > 0:
+            cell.faulty_trials += 1
+            if outcome in (MASKED, DETECTED_RECOVERED):
+                cell.covered_trials += 1
+        if outcome != TIMEOUT:
+            ipc_sums[key][0] += record["ipc"]
+            ipc_sums[key][1] += 1
+        if record["rewinds"] > 0:
+            penalty_sums[key][0] += record["avg_recovery_penalty"]
+            penalty_sums[key][1] += 1
+    for key, cell in cells.items():
+        total, count = ipc_sums[key]
+        cell.mean_ipc = total / count if count else 0.0
+        total, count = penalty_sums[key]
+        cell.mean_recovery_penalty = total / count if count else 0.0
+    return [cells[key] for key in sorted(cells)]
+
+
+def cells_to_json(cells):
+    """Canonical JSON of the aggregate — byte-stable for determinism
+    checks and machine consumption (``repro-ft campaign --json``)."""
+    return json.dumps([cell.as_dict() for cell in cells], indent=2,
+                      sort_keys=True)

@@ -1,0 +1,188 @@
+"""Run one trial and classify what the machine did with its faults.
+
+Every trial is compared against the paper's golden reference (Section
+5.1.1): an in-order functional simulation of the same program advanced
+by exactly as many instructions as the out-of-order machine committed.
+The comparison reuses :func:`repro.functional.checker.compare_states`
+over the full architectural state (registers + memory) plus the
+committed next-PC.
+
+Outcome classes:
+
+* ``masked`` — committed state matches the golden reference and no
+  fault was ever detected (either none was injected, or the corrupted
+  copy lost the cross-check race without reaching committed state);
+* ``detected_recovered`` — state matches and the machine paid for it:
+  at least one detection, rewind or majority commit occurred;
+* ``sdc`` — silent data corruption: the run completed but committed
+  state diverges from the golden reference;
+* ``timeout`` — the run did not complete its instruction budget
+  (crash off the program text, deadlock, or cycle budget exhausted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..functional.checker import compare_states
+from ..functional.simulator import FunctionalSimulator
+from ..harness.experiment import cycle_budget, run_windowed
+from ..models.presets import get_model
+from ..uarch.processor import Processor
+from ..workloads.generator import build_workload
+
+MASKED = "masked"
+DETECTED_RECOVERED = "detected_recovered"
+SDC = "sdc"
+TIMEOUT = "timeout"
+
+OUTCOMES = (MASKED, DETECTED_RECOVERED, SDC, TIMEOUT)
+
+#: Per-process cache of generated programs: workloads are deterministic
+#: in (name, seed) and the simulators copy the data image, so rebuilding
+#: one per trial would be pure waste.
+_PROGRAM_CACHE = {}
+
+
+def _cached_workload(name, seed):
+    program = _PROGRAM_CACHE.get((name, seed))
+    if program is None:
+        program = build_workload(name, seed=seed)
+        _PROGRAM_CACHE[(name, seed)] = program
+    return program
+
+
+@dataclass
+class TrialResult:
+    """The classified outcome and metrics of one executed trial."""
+
+    trial: dict                     # Trial.to_dict() of the trial run
+    outcome: str
+    detail: str = ""
+    ipc: float = 0.0
+    cycles: int = 0
+    instructions: int = 0
+    faults_injected: int = 0
+    faults_detected: int = 0
+    rewinds: int = 0
+    majority_commits: int = 0
+    pc_continuity_violations: int = 0
+    silent_commits: int = 0
+    avg_recovery_penalty: float = 0.0
+    reg_mismatches: int = 0
+    mem_mismatches: int = 0
+
+    @property
+    def key(self):
+        return self.trial["key"]
+
+    def to_record(self):
+        """Flat JSON-serialisable record for the result store."""
+        record = {name: getattr(self, name) for name in (
+            "outcome", "detail", "ipc", "cycles", "instructions",
+            "faults_injected", "faults_detected", "rewinds",
+            "majority_commits", "pc_continuity_violations",
+            "silent_commits", "avg_recovery_penalty",
+            "reg_mismatches", "mem_mismatches")}
+        record["key"] = self.key
+        record["trial"] = dict(self.trial)
+        return record
+
+    @classmethod
+    def from_record(cls, record):
+        kwargs = {name: record[name] for name in (
+            "outcome", "detail", "ipc", "cycles", "instructions",
+            "faults_injected", "faults_detected", "rewinds",
+            "majority_commits", "pc_continuity_violations",
+            "silent_commits", "avg_recovery_penalty",
+            "reg_mismatches", "mem_mismatches")}
+        return cls(trial=dict(record["trial"]), **kwargs)
+
+
+def run_trial(trial):
+    """Execute one :class:`~repro.campaign.spec.Trial` and classify it."""
+    program = _cached_workload(trial.workload, trial.workload_seed)
+    model = get_model(trial.model)
+    processor = Processor(program, config=model.config, ft=model.ft,
+                          fault_config=trial.fault_config())
+    budget = trial.instructions + trial.warmup
+    max_cycles = trial.max_cycles
+    if max_cycles is None:
+        max_cycles = cycle_budget(trial.instructions, trial.warmup)
+    result = TrialResult(trial=trial.to_dict(), outcome=TIMEOUT)
+    try:
+        stats, warm_cycles, warm_instructions = run_windowed(
+            processor, trial.instructions, trial.warmup, max_cycles)
+    except SimulationError as exc:
+        stats = processor.stats
+        stats.cycles = processor.cycle
+        _fill_counters(result, stats,
+                       stats.extras.get("warmup_cycles", 0),
+                       stats.extras.get("warmup_instructions", 0))
+        result.detail = "simulation error: %s" % exc
+        return result
+    _fill_counters(result, stats, warm_cycles, warm_instructions)
+    committed = stats.instructions
+    if stats.crashed:
+        result.detail = "committed control flow left the program"
+        return result
+    if committed < budget and not processor.halted:
+        result.detail = ("cycle budget exhausted: %d/%d instructions "
+                         "in %d cycles" % (committed, budget, stats.cycles))
+        return result
+    result.outcome, result.detail = _classify_against_golden(
+        processor, program, model, committed, result)
+    if processor.halted and committed < budget:
+        # HALT committed before the budget: either the program really
+        # ends here (golden agrees: masked/recovered) or a fault
+        # steered control flow into the HALT (golden diverges: sdc).
+        result.detail = ("halted after %d/%d instructions%s"
+                         % (committed, budget,
+                            "; " + result.detail if result.detail
+                            else ""))
+    return result
+
+
+def _fill_counters(result, stats, warm_cycles, warm_instructions):
+    """Copy run counters; IPC refers to the post-warmup window."""
+    cycles = stats.cycles - warm_cycles
+    instructions = stats.instructions - warm_instructions
+    result.cycles = stats.cycles
+    result.instructions = stats.instructions
+    result.ipc = instructions / cycles if cycles else 0.0
+    result.faults_injected = stats.faults_injected
+    result.faults_detected = stats.faults_detected
+    result.rewinds = stats.rewinds
+    result.majority_commits = stats.majority_commits
+    result.pc_continuity_violations = stats.pc_continuity_violations
+    result.silent_commits = stats.silent_commits
+    result.avg_recovery_penalty = stats.avg_recovery_penalty
+
+
+def _classify_against_golden(processor, program, model, committed,
+                             result):
+    """Compare committed state with the in-order reference."""
+    golden = FunctionalSimulator(program,
+                                 mem_size=model.config.mem_size_words)
+    for _ in range(committed):
+        if not golden.step():
+            break
+    diff = compare_states(processor.arch, golden.state)
+    pc_clean = (processor.committed_next_pc == golden.state.pc
+                or golden.state.halted)
+    result.reg_mismatches = len(diff.reg_mismatches)
+    result.mem_mismatches = len(diff.mem_mismatches)
+    if not diff.clean or not pc_clean:
+        detail = diff.summary()
+        if not pc_clean:
+            detail = ("next-pc %d != golden %d; %s"
+                      % (processor.committed_next_pc, golden.state.pc,
+                         detail))
+        return SDC, detail
+    stats = processor.stats
+    paid = (stats.faults_detected or stats.rewinds
+            or stats.majority_commits or stats.pc_continuity_violations)
+    if paid:
+        return DETECTED_RECOVERED, ""
+    return MASKED, ""

@@ -1,0 +1,287 @@
+"""Declarative campaign specifications and their trial expansion.
+
+A :class:`CampaignSpec` names the axes of a Monte Carlo fault-injection
+study — workloads, machine models, fault rates, kind-weight mixes and
+seed replicates — and expands their cross product into individually
+keyed :class:`Trial` objects.  The key is a content hash of everything
+that defines the trial, so
+
+* the same spec always expands to the same trials, in the same order;
+* each trial's fault seed is derived from its own key, never from the
+  position it happens to run at (workers=1 and workers=N agree);
+* a persisted result can be matched back to its trial after a crash,
+  which is what makes campaigns resumable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from ..core.faults import DEFAULT_KIND_WEIGHTS, FaultConfig, get_kind_mix
+from ..errors import ConfigError
+from ..models.presets import get_model
+from ..workloads.profiles import get_profile
+
+#: Spec-hash prefix length; 16 hex chars = 64 bits, collision-safe for
+#: any campaign size this engine will see.
+KEY_LENGTH = 16
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One fully resolved simulation: a single point of the campaign grid.
+
+    ``kind_weights`` is a sorted tuple of (kind, weight) pairs so the
+    trial stays hashable and picklable for process-pool workers.
+    """
+
+    key: str
+    workload: str
+    model: str
+    rate_per_million: float
+    mix: str
+    kind_weights: tuple
+    replicate: int
+    instructions: int
+    warmup: int
+    fault_seed: int
+    workload_seed: int
+    max_cycles: int = None
+
+    def fault_config(self):
+        """The injector configuration for this trial (None if rate 0)."""
+        if self.rate_per_million <= 0:
+            return None
+        return FaultConfig(rate_per_million=self.rate_per_million,
+                           seed=self.fault_seed,
+                           kind_weights=dict(self.kind_weights))
+
+    def to_dict(self):
+        data = {
+            "key": self.key,
+            "workload": self.workload,
+            "model": self.model,
+            "rate_per_million": self.rate_per_million,
+            "mix": self.mix,
+            "kind_weights": list(list(pair) for pair in self.kind_weights),
+            "replicate": self.replicate,
+            "instructions": self.instructions,
+            "warmup": self.warmup,
+            "fault_seed": self.fault_seed,
+            "workload_seed": self.workload_seed,
+        }
+        if self.max_cycles is not None:
+            data["max_cycles"] = self.max_cycles
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            key=data["key"], workload=data["workload"],
+            model=data["model"],
+            rate_per_million=data["rate_per_million"],
+            mix=data["mix"],
+            kind_weights=tuple((kind, weight) for kind, weight
+                               in data["kind_weights"]),
+            replicate=data["replicate"],
+            instructions=data["instructions"],
+            warmup=data["warmup"],
+            fault_seed=data["fault_seed"],
+            workload_seed=data["workload_seed"],
+            max_cycles=data.get("max_cycles"))
+
+
+def _trial_key_and_seed(material):
+    """Hash the canonical trial material into (key, fault seed)."""
+    blob = json.dumps(material, sort_keys=True,
+                      separators=(",", ":")).encode()
+    digest = hashlib.sha256(blob).digest()
+    key = digest.hex()[:KEY_LENGTH]
+    # An independent slice of the digest seeds the fault injector, so
+    # the seed is a pure function of the trial identity.
+    seed = int.from_bytes(digest[16:24], "big") & 0x7FFFFFFF
+    return key, seed
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The declarative description of one injection campaign."""
+
+    name: str = "campaign"
+    workloads: tuple = ("gcc",)
+    models: tuple = ("SS-2",)
+    rates_per_million: tuple = (0.0, 1000.0)
+    #: mix name -> kind-weight dict; names become a grid axis.
+    mixes: dict = field(
+        default_factory=lambda: {"default": dict(DEFAULT_KIND_WEIGHTS)})
+    replicates: int = 8
+    instructions: int = 2_000
+    warmup: int = 0
+    base_seed: int = 2001
+    workload_seed: int = 1_000_003
+    max_cycles: int = None
+
+    def __post_init__(self):
+        # Type-check first: spec files arrive as arbitrary JSON, and a
+        # string rate or float replicate count would otherwise surface
+        # as a TypeError traceback deep inside grid expansion.
+        for field_name in ("replicates", "instructions", "warmup"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigError("%s must be an integer, got %r"
+                                  % (field_name, value))
+        if self.max_cycles is not None and (
+                not isinstance(self.max_cycles, int)
+                or isinstance(self.max_cycles, bool)):
+            raise ConfigError("max_cycles must be an integer or null, "
+                              "got %r" % (self.max_cycles,))
+        for rate in self.rates_per_million:
+            if not isinstance(rate, (int, float)) \
+                    or isinstance(rate, bool):
+                raise ConfigError("fault rates must be numbers, got %r"
+                                  % (rate,))
+        if not isinstance(self.mixes, dict):
+            raise ConfigError("mixes must be a dict of name -> "
+                              "kind-weight dict, got %r" % (self.mixes,))
+        for mix_name, weights in self.mixes.items():
+            if not isinstance(weights, dict):
+                raise ConfigError("mix %r must map kinds to weights, "
+                                  "got %r" % (mix_name, weights))
+            for kind, weight in dict(weights).items():
+                if not isinstance(weight, (int, float)) \
+                        or isinstance(weight, bool):
+                    raise ConfigError(
+                        "mix %r weight for %r must be a number, got %r"
+                        % (mix_name, kind, weight))
+        if self.replicates < 1:
+            raise ConfigError("replicates must be >= 1")
+        if self.instructions < 1:
+            raise ConfigError("instructions must be >= 1")
+        if self.warmup < 0:
+            raise ConfigError("warmup must be >= 0")
+        if not self.workloads or not self.models \
+                or not self.rates_per_million or not self.mixes:
+            raise ConfigError("every campaign axis needs >= 1 value")
+        for axis_name, axis in (("workloads", self.workloads),
+                                ("models", self.models),
+                                ("rates_per_million",
+                                 self.rates_per_million)):
+            # Duplicates would expand to identical trial keys, double-
+            # count results and fake a tighter confidence interval.
+            if len(set(axis)) != len(axis):
+                raise ConfigError("duplicate values in %s: %r"
+                                  % (axis_name, axis))
+        for rate in self.rates_per_million:
+            if rate < 0:
+                raise ConfigError("fault rates must be >= 0")
+        for workload in self.workloads:
+            get_profile(workload)          # raises on unknown names
+        for model in self.models:
+            get_model(model)
+        for mix_name, weights in self.mixes.items():
+            # Borrow FaultConfig's weight validation.
+            FaultConfig(rate_per_million=1.0, kind_weights=dict(weights))
+
+    @property
+    def grid_size(self):
+        """Number of trials the spec expands to."""
+        return (len(self.workloads) * len(self.models)
+                * len(self.rates_per_million) * len(self.mixes)
+                * self.replicates)
+
+    def trials(self):
+        """Expand the grid into Trials, in deterministic order."""
+        for workload in self.workloads:
+            for model in self.models:
+                for rate in self.rates_per_million:
+                    rate = float(rate)
+                    for mix_name in sorted(self.mixes):
+                        # Canonicalize numbers to float so the same
+                        # logical spec hashes identically whether its
+                        # values arrived as ints (JSON spec file) or
+                        # floats (CLI flags) — otherwise resume would
+                        # silently match nothing.
+                        weights = tuple(sorted(
+                            (kind, float(weight)) for kind, weight
+                            in self.mixes[mix_name].items()))
+                        for replicate in range(self.replicates):
+                            yield self._make_trial(workload, model, rate,
+                                                   mix_name, weights,
+                                                   replicate)
+
+    def _make_trial(self, workload, model, rate, mix_name, weights,
+                    replicate):
+        material = {
+            "campaign": self.name,
+            "base_seed": self.base_seed,
+            "workload": workload,
+            "workload_seed": self.workload_seed,
+            "model": model,
+            "rate_per_million": rate,
+            "mix": mix_name,
+            "kind_weights": list(list(pair) for pair in weights),
+            "replicate": replicate,
+            "instructions": self.instructions,
+            "warmup": self.warmup,
+            "max_cycles": self.max_cycles,
+        }
+        key, fault_seed = _trial_key_and_seed(material)
+        return Trial(key=key, workload=workload, model=model,
+                     rate_per_million=rate, mix=mix_name,
+                     kind_weights=weights, replicate=replicate,
+                     instructions=self.instructions, warmup=self.warmup,
+                     fault_seed=fault_seed,
+                     workload_seed=self.workload_seed,
+                     max_cycles=self.max_cycles)
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "workloads": list(self.workloads),
+            "models": list(self.models),
+            "rates_per_million": list(self.rates_per_million),
+            "mixes": {name: dict(weights)
+                      for name, weights in self.mixes.items()},
+            "replicates": self.replicates,
+            "instructions": self.instructions,
+            "warmup": self.warmup,
+            "base_seed": self.base_seed,
+            "workload_seed": self.workload_seed,
+            "max_cycles": self.max_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Build a spec from a plain dict (e.g. parsed JSON).
+
+        Mixes may be given as a dict of weight dicts or as a list of
+        preset names from :data:`~repro.core.faults.KIND_MIX_PRESETS`.
+        """
+        data = dict(data)
+        mixes = data.get("mixes")
+        if isinstance(mixes, str):
+            mixes = [mixes]          # single preset name
+        if isinstance(mixes, (list, tuple)):
+            data["mixes"] = {name: get_kind_mix(name) for name in mixes}
+        elif mixes is not None and not isinstance(mixes, dict):
+            raise ConfigError(
+                "mixes must be a dict of weight dicts or a list of "
+                "preset names, got %r" % (mixes,))
+        for axis in ("workloads", "models", "rates_per_million"):
+            if axis in data:
+                data[axis] = tuple(data[axis])
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError("unknown campaign spec fields: %s"
+                              % sorted(unknown))
+        return cls(**data)
+
+    @classmethod
+    def from_json_file(cls, path):
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))

@@ -1,0 +1,88 @@
+"""Crash-tolerant JSONL persistence for campaign results.
+
+One line per completed trial, keyed by the trial's content hash.  Each
+append is written and flushed as a whole line, so a campaign killed
+mid-run leaves at most one torn line at the end of the file — which the
+loader skips — and every intact line is a trial that never needs to run
+again.  That is the whole resume protocol: re-expand the spec, drop the
+keys already on disk, run the rest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+
+class ResultStore:
+    """Append-only JSONL store of trial records."""
+
+    def __init__(self, path):
+        self.path = path
+
+    def __repr__(self):
+        return "ResultStore(%r)" % self.path
+
+    @property
+    def exists(self):
+        return os.path.exists(self.path)
+
+    def truncate(self):
+        """Start a fresh campaign file (creates parent directories)."""
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with open(self.path, "w"):
+            pass
+
+    def append(self, record):
+        """Persist one trial record as a single flushed JSON line."""
+        if "key" not in record:
+            raise ValueError("trial record has no 'key'")
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        line = json.dumps(record, sort_keys=True)
+        if self._tail_is_torn():
+            line = "\n" + line
+        with open(self.path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _tail_is_torn(self):
+        """True if the file ends mid-line (writer killed mid-append).
+
+        Appending directly after a torn tail would merge the new record
+        into the corrupt line and lose it; a newline first quarantines
+        the fragment on its own (skipped) line.
+        """
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return False
+        if size == 0:
+            return False
+        with open(self.path, "rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
+
+    def load(self):
+        """All intact records, in file order; torn/corrupt lines skipped."""
+        if not self.exists:
+            return []
+        records = []
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail of a killed campaign
+                if isinstance(record, dict) and "key" in record:
+                    records.append(record)
+        return records
+
+    def completed_keys(self):
+        """Set of trial keys that already have an intact record."""
+        return {record["key"] for record in self.load()}

@@ -8,8 +8,8 @@ sphere-of-replication coverage audit.
 from .config import (DUAL_REDUNDANT, TRIPLE_MAJORITY, TRIPLE_REWIND,
                      UNPROTECTED, FTConfig)
 from .detection import CheckResult, CommitChecker
-from .faults import (DEFAULT_KIND_WEIGHTS, FAULT_KINDS, FaultConfig,
-                     FaultInjector, FaultPlan)
+from .faults import (DEFAULT_KIND_WEIGHTS, FAULT_KINDS, KIND_MIX_PRESETS,
+                     FaultConfig, FaultInjector, FaultPlan, get_kind_mix)
 from .recovery import (ACTION_MAJORITY_COMMIT, ACTION_REWIND,
                        RecoveryController)
 from .replication import Replicator
@@ -20,7 +20,8 @@ from .sphere import (FT_COVERAGE, UNPROTECTED_COVERAGE, StructureCoverage,
 __all__ = [
     "DUAL_REDUNDANT", "TRIPLE_MAJORITY", "TRIPLE_REWIND", "UNPROTECTED",
     "FTConfig", "CheckResult", "CommitChecker", "DEFAULT_KIND_WEIGHTS",
-    "FAULT_KINDS", "FaultConfig", "FaultInjector", "FaultPlan",
+    "FAULT_KINDS", "KIND_MIX_PRESETS", "FaultConfig", "FaultInjector",
+    "FaultPlan", "get_kind_mix",
     "ACTION_MAJORITY_COMMIT", "ACTION_REWIND", "RecoveryController",
     "Replicator", "FT_COVERAGE", "UNPROTECTED_COVERAGE",
     "StructureCoverage", "audit", "coverage_table",

@@ -40,6 +40,30 @@ FAULT_KINDS = ("value", "address", "branch", "pc")
 DEFAULT_KIND_WEIGHTS = {"value": 0.70, "address": 0.15, "branch": 0.10,
                         "pc": 0.05}
 
+#: Named kind-weight mixes for injection campaigns.  Each preset skews
+#: the site distribution toward one structural class so per-fault-kind
+#: sensitivity can be swept as a campaign axis.
+KIND_MIX_PRESETS = {
+    "default": DEFAULT_KIND_WEIGHTS,
+    "value-only": {"value": 1.0},
+    "address-heavy": {"value": 0.30, "address": 0.60, "branch": 0.05,
+                      "pc": 0.05},
+    "control-heavy": {"value": 0.25, "address": 0.05, "branch": 0.55,
+                      "pc": 0.15},
+    "pc-heavy": {"value": 0.40, "address": 0.10, "branch": 0.10,
+                 "pc": 0.40},
+}
+
+
+def get_kind_mix(name):
+    """Look up a named kind-weight preset (a fresh copy)."""
+    try:
+        return dict(KIND_MIX_PRESETS[name])
+    except KeyError:
+        raise ConfigError(
+            "unknown fault kind mix %r (choose from %s)"
+            % (name, ", ".join(sorted(KIND_MIX_PRESETS)))) from None
+
 
 @dataclass(frozen=True)
 class FaultPlan:

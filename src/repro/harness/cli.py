@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate any table or figure of the paper.
+"""Command-line interface: regenerate any table or figure of the paper,
+or run Monte Carlo fault-injection campaigns.
 
 Examples::
 
@@ -10,12 +11,18 @@ Examples::
     repro-ft sensitivity --benchmarks go,vpr,ammp,gcc
     repro-ft coverage
     repro-ft demo
+    repro-ft campaign --workloads gcc,go --models SS-1,SS-2 \\
+        --rates 0,1000,10000 --replicates 8 --workers 4 \\
+        --out results.jsonl
+    repro-ft campaign --spec campaign.json --workers 4 \\
+        --out results.jsonl --resume
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from ..analytical.figures import (figure3_series, figure4_series,
                                   format_figure_table)
@@ -24,7 +31,8 @@ from ..models.presets import baseline_config
 from ..workloads.mix import format_mix_table
 from ..workloads.profiles import BENCHMARK_ORDER
 from . import experiment
-from .report import (ascii_chart, format_figure5_table,
+from .report import (ascii_chart, format_campaign_summary,
+                     format_campaign_table, format_figure5_table,
                      format_figure6_table, format_machine_table,
                      format_sensitivity_table)
 
@@ -129,6 +137,67 @@ def _cmd_demo(args):
                           faulty.faults_detected, faulty.rewinds))
 
 
+def _campaign_spec_from_args(args):
+    from ..campaign import CampaignSpec
+    from ..core.faults import get_kind_mix
+    if args.spec:
+        return CampaignSpec.from_json_file(args.spec)
+    mixes = {name: get_kind_mix(name)
+             for name in args.mixes.split(",")}
+    return CampaignSpec(
+        name=args.name,
+        workloads=tuple(args.workloads.split(",")),
+        models=tuple(args.models.split(",")),
+        rates_per_million=tuple(float(rate)
+                                for rate in args.rates.split(",")),
+        mixes=mixes,
+        replicates=args.replicates,
+        instructions=args.instructions,
+        warmup=args.warmup,
+        base_seed=args.seed)
+
+
+def _cmd_campaign(args):
+    from ..campaign import (ResultStore, aggregate, cells_to_json,
+                            run_campaign)
+    from ..errors import ConfigError
+    if args.resume and not args.out:
+        raise SystemExit("repro-ft campaign: --resume requires --out")
+    try:
+        spec = _campaign_spec_from_args(args)
+    except (ConfigError, ValueError, TypeError, OSError) as exc:
+        raise SystemExit("repro-ft campaign: %s" % exc)
+    except KeyError as exc:
+        # get_profile/get_model raise KeyError with a quoted message.
+        raise SystemExit("repro-ft campaign: %s" % exc.args[0])
+    store = ResultStore(args.out) if args.out else None
+    progress = None
+    if not args.quiet:
+        # Progress goes to stderr so `--json > out.json` (and any
+        # other stdout consumer) stays parseable mid-run.
+        def progress(done, total, record):
+            print("  [%d/%d] %s %s" % (done, total, record["key"],
+                                       record["outcome"]),
+                  file=sys.stderr)
+    start = time.monotonic()
+    try:
+        result = run_campaign(spec, workers=args.workers, store=store,
+                              resume=args.resume, progress=progress)
+    except ConfigError as exc:
+        raise SystemExit("repro-ft campaign: %s" % exc)
+    elapsed = time.monotonic() - start
+    cells = aggregate(result.records)
+    if args.json:
+        print(cells_to_json(cells))
+        return
+    print(format_campaign_summary(result, elapsed=elapsed))
+    if store is not None:
+        print("store: %s (%d records)" % (store.path,
+                                          len(result.records)))
+    print()
+    print(format_campaign_table(cells))
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -139,7 +208,42 @@ _COMMANDS = {
     "sensitivity": _cmd_sensitivity,
     "coverage": _cmd_coverage,
     "demo": _cmd_demo,
+    "campaign": _cmd_campaign,
 }
+
+
+def _add_campaign_args(sub):
+    sub.set_defaults(instructions=2_000)   # campaigns trade depth for n
+    sub.add_argument("--name", default="campaign",
+                     help="campaign name (part of every trial key)")
+    sub.add_argument("--spec", default="",
+                     help="JSON file with a CampaignSpec (overrides the "
+                          "grid flags)")
+    sub.add_argument("--workloads", default="gcc",
+                     help="comma-separated benchmark names")
+    sub.add_argument("--models", default="SS-2",
+                     help="comma-separated machine models")
+    sub.add_argument("--rates", default="0,1000,10000",
+                     help="comma-separated fault rates (faults/M instr)")
+    sub.add_argument("--mixes", default="default",
+                     help="comma-separated kind-mix preset names")
+    sub.add_argument("--replicates", type=int, default=8,
+                     help="seed replicates per grid cell")
+    sub.add_argument("--warmup", type=int, default=0,
+                     help="warmup instructions before the window")
+    sub.add_argument("--seed", type=int, default=2001,
+                     help="campaign base seed (folded into trial keys)")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="process-pool width (1 = in-process serial)")
+    sub.add_argument("--out", default="",
+                     help="JSONL result store (enables --resume)")
+    sub.add_argument("--resume", action="store_true",
+                     help="skip trials already completed in --out")
+    sub.add_argument("--json", action="store_true",
+                     help="print the aggregate as JSON instead of a "
+                          "table")
+    sub.add_argument("--quiet", action="store_true",
+                     help="suppress per-trial progress lines")
 
 
 def build_parser():
@@ -157,6 +261,8 @@ def build_parser():
                              help="comma-separated benchmark names")
         if name == "figure6":
             sub.add_argument("--benchmark", default="fpppp")
+        if name == "campaign":
+            _add_campaign_args(sub)
     return parser
 
 

@@ -56,32 +56,54 @@ class RunResult:
                    avg_recovery_penalty=stats.avg_recovery_penalty)
 
 
-def run_on_model(program, model, max_instructions=DEFAULT_INSTRUCTIONS,
-                 fault_config=None, lockstep=False, max_cycles=None,
-                 warmup_instructions=0):
-    """Simulate ``program`` on one machine model.
+def cycle_budget(instructions, warmup=0):
+    """Default cycle allowance for a windowed run of that many commits."""
+    return max(200_000, (instructions + warmup) * 60)
+
+
+def run_windowed(processor, max_instructions, warmup_instructions=0,
+                 max_cycles=None):
+    """The warmup-then-measure protocol on an existing processor.
 
     ``warmup_instructions`` commits that many instructions before the
     measurement window, so caches and predictors reach steady state —
     the small-budget stand-in for the paper's "skip the first billion
-    instructions" methodology.  IPC/cycles/instructions then refer to
-    the post-warmup window only.
+    instructions" methodology.  Returns ``(stats, warm_cycles,
+    warm_instructions)``; stats counters are run totals, the warm
+    figures let callers compute window-relative metrics.
     """
-    processor = Processor(program, config=model.config, ft=model.ft,
-                          fault_config=fault_config)
-    if lockstep:
-        processor.enable_lockstep_check()
     if max_cycles is None:
-        max_cycles = max(200_000,
-                         (max_instructions + warmup_instructions) * 60)
+        max_cycles = cycle_budget(max_instructions, warmup_instructions)
     warm_cycles = warm_instructions = 0
     if warmup_instructions:
         processor.run(max_instructions=warmup_instructions,
                       max_cycles=max_cycles)
         warm_cycles = processor.cycle
         warm_instructions = processor.stats.instructions
+        # Also stamped on the stats so callers that lose the return
+        # value (a SimulationError mid-window) can still separate the
+        # warmup phase from the measurement window.
+        processor.stats.extras["warmup_cycles"] = warm_cycles
+        processor.stats.extras["warmup_instructions"] = warm_instructions
     stats = processor.run(max_instructions=max_instructions,
                           max_cycles=max_cycles)
+    return stats, warm_cycles, warm_instructions
+
+
+def run_on_model(program, model, max_instructions=DEFAULT_INSTRUCTIONS,
+                 fault_config=None, lockstep=False, max_cycles=None,
+                 warmup_instructions=0):
+    """Simulate ``program`` on one machine model.
+
+    IPC/cycles/instructions refer to the post-warmup window only (see
+    :func:`run_windowed`).
+    """
+    processor = Processor(program, config=model.config, ft=model.ft,
+                          fault_config=fault_config)
+    if lockstep:
+        processor.enable_lockstep_check()
+    stats, warm_cycles, warm_instructions = run_windowed(
+        processor, max_instructions, warmup_instructions, max_cycles)
     result = RunResult.from_stats(program.name, model.name, stats)
     if warmup_instructions:
         cycles = stats.cycles - warm_cycles

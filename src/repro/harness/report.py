@@ -65,6 +65,62 @@ def format_sensitivity_table(rows):
     return "\n".join(lines)
 
 
+def format_campaign_table(cells):
+    """Per-cell campaign aggregate with Wilson confidence intervals.
+
+    One row per (workload, model, rate, mix) grid cell: trial count,
+    outcome-class counts, coverage over fault-struck trials and SDC rate
+    (each with its 95% Wilson interval), mean IPC and the observed mean
+    recovery penalty Y.
+    """
+    header = ("%-8s %-8s %9s %-13s %4s %5s %5s %4s %4s  %-19s %-19s "
+              "%6s %6s"
+              % ("bench", "model", "flt/M", "mix", "n", "mask", "d+r",
+                 "sdc", "t/o", "coverage [95% CI]", "sdc rate [95% CI]",
+                 "IPC", "Y"))
+    lines = [header, "-" * len(header)]
+    for cell in cells:
+        counts = cell.counts
+        if cell.coverage is None:
+            coverage = "      (no faults)  "
+        else:
+            low, high = cell.coverage_interval
+            coverage = "%5.3f [%5.3f,%5.3f]" % (cell.coverage, low, high)
+        low, high = cell.sdc_interval
+        sdc = "%5.3f [%5.3f,%5.3f]" % (cell.sdc_rate, low, high)
+        lines.append(
+            "%-8s %-8s %9.0f %-13s %4d %5d %5d %4d %4d  %s %s %6.3f "
+            "%6.1f"
+            % (cell.workload, cell.model, cell.rate_per_million,
+               cell.mix, cell.n, counts["masked"],
+               counts["detected_recovered"], counts["sdc"],
+               counts["timeout"], coverage, sdc, cell.mean_ipc,
+               cell.mean_recovery_penalty))
+    return "\n".join(lines)
+
+
+def format_campaign_summary(result, elapsed=None):
+    """One-paragraph header for a finished campaign run."""
+    spec = result.spec
+    counts = result.outcome_counts
+    lines = [
+        "campaign %r: %d trials (%d workloads x %d models x %d rates "
+        "x %d mixes x %d replicates)"
+        % (spec.name, spec.grid_size, len(spec.workloads),
+           len(spec.models), len(spec.rates_per_million),
+           len(spec.mixes), spec.replicates),
+        "executed %d, resumed (skipped) %d"
+        % (result.executed, result.skipped),
+        "outcomes: " + ", ".join(
+            "%s %d" % (name, counts[name]) for name in sorted(counts)),
+    ]
+    if elapsed is not None:
+        lines.append("wall clock: %.2f s (%.1f trials/s)"
+                     % (elapsed, result.executed / elapsed
+                        if elapsed > 0 else 0.0))
+    return "\n".join(lines)
+
+
 def format_machine_table(config):
     """Table-1 style machine-parameter listing from a MachineConfig."""
     hierarchy = config.hierarchy

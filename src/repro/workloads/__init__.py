@@ -6,11 +6,12 @@ from .microbench import (branch_pattern, dot_product, fibonacci,
                          pointer_chase, vector_sum)
 from .mix import MixRow, format_mix_table, measure_mix
 from .profiles import (BENCHMARK_ORDER, PROFILES, BenchmarkProfile,
-                       get_profile)
+                       available_workloads, get_profile)
 
 __all__ = [
     "UNBOUNDED_ITERATIONS", "WorkloadGenerator", "build_workload",
     "branch_pattern", "dot_product", "fibonacci", "pointer_chase",
     "vector_sum", "MixRow", "format_mix_table", "measure_mix",
-    "BENCHMARK_ORDER", "PROFILES", "BenchmarkProfile", "get_profile",
+    "BENCHMARK_ORDER", "PROFILES", "BenchmarkProfile",
+    "available_workloads", "get_profile",
 ]

@@ -165,3 +165,8 @@ def get_profile(name):
     except KeyError:
         raise KeyError("unknown benchmark %r; choose from %s"
                        % (name, ", ".join(BENCHMARK_ORDER))) from None
+
+
+def available_workloads():
+    """All benchmark names, in presentation order (campaign axis)."""
+    return tuple(BENCHMARK_ORDER)

@@ -1,0 +1,177 @@
+"""Campaign spec expansion: grids, keys, seeds, serialisation."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import CampaignSpec, Trial
+from repro.core.faults import KIND_MIX_PRESETS
+from repro.errors import ConfigError
+
+
+def small_spec(**overrides):
+    kwargs = dict(workloads=("gcc", "go"), models=("SS-1", "SS-2"),
+                  rates_per_million=(0.0, 1000.0), replicates=2,
+                  instructions=500)
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestExpansion:
+    def test_grid_size_matches_trials(self):
+        spec = small_spec()
+        trials = list(spec.trials())
+        assert spec.grid_size == 2 * 2 * 2 * 1 * 2
+        assert len(trials) == spec.grid_size
+
+    def test_keys_unique(self):
+        trials = list(small_spec().trials())
+        assert len({t.key for t in trials}) == len(trials)
+
+    def test_expansion_is_deterministic(self):
+        spec = small_spec()
+        first = [(t.key, t.fault_seed) for t in spec.trials()]
+        second = [(t.key, t.fault_seed) for t in spec.trials()]
+        assert first == second
+
+    def test_replicates_get_distinct_seeds(self):
+        spec = small_spec(workloads=("gcc",), models=("SS-2",),
+                          rates_per_million=(1000.0,), replicates=8)
+        seeds = [t.fault_seed for t in spec.trials()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_int_and_float_specs_hash_identically(self):
+        # A JSON spec file naturally carries ints where CLI flags
+        # produce floats; both must expand to the same trial keys or
+        # --resume silently matches nothing.
+        as_int = CampaignSpec.from_dict(
+            {"workloads": ["gcc"], "rates_per_million": [0, 3000],
+             "mixes": {"m": {"value": 1}}})
+        as_float = CampaignSpec.from_dict(
+            {"workloads": ["gcc"], "rates_per_million": [0.0, 3000.0],
+             "mixes": {"m": {"value": 1.0}}})
+        assert [t.key for t in as_int.trials()] \
+            == [t.key for t in as_float.trials()]
+
+    def test_max_cycles_changes_keys(self):
+        # max_cycles changes timeout classification, so records from a
+        # different cycle budget must not satisfy --resume.
+        default = {t.key for t in small_spec().trials()}
+        bounded = {t.key for t in small_spec(max_cycles=10_000).trials()}
+        assert default.isdisjoint(bounded)
+
+    def test_base_seed_changes_keys(self):
+        keys_a = {t.key for t in small_spec(base_seed=1).trials()}
+        keys_b = {t.key for t in small_spec(base_seed=2).trials()}
+        assert keys_a.isdisjoint(keys_b)
+
+    def test_seed_is_function_of_trial_not_order(self):
+        spec = small_spec()
+        by_key = {t.key: t.fault_seed for t in spec.trials()}
+        # A narrower spec covering a subset of the same grid points
+        # must derive identical seeds for the shared trials.
+        narrow = small_spec(workloads=("go",), models=("SS-2",))
+        for trial in narrow.trials():
+            assert by_key[trial.key] == trial.fault_seed
+
+
+class TestValidation:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            small_spec(workloads=("nosuch",))
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            small_spec(models=("SS-9",))
+
+    def test_bad_replicates_rejected(self):
+        with pytest.raises(ConfigError):
+            small_spec(replicates=0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            small_spec(rates_per_million=(-1.0,))
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ConfigError):
+            small_spec(mixes={"broken": {"value": 0.0}})
+
+    def test_non_numeric_spec_fields_rejected(self):
+        # Spec files are arbitrary JSON: bad types must die as clean
+        # ConfigErrors at construction, not TypeErrors mid-expansion.
+        with pytest.raises(ConfigError):
+            small_spec(rates_per_million=("0", "1000"))
+        with pytest.raises(ConfigError):
+            small_spec(replicates=2.5)
+        with pytest.raises(ConfigError):
+            small_spec(instructions="many")
+        with pytest.raises(ConfigError):
+            small_spec(max_cycles="lots")
+        with pytest.raises(ConfigError):
+            small_spec(mixes={"m": {"value": "heavy"}})
+
+    def test_duplicate_axis_values_rejected(self):
+        # Duplicates would double-count trials and fake tighter CIs.
+        with pytest.raises(ConfigError):
+            small_spec(rates_per_million=(0.0, 1000.0, 1000.0))
+        with pytest.raises(ConfigError):
+            small_spec(workloads=("gcc", "gcc"))
+        with pytest.raises(ConfigError):
+            # int/float aliases of the same rate are still duplicates.
+            small_spec(rates_per_million=(0, 0.0))
+
+
+class TestSerialisation:
+    def test_spec_round_trip(self):
+        spec = small_spec()
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert [t.key for t in clone.trials()] \
+            == [t.key for t in spec.trials()]
+
+    def test_mixes_as_preset_names(self):
+        spec = CampaignSpec.from_dict(
+            {"workloads": ["gcc"], "mixes": ["default", "value-only"]})
+        assert spec.mixes["value-only"] \
+            == KIND_MIX_PRESETS["value-only"]
+        assert len(list(spec.trials())) == spec.grid_size
+
+    def test_mixes_as_single_string(self):
+        # The natural spec-file mistake "mixes": "default" resolves to
+        # the one preset instead of an AttributeError traceback.
+        spec = CampaignSpec.from_dict(
+            {"workloads": ["gcc"], "mixes": "value-only"})
+        assert list(spec.mixes) == ["value-only"]
+
+    def test_mixes_bad_type_rejected(self):
+        with pytest.raises(ConfigError):
+            CampaignSpec.from_dict({"mixes": 42})
+        with pytest.raises(ConfigError):
+            small_spec(mixes={"m": "not-a-dict"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError):
+            CampaignSpec.from_dict({"bogus": 1})
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(
+            {"name": "filetest", "workloads": ["gcc"],
+             "models": ["SS-2"], "rates_per_million": [0.0],
+             "replicates": 3, "instructions": 400}))
+        spec = CampaignSpec.from_json_file(str(path))
+        assert spec.name == "filetest"
+        assert spec.grid_size == 3
+
+    def test_trial_round_trip(self):
+        trial = next(iter(small_spec().trials()))
+        clone = Trial.from_dict(trial.to_dict())
+        assert clone == trial
+
+    def test_trial_fault_config(self):
+        spec = small_spec(workloads=("gcc",), models=("SS-2",),
+                          rates_per_million=(0.0, 500.0), replicates=1)
+        clean, faulty = spec.trials()
+        assert clean.fault_config() is None
+        config = faulty.fault_config()
+        assert config.rate_per_million == 500.0
+        assert config.seed == faulty.fault_seed

@@ -1,0 +1,68 @@
+"""JSONL result store: persistence, resume keys, torn-line tolerance."""
+
+import json
+
+import pytest
+
+from repro.campaign.store import ResultStore
+
+
+def record(key, **extra):
+    data = {"key": key, "outcome": "masked"}
+    data.update(extra)
+    return data
+
+
+class TestStore:
+    def test_missing_file_loads_empty(self, tmp_path):
+        store = ResultStore(str(tmp_path / "none.jsonl"))
+        assert not store.exists
+        assert store.load() == []
+        assert store.completed_keys() == set()
+
+    def test_append_load_round_trip(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        store.append(record("aaaa", ipc=1.5))
+        store.append(record("bbbb", ipc=0.5))
+        loaded = store.load()
+        assert [r["key"] for r in loaded] == ["aaaa", "bbbb"]
+        assert loaded[0]["ipc"] == 1.5
+        assert store.completed_keys() == {"aaaa", "bbbb"}
+
+    def test_append_requires_key(self, tmp_path):
+        store = ResultStore(str(tmp_path / "r.jsonl"))
+        with pytest.raises(ValueError):
+            store.append({"outcome": "masked"})
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(str(path))
+        store.append(record("aaaa"))
+        store.append(record("bbbb"))
+        # Simulate a campaign killed mid-write: a torn trailing line.
+        with open(path, "a") as handle:
+            handle.write(json.dumps(record("cccc"))[:17])
+        assert store.completed_keys() == {"aaaa", "bbbb"}
+        # Appending after the torn line keeps the store usable: the
+        # recovered record lands on its own line.
+        store.append(record("dddd"))
+        assert "dddd" in store.completed_keys()
+
+    def test_blank_and_non_dict_lines_skipped(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('\n[1,2]\n{"no_key": true}\n'
+                        + json.dumps(record("eeee")) + "\n")
+        store = ResultStore(str(path))
+        assert store.completed_keys() == {"eeee"}
+
+    def test_truncate(self, tmp_path):
+        store = ResultStore(str(tmp_path / "sub" / "r.jsonl"))
+        store.append(record("aaaa"))
+        store.truncate()
+        assert store.exists
+        assert store.load() == []
+
+    def test_creates_parent_directories(self, tmp_path):
+        store = ResultStore(str(tmp_path / "deep" / "dir" / "r.jsonl"))
+        store.append(record("aaaa"))
+        assert store.completed_keys() == {"aaaa"}

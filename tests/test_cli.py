@@ -1,0 +1,118 @@
+"""Smoke tests: every `repro-ft` subcommand runs and prints something."""
+
+import pytest
+
+from repro.harness.cli import _COMMANDS, build_parser, main
+
+#: Per-command argument lists sized for a fast smoke run.
+SMOKE_ARGS = {
+    "table1": [],
+    "table2": ["--instructions", "800"],
+    "figure3": [],
+    "figure4": [],
+    "figure5": ["--benchmarks", "go", "--instructions", "600"],
+    "figure6": ["--benchmark", "go", "--instructions", "400"],
+    "sensitivity": ["--benchmarks", "go", "--instructions", "500"],
+    "coverage": [],
+    "demo": ["--instructions", "600"],
+    "campaign": ["--workloads", "gcc", "--models", "SS-2",
+                 "--rates", "0,3000", "--replicates", "2",
+                 "--instructions", "400", "--quiet"],
+}
+
+
+def test_smoke_args_cover_every_command():
+    assert set(SMOKE_ARGS) == set(_COMMANDS)
+
+
+@pytest.mark.parametrize("command", sorted(_COMMANDS))
+def test_subcommand_smoke(command, capsys):
+    exit_code = main([command] + SMOKE_ARGS[command])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert out.strip(), "%s printed nothing" % command
+
+
+class TestParser:
+    def test_missing_command_is_an_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_is_an_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nosuch"])
+
+
+class TestCampaignCli:
+    def test_resume_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--resume"])
+
+    @pytest.mark.parametrize("bad_args", [
+        ["--mixes", "nosuch"],
+        ["--workloads", "notabench"],
+        ["--rates", "0,abc"],
+        ["--replicates", "0"],
+        ["--workers", "0"],
+        ["--spec", "/nonexistent/spec.json"],
+        ["--rates", "0,1000,1000"],
+    ])
+    def test_bad_input_exits_with_message(self, bad_args, capsys):
+        # Every input error is a one-line message, not a traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--quiet"] + bad_args)
+        assert "repro-ft campaign:" in str(excinfo.value)
+
+    def test_out_without_resume_refuses_nonempty_store(self, tmp_path):
+        out = str(tmp_path / "r.jsonl")
+        args = ["campaign", "--workloads", "gcc", "--models", "SS-2",
+                "--rates", "0", "--replicates", "1",
+                "--instructions", "300", "--quiet", "--out", out]
+        main(args)
+        with pytest.raises(SystemExit) as excinfo:
+            main(args)  # no --resume: must refuse, not wipe
+        assert "already holds completed trials" in str(excinfo.value)
+
+    def test_json_output(self, capsys):
+        import json
+        main(["campaign", "--workloads", "gcc", "--models", "SS-2",
+              "--rates", "0", "--replicates", "1",
+              "--instructions", "300", "--quiet", "--json"])
+        cells = json.loads(capsys.readouterr().out)
+        assert cells[0]["workload"] == "gcc"
+        assert cells[0]["n"] == 1
+
+    def test_json_stdout_stays_parseable_with_progress(self, capsys):
+        # Progress lines go to stderr, so `--json > out.json` works
+        # without --quiet.
+        import json
+        main(["campaign", "--workloads", "gcc", "--models", "SS-2",
+              "--rates", "0", "--replicates", "2",
+              "--instructions", "300", "--json"])
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)
+        assert "[1/2]" in captured.err
+
+    def test_store_and_resume_flow(self, tmp_path, capsys):
+        out = str(tmp_path / "r.jsonl")
+        args = ["campaign", "--workloads", "gcc", "--models", "SS-2",
+                "--rates", "0,3000", "--replicates", "2",
+                "--instructions", "300", "--quiet", "--out", out]
+        main(args)
+        first = capsys.readouterr().out
+        assert "executed 4, resumed (skipped) 0" in first
+        main(args + ["--resume"])
+        second = capsys.readouterr().out
+        assert "executed 0, resumed (skipped) 4" in second
+
+    def test_spec_file(self, tmp_path, capsys):
+        import json
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(
+            {"workloads": ["gcc"], "models": ["SS-2"],
+             "rates_per_million": [0.0], "replicates": 2,
+             "instructions": 300, "mixes": ["default"]}))
+        exit_code = main(["campaign", "--spec", str(spec_path),
+                          "--quiet"])
+        assert exit_code == 0
+        assert "2 trials" in capsys.readouterr().out
