@@ -8,13 +8,15 @@ a corrupted target manifests as a recoverable misprediction.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-
 from .base import require_power_of_two
 
 
 class BranchTargetBuffer:
-    """LRU set-associative BTB (default 512 sets x 4 ways)."""
+    """LRU set-associative BTB (default 512 sets x 4 ways).
+
+    Sets are materialised lazily as plain dicts; insertion order is the
+    LRU recency order (hits pop and re-insert their tag).
+    """
 
     def __init__(self, sets=512, assoc=4):
         require_power_of_two(sets, "BTB set count")
@@ -23,31 +25,36 @@ class BranchTargetBuffer:
         self.num_sets = sets
         self.assoc = assoc
         self._mask = sets - 1
-        self._sets = [OrderedDict() for _ in range(sets)]
+        self._sets = {}                  # set index -> {pc: target}
         self.lookups = 0
         self.hits = 0
 
     def lookup(self, pc):
         """Predicted target for ``pc`` or ``None`` on a BTB miss."""
         self.lookups += 1
-        entry_set = self._sets[pc & self._mask]
-        target = entry_set.get(pc)
+        entry_set = self._sets.get(pc & self._mask)
+        if entry_set is None:
+            return None
+        target = entry_set.pop(pc, None)
         if target is not None:
             self.hits += 1
-            entry_set.move_to_end(pc)
+            entry_set[pc] = target       # refresh recency
         return target
 
     def update(self, pc, target):
         """Install/refresh the target for ``pc``."""
-        entry_set = self._sets[pc & self._mask]
-        if pc in entry_set:
-            entry_set.move_to_end(pc)
+        sets = self._sets
+        index = pc & self._mask
+        entry_set = sets.get(index)
+        if entry_set is None:
+            entry_set = sets[index] = {}
+        elif pc in entry_set:
+            del entry_set[pc]            # re-insert at MRU position
         elif len(entry_set) >= self.assoc:
-            entry_set.popitem(last=False)
+            del entry_set[next(iter(entry_set))]
         entry_set[pc] = target
 
     def reset(self):
-        for entry_set in self._sets:
-            entry_set.clear()
+        self._sets = {}
         self.lookups = 0
         self.hits = 0

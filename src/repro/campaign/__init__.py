@@ -7,6 +7,8 @@ statistically aggregated injection campaigns:
   fault rate x kind mix x replicate), expanded into content-keyed trials;
 * :mod:`~repro.campaign.outcome` — per-trial golden-reference
   classification (masked / detected_recovered / sdc / timeout);
+* :mod:`~repro.campaign.golden` — memoized, seekable golden traces and
+  store-footprint state comparison shared by all trials of a cell;
 * :mod:`~repro.campaign.engine` — serial or process-pool execution with
   order-independent determinism;
 * :mod:`~repro.campaign.store` — JSONL persistence keyed by trial hash,
@@ -30,14 +32,20 @@ Quickstart::
 from .aggregate import (CellStats, aggregate, cells_to_json,
                         wilson_interval)
 from .engine import CampaignResult, execute_trial_payload, run_campaign
-from .outcome import (DETECTED_RECOVERED, MASKED, OUTCOMES, SDC, TIMEOUT,
-                      TrialResult, run_trial)
+from .golden import (GoldenTrace, cached_trace, clear_trace_cache,
+                     compare_with_golden)
+from .outcome import (DETECTED_RECOVERED, MASKED, OUTCOMES, SDC,
+                      SIMULATORS, TIMEOUT, TrialResult,
+                      clear_result_caches, run_trial)
 from .spec import CampaignSpec, Trial
 from .store import ResultStore
 
 __all__ = [
     "CellStats", "aggregate", "cells_to_json", "wilson_interval",
     "CampaignResult", "execute_trial_payload", "run_campaign",
-    "DETECTED_RECOVERED", "MASKED", "OUTCOMES", "SDC", "TIMEOUT",
-    "TrialResult", "run_trial", "CampaignSpec", "Trial", "ResultStore",
+    "GoldenTrace", "cached_trace", "clear_trace_cache",
+    "compare_with_golden",
+    "DETECTED_RECOVERED", "MASKED", "OUTCOMES", "SDC", "SIMULATORS",
+    "TIMEOUT", "TrialResult", "clear_result_caches", "run_trial",
+    "CampaignSpec", "Trial", "ResultStore",
 ]

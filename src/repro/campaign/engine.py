@@ -23,7 +23,18 @@ def execute_trial_payload(payload):
 
     Module-level (not a closure) so :class:`ProcessPoolExecutor` can
     pickle it; takes and returns plain dicts for the same reason.
+    Accepts either a bare ``Trial.to_dict()`` (the PR-1 payload shape)
+    or ``{"trial": ..., "simulator": ..., "golden_cache": ...,
+    "reuse_faultfree": ...}``.
     """
+    if "trial" in payload:
+        trial = Trial.from_dict(payload["trial"])
+        return run_trial(
+            trial,
+            simulator=payload.get("simulator", "fast"),
+            golden_cache=payload.get("golden_cache", True),
+            reuse_faultfree=payload.get("reuse_faultfree", True),
+        ).to_record()
     trial = Trial.from_dict(payload)
     return run_trial(trial).to_record()
 
@@ -48,7 +59,8 @@ class CampaignResult:
 
 
 def run_campaign(spec, workers=1, store=None, resume=False,
-                 progress=None):
+                 progress=None, simulator="fast", golden_cache=True,
+                 reuse_faultfree=True):
     """Execute every trial of ``spec`` not already in ``store``.
 
     ``workers > 1`` fans trials out over a process pool; results are
@@ -57,7 +69,10 @@ def run_campaign(spec, workers=1, store=None, resume=False,
     absent — a non-empty store is refused rather than silently wiped,
     because those records may be hours of finished trials.
     ``progress`` is an optional callable ``(done, total, record)``
-    invoked per trial.
+    invoked per trial.  ``simulator``/``golden_cache``/
+    ``reuse_faultfree`` select between the optimized and the frozen
+    reference execution paths (byte-identical records either way; see
+    :func:`repro.campaign.outcome.run_trial`).
     """
     if workers < 1:
         raise ConfigError("workers must be >= 1")
@@ -81,17 +96,23 @@ def run_campaign(spec, workers=1, store=None, resume=False,
     todo = [trial for trial in trials if trial.key not in completed]
     result = CampaignResult(spec=spec, executed=len(todo),
                             skipped=len(trials) - len(todo))
-    fresh = _execute(todo, workers, store, progress,
+    options = {"simulator": simulator, "golden_cache": golden_cache,
+               "reuse_faultfree": reuse_faultfree}
+    fresh = _execute(todo, workers, store, progress, options,
                      done_offset=len(completed), total=len(trials))
     completed.update(fresh)
     result.records = [completed[trial.key] for trial in trials]
     return result
 
 
-def _execute(todo, workers, store, progress, done_offset, total):
+def _execute(todo, workers, store, progress, options, done_offset,
+             total):
     """Run the outstanding trials; return {key: record}."""
     records = {}
     done = done_offset
+
+    def payload(trial):
+        return dict(options, trial=trial.to_dict())
 
     def collect(record):
         nonlocal done
@@ -104,10 +125,10 @@ def _execute(todo, workers, store, progress, done_offset, total):
 
     if workers == 1 or len(todo) <= 1:
         for trial in todo:
-            collect(execute_trial_payload(trial.to_dict()))
+            collect(execute_trial_payload(payload(trial)))
         return records
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(execute_trial_payload, trial.to_dict())
+        futures = [pool.submit(execute_trial_payload, payload(trial))
                    for trial in todo]
         for future in as_completed(futures):
             collect(future.result())

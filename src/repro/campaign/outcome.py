@@ -22,15 +22,19 @@ Outcome classes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 
+from ..core.faults import FaultInjector
 from ..errors import SimulationError
 from ..functional.checker import compare_states
 from ..functional.simulator import FunctionalSimulator
 from ..harness.experiment import cycle_budget, run_windowed
 from ..models.presets import get_model
+from ..program.cache import cached_workload as _cached_workload
 from ..uarch.processor import Processor
-from ..workloads.generator import build_workload
+from ..uarch.reference import ReferenceProcessor
+from .golden import cached_trace, compare_with_golden
 
 MASKED = "masked"
 DETECTED_RECOVERED = "detected_recovered"
@@ -39,18 +43,14 @@ TIMEOUT = "timeout"
 
 OUTCOMES = (MASKED, DETECTED_RECOVERED, SDC, TIMEOUT)
 
-#: Per-process cache of generated programs: workloads are deterministic
-#: in (name, seed) and the simulators copy the data image, so rebuilding
-#: one per trial would be pure waste.
-_PROGRAM_CACHE = {}
+#: Simulator selection accepted by :func:`run_trial`: the optimized
+#: engine, or the frozen pre-overhaul reference for A/B diffing.
+SIMULATORS = ("fast", "reference")
 
-
-def _cached_workload(name, seed):
-    program = _PROGRAM_CACHE.get((name, seed))
-    if program is None:
-        program = build_workload(name, seed=seed)
-        _PROGRAM_CACHE[(name, seed)] = program
-    return program
+#: Per-process memo of fault-free trial results: with no injector the
+#: simulation is a pure function of (workload, model, budgets), so all
+#: replicates of a rate-0 cell share one execution.
+_FAULTFREE_CACHE = {}
 
 
 @dataclass
@@ -100,12 +100,109 @@ class TrialResult:
         return cls(trial=dict(record["trial"]), **kwargs)
 
 
-def run_trial(trial):
-    """Execute one :class:`~repro.campaign.spec.Trial` and classify it."""
+def run_trial(trial, simulator="fast", golden_cache=True,
+              reuse_faultfree=True):
+    """Execute one :class:`~repro.campaign.spec.Trial` and classify it.
+
+    ``simulator`` selects the optimized engine (``"fast"``) or the
+    frozen :class:`~repro.uarch.reference.ReferenceProcessor`
+    (``"reference"``); ``golden_cache`` toggles the memoized seekable
+    golden trace versus a fresh per-trial functional run; with
+    ``reuse_faultfree`` all replicates of a fault-free cell share one
+    execution, and fault trials whose injector provably never fires
+    (see :func:`_injector_stays_silent`) reuse it too.  Every
+    combination produces byte-identical records — the switches exist
+    for A/B benchmarking and divergence detection.
+    """
+    if simulator not in SIMULATORS:
+        raise ValueError("unknown simulator %r (choose from %s)"
+                         % (simulator, "/".join(SIMULATORS)))
+    fast = simulator == "fast"
+    fault_config = trial.fault_config()
+    if reuse_faultfree and fast:
+        baseline_key = (trial.workload, trial.workload_seed, trial.model,
+                        trial.instructions, trial.warmup,
+                        trial.max_cycles)
+        if fault_config is None:
+            entry = _FAULTFREE_CACHE.get(baseline_key)
+            if entry is None:
+                entry = _run_baseline(trial, baseline_key, golden_cache)
+            return replace(entry[0], trial=trial.to_dict())
+        entry = _FAULTFREE_CACHE.get(baseline_key)
+        if entry is None and _worth_baseline(trial, fault_config):
+            entry = _run_baseline(trial, baseline_key, golden_cache)
+        if entry is not None and _injector_stays_silent(
+                fault_config, entry[1], entry[2]):
+            # The injector's rate draws all miss over the exact number
+            # of dispatched groups: the trial is the fault-free run.
+            return replace(entry[0], trial=trial.to_dict())
+    result, _ = _execute_and_classify(trial, fault_config, fast,
+                                      golden_cache)
+    return result
+
+
+def _run_baseline(trial, baseline_key, golden_cache):
+    """Run and memoize the fault-free twin of ``trial``."""
+    result, groups = _execute_and_classify(trial, None, True,
+                                           golden_cache)
+    model = get_model(trial.model)
+    entry = (result, groups, model.ft.redundancy)
+    _FAULTFREE_CACHE[baseline_key] = entry
+    return entry
+
+
+def _worth_baseline(trial, fault_config):
+    """Is computing the fault-free baseline likely to pay off?
+
+    Pure performance heuristic (never affects results): estimate the
+    probability that a trial of this rate draws no fault at all; only
+    spend a baseline simulation when silent trials are likely enough
+    to be reused by this cell's replicates.
+    """
+    model = get_model(trial.model)
+    draws_per_group = model.ft.redundancy + 1
+    estimated_groups = 2.5 * (trial.instructions + trial.warmup)
+    p_silent = math.exp(-fault_config.rate * draws_per_group
+                        * estimated_groups)
+    return p_silent >= 0.3
+
+
+def _injector_stays_silent(fault_config, dispatched_groups, redundancy):
+    """Would this trial's injector fire within ``dispatched_groups``?
+
+    Replays the injector's exact RNG consumption — one group-level
+    ``pc`` draw (when the mix gives ``pc`` weight) plus one draw per
+    redundant copy, per dispatched group, in dispatch order — against
+    the fault-free run's dispatch count.  If every draw misses, the
+    fault run is state-for-state the fault-free run: planning (and so
+    any divergence, including extra RNG consumption) only happens on a
+    hit.  Exact, not probabilistic.
+    """
+    probe = FaultInjector(fault_config)
+    random = probe._rng.random
+    rate = probe._rate
+    pc_rate = probe._pc_rate
+    if pc_rate > 0:
+        for _ in range(dispatched_groups):
+            if random() < pc_rate:
+                return False
+            for _ in range(redundancy):
+                if random() < rate:
+                    return False
+    else:
+        for _ in range(dispatched_groups * redundancy):
+            if random() < rate:
+                return False
+    return True
+
+
+def _execute_and_classify(trial, fault_config, fast, golden_cache):
+    """Simulate one trial; return (TrialResult, dispatched groups)."""
     program = _cached_workload(trial.workload, trial.workload_seed)
     model = get_model(trial.model)
-    processor = Processor(program, config=model.config, ft=model.ft,
-                          fault_config=trial.fault_config())
+    processor_class = Processor if fast else ReferenceProcessor
+    processor = processor_class(program, config=model.config, ft=model.ft,
+                                fault_config=fault_config)
     budget = trial.instructions + trial.warmup
     max_cycles = trial.max_cycles
     if max_cycles is None:
@@ -121,18 +218,19 @@ def run_trial(trial):
                        stats.extras.get("warmup_cycles", 0),
                        stats.extras.get("warmup_instructions", 0))
         result.detail = "simulation error: %s" % exc
-        return result
+        return result, stats.dispatched_groups
     _fill_counters(result, stats, warm_cycles, warm_instructions)
     committed = stats.instructions
     if stats.crashed:
         result.detail = "committed control flow left the program"
-        return result
+        return result, stats.dispatched_groups
     if committed < budget and not processor.halted:
         result.detail = ("cycle budget exhausted: %d/%d instructions "
                          "in %d cycles" % (committed, budget, stats.cycles))
-        return result
+        return result, stats.dispatched_groups
     result.outcome, result.detail = _classify_against_golden(
-        processor, program, model, committed, result)
+        processor, program, model, committed, result,
+        golden_cache=golden_cache and fast)
     if processor.halted and committed < budget:
         # HALT committed before the budget: either the program really
         # ends here (golden agrees: masked/recovered) or a fault
@@ -141,7 +239,12 @@ def run_trial(trial):
                          % (committed, budget,
                             "; " + result.detail if result.detail
                             else ""))
-    return result
+    return result, stats.dispatched_groups
+
+
+def clear_result_caches():
+    """Drop the fault-free result memo (for tests)."""
+    _FAULTFREE_CACHE.clear()
 
 
 def _fill_counters(result, stats, warm_cycles, warm_instructions):
@@ -161,23 +264,38 @@ def _fill_counters(result, stats, warm_cycles, warm_instructions):
 
 
 def _classify_against_golden(processor, program, model, committed,
-                             result):
-    """Compare committed state with the in-order reference."""
-    golden = FunctionalSimulator(program,
-                                 mem_size=model.config.mem_size_words)
-    for _ in range(committed):
-        if not golden.step():
-            break
-    diff = compare_states(processor.arch, golden.state)
-    pc_clean = (processor.committed_next_pc == golden.state.pc
-                or golden.state.halted)
+                             result, golden_cache=True):
+    """Compare committed state with the in-order reference.
+
+    With ``golden_cache`` the in-order execution comes from the
+    memoized seekable trace of this (workload, model) cell and the
+    comparison scans only the store footprints; without it a fresh
+    functional simulation and a full-state scan are used (the pre-PR
+    path).  Results are byte-identical either way.
+    """
+    if golden_cache:
+        mem_size = model.config.mem_size_words
+        trace = cached_trace((program.name, id(program), mem_size),
+                             program, mem_size=mem_size)
+        golden_state = trace.seek(committed)
+        diff = compare_with_golden(processor.arch, golden_state)
+    else:
+        golden = FunctionalSimulator(program,
+                                     mem_size=model.config.mem_size_words)
+        for _ in range(committed):
+            if not golden.step():
+                break
+        golden_state = golden.state
+        diff = compare_states(processor.arch, golden_state)
+    pc_clean = (processor.committed_next_pc == golden_state.pc
+                or golden_state.halted)
     result.reg_mismatches = len(diff.reg_mismatches)
     result.mem_mismatches = len(diff.mem_mismatches)
     if not diff.clean or not pc_clean:
         detail = diff.summary()
         if not pc_clean:
             detail = ("next-pc %d != golden %d; %s"
-                      % (processor.committed_next_pc, golden.state.pc,
+                      % (processor.committed_next_pc, golden_state.pc,
                          detail))
         return SDC, detail
     stats = processor.stats

@@ -38,6 +38,15 @@ def _signature(entry):
     return (entry.value, entry.next_pc, entry.addr, entry.store_val)
 
 
+def _field_equal(left, right):
+    """One signature field: both unset, or set and values-equal."""
+    if left is None:
+        return right is None
+    if right is None:
+        return False
+    return values_equal(left, right)
+
+
 def _signatures_equal(a, b):
     for left, right in zip(a, b):
         if left is None and right is None:
@@ -72,13 +81,22 @@ class CommitChecker:
         """Cross-check ``group``; never commits anything itself."""
         copies = group.copies
         self.checks += 1
-        signatures = [_signature(entry) for entry in copies]
-        first = signatures[0]
-        all_agree = all(_signatures_equal(first, sig)
-                        for sig in signatures[1:])
+        first = copies[0]
+        all_agree = True
+        for entry in copies[1:]:
+            # Inline signature comparison: this runs once per committed
+            # group, and in the fault-free common case every field pair
+            # is identical (often the very same object).
+            if not (_field_equal(first.value, entry.value)
+                    and _field_equal(first.next_pc, entry.next_pc)
+                    and _field_equal(first.addr, entry.addr)
+                    and _field_equal(first.store_val, entry.store_val)):
+                all_agree = False
+                break
         if all_agree:
             return CheckResult(ok=True, representative=0, majority=False,
                                agree_count=len(copies))
+        signatures = [_signature(entry) for entry in copies]
         self.mismatches += 1
         if self.ft.majority_election and len(copies) >= 3:
             best_index, best_count = self._majority(signatures)

@@ -108,6 +108,13 @@ class FaultInjector:
         self._kinds = list(self.config.kind_weights.keys())
         self._weights = list(self.config.kind_weights.values())
         self.planned = 0
+        # Per-dispatch hot path: resolve the per-copy rate and the
+        # group-level pc share once (they are pure functions of the
+        # immutable-by-convention config).
+        self._rate = self.config.rate
+        weights = self.config.kind_weights
+        self._pc_rate = self._rate * (weights.get("pc", 0.0)
+                                      / sum(weights.values()))
 
     def reset(self):
         self._rng = random.Random(self.config.seed)
@@ -120,9 +127,18 @@ class FaultInjector:
         branch} or ``None``.  ``pc`` faults are group-level; see
         :meth:`plan_for_group`.
         """
-        rate = self.config.rate
+        rate = self._rate
         if rate <= 0 or self._rng.random() >= rate:
             return None
+        return self.plan_for_copy_hit(inst)
+
+    def plan_for_copy_hit(self, inst):
+        """Continuation of :meth:`plan_for_copy` after its rate draw hit.
+
+        Exposed so the dispatch hot loop can perform the (almost always
+        missing) rate draw inline and only pay a call on a hit; the RNG
+        consumption is identical to calling :meth:`plan_for_copy`.
+        """
         kind = self._draw_kind()
         kind = self._fit_kind_to_inst(kind, inst)
         if kind is None:
@@ -132,11 +148,13 @@ class FaultInjector:
 
     def plan_for_group(self, inst):
         """Plan (or not) a group-level ``pc`` fault for one instruction."""
-        weights = self.config.kind_weights
-        pc_share = weights.get("pc", 0.0) / sum(weights.values())
-        rate = self.config.rate * pc_share
+        rate = self._pc_rate
         if rate <= 0 or self._rng.random() >= rate:
             return None
+        return self.plan_for_group_hit()
+
+    def plan_for_group_hit(self):
+        """Continuation of :meth:`plan_for_group` after its draw hit."""
         self.planned += 1
         return FaultPlan(kind="pc", bit=self._rng.randrange(16))
 

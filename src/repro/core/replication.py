@@ -18,7 +18,6 @@ from __future__ import annotations
 from ..isa.opcodes import Kind
 from ..isa.registers import ZERO
 from .rob import DONE, READY, WAITING, Group, RobEntry
-from .rob_access import capture_operand
 
 
 class Replicator:
@@ -42,13 +41,22 @@ class Replicator:
     def build_group(self, record, cycle):
         """Replicate one fetched instruction into an R-copy group."""
         inst = record.inst
+        meta = record.meta
         group = Group(self._gseq, record.pc, inst, record.pred_npc,
-                      record.pred_taken, record.ras_snap, record.fetch_cycle)
+                      record.pred_taken, record.ras_snap,
+                      record.fetch_cycle, meta)
         self._gseq += 1
         injector = self.fault_injector
+        rng_random = None
+        copy_rate = 0.0
         if injector is not None:
-            plan = injector.plan_for_group(inst)
-            if plan is not None:
+            # Rate draws inlined (plan_for_*_hit fires on the rare hit);
+            # the RNG sequence is identical to the plan_for_* methods.
+            rng_random = injector._rng.random
+            copy_rate = injector._rate
+            pc_rate = injector._pc_rate
+            if pc_rate > 0 and rng_random() < pc_rate:
+                plan = injector.plan_for_group_hit()
                 # Upset in the (unprotected) PC register: all copies see
                 # the same wrong PC; only PC-continuity checking catches
                 # it (Section 3.4).
@@ -56,38 +64,90 @@ class Replicator:
                 if self.stats is not None:
                     self.stats.faults_injected += 1
 
-        info = inst.info
+        info = meta.info if meta is not None else inst.info
         kind = info.kind
+        inert = kind == Kind.NOP or kind == Kind.HALT
+        reads_rs1 = info.reads_rs1
+        reads_rs2 = info.reads_rs2
+        rs1 = inst.rs1
+        rs2 = inst.rs2
+        # Producer lookup is per-group work: all copies of a consumer
+        # read from the same producer *group* (copy k reads copy k).
+        producer1 = producer2 = None
+        committed1 = committed2 = 0
+        if not inert:
+            renamer = self.renamer
+            committed_read = self.committed_read
+            if reads_rs1:
+                if rs1 == ZERO:
+                    committed1 = 0
+                else:
+                    producer1 = renamer.lookup(rs1)
+                    if producer1 is None:
+                        committed1 = committed_read(rs1)
+            if reads_rs2:
+                if rs2 == ZERO:
+                    committed2 = 0
+                else:
+                    producer2 = renamer.lookup(rs2)
+                    if producer2 is None:
+                        committed2 = committed_read(rs2)
+        seq = self._seq
+        vidx = group.gseq * self.redundancy
+        copies = group.copies
         for copy in range(self.redundancy):
-            entry = RobEntry(self._seq, group.gseq * self.redundancy + copy,
-                             group, copy)
-            self._seq += 1
-            group.copies.append(entry)
-            if injector is not None:
-                plan = injector.plan_for_copy(inst)
+            entry = RobEntry(seq, vidx + copy, group, copy)
+            seq += 1
+            copies.append(entry)
+            if injector is not None and rng_random() < copy_rate:
+                plan = injector.plan_for_copy_hit(inst)
                 if plan is not None:
                     entry.fault_kind = plan.kind
                     entry.fault_bit = plan.bit
-            if kind == Kind.NOP or kind == Kind.HALT:
+            if inert:
                 # Nothing to execute: completes at dispatch.
                 entry.state = DONE
                 entry.next_pc = group.pc + (0 if kind == Kind.HALT else 1)
                 group.done_count += 1
                 continue
-            self._capture_operands(entry, inst, copy)
+            if reads_rs1:
+                if producer1 is None:
+                    entry.src_vals[0] = committed1
+                else:
+                    producer = producer1.copies[copy]
+                    entry.src_tags = [producer.vidx, None]
+                    if producer.state == DONE:
+                        entry.src_vals[0] = producer.value
+                    else:
+                        entry.pending += 1
+                        waiters = producer.dependents
+                        if waiters is None:
+                            producer.dependents = [(entry, 0)]
+                        else:
+                            waiters.append((entry, 0))
+            if reads_rs2:
+                if producer2 is None:
+                    entry.src_vals[1] = committed2
+                else:
+                    producer = producer2.copies[copy]
+                    tags = entry.src_tags
+                    if type(tags) is list:
+                        tags[1] = producer.vidx
+                    else:
+                        entry.src_tags = [None, producer.vidx]
+                    if producer.state == DONE:
+                        entry.src_vals[1] = producer.value
+                    else:
+                        entry.pending += 1
+                        waiters = producer.dependents
+                        if waiters is None:
+                            producer.dependents = [(entry, 1)]
+                        else:
+                            waiters.append((entry, 1))
             entry.state = READY if entry.pending == 0 else WAITING
+        self._seq = seq
         # Register the destination mapping once per group (copy 0's tag;
         # the offset rule recovers the other copies).
         if info.writes_reg and inst.rd != ZERO:
             self.renamer.set_dest(inst.rd, group)
         return group
-
-    def _capture_operands(self, entry, inst, copy):
-        """Wire up to two source operands for one redundant copy."""
-        info = inst.info
-        if info.reads_rs1:
-            capture_operand(entry, 0, inst.rs1, copy, self.renamer,
-                            self.committed_read)
-        if info.reads_rs2:
-            capture_operand(entry, 1, inst.rs2, copy, self.renamer,
-                            self.committed_read)

@@ -24,6 +24,11 @@ READY = 1     # all operands captured, not yet issued
 ISSUED = 2    # executing in a functional unit
 DONE = 3      # result fields valid
 
+#: Shared immutable placeholder for "no producer tags captured":
+#: entries allocate a private list copy-on-write, so the common
+#: committed-operand case costs no allocation.
+NO_TAGS = (None, None)
+
 
 class RobEntry:
     """One ROB slot: a single redundant copy of an instruction."""
@@ -61,8 +66,8 @@ class RobEntry:
         self.state = WAITING
         self.pending = 0
         self.src_vals = [0, 0]
-        self.src_tags = [None, None]
-        self.dependents = []
+        self.src_tags = NO_TAGS       # copy-on-write (see NO_TAGS)
+        self.dependents = None        # created on first waiter
         self.value = None
         self.addr = None
         self.store_val = None
@@ -88,6 +93,7 @@ class Group:
         "gseq",           # group age (program order)
         "pc",             # fetch PC (shared across copies)
         "inst",
+        "meta",           # DecodedInst static metadata (may be None)
         "copies",         # list of R RobEntry
         "pred_npc",       # next PC predicted at fetch
         "pred_taken",     # direction prediction (conditional branches)
@@ -102,13 +108,24 @@ class Group:
         "fetch_cycle",
         "dispatch_cycle",
         "squashed",
+        # Kind flags, resolved once at construction: the commit, issue
+        # and LSQ paths read them for every in-flight group every cycle.
+        "is_load",
+        "is_store",
+        "is_mem",
+        "is_control",
+        # Disambiguation memo (loads): the store group this load is
+        # provably blocked on, and why (see LoadStoreQueue.load_block).
+        "block_on",
+        "block_mode",
     )
 
     def __init__(self, gseq, pc, inst, pred_npc, pred_taken=False,
-                 ras_snap=None, fetch_cycle=0):
+                 ras_snap=None, fetch_cycle=0, meta=None):
         self.gseq = gseq
         self.pc = pc
         self.inst = inst
+        self.meta = meta
         self.copies = []
         self.pred_npc = pred_npc
         self.pred_taken = pred_taken
@@ -123,6 +140,19 @@ class Group:
         self.fetch_cycle = fetch_cycle
         self.dispatch_cycle = None
         self.squashed = False
+        self.block_on = None
+        self.block_mode = 0
+        if meta is not None:
+            self.is_load = meta.is_load
+            self.is_store = meta.is_store
+            self.is_mem = meta.is_mem
+            self.is_control = meta.is_control
+        else:
+            kind = inst.info.kind
+            self.is_load = kind == Kind.LOAD
+            self.is_store = kind == Kind.STORE
+            self.is_mem = self.is_load or self.is_store
+            self.is_control = kind == Kind.BRANCH or kind == Kind.JUMP
 
     @property
     def redundancy(self):
@@ -132,30 +162,12 @@ class Group:
     def complete(self):
         return self.done_count >= len(self.copies)
 
-    @property
-    def is_load(self):
-        return self.inst.info.kind == Kind.LOAD
-
-    @property
-    def is_store(self):
-        return self.inst.info.kind == Kind.STORE
-
-    @property
-    def is_mem(self):
-        kind = self.inst.info.kind
-        return kind == Kind.LOAD or kind == Kind.STORE
-
-    @property
-    def is_control(self):
-        kind = self.inst.info.kind
-        return kind == Kind.BRANCH or kind == Kind.JUMP
-
     def mark_squashed(self):
         """Invalidate the group and all copies (stale events check this)."""
         self.squashed = True
         for entry in self.copies:
             entry.squashed = True
-            entry.dependents = []
+            entry.dependents = None
 
     def __repr__(self):
         return ("<Group gseq=%d pc=%d %s done=%d/%d>"

@@ -78,10 +78,19 @@ def values_equal(a, b):
     inputs, so agreement is bit-exact; NaN results compare equal so that a
     fault-free NaN-producing program does not trigger false detections.
     """
+    if a is b:
+        # Identity implies equality under every rule below (a NaN is
+        # "equal" to itself here by design); redundant copies frequently
+        # share the exact object (interned ints, the group's single
+        # load value), so this short-circuit carries the hot path.
+        return True
     if isinstance(a, float) and isinstance(b, float):
-        if math.isnan(a) and math.isnan(b):
-            return True
-        return a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
+        if a == b:
+            # Equal non-zero floats always share a sign; only the
+            # +0.0/-0.0 pair needs the sign-bit comparison.
+            return a != 0.0 or \
+                math.copysign(1.0, a) == math.copysign(1.0, b)
+        return math.isnan(a) and math.isnan(b)
     if isinstance(a, float) or isinstance(b, float):
         return False
     return a == b

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..isa.registers import FP_BASE, NUM_LOGICAL_REGS, ZERO
 from ..memory.main_memory import DEFAULT_MEMORY_WORDS, MainMemory
-from .numeric import as_float, as_int
+from .numeric import INT64_MAX, INT64_MIN, as_float, as_int
 
 
 class ArchState:
@@ -34,7 +34,14 @@ class ArchState:
         if index == ZERO:
             return
         if index < FP_BASE:
-            self.regs[index] = as_int(value)
+            # Fast path: an in-range int is its own normal form (bool is
+            # excluded by the exact type check and falls through).
+            if type(value) is int and INT64_MIN <= value <= INT64_MAX:
+                self.regs[index] = value
+            else:
+                self.regs[index] = as_int(value)
+        elif type(value) is float:
+            self.regs[index] = value
         else:
             self.regs[index] = as_float(value)
 

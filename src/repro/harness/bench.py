@@ -1,0 +1,245 @@
+"""Simulator performance benchmark: optimized engine vs the frozen
+pre-overhaul reference, with results persisted to ``BENCH_simulator.json``.
+
+Two measurements, both run through :func:`run_bench` (the ``repro-ft
+bench`` subcommand):
+
+* **engine** — single simulations per (workload, model): wall time and
+  cycles/second for the :class:`~repro.uarch.reference.
+  ReferenceProcessor` and the optimized :class:`~repro.uarch.processor.
+  Processor`, with a byte-identical :class:`PipelineStats` check per
+  pair;
+* **campaign** — the paper's Figure-6 fault-sweep grid (fpppp on the
+  R=2 and R=3 machines across the figure's fault-rate ladder, 64
+  trials) executed twice through :func:`repro.campaign.engine.
+  run_campaign`: once on the unoptimized path (reference engine, naive
+  per-trial golden classification) and once on the optimized path
+  (cycle skipping, decoded-program cache, memoized golden traces,
+  fault-free result reuse).  The two record lists must be
+  byte-identical; wall times, trials/second and the speedup are
+  recorded.
+
+Divergence between the two paths raises :class:`BenchDivergence` — the
+CI smoke job relies on that to fail the build.  Absolute timings are
+recorded, never asserted (shared runners are noisy); the committed
+``BENCH_simulator.json`` documents the measured trajectory per host.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+
+from ..campaign.engine import run_campaign
+from ..campaign.golden import clear_trace_cache
+from ..campaign.outcome import clear_result_caches
+from ..campaign.spec import CampaignSpec
+from ..models.presets import get_model
+from ..program.cache import cached_workload
+from ..uarch.processor import Processor
+from ..uarch.reference import ReferenceProcessor
+
+BENCH_VERSION = 1
+DEFAULT_OUT = "BENCH_simulator.json"
+
+#: Single-simulation grid: paper-canonical workloads on the baseline
+#: and the dual-redundant machine.
+ENGINE_WORKLOADS = ("gcc", "go", "fpppp", "ammp")
+ENGINE_MODELS = ("SS-1", "SS-2")
+ENGINE_INSTRUCTIONS = 1_500
+
+#: The Figure-6 fault-frequency ladder (faults per million
+#: instructions) — the campaign bench sweeps it end to end.
+FIGURE6_BENCH_RATES = (0.0, 10.0, 100.0, 300.0, 1000.0, 3000.0,
+                       10_000.0, 30_000.0)
+
+
+class BenchDivergence(AssertionError):
+    """Optimized and reference execution paths disagreed."""
+
+
+def campaign_bench_spec(quick=False):
+    """The campaign grid the bench times (64 trials; 8 with --quick)."""
+    if quick:
+        return CampaignSpec(
+            name="bench-hotpath-quick",
+            workloads=("fpppp",),
+            models=("SS-2",),
+            rates_per_million=(0.0, 300.0, 3_000.0, 30_000.0),
+            replicates=2,
+            instructions=600)
+    return CampaignSpec(
+        name="bench-hotpath",
+        workloads=("fpppp",),
+        models=("SS-2", "SS-3"),
+        rates_per_million=FIGURE6_BENCH_RATES,
+        replicates=4,
+        instructions=1_500)
+
+
+def _run_engine_once(processor_class, program, model,
+                     instructions):
+    start = time.perf_counter()
+    processor = processor_class(program, config=model.config,
+                                ft=model.ft)
+    processor.run(max_instructions=instructions, max_cycles=400_000)
+    elapsed = time.perf_counter() - start
+    return elapsed, processor.stats
+
+
+def bench_engine(workloads=ENGINE_WORKLOADS, models=ENGINE_MODELS,
+                 instructions=ENGINE_INSTRUCTIONS, repeats=2):
+    """Single-simulation A/B grid; returns a JSON-ready dict."""
+    rows = []
+    for workload in workloads:
+        program = cached_workload(workload)
+        for model_name in models:
+            model = get_model(model_name)
+            best = {"reference": None, "optimized": None}
+            stats = {}
+            for label, cls in (("reference", ReferenceProcessor),
+                               ("optimized", Processor)):
+                for _ in range(repeats):
+                    elapsed, run_stats = _run_engine_once(
+                        cls, program, model, instructions)
+                    if best[label] is None or elapsed < best[label]:
+                        best[label] = elapsed
+                stats[label] = run_stats.as_dict()
+            if stats["reference"] != stats["optimized"]:
+                raise BenchDivergence(
+                    "engine divergence on %s/%s: reference and "
+                    "optimized PipelineStats differ"
+                    % (workload, model_name))
+            cycles = stats["optimized"]["cycles"]
+            rows.append({
+                "workload": workload,
+                "model": model_name,
+                "instructions": instructions,
+                "cycles": cycles,
+                "reference_seconds": round(best["reference"], 6),
+                "optimized_seconds": round(best["optimized"], 6),
+                "reference_cycles_per_sec":
+                    round(cycles / best["reference"], 1),
+                "optimized_cycles_per_sec":
+                    round(cycles / best["optimized"], 1),
+                "speedup": round(best["reference"] / best["optimized"],
+                                 3),
+            })
+    return {"instructions": instructions, "rows": rows}
+
+
+def bench_campaign(quick=False, workers=1, repeats=3):
+    """Campaign-path A/B run; returns a JSON-ready dict.
+
+    Each path is timed ``repeats`` times and the best wall clock kept
+    (scheduler noise only ever adds time).  Raises
+    :class:`BenchDivergence` unless the optimized path's records are
+    byte-identical to the unoptimized path's.
+    """
+    spec = campaign_bench_spec(quick=quick)
+    if quick:
+        repeats = 1
+    reference = optimized = None
+    reference_seconds = optimized_seconds = None
+    for _ in range(repeats):
+        clear_result_caches()
+        clear_trace_cache()
+        start = time.perf_counter()
+        reference = run_campaign(spec, workers=workers,
+                                 simulator="reference",
+                                 golden_cache=False,
+                                 reuse_faultfree=False)
+        elapsed = time.perf_counter() - start
+        if reference_seconds is None or elapsed < reference_seconds:
+            reference_seconds = elapsed
+    for _ in range(repeats):
+        clear_result_caches()
+        clear_trace_cache()
+        start = time.perf_counter()
+        optimized = run_campaign(spec, workers=workers)
+        elapsed = time.perf_counter() - start
+        if optimized_seconds is None or elapsed < optimized_seconds:
+            optimized_seconds = elapsed
+    if reference.records != optimized.records:
+        differing = [left["key"] for left, right
+                     in zip(reference.records, optimized.records)
+                     if left != right]
+        raise BenchDivergence(
+            "campaign divergence: %d of %d trial records differ "
+            "between the optimized and unoptimized paths (keys: %s)"
+            % (len(differing), len(reference.records),
+               ", ".join(differing[:8])))
+    trials = len(reference.records)
+    return {
+        "spec": spec.to_dict(),
+        "trials": trials,
+        "workers": workers,
+        "identical_records": True,
+        "reference_seconds": round(reference_seconds, 3),
+        "optimized_seconds": round(optimized_seconds, 3),
+        "reference_trials_per_sec": round(trials / reference_seconds,
+                                          3),
+        "optimized_trials_per_sec": round(trials / optimized_seconds,
+                                          3),
+        "speedup": round(reference_seconds / optimized_seconds, 3),
+    }
+
+
+def run_bench(quick=False, out=DEFAULT_OUT, workers=1):
+    """Run both benches; write ``out`` (unless empty); return the dict."""
+    if quick:
+        engine = bench_engine(workloads=("gcc", "fpppp"),
+                              instructions=600, repeats=1)
+    else:
+        engine = bench_engine()
+    campaign = bench_campaign(quick=quick, workers=workers)
+    payload = {
+        "version": BENCH_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick": quick,
+        "host": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+        },
+        "engine": engine,
+        "campaign": campaign,
+    }
+    if out:
+        with open(out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return payload
+
+
+def format_bench_summary(payload):
+    """Readable multi-line summary of a bench payload."""
+    lines = ["simulator hot-path benchmark (%s)"
+             % payload["generated_at"],
+             "",
+             "engine (single simulations, %d instructions):"
+             % payload["engine"]["instructions"]]
+    for row in payload["engine"]["rows"]:
+        lines.append(
+            "  %-7s %-5s reference %8.1f cyc/s   optimized %9.1f "
+            "cyc/s   speedup %.2fx"
+            % (row["workload"], row["model"],
+               row["reference_cycles_per_sec"],
+               row["optimized_cycles_per_sec"], row["speedup"]))
+    campaign = payload["campaign"]
+    lines += [
+        "",
+        "campaign (%d trials, %d worker%s):"
+        % (campaign["trials"], campaign["workers"],
+           "" if campaign["workers"] == 1 else "s"),
+        "  unoptimized path  %7.2fs  (%.2f trials/s)"
+        % (campaign["reference_seconds"],
+           campaign["reference_trials_per_sec"]),
+        "  optimized path    %7.2fs  (%.2f trials/s)"
+        % (campaign["optimized_seconds"],
+           campaign["optimized_trials_per_sec"]),
+        "  speedup           %6.2fx  (records byte-identical)"
+        % campaign["speedup"],
+    ]
+    return "\n".join(lines)

@@ -16,6 +16,8 @@ Examples::
         --out results.jsonl
     repro-ft campaign --spec campaign.json --workers 4 \\
         --out results.jsonl --resume
+    repro-ft bench --quick
+    repro-ft bench --out BENCH_simulator.json
 """
 
 from __future__ import annotations
@@ -198,6 +200,22 @@ def _cmd_campaign(args):
     print(format_campaign_table(cells))
 
 
+def _cmd_bench(args):
+    from .bench import BenchDivergence, format_bench_summary, run_bench
+    try:
+        payload = run_bench(quick=args.quick, out=args.out,
+                            workers=args.workers)
+    except BenchDivergence as exc:
+        raise SystemExit("repro-ft bench: DIVERGENCE: %s" % exc)
+    if args.json:
+        import json as _json
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_bench_summary(payload))
+        if args.out:
+            print("\nwritten: %s" % args.out)
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -209,7 +227,19 @@ _COMMANDS = {
     "coverage": _cmd_coverage,
     "demo": _cmd_demo,
     "campaign": _cmd_campaign,
+    "bench": _cmd_bench,
 }
+
+
+def _add_bench_args(sub):
+    sub.add_argument("--quick", action="store_true",
+                     help="small grids for CI smoke runs")
+    sub.add_argument("--out", default="BENCH_simulator.json",
+                     help="result JSON path ('' disables the file)")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="campaign process-pool width for both paths")
+    sub.add_argument("--json", action="store_true",
+                     help="print the full payload as JSON")
 
 
 def _add_campaign_args(sub):
@@ -263,6 +293,8 @@ def build_parser():
             sub.add_argument("--benchmark", default="fpppp")
         if name == "campaign":
             _add_campaign_args(sub)
+        if name == "bench":
+            _add_bench_args(sub)
     return parser
 
 

@@ -119,13 +119,15 @@ class OpInfo:
     uses_imm: bool = False
     unpipelined: bool = False     # occupies its FU for the whole latency
 
-    @property
-    def is_control(self):
-        return self.kind in (Kind.BRANCH, Kind.JUMP)
-
-    @property
-    def is_mem(self):
-        return self.kind in (Kind.LOAD, Kind.STORE)
+    # Derived flags, precomputed because the pipeline's hot loop reads
+    # them for every dynamic instruction (property dispatch is costly
+    # at that frequency).  Assigned via object.__setattr__ to get past
+    # the frozen-dataclass guard; they are pure functions of ``kind``.
+    def __post_init__(self):
+        object.__setattr__(self, "is_control",
+                           self.kind in (Kind.BRANCH, Kind.JUMP))
+        object.__setattr__(self, "is_mem",
+                           self.kind in (Kind.LOAD, Kind.STORE))
 
 
 def _alu_rr(name):

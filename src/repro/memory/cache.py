@@ -9,7 +9,6 @@ converts word addresses by shifting, 8 bytes per word/instruction).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..errors import ConfigError
@@ -59,8 +58,18 @@ class MemoryTiming:
         self.accesses = 0
 
 
+#: Sentinel distinguishing "absent" from a stored dirty flag.
+_MISS = object()
+
+
 class Cache:
-    """One level of set-associative, write-back, write-allocate cache."""
+    """One level of set-associative, write-back, write-allocate cache.
+
+    Sets are materialised lazily (a trial's footprint touches a small
+    fraction of them) as plain dicts mapping tag -> dirty flag; dict
+    insertion order doubles as the true-LRU recency order (a hit pops
+    and re-inserts its tag).
+    """
 
     def __init__(self, params, next_level):
         self.params = params
@@ -70,8 +79,7 @@ class Cache:
                               % params.name)
         self._set_mask = params.num_sets - 1
         self._block_shift = params.block_bytes.bit_length() - 1
-        # Each set: OrderedDict tag -> dirty flag; LRU at the front.
-        self._sets = [OrderedDict() for _ in range(params.num_sets)]
+        self._sets = {}                  # set index -> {tag: dirty}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -85,10 +93,6 @@ class Cache:
         """Byte address of the block containing ``address``."""
         return address >> self._block_shift << self._block_shift
 
-    def _locate(self, address):
-        block = address >> self._block_shift
-        return self._sets[block & self._set_mask], block >> 0
-
     def access(self, address, write=False):
         """Access one byte address; returns total latency in cycles.
 
@@ -97,20 +101,24 @@ class Cache:
         writebacks but are charged to statistics only — the writeback
         happens off the critical path of the triggering access.
         """
-        cache_set, block = self._locate(address)
-        if block in cache_set:
+        block = address >> self._block_shift
+        sets = self._sets
+        index = block & self._set_mask
+        cache_set = sets.get(index)
+        if cache_set is None:
+            cache_set = sets[index] = {}
+        dirty = cache_set.pop(block, _MISS)
+        if dirty is not _MISS:
             self.hits += 1
-            cache_set.move_to_end(block)
-            if write:
-                cache_set[block] = True
+            cache_set[block] = True if write else dirty
             return self.params.hit_latency
         self.misses += 1
         fill_latency = self.next_level.access(address, write=False)
         if len(cache_set) >= self.params.assoc:
-            victim, dirty = next(iter(cache_set.items()))
-            del cache_set[victim]
+            victim = next(iter(cache_set))
+            victim_dirty = cache_set.pop(victim)
             self.evictions += 1
-            if dirty:
+            if victim_dirty:
                 self.writebacks += 1
                 self.next_level.access(victim << self._block_shift,
                                        write=True)
@@ -119,13 +127,14 @@ class Cache:
 
     def probe(self, address):
         """Hit/miss check without any state change (for tests)."""
-        cache_set, block = self._locate(address)
-        return block in cache_set
+        block = address >> self._block_shift
+        cache_set = self._sets.get(block & self._set_mask)
+        return cache_set is not None and block in cache_set
 
     def flush(self):
         """Invalidate all blocks (writebacks counted, not timed)."""
-        for cache_set in self._sets:
-            for _, dirty in cache_set.items():
+        for cache_set in self._sets.values():
+            for dirty in cache_set.values():
                 if dirty:
                     self.writebacks += 1
             cache_set.clear()

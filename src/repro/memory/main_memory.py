@@ -26,6 +26,11 @@ class MainMemory:
         self._cells = [0] * size_words
         self.reads = 0
         self.writes = 0
+        #: Cell indices ever written through :meth:`store`.  Two
+        #: memories initialised from the same image can only differ at
+        #: the union of their written sets, which lets golden-state
+        #: comparison scan the store footprint instead of every word.
+        self.written = set()
         if image:
             if len(image) > size_words:
                 raise SimulationError(
@@ -49,11 +54,22 @@ class MainMemory:
     def store(self, address, value):
         """Write ``value`` to the cell at ``address``."""
         self.writes += 1
-        self._cells[self._index(address)] = value
+        index = self._index(address)
+        self._cells[index] = value
+        self.written.add(index)
 
     def peek(self, address):
         """Read without counting a simulated access (for checkers)."""
         return self._cells[self._index(address)]
+
+    def poke(self, address, value):
+        """Write without counters or dirty tracking (for checkers).
+
+        The undo path of a seekable golden trace restores cells it
+        knows were written before; the address stays in ``written``,
+        which only ever over-approximates the dirty footprint.
+        """
+        self._cells[self._index(address)] = value
 
     def snapshot(self):
         """Copy of the full cell array (for golden-state comparison)."""
@@ -63,6 +79,7 @@ class MainMemory:
         """Independent deep copy with the same contents and strictness."""
         clone = MainMemory(self.size, strict=self.strict)
         clone._cells = list(self._cells)
+        clone.written = set(self.written)
         return clone
 
     def __len__(self):

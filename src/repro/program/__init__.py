@@ -1,8 +1,11 @@
-"""Program images and loaders."""
+"""Program images, loaders and decoded-program caches."""
 
+from .cache import (DecodedInst, cached_workload, clear_caches,
+                    decode_program)
 from .image import Program
 from .loader import (load_program, program_from_dict, program_to_dict,
                      save_program)
 
-__all__ = ["Program", "load_program", "program_from_dict",
+__all__ = ["Program", "DecodedInst", "cached_workload", "clear_caches",
+           "decode_program", "load_program", "program_from_dict",
            "program_to_dict", "save_program"]

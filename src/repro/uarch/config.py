@@ -95,6 +95,11 @@ class MachineConfig:
     co_schedule_copies: bool = True
     #: Watchdog: abort if no instruction commits for this many cycles.
     deadlock_cycles: int = 50_000
+    #: Host-simulation knob (not a machine parameter): let the run loop
+    #: jump over provably idle cycles.  Produces byte-identical
+    #: PipelineStats to stepped execution; turn off to force the
+    #: simulator to step every cycle (A/B benchmarking, debugging).
+    cycle_skipping: bool = True
 
     def __post_init__(self):
         for attr in ("fetch_width", "dispatch_width", "issue_width",
@@ -108,20 +113,26 @@ class MachineConfig:
         if self.rename_scheme not in ("map", "associative"):
             raise ConfigError("unknown rename scheme %r"
                               % self.rename_scheme)
-
-    def fu_count(self, fu_class):
-        """Number of units of one functional-unit class."""
-        return {
+        # Hot-loop lookup tables, resolved once per config (the
+        # dataclass is frozen, so they can never go stale).  Stored via
+        # object.__setattr__ to get past the immutability guard.
+        object.__setattr__(self, "_op_latency", {
+            op: fn(self) for op, fn in _LATENCY_TABLE.items()})
+        object.__setattr__(self, "_fu_counts", {
             FuClass.INT_ALU: self.int_alu,
             FuClass.INT_MULT: self.int_mult,
             FuClass.FP_ADD: self.fp_add,
             FuClass.FP_MULT: self.fp_mult,
             FuClass.MEM_PORT: self.mem_ports,
-        }[fu_class]
+        })
+
+    def fu_count(self, fu_class):
+        """Number of units of one functional-unit class."""
+        return self._fu_counts[fu_class]
 
     def op_latency(self, op):
         """Execution latency of ``op`` in cycles."""
-        return _LATENCY_TABLE[op](self)
+        return self._op_latency[op]
 
     def derive(self, **changes):
         """A modified copy (convenience wrapper over dataclasses.replace)."""

@@ -23,20 +23,22 @@ from ..branch.btb import BranchTargetBuffer
 from ..branch.combined import CombinedPredictor
 from ..branch.ras import ReturnAddressStack
 from ..branch.twolevel import TwoLevelPredictor
-from ..isa.opcodes import Kind, Op
+from ..isa.opcodes import Op
 from ..isa.registers import RA
+from ..program.cache import decode_program
 
 
 class FetchRecord:
     """One fetched instruction en route to dispatch."""
 
-    __slots__ = ("pc", "inst", "pred_npc", "pred_taken", "ras_snap",
-                 "fetch_cycle")
+    __slots__ = ("pc", "inst", "meta", "pred_npc", "pred_taken",
+                 "ras_snap", "fetch_cycle")
 
     def __init__(self, pc, inst, pred_npc, pred_taken, ras_snap,
-                 fetch_cycle):
+                 fetch_cycle, meta=None):
         self.pc = pc
         self.inst = inst
+        self.meta = meta
         self.pred_npc = pred_npc
         self.pred_taken = pred_taken
         self.ras_snap = ras_snap
@@ -65,6 +67,14 @@ class FetchUnit:
         self.pc = program.entry
         self.stall_until = 0
         self.halted = False
+        # Shared static-metadata table: fetched records carry their
+        # DecodedInst so dispatch never re-resolves opcode info.
+        self._decoded = decode_program(program, config)
+        # I-cache line index of a PC is pc >> line_shift (8-byte
+        # instructions); precomputed so the fetch loop's line-boundary
+        # test needs no hierarchy call.
+        words_per_line = max(1, config.hierarchy.il1.block_bytes // 8)
+        self._line_shift = words_per_line.bit_length() - 1
 
     def redirect(self, target, cycle, penalty=0):
         """Restart fetching at ``target`` after a squash or rewind."""
@@ -86,34 +96,37 @@ class FetchUnit:
             self.stall_until = cycle + latency
             return []
         records = []
-        line = self.hierarchy.instruction_line(self.pc)
+        decoded = self._decoded
+        text_size = len(decoded)
+        line_shift = self._line_shift
+        line = self.pc >> line_shift
         control_seen = 0
         while budget > 0:
-            inst = self.program.fetch(self.pc)
-            if inst is None:
+            pc = self.pc
+            if not 0 <= pc < text_size:
                 break  # off the text segment (wrong path): starve
-            if self.hierarchy.instruction_line(self.pc) != line:
+            if pc >> line_shift != line:
                 break  # next cache line: wait for next cycle
-            kind = inst.info.kind
-            is_control = kind in (Kind.BRANCH, Kind.JUMP)
+            meta = decoded[pc]
+            is_control = meta.is_control
             if is_control and control_seen >= 1:
                 break  # one prediction per cycle (Table 1)
             pred_taken = False
             snapshot = None
-            if kind == Kind.HALT:
-                record = FetchRecord(self.pc, inst, self.pc, False, None,
-                                     cycle)
+            if meta.is_halt:
+                record = FetchRecord(pc, meta.inst, pc, False, None,
+                                     cycle, meta)
                 records.append(record)
                 self.halted = True
                 break
             if is_control:
                 snapshot = self.ras.snapshot()
-                pred_npc, pred_taken = self._predict_control(inst)
+                pred_npc, pred_taken = self._predict_control(meta.inst)
                 control_seen += 1
             else:
-                pred_npc = self.pc + 1
-            records.append(FetchRecord(self.pc, inst, pred_npc, pred_taken,
-                                       snapshot, cycle))
+                pred_npc = pc + 1
+            records.append(FetchRecord(pc, meta.inst, pred_npc,
+                                       pred_taken, snapshot, cycle, meta))
             self.pc = pred_npc
             budget -= 1
             if is_control and pred_taken:

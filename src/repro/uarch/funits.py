@@ -35,27 +35,22 @@ class FuPool:
         avoided unit is still used when it is the only one free.
         """
         busy = self._busy_until
-
-        def occupy(index):
-            if unpipelined:
-                busy[index] = cycle + latency
-                self.busy_cycles += latency
-            else:
-                busy[index] = cycle + 1
-                self.busy_cycles += 1
-            self.issued_ops += 1
-            return index
-
-        fallback = None
+        chosen = None
         for index in range(self.count):
             if busy[index] <= cycle:
                 if index == avoid:
-                    fallback = index
+                    if chosen is None:
+                        chosen = index
                     continue
-                return occupy(index)
-        if fallback is not None:
-            return occupy(fallback)
-        return None
+                chosen = index
+                break
+        if chosen is None:
+            return None
+        occupancy = latency if unpipelined else 1
+        busy[chosen] = cycle + occupancy
+        self.busy_cycles += occupancy
+        self.issued_ops += 1
+        return chosen
 
     def available(self, cycle):
         """Number of units able to accept an operation this cycle."""

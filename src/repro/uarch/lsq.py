@@ -83,3 +83,48 @@ class LoadStoreQueue:
         if head.store_val is None:
             return ("blocked", None)
         return ("forward", match)
+
+    def load_status_memo(self, load_group):
+        """:meth:`load_status` with a persistent blocked-on memo.
+
+        A blocked load stays blocked until its recorded blocker makes
+        progress: mode 1 means an older store's address is unknown
+        (``agen_done``), mode 2 that the matching older store lacks its
+        data (``store_val``).  In either case the full scan is provably
+        a no-op until the blocker's field flips — stores enter the
+        queue in program order (never older than an in-flight load) and
+        a computed address never changes — so the rescan is skipped.
+        Results are identical to :meth:`load_status`, which is kept
+        scan-per-call for the reference engine.
+        """
+        blocker = load_group.block_on
+        if blocker is not None:
+            head = blocker.copies[0]
+            if load_group.block_mode == 1:
+                if not head.agen_done:
+                    return ("blocked", None)
+            elif head.store_val is None:
+                return ("blocked", None)
+            load_group.block_on = None
+        load_gseq = load_group.gseq
+        load_addr = load_group.copies[0].addr
+        match = None
+        for group in self._queue:
+            if group.gseq >= load_gseq:
+                break
+            if not group.is_store:
+                continue
+            head = group.copies[0]
+            if not head.agen_done:
+                load_group.block_on = group
+                load_group.block_mode = 1
+                return ("blocked", None)
+            if head.addr == load_addr:
+                match = group
+        if match is None:
+            return ("access", None)
+        if match.copies[0].store_val is None:
+            load_group.block_on = match
+            load_group.block_mode = 2
+            return ("blocked", None)
+        return ("forward", match)

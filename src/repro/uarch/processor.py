@@ -1,4 +1,4 @@
-"""The cycle-level out-of-order superscalar engine.
+"""The cycle-level out-of-order superscalar engine (hot path).
 
 One engine serves every machine in the paper: with ``FTConfig(redundancy
 =1)`` it is the stock SS-1 superscalar; with R >= 2 the dual-use
@@ -21,6 +21,28 @@ model — results written back in cycle T are visible to commit in T+1):
    groups, renaming copy 0 through the map table and deriving the other
    copies' tags;
 5. **fetch** — predict and fetch up to the fetch width from the I-cache.
+
+This is the *optimized* implementation: campaign throughput is bounded
+by ``step()``, so the hot structures are engineered for the Python
+interpreter while staying cycle-for-cycle identical to the frozen
+:class:`~repro.uarch.reference.ReferenceProcessor` (the equivalence
+suite enforces byte-identical :class:`~repro.uarch.stats.
+PipelineStats`).  The techniques:
+
+* **per-class ready queues** — one age-ordered heap per functional-unit
+  class instead of one global heap, so a saturated class stops costing
+  pop/push churn for every one of its ready entries every cycle;
+* **decoded-program metadata** — every group carries its
+  :class:`~repro.program.cache.DecodedInst` (flags, latency, issue
+  queue) resolved once per static instruction, not per dynamic access;
+* **insertion-ordered pending loads** — the load list is kept in
+  program order by construction (binary insertion) instead of being
+  re-sorted every cycle;
+* **event-driven cycle skipping** — when the machine is provably idle
+  (nothing ready, no pending loads, head of ROB incomplete, dispatch
+  structurally blocked, fetch stalled) the run loop jumps straight to
+  the next interesting cycle, integrating occupancy sums over the
+  skipped span; gated by ``MachineConfig.cycle_skipping``.
 """
 
 from __future__ import annotations
@@ -29,13 +51,11 @@ from collections import deque
 from heapq import heapify, heappop, heappush
 
 from ..core.config import FTConfig, UNPROTECTED
-from ..core.detection import CommitChecker
+from ..core.detection import CommitChecker, _field_equal
 from ..core.faults import FaultInjector
 from ..core.recovery import ACTION_REWIND, RecoveryController
 from ..core.replication import Replicator
 from ..errors import ConfigError, SimulationError
-from ..functional.kernel import (alu_value, branch_taken,
-                                 effective_address)
 from ..functional.numeric import (as_float, as_int, flip_float_bit,
                                   flip_int_bit, u64, values_equal)
 from ..functional.simulator import FunctionalSimulator
@@ -43,6 +63,7 @@ from ..functional.state import ArchState
 from ..isa.opcodes import FuClass, Kind, Op
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.main_memory import MainMemory
+from ..program.cache import decode_program
 from .config import MachineConfig
 from .fetch import FetchUnit
 from .funits import FuBank
@@ -53,6 +74,43 @@ from .stats import PipelineStats
 
 _EVENT_EXEC = 0
 _EVENT_LOAD_VALUE = 1
+
+# Local bindings of the hot Kind members (module-global lookup is
+# cheaper than attribute access on the enum class).
+_K_ALU = Kind.ALU
+_K_LOAD = Kind.LOAD
+_K_STORE = Kind.STORE
+_K_BRANCH = Kind.BRANCH
+_K_JUMP = Kind.JUMP
+
+#: Issue-queue indices (``int(FuClass)``) the scheduler arbitrates over.
+_ISSUE_CLASSES = (int(FuClass.INT_ALU), int(FuClass.INT_MULT),
+                  int(FuClass.FP_ADD), int(FuClass.FP_MULT))
+
+
+def _entries_agree(first, other):
+    """Commit cross-check of two redundant copies (all fields).
+
+    Identity pre-checks carry the common case: unused fields are the
+    same ``None`` and a load's value is the group's single shared
+    object; the full values-equal rules only run for genuinely
+    distinct objects.
+    """
+    a = first.value
+    b = other.value
+    if a is not b and not _field_equal(a, b):
+        return False
+    a = first.next_pc
+    b = other.next_pc
+    if a is not b and not _field_equal(a, b):
+        return False
+    a = first.addr
+    b = other.addr
+    if a is not b and not _field_equal(a, b):
+        return False
+    a = first.store_val
+    b = other.store_val
+    return a is b or _field_equal(a, b)
 
 
 class Processor:
@@ -73,6 +131,7 @@ class Processor:
         self.hierarchy = MemoryHierarchy(self.config.hierarchy)
         self.fetch_unit = FetchUnit(program, self.config, self.hierarchy)
         self.fus = FuBank(self.config)
+        self.decoded = decode_program(program, self.config)
 
         self.groups = deque()             # in-flight groups, program order
         self.renamer = make_renamer(self.config.rename_scheme, self.groups)
@@ -87,9 +146,14 @@ class Processor:
         self.recovery = RecoveryController(self.ft)
         self.lsq = LoadStoreQueue(self.config.lsq_size)
         self.ifq = deque()
-        self.ready = []                   # heap of (seq, entry)
+        #: Age-ordered (seq, entry) heaps indexed by DecodedInst.qidx;
+        #: slot 0 is unused (FuClass.NONE never issues).
+        self.ready_queues = [[], [], [], [], []]
         self.events = {}                  # cycle -> [(kind, payload)]
-        self.pending_loads = []           # load groups awaiting access
+        self.pending_loads = []           # load groups, program order
+        #: Functional-unit pools indexed like ready_queues.
+        self._pools = [None] + [self.fus.pools[FuClass(index)]
+                                for index in _ISSUE_CLASSES]
 
         self.committed_next_pc = program.entry  # the ECC-protected register
         self._outstanding_misses = 0
@@ -122,40 +186,118 @@ class Processor:
         instruction_target = None
         if max_instructions is not None:
             instruction_target = self.stats.instructions + max_instructions
+        stats = self.stats
+        step = self.step
+        skip = self._skip_idle_cycles if self.config.cycle_skipping \
+            else None
         while not self.halted:
             if max_cycles is not None and self.cycle >= max_cycles:
                 break
             if (instruction_target is not None
-                    and self.stats.instructions >= instruction_target):
+                    and stats.instructions >= instruction_target):
                 break
-            self.step()
-        self.stats.cycles = self.cycle
-        return self.stats
+            if skip is not None:
+                skip(max_cycles)
+                if max_cycles is not None and self.cycle >= max_cycles:
+                    break
+            step()
+        stats.cycles = self.cycle
+        return stats
+
+    def _skip_idle_cycles(self, max_cycles):
+        """Jump over cycles where provably no pipeline state can change.
+
+        Safe only when every stage is quiescent for the whole span:
+        nothing ready to issue, no pending loads, the ROB head
+        incomplete (commit blocked), dispatch structurally blocked (or
+        the IFQ empty), and fetch stalled, halted or squeezed out by a
+        full IFQ.  The wake-up cycle is the earliest of the next
+        writeback event, the fetch stall release and the deadlock
+        deadline; occupancy integrals are accumulated over the skipped
+        span so :class:`PipelineStats` stay byte-identical to stepped
+        execution.
+        """
+        queues = self.ready_queues
+        if queues[1] or queues[2] or queues[3] or queues[4]:
+            return
+        if self.pending_loads:
+            return
+        groups = self.groups
+        if groups:
+            head = groups[0]
+            if head.done_count >= len(head.copies):
+                return                    # commit possible now
+        config = self.config
+        ifq = self.ifq
+        if ifq:
+            # Dispatch must stay blocked for the span: no ROB space for
+            # one more group, or the head record needs a full LSQ.
+            if (self.rob_entries + self.redundancy <= config.rob_size
+                    and not (ifq[0].meta.is_mem and self.lsq.full)):
+                return
+        fetch_unit = self.fetch_unit
+        cycle = self.cycle
+        wake = None
+        if not fetch_unit.halted and len(ifq) < config.ifq_size:
+            stall_until = fetch_unit.stall_until
+            if stall_until <= cycle + 1:
+                return                    # fetch is (or may be) active
+            wake = stall_until
+        events = self.events
+        if events:
+            next_event = min(events)
+            if wake is None or next_event < wake:
+                wake = next_event
+        deadline = self._last_commit_cycle + config.deadlock_cycles + 1
+        if wake is None or deadline < wake:
+            wake = deadline
+        target = wake - 1                 # last provably idle cycle
+        if max_cycles is not None and target > max_cycles:
+            target = max_cycles
+        skipped = target - cycle
+        if skipped <= 0:
+            return
+        stats = self.stats
+        stats.rob_occupancy_sum += self.rob_entries * skipped
+        stats.ifq_occupancy_sum += len(ifq) * skipped
+        self.cycle = target
 
     def step(self):
         """Advance the machine by one cycle."""
         self.cycle += 1
         cycle = self.cycle
         self._ports_used = 0
-        self._commit_stage(cycle)
-        if self.halted:
-            self.stats.cycles = cycle
-            return
-        self._writeback_stage(cycle)
-        self._issue_stage(cycle)
-        self._dispatch_stage(cycle)
-        self._fetch_stage(cycle)
-        self.stats.rob_occupancy_sum += self.rob_entries
-        self.stats.ifq_occupancy_sum += len(self.ifq)
+        groups = self.groups
+        if groups:
+            head = groups[0]
+            if head.done_count >= len(head.copies):
+                self._commit_stage(cycle)
+                if self.halted:
+                    self.stats.cycles = cycle
+                    return
+        if self.events:
+            self._writeback_stage(cycle)
+        queues = self.ready_queues
+        if (self.pending_loads or queues[1] or queues[2] or queues[3]
+                or queues[4]):
+            self._issue_stage(cycle)
+        if self.ifq:
+            self._dispatch_stage(cycle)
+        fetch_unit = self.fetch_unit
+        if not fetch_unit.halted and cycle >= fetch_unit.stall_until:
+            self._fetch_stage(cycle)
+        stats = self.stats
+        stats.rob_occupancy_sum += self.rob_entries
+        stats.ifq_occupancy_sum += len(self.ifq)
         if (not self.groups and not self.ifq
-                and not self.fetch_unit.halted
-                and cycle >= self.fetch_unit.stall_until
-                and self.program.fetch(self.fetch_unit.pc) is None):
+                and not fetch_unit.halted
+                and cycle >= fetch_unit.stall_until
+                and self.program.fetch(fetch_unit.pc) is None):
             # The committed control flow has left the program: with
             # protection off, a corrupted branch can retire and strand
             # the machine on garbage addresses.  Real hardware would
             # fetch junk or trap; we record the crash and stop.
-            self.stats.crashed = True
+            stats.crashed = True
             self.halted = True
         if cycle - self._last_commit_cycle > self.config.deadlock_cycles:
             raise SimulationError(
@@ -168,39 +310,55 @@ class Processor:
     # -- commit -----------------------------------------------------------
 
     def _commit_stage(self, cycle):
-        budget = self.config.commit_width
+        groups = self.groups
+        if not groups:
+            return
+        config = self.config
+        budget = config.commit_width
+        cost_factor = 2 if config.shared_physical_regfile else 1
         protected = self.redundancy >= 2
-        while self.groups and budget > 0:
-            group = self.groups[0]
-            copies = len(group.copies)
-            cost = copies * (2 if self.config.shared_physical_regfile
-                             else 1)
+        check_pc = protected and self.ft.check_pc_continuity
+        stats = self.stats
+        while groups and budget > 0:
+            group = groups[0]
+            copies = group.copies
+            if group.done_count < len(copies):
+                break
+            cost = len(copies) * cost_factor
             if cost > budget:
                 break
-            if not group.complete:
-                break
             if protected:
-                if (self.ft.check_pc_continuity
-                        and group.pc != self.committed_next_pc):
-                    self.stats.pc_continuity_violations += 1
-                    self.stats.faults_detected += 1
+                if check_pc and group.pc != self.committed_next_pc:
+                    stats.pc_continuity_violations += 1
+                    stats.faults_detected += 1
                     self.recovery.rewinds += 1
                     self._begin_rewind(cycle)
                     return
-                result = self.checker.check(group)
-                if not result.ok:
-                    self.stats.faults_detected += 1
+                # Inline cross-check fast path: in the fault-free common
+                # case all copies agree and no CheckResult is needed.
+                first = copies[0]
+                agree = True
+                for other in copies[1:]:
+                    if not _entries_agree(first, other):
+                        agree = False
+                        break
+                if agree:
+                    self.checker.checks += 1
+                    representative = first
+                else:
+                    result = self.checker.check(group)
+                    stats.faults_detected += 1
                     if self.recovery.decide(result) == ACTION_REWIND:
                         self._begin_rewind(cycle)
                         return
-                    self.stats.majority_commits += 1
-                    representative = group.copies[result.representative]
-                else:
-                    representative = group.copies[0]
+                    stats.majority_commits += 1
+                    representative = copies[result.representative]
             else:
-                representative = group.copies[0]
-                if any(entry.fault_applied for entry in group.copies):
-                    self.stats.silent_commits += 1
+                representative = copies[0]
+                for entry in copies:
+                    if entry.fault_applied:
+                        stats.silent_commits += 1
+                        break
             if not self._retire_group(group, representative, cycle):
                 break  # structural stall (store port); retry next cycle
             budget -= cost
@@ -209,8 +367,8 @@ class Processor:
 
     def _retire_group(self, group, representative, cycle):
         """Commit one verified group; False on a store-port stall."""
-        inst = group.inst
-        info = inst.info
+        meta = group.meta
+        stats = self.stats
         if group.is_store:
             if self._ports_used >= self.config.mem_ports:
                 return False
@@ -218,38 +376,39 @@ class Processor:
             self.hierarchy.store_access(representative.addr)
             self.arch.memory.store(representative.addr,
                                    representative.store_val)
-            self.stats.stores_committed += 1
-        if info.writes_reg:
-            self.arch.write_reg(inst.rd, representative.value)
-            self.renamer.on_commit(inst.rd, group)
-        if info.kind == Kind.BRANCH:
+            stats.stores_committed += 1
+        if meta.writes_reg:
+            self.arch.write_reg(meta.rd, representative.value)
+            self.renamer.on_commit(meta.rd, group)
+        kind = meta.kind
+        if kind == _K_BRANCH:
             taken = representative.next_pc != group.pc + 1
             self.fetch_unit.train_commit(group, representative.next_pc,
                                          taken)
-            self.stats.branches_committed += 1
+            stats.branches_committed += 1
             if representative.next_pc != group.pred_npc:
-                self.stats.branch_mispredicts += 1
-        elif info.kind == Kind.JUMP:
+                stats.branch_mispredicts += 1
+        elif kind == _K_JUMP:
             self.fetch_unit.train_commit(group, representative.next_pc,
                                          True)
-            self.stats.jumps_committed += 1
+            stats.jumps_committed += 1
             if representative.next_pc != group.pred_npc:
-                self.stats.indirect_mispredicts += 1
+                stats.indirect_mispredicts += 1
         self.committed_next_pc = representative.next_pc
         self.groups.popleft()
         self.rob_entries -= len(group.copies)
         if group.is_mem:
             self.lsq.remove_committed(group)
-        self.stats.instructions += 1
-        self.stats.entries_committed += len(group.copies)
+        stats.instructions += 1
+        stats.entries_committed += len(group.copies)
         self.recovery.on_commit(cycle)
-        self.stats.recovery_cycles = self.recovery.recovery_cycles
+        stats.recovery_cycles = self.recovery.recovery_cycles
         self._last_commit_cycle = cycle
         if self._tracer is not None:
             self._tracer.on_commit(group, cycle)
         if self._lockstep is not None:
             self._lockstep_check(group, representative)
-        if inst.is_halt:
+        if meta.is_halt:
             self.halted = True
         return True
 
@@ -289,7 +448,7 @@ class Processor:
         self.groups.clear()
         self.lsq.clear()
         self.ifq.clear()
-        self.ready = []
+        self.ready_queues = [[], [], [], [], []]
         self.pending_loads = []
         self.rob_entries = 0
         self.renamer.clear()
@@ -312,11 +471,12 @@ class Processor:
         bucket = self.events.pop(cycle, None)
         if not bucket:
             return
+        complete = self._complete_execution
         for kind, payload in bucket:
             if kind == _EVENT_EXEC:
                 entry = payload
                 if not entry.squashed:
-                    self._complete_execution(entry, cycle)
+                    complete(entry, cycle)
             else:
                 group, value, was_miss = payload
                 if was_miss:
@@ -328,16 +488,14 @@ class Processor:
 
     def _complete_execution(self, entry, cycle):
         group = entry.group
-        inst = group.inst
-        info = inst.info
-        kind = info.kind
-        if kind == Kind.LOAD or kind == Kind.STORE:
+        kind = group.meta.kind
+        if kind == _K_LOAD or kind == _K_STORE:
             if entry.fault_kind == "address" and not entry.fault_applied:
                 entry.addr = u64(entry.addr ^ (1 << (entry.fault_bit & 63)))
                 entry.fault_applied = True
                 self.stats.faults_injected += 1
             entry.agen_done = True
-            if kind == Kind.STORE:
+            if kind == _K_STORE:
                 entry.store_val = entry.src_vals[1]
                 if entry.fault_kind == "value" and not entry.fault_applied:
                     entry.store_val = self._flip_value(entry.store_val,
@@ -347,35 +505,56 @@ class Processor:
                 self._finalize_entry(entry, cycle)
             else:
                 if entry.copy == 0 and not group.mem_issued:
-                    self.pending_loads.append(group)
+                    self._append_pending_load(group)
                 if group.value_ready:
                     self._finish_load_copy(entry, group.load_value, cycle)
             return
-        self._apply_datapath_fault(entry, group)
-        self._finalize_entry(entry, cycle)
+        if entry.fault_kind is not None and not entry.fault_applied:
+            self._apply_datapath_fault(entry, group)
+        # Inlined _finalize_entry (this is the completion path of every
+        # non-memory instruction).
+        entry.state = DONE
+        entry.done_cycle = cycle
+        group.done_count += 1
+        dependents = entry.dependents
+        if dependents:
+            value = entry.value
+            queues = self.ready_queues
+            for dependent, slot in dependents:
+                if dependent.squashed:
+                    continue
+                dependent.src_vals[slot] = value
+                dependent.pending -= 1
+                if dependent.pending == 0 and dependent.state == WAITING:
+                    dependent.state = READY
+                    heappush(queues[dependent.group.meta.qidx],
+                             (dependent.seq, dependent))
+            entry.dependents = None
+        if group.is_control:
+            self._resolve_control(entry, cycle)
 
     def _apply_datapath_fault(self, entry, group):
         if entry.fault_kind is None or entry.fault_applied:
             return
-        inst = group.inst
-        if entry.fault_kind == "value" and inst.info.writes_reg:
+        meta = group.meta
+        if entry.fault_kind == "value" and meta.writes_reg:
             entry.value = self._flip_value(entry.value, entry.fault_bit)
             entry.fault_applied = True
             self.stats.faults_injected += 1
-        elif entry.fault_kind == "branch" and inst.is_control:
+        elif entry.fault_kind == "branch" and meta.is_control:
             entry.next_pc = self._corrupt_next_pc(entry, group)
             entry.fault_applied = True
             self.stats.faults_injected += 1
-        elif entry.fault_kind == "value" and inst.is_control:
+        elif entry.fault_kind == "value" and meta.is_control:
             entry.next_pc = self._corrupt_next_pc(entry, group)
             entry.fault_applied = True
             self.stats.faults_injected += 1
 
     def _corrupt_next_pc(self, entry, group):
-        inst = group.inst
-        if inst.is_branch:
+        meta = group.meta
+        if meta.is_branch:
             fallthrough = group.pc + 1
-            target = group.pc + 1 + inst.imm
+            target = group.pc + 1 + meta.imm
             return target if entry.next_pc == fallthrough else fallthrough
         return u64(entry.next_pc ^ (1 << (entry.fault_bit % 16)))
 
@@ -390,17 +569,20 @@ class Processor:
         entry.done_cycle = cycle
         group = entry.group
         group.done_count += 1
-        if entry.dependents:
+        dependents = entry.dependents
+        if dependents:
             value = entry.value
-            for dependent, slot in entry.dependents:
+            queues = self.ready_queues
+            for dependent, slot in dependents:
                 if dependent.squashed:
                     continue
                 dependent.src_vals[slot] = value
                 dependent.pending -= 1
                 if dependent.pending == 0 and dependent.state == WAITING:
                     dependent.state = READY
-                    heappush(self.ready, (dependent.seq, dependent))
-            entry.dependents = []
+                    heappush(queues[dependent.group.meta.qidx],
+                             (dependent.seq, dependent))
+            entry.dependents = None
         if group.is_control:
             self._resolve_control(entry, cycle)
 
@@ -430,24 +612,27 @@ class Processor:
         if self.pending_loads:
             self.pending_loads = [g for g in self.pending_loads
                                   if not g.squashed]
-        if self.ready:
-            self.ready = [(seq, entry) for seq, entry in self.ready
-                          if not entry.squashed]
-            heapify(self.ready)
+        for queue in self.ready_queues:
+            if queue:
+                live = [item for item in queue if not item[1].squashed]
+                if len(live) != len(queue):
+                    queue[:] = live
+                    heapify(queue)
         self.renamer.rebuild(groups)
 
     def _deliver_load_value(self, group, raw_value, cycle):
         """The single shared memory access returned: fan out to copies."""
-        if group.inst.info.fp_dest:
+        if group.meta.fp_dest:
             value = as_float(raw_value)
         else:
             value = as_int(raw_value)
         group.load_value = value
         group.value_ready = True
         group.value_cycle = cycle
+        finish = self._finish_load_copy
         for entry in group.copies:
             if entry.agen_done and entry.state != DONE:
-                self._finish_load_copy(entry, value, cycle)
+                finish(entry, value, cycle)
 
     def _finish_load_copy(self, entry, value, cycle):
         entry.value = value
@@ -460,142 +645,258 @@ class Processor:
     # -- issue ------------------------------------------------------------
 
     def _issue_stage(self, cycle):
-        self._progress_pending_loads(cycle)
+        if self.pending_loads:
+            self._progress_pending_loads(cycle)
+        queues = self.ready_queues
+        if not (queues[1] or queues[2] or queues[3] or queues[4]):
+            return
         budget = self.config.issue_width
-        deferred = []
-        ready = self.ready
-        saturated = set()
+        pools = self._pools
         co_schedule = self.config.co_schedule_copies
-        num_classes = 4  # INT_ALU, INT_MULT, FP_ADD, FP_MULT
-        while budget > 0 and ready and len(saturated) < num_classes:
-            _, entry = heappop(ready)
-            if entry.squashed or entry.state != READY:
-                continue
-            info = entry.group.inst.info
-            fu_class = FuClass.INT_ALU if info.is_mem else info.fu
-            if fu_class in saturated:
-                deferred.append((entry.seq, entry))
-                continue
+        execute = self._execute
+        # Classes with ready work; a class leaves when it saturates or
+        # its queue drains.  Scanning this short list per issued entry
+        # reproduces exactly the global age-priority order of the
+        # reference engine, without re-popping entries of saturated
+        # classes every cycle.
+        active = [index for index in _ISSUE_CLASSES if queues[index]]
+        while budget and len(active) == 1:
+            # Single-class fast path (integer-only windows are common):
+            # no cross-class age arbitration needed.
+            index = active[0]
+            queue = queues[index]
+            while queue:
+                head = queue[0][1]
+                if head.state != READY or head.squashed:
+                    heappop(queue)        # stale: drop lazily
+                else:
+                    break
+            if not queue:
+                return
+            seq, entry = queue[0]
+            group = entry.group
+            meta = group.meta
             avoid = None
-            if co_schedule and entry.copy > 0:
+            if co_schedule and entry.copy:
+                avoid = group.copies[0].fu_unit
+            latency = meta.latency
+            unit = pools[index].try_issue(cycle, latency,
+                                          meta.unpipelined, avoid=avoid)
+            if unit is None:
+                return                    # the only class saturated
+            heappop(queue)
+            entry.fu_unit = unit
+            execute(entry, cycle, latency)
+            budget -= 1
+        if not budget:
+            return
+        # Multi-class arbitration with cached heads: each candidate is
+        # [head_seq, class_index, queue]; only the class that issued
+        # (or saturated, or drained) is re-examined per round.  Order
+        # is exactly the reference engine's global age priority.
+        candidates = []
+        for index in active:
+            queue = queues[index]
+            while queue:
+                head = queue[0][1]
+                if head.state != READY or head.squashed:
+                    heappop(queue)        # stale: drop lazily
+                else:
+                    break
+            if queue:
+                candidates.append([queue[0][0], index, queue])
+        while budget and candidates:
+            best = candidates[0]
+            for candidate in candidates:
+                if candidate[0] < best[0]:
+                    best = candidate
+            best_seq, best_index, best_queue = best
+            entry = best_queue[0][1]
+            group = entry.group
+            meta = group.meta
+            avoid = None
+            if co_schedule and entry.copy:
                 # Section 3.5: prefer a different physical unit than the
                 # sibling copy, so a slow-transient FU fault cannot
                 # corrupt both redundant results identically.
-                avoid = entry.group.copies[0].fu_unit
-            latency = self.config.op_latency(entry.group.inst.op)
-            unit = self.fus.try_issue(fu_class, cycle, latency,
-                                      info.unpipelined, avoid=avoid)
-            if unit is not None:
-                entry.fu_unit = unit
-                self._execute(entry, cycle, latency)
-                budget -= 1
+                avoid = group.copies[0].fu_unit
+            latency = meta.latency
+            unit = pools[best_index].try_issue(cycle, latency,
+                                               meta.unpipelined,
+                                               avoid=avoid)
+            if unit is None:
+                candidates.remove(best)   # class saturated this cycle
+                continue
+            heappop(best_queue)
+            entry.fu_unit = unit
+            execute(entry, cycle, latency)
+            budget -= 1
+            queue = best_queue
+            while queue:
+                head = queue[0][1]
+                if head.state != READY or head.squashed:
+                    heappop(queue)
+                else:
+                    break
+            if queue:
+                best[0] = queue[0][0]
             else:
-                saturated.add(fu_class)
-                deferred.append((entry.seq, entry))
-        for item in deferred:
-            heappush(ready, item)
+                candidates.remove(best)
 
     def _execute(self, entry, cycle, latency):
         """Start execution: compute results, schedule the completion."""
         group = entry.group
-        inst = group.inst
-        kind = inst.info.kind
+        meta = group.meta
+        kind = meta.kind
+        pc = group.pc
         a, b = entry.src_vals
-        if kind == Kind.ALU:
-            entry.value = alu_value(inst.op, a, b, inst.imm, group.pc)
-            entry.next_pc = group.pc + 1
-        elif kind == Kind.LOAD or kind == Kind.STORE:
-            entry.addr = effective_address(a, inst.imm)
-            entry.next_pc = group.pc + 1
-        elif kind == Kind.BRANCH:
-            taken = branch_taken(inst.op, a, b)
-            entry.next_pc = group.pc + 1 + inst.imm if taken \
-                else group.pc + 1
-        elif kind == Kind.JUMP:
-            if inst.op == Op.J or inst.op == Op.JAL:
-                entry.next_pc = inst.imm
+        if kind == _K_ALU:
+            entry.value = meta.value_fn(a, b, meta.imm, pc)
+            entry.next_pc = pc + 1
+        elif kind == _K_LOAD or kind == _K_STORE:
+            entry.addr = u64(a + meta.imm)
+            entry.next_pc = pc + 1
+        elif kind == _K_BRANCH:
+            entry.next_pc = pc + 1 + meta.imm \
+                if meta.branch_fn(a, b) else pc + 1
+        else:                             # JUMP
+            op = meta.op
+            if op == Op.J or op == Op.JAL:
+                entry.next_pc = meta.imm
             else:
                 entry.next_pc = u64(as_int(a))
-            if inst.info.writes_reg:
-                entry.value = group.pc + 1
+            if meta.writes_reg:
+                entry.value = pc + 1
         entry.state = ISSUED
         entry.issue_cycle = cycle
         self.stats.issued += 1
-        self._schedule(cycle + latency, _EVENT_EXEC, entry)
+        events = self.events
+        when = cycle + latency
+        bucket = events.get(when)
+        if bucket is None:
+            events[when] = [(_EVENT_EXEC, entry)]
+        else:
+            bucket.append((_EVENT_EXEC, entry))
+
+    def _append_pending_load(self, group):
+        """Insert an agen-complete load keeping program (gseq) order.
+
+        Address generation completes out of order, so a younger load's
+        event can fire before an older one's; binary insertion keeps
+        the list sorted by construction, replacing the reference
+        engine's per-cycle re-sort.
+        """
+        loads = self.pending_loads
+        if loads and loads[-1].gseq > group.gseq:
+            gseq = group.gseq
+            lo = 0
+            hi = len(loads)
+            while lo < hi:
+                mid = (lo + hi) >> 1
+                if loads[mid].gseq < gseq:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            loads.insert(lo, group)
+        else:
+            loads.append(group)
 
     def _progress_pending_loads(self, cycle):
-        if not self.pending_loads:
+        loads = self.pending_loads
+        if not loads:
             return
-        self.pending_loads.sort(key=lambda g: g.gseq)
         still_pending = []
-        for group in self.pending_loads:
+        pending_append = still_pending.append
+        lsq = self.lsq
+        config = self.config
+        mem_ports = config.mem_ports
+        mshrs = config.mshr_count
+        hierarchy = self.hierarchy
+        dl1_probe = hierarchy.dl1.probe
+        memory_load = self.arch.memory.load
+        stats = self.stats
+        schedule = self._schedule
+        for group in loads:
             if group.squashed or group.mem_issued:
                 continue
-            status, match = self.lsq.load_status(group)
+            status, match = lsq.load_status_memo(group)
             if status == "blocked":
-                still_pending.append(group)
+                pending_append(group)
             elif status == "forward":
                 group.mem_issued = True
-                self.stats.store_forwards += 1
-                self.stats.loads_executed += 1
-                self._schedule(cycle + 1, _EVENT_LOAD_VALUE,
-                               (group, match.copies[0].store_val, False))
+                stats.store_forwards += 1
+                stats.loads_executed += 1
+                schedule(cycle + 1, _EVENT_LOAD_VALUE,
+                         (group, match.copies[0].store_val, False))
             else:  # cache access
-                if self._ports_used >= self.config.mem_ports:
-                    still_pending.append(group)
+                if self._ports_used >= mem_ports:
+                    pending_append(group)
                     continue
                 address = group.copies[0].addr
-                mshrs = self.config.mshr_count
-                is_miss = not self.hierarchy.dl1.probe(
-                    (address & ((1 << 48) - 1)) << 3)
+                is_miss = not dl1_probe((address & ((1 << 48) - 1)) << 3)
                 if (mshrs is not None and is_miss
                         and self._outstanding_misses >= mshrs):
-                    still_pending.append(group)  # MSHRs exhausted
+                    pending_append(group)  # MSHRs exhausted
                     continue
                 self._ports_used += 1
-                latency = self.hierarchy.load_latency(address)
-                value = self.arch.memory.load(address)
+                latency = hierarchy.load_latency(address)
+                value = memory_load(address)
                 if is_miss:
                     self._outstanding_misses += 1
                 group.mem_issued = True
-                self.stats.loads_executed += 1
-                self._schedule(cycle + latency, _EVENT_LOAD_VALUE,
-                               (group, value, is_miss))
+                stats.loads_executed += 1
+                schedule(cycle + latency, _EVENT_LOAD_VALUE,
+                         (group, value, is_miss))
         self.pending_loads = still_pending
 
     # -- dispatch / fetch ---------------------------------------------------
 
     def _dispatch_stage(self, cycle):
-        budget = self.config.dispatch_width
+        ifq = self.ifq
+        if not ifq:
+            return
+        config = self.config
+        budget = config.dispatch_width
         redundancy = self.redundancy
-        while self.ifq and budget >= redundancy:
-            if self.rob_entries + redundancy > self.config.rob_size:
+        rob_size = config.rob_size
+        lsq = self.lsq
+        groups = self.groups
+        queues = self.ready_queues
+        build_group = self.replicator.build_group
+        stats = self.stats
+        while ifq and budget >= redundancy:
+            if self.rob_entries + redundancy > rob_size:
                 break
-            record = self.ifq[0]
-            if record.inst.is_mem and self.lsq.full:
+            record = ifq[0]
+            if record.meta.is_mem and lsq.full:
                 break
-            self.ifq.popleft()
-            group = self.replicator.build_group(record, cycle)
+            ifq.popleft()
+            group = build_group(record, cycle)
             group.dispatch_cycle = cycle
-            self.groups.append(group)
+            groups.append(group)
             self.rob_entries += redundancy
             if group.is_mem:
-                self.lsq.insert(group)
+                lsq.insert(group)
+            qidx = record.meta.qidx
+            queue = queues[qidx]
             for entry in group.copies:
                 if entry.state == READY:
-                    heappush(self.ready, (entry.seq, entry))
+                    heappush(queue, (entry.seq, entry))
             budget -= redundancy
-            self.stats.dispatched_groups += 1
-            self.stats.dispatched_entries += redundancy
+            stats.dispatched_groups += 1
+            stats.dispatched_entries += redundancy
 
     def _fetch_stage(self, cycle):
-        space = self.config.ifq_size - len(self.ifq)
-        budget = min(self.config.fetch_width, space)
+        ifq = self.ifq
+        space = self.config.ifq_size - len(ifq)
+        budget = self.config.fetch_width
+        if space < budget:
+            budget = space
         if budget <= 0:
             return
         records = self.fetch_unit.fetch_cycle(cycle, budget)
         if records:
-            self.ifq.extend(records)
+            ifq.extend(records)
             self.stats.fetched += len(records)
 
 

@@ -1,0 +1,1260 @@
+"""The reference (unoptimized) out-of-order engine — differential oracle.
+
+This module is a frozen copy of the straightforward cycle-stepped
+simulator as it stood before the hot-path overhaul: one global ready
+heap scanned in age order, ``pending_loads`` re-sorted every cycle, no
+cycle skipping, every cycle stepped individually.  It is deliberately
+kept simple and slow:
+
+* the equivalence suite runs the optimized :class:`~repro.uarch.
+  processor.Processor` against :class:`ReferenceProcessor` and requires
+  byte-identical :class:`~repro.uarch.stats.PipelineStats`;
+* the campaign engine can classify trials through it
+  (``simulator="reference"``) so optimized campaign results can be
+  diffed against the unoptimized path at full scale;
+* ``repro-ft bench`` measures the optimized engine's speedup against it
+  and records both numbers in ``BENCH_simulator.json``.
+
+To stay an honest baseline *and* an independent oracle, this module
+carries its own frozen copies of the hot components as they stood
+pre-overhaul (ROB entry/group with property-computed flags, replicator,
+commit checker, functional-unit pools, fetch unit, per-call latency
+dispatch).  Sharing those with the live engine would let a bug — or a
+speedup — in a shared component silently move both sides at once.
+
+Do not optimize this file.  Behavioural fixes must be applied to both
+engines (and will be caught by the equivalence suite if they are not).
+
+Stage ordering within one simulated cycle (a conventional conservative
+model — results written back in cycle T are visible to commit in T+1):
+
+1. **commit** — retire whole redundant groups in program order, running
+   the commit-stage cross-check and PC-continuity check;
+2. **writeback** — completions scheduled for this cycle: finalize
+   results, apply planned transient faults, resolve control flow, wake
+   dependents, deliver the shared load value to all copies;
+3. **issue** — send ready entries to functional units (age priority),
+   and progress pending loads through disambiguation/forwarding/cache
+   access within the D-cache port budget;
+4. **dispatch** — replicate fetched instructions into R-aligned ROB
+   groups, renaming copy 0 through the map table and deriving the other
+   copies' tags;
+5. **fetch** — predict and fetch up to the fetch width from the I-cache.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict, deque
+from heapq import heapify, heappop, heappush
+
+from ..branch.ras import ReturnAddressStack
+from ..core.config import FTConfig, UNPROTECTED
+from ..core.faults import FaultInjector
+from ..core.recovery import ACTION_REWIND, RecoveryController
+from ..errors import ConfigError, SimulationError
+from ..functional.kernel import (alu_value, branch_taken,
+                                 effective_address)
+from ..functional.numeric import (as_float, as_int, flip_float_bit,
+                                  flip_int_bit, u64, values_equal)
+from ..functional.simulator import FunctionalSimulator
+from ..functional.state import ArchState
+from ..isa.opcodes import FuClass, Kind, Op
+from ..isa.registers import RA, ZERO
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.main_memory import MainMemory
+from .config import _LATENCY_TABLE, MachineConfig
+from .fetch import build_predictor
+from .lsq import LoadStoreQueue
+from .rename import make_renamer
+from .rob import DONE, ISSUED, READY, WAITING
+from .stats import PipelineStats
+
+_EVENT_EXEC = 0
+_EVENT_LOAD_VALUE = 1
+
+
+# ---------------------------------------------------------------------------
+# Frozen pre-overhaul components.  Each class below is the component as it
+# stood before the hot-path work, kept verbatim (minus renames) so the
+# reference engine's behaviour *and* cost model are independent of the
+# live implementations.
+# ---------------------------------------------------------------------------
+
+
+class _RefRobEntry:
+    """Pre-overhaul ROB slot (verbatim copy)."""
+
+    __slots__ = (
+        "seq", "vidx", "group", "copy", "state", "pending", "src_vals",
+        "src_tags", "dependents", "value", "addr", "store_val", "next_pc",
+        "issue_cycle", "done_cycle", "fu_unit", "agen_done", "fault_kind",
+        "fault_bit", "fault_applied", "squashed",
+    )
+
+    def __init__(self, seq, vidx, group, copy):
+        self.seq = seq
+        self.vidx = vidx
+        self.group = group
+        self.copy = copy
+        self.state = WAITING
+        self.pending = 0
+        self.src_vals = [0, 0]
+        self.src_tags = [None, None]
+        self.dependents = []
+        self.value = None
+        self.addr = None
+        self.store_val = None
+        self.next_pc = None
+        self.issue_cycle = None
+        self.done_cycle = None
+        self.fu_unit = None
+        self.agen_done = False
+        self.fault_kind = None
+        self.fault_bit = 0
+        self.fault_applied = False
+        self.squashed = False
+
+    def __repr__(self):
+        return ("<RobEntry seq=%d copy=%d %s state=%d>"
+                % (self.seq, self.copy, self.group.inst, self.state))
+
+
+class _RefGroup:
+    """Pre-overhaul group: kind flags resolved per access via info."""
+
+    __slots__ = (
+        "gseq", "pc", "inst", "copies", "pred_npc", "pred_taken",
+        "ras_snap", "resolved", "resolved_npc", "done_count", "load_value",
+        "value_ready", "value_cycle", "mem_issued", "fetch_cycle",
+        "dispatch_cycle", "squashed",
+    )
+
+    def __init__(self, gseq, pc, inst, pred_npc, pred_taken=False,
+                 ras_snap=None, fetch_cycle=0):
+        self.gseq = gseq
+        self.pc = pc
+        self.inst = inst
+        self.copies = []
+        self.pred_npc = pred_npc
+        self.pred_taken = pred_taken
+        self.ras_snap = ras_snap
+        self.resolved = False
+        self.resolved_npc = None
+        self.done_count = 0
+        self.load_value = None
+        self.value_ready = False
+        self.value_cycle = None
+        self.mem_issued = False
+        self.fetch_cycle = fetch_cycle
+        self.dispatch_cycle = None
+        self.squashed = False
+
+    @property
+    def redundancy(self):
+        return len(self.copies)
+
+    @property
+    def complete(self):
+        return self.done_count >= len(self.copies)
+
+    @property
+    def is_load(self):
+        return self.inst.info.kind == Kind.LOAD
+
+    @property
+    def is_store(self):
+        return self.inst.info.kind == Kind.STORE
+
+    @property
+    def is_mem(self):
+        kind = self.inst.info.kind
+        return kind == Kind.LOAD or kind == Kind.STORE
+
+    @property
+    def is_control(self):
+        kind = self.inst.info.kind
+        return kind == Kind.BRANCH or kind == Kind.JUMP
+
+    def mark_squashed(self):
+        self.squashed = True
+        for entry in self.copies:
+            entry.squashed = True
+            entry.dependents = []
+
+    def __repr__(self):
+        return ("<Group gseq=%d pc=%d %s done=%d/%d>"
+                % (self.gseq, self.pc, self.inst, self.done_count,
+                   len(self.copies)))
+
+
+def _ref_capture_operand(entry, slot, areg, copy, renamer, committed_read):
+    """Pre-overhaul operand capture (verbatim copy)."""
+    if areg == ZERO:
+        entry.src_vals[slot] = 0
+        return
+    producer_group = renamer.lookup(areg)
+    if producer_group is None:
+        entry.src_vals[slot] = committed_read(areg)
+        return
+    producer = producer_group.copies[copy]
+    entry.src_tags[slot] = producer.vidx
+    if producer.state == DONE:
+        entry.src_vals[slot] = producer.value
+    else:
+        entry.pending += 1
+        producer.dependents.append((entry, slot))
+
+
+class _RefReplicator:
+    """Pre-overhaul replicator (verbatim copy over _RefGroup/Entry)."""
+
+    def __init__(self, redundancy, renamer, committed_read,
+                 fault_injector=None, stats=None):
+        self.redundancy = redundancy
+        self.renamer = renamer
+        self.committed_read = committed_read
+        self.fault_injector = fault_injector
+        self.stats = stats
+        self._gseq = 0
+        self._seq = 0
+
+    def reset_sequence(self):
+        self._gseq = 0
+        self._seq = 0
+
+    def build_group(self, record, cycle):
+        inst = record.inst
+        group = _RefGroup(self._gseq, record.pc, inst, record.pred_npc,
+                          record.pred_taken, record.ras_snap,
+                          record.fetch_cycle)
+        self._gseq += 1
+        injector = self.fault_injector
+        if injector is not None:
+            plan = injector.plan_for_group(inst)
+            if plan is not None:
+                group.pc ^= 1 << plan.bit
+                if self.stats is not None:
+                    self.stats.faults_injected += 1
+
+        info = inst.info
+        kind = info.kind
+        for copy in range(self.redundancy):
+            entry = _RefRobEntry(self._seq,
+                                 group.gseq * self.redundancy + copy,
+                                 group, copy)
+            self._seq += 1
+            group.copies.append(entry)
+            if injector is not None:
+                plan = injector.plan_for_copy(inst)
+                if plan is not None:
+                    entry.fault_kind = plan.kind
+                    entry.fault_bit = plan.bit
+            if kind == Kind.NOP or kind == Kind.HALT:
+                entry.state = DONE
+                entry.next_pc = group.pc + (0 if kind == Kind.HALT else 1)
+                group.done_count += 1
+                continue
+            self._capture_operands(entry, inst, copy)
+            entry.state = READY if entry.pending == 0 else WAITING
+        if info.writes_reg and inst.rd != ZERO:
+            self.renamer.set_dest(inst.rd, group)
+        return group
+
+    def _capture_operands(self, entry, inst, copy):
+        info = inst.info
+        if info.reads_rs1:
+            _ref_capture_operand(entry, 0, inst.rs1, copy, self.renamer,
+                                 self.committed_read)
+        if info.reads_rs2:
+            _ref_capture_operand(entry, 1, inst.rs2, copy, self.renamer,
+                                 self.committed_read)
+
+
+def _ref_values_equal(a, b):
+    """Pre-overhaul committed-value equality (no identity shortcut)."""
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
+    if isinstance(a, float) or isinstance(b, float):
+        return False
+    return a == b
+
+
+def _ref_signature(entry):
+    return (entry.value, entry.next_pc, entry.addr, entry.store_val)
+
+
+def _ref_signatures_equal(a, b):
+    for left, right in zip(a, b):
+        if left is None and right is None:
+            continue
+        if left is None or right is None:
+            return False
+        if not _ref_values_equal(left, right):
+            return False
+    return True
+
+
+def _ref_mismatched_fields(a, b):
+    fields = []
+    for name, left, right in zip(("value", "next_pc", "addr", "store_val"),
+                                 a, b):
+        same = (left is None and right is None) or (
+            left is not None and right is not None
+            and _ref_values_equal(left, right))
+        if not same:
+            fields.append(name)
+    return tuple(fields)
+
+
+class _RefCommitChecker:
+    """Pre-overhaul commit checker (signature lists per check)."""
+
+    def __init__(self, ft_config):
+        self.ft = ft_config
+        self.checks = 0
+        self.mismatches = 0
+
+    def check(self, group):
+        from ..core.detection import CheckResult
+        copies = group.copies
+        self.checks += 1
+        signatures = [_ref_signature(entry) for entry in copies]
+        first = signatures[0]
+        all_agree = all(_ref_signatures_equal(first, sig)
+                        for sig in signatures[1:])
+        if all_agree:
+            return CheckResult(ok=True, representative=0, majority=False,
+                               agree_count=len(copies))
+        self.mismatches += 1
+        if self.ft.majority_election and len(copies) >= 3:
+            best_index, best_count = self._majority(signatures)
+            if best_count >= self.ft.acceptance_threshold:
+                return CheckResult(
+                    ok=False, representative=best_index, majority=True,
+                    agree_count=best_count,
+                    mismatched_fields=self._collect_mismatches(signatures))
+        return CheckResult(
+            ok=False, representative=-1, majority=False, agree_count=1,
+            mismatched_fields=self._collect_mismatches(signatures))
+
+    @staticmethod
+    def _majority(signatures):
+        best_index, best_count = 0, 0
+        for i, candidate in enumerate(signatures):
+            count = sum(1 for sig in signatures
+                        if _ref_signatures_equal(candidate, sig))
+            if count > best_count:
+                best_index, best_count = i, count
+        return best_index, best_count
+
+    @staticmethod
+    def _collect_mismatches(signatures):
+        fields = set()
+        first = signatures[0]
+        for sig in signatures[1:]:
+            fields.update(_ref_mismatched_fields(first, sig))
+        return tuple(sorted(fields))
+
+
+class _RefFuPool:
+    """Pre-overhaul functional-unit pool (per-call closure)."""
+
+    __slots__ = ("fu_class", "count", "_busy_until", "issued_ops",
+                 "busy_cycles")
+
+    def __init__(self, fu_class, count):
+        self.fu_class = fu_class
+        self.count = count
+        self._busy_until = [0] * count
+        self.issued_ops = 0
+        self.busy_cycles = 0
+
+    def try_issue(self, cycle, latency, unpipelined, avoid=None):
+        busy = self._busy_until
+
+        def occupy(index):
+            if unpipelined:
+                busy[index] = cycle + latency
+                self.busy_cycles += latency
+            else:
+                busy[index] = cycle + 1
+                self.busy_cycles += 1
+            self.issued_ops += 1
+            return index
+
+        fallback = None
+        for index in range(self.count):
+            if busy[index] <= cycle:
+                if index == avoid:
+                    fallback = index
+                    continue
+                return occupy(index)
+        if fallback is not None:
+            return occupy(fallback)
+        return None
+
+    def available(self, cycle):
+        return sum(1 for b in self._busy_until if b <= cycle)
+
+    def reset(self):
+        self._busy_until = [0] * self.count
+        self.issued_ops = 0
+        self.busy_cycles = 0
+
+
+class _RefFuBank:
+    """Pre-overhaul bank of functional-unit pools."""
+
+    def __init__(self, config):
+        self.pools = {
+            FuClass.INT_ALU: _RefFuPool(FuClass.INT_ALU, config.int_alu),
+            FuClass.INT_MULT: _RefFuPool(FuClass.INT_MULT,
+                                         config.int_mult),
+            FuClass.FP_ADD: _RefFuPool(FuClass.FP_ADD, config.fp_add),
+            FuClass.FP_MULT: _RefFuPool(FuClass.FP_MULT, config.fp_mult),
+        }
+
+    def try_issue(self, fu_class, cycle, latency, unpipelined,
+                  avoid=None):
+        pool = self.pools.get(fu_class)
+        if pool is None or pool.count == 0:
+            return None
+        return pool.try_issue(cycle, latency, unpipelined, avoid=avoid)
+
+    def utilisation(self, cycles):
+        result = {}
+        for fu_class, pool in self.pools.items():
+            capacity = pool.count * max(cycles, 1)
+            result[fu_class.name] = pool.busy_cycles / capacity \
+                if capacity else 0.0
+        return result
+
+
+class _RefFetchRecord:
+    """Pre-overhaul fetched-instruction record (no decode metadata)."""
+
+    __slots__ = ("pc", "inst", "pred_npc", "pred_taken", "ras_snap",
+                 "fetch_cycle")
+
+    def __init__(self, pc, inst, pred_npc, pred_taken, ras_snap,
+                 fetch_cycle):
+        self.pc = pc
+        self.inst = inst
+        self.pred_npc = pred_npc
+        self.pred_taken = pred_taken
+        self.ras_snap = ras_snap
+        self.fetch_cycle = fetch_cycle
+
+
+class _RefFetchUnit:
+    """Pre-overhaul fetch unit: per-fetch inst.info resolution."""
+
+    def __init__(self, program, config, hierarchy):
+        self.program = program
+        self.config = config
+        self.hierarchy = hierarchy
+        self.predictor = build_predictor(config.branch)
+        self.btb = _RefBranchTargetBuffer(config.branch.btb_sets,
+                                          config.branch.btb_assoc)
+        self.ras = ReturnAddressStack(config.branch.ras_depth)
+        self.pc = program.entry
+        self.stall_until = 0
+        self.halted = False
+
+    def redirect(self, target, cycle, penalty=0):
+        self.pc = target
+        self.stall_until = cycle + 1 + penalty
+        self.halted = False
+
+    def restore_ras(self, snapshot):
+        if snapshot is not None:
+            self.ras.restore(snapshot)
+
+    def fetch_cycle(self, cycle, budget):
+        if self.halted or cycle < self.stall_until or budget <= 0:
+            return []
+        latency = self.hierarchy.fetch_latency(self.pc)
+        hit_latency = self.hierarchy.params.il1.hit_latency
+        if latency > hit_latency:
+            self.stall_until = cycle + latency
+            return []
+        records = []
+        line = self.hierarchy.instruction_line(self.pc)
+        control_seen = 0
+        while budget > 0:
+            inst = self.program.fetch(self.pc)
+            if inst is None:
+                break
+            if self.hierarchy.instruction_line(self.pc) != line:
+                break
+            kind = inst.info.kind
+            is_control = kind in (Kind.BRANCH, Kind.JUMP)
+            if is_control and control_seen >= 1:
+                break
+            pred_taken = False
+            snapshot = None
+            if kind == Kind.HALT:
+                record = _RefFetchRecord(self.pc, inst, self.pc, False,
+                                         None, cycle)
+                records.append(record)
+                self.halted = True
+                break
+            if is_control:
+                snapshot = self.ras.snapshot()
+                pred_npc, pred_taken = self._predict_control(inst)
+                control_seen += 1
+            else:
+                pred_npc = self.pc + 1
+            records.append(_RefFetchRecord(self.pc, inst, pred_npc,
+                                           pred_taken, snapshot, cycle))
+            self.pc = pred_npc
+            budget -= 1
+            if is_control and pred_taken:
+                break
+        return records
+
+    def _predict_control(self, inst):
+        pc = self.pc
+        op = inst.op
+        if inst.is_branch:
+            taken = self.predictor.predict(pc)
+            target = pc + 1 + inst.imm if taken else pc + 1
+            return target, taken
+        if op == Op.J:
+            return inst.imm, True
+        if op == Op.JAL:
+            self.ras.push(pc + 1)
+            return inst.imm, True
+        if op == Op.JR:
+            if inst.rs1 == RA:
+                predicted = self.ras.pop()
+            else:
+                predicted = self.btb.lookup(pc)
+            return (predicted if predicted is not None else pc + 1), True
+        self.ras.push(pc + 1)
+        predicted = self.btb.lookup(pc)
+        return (predicted if predicted is not None else pc + 1), True
+
+    def train_commit(self, group, actual_next_pc, taken):
+        inst = group.inst
+        if inst.is_branch:
+            self.predictor.update(group.pc, taken)
+        elif inst.op in (Op.JR, Op.JALR):
+            self.btb.update(group.pc, actual_next_pc)
+
+
+def _ref_op_latency(config, op):
+    """Pre-overhaul per-call latency dispatch (lambda table)."""
+    return _LATENCY_TABLE[op](config)
+
+
+class _RefCache:
+    """Pre-overhaul cache level: dense OrderedDict sets (verbatim)."""
+
+    def __init__(self, params, next_level):
+        self.params = params
+        self.next_level = next_level
+        self._set_mask = params.num_sets - 1
+        self._block_shift = params.block_bytes.bit_length() - 1
+        self._sets = [OrderedDict() for _ in range(params.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def name(self):
+        return self.params.name
+
+    def block_address(self, address):
+        return address >> self._block_shift << self._block_shift
+
+    def _locate(self, address):
+        block = address >> self._block_shift
+        return self._sets[block & self._set_mask], block >> 0
+
+    def access(self, address, write=False):
+        cache_set, block = self._locate(address)
+        if block in cache_set:
+            self.hits += 1
+            cache_set.move_to_end(block)
+            if write:
+                cache_set[block] = True
+            return self.params.hit_latency
+        self.misses += 1
+        fill_latency = self.next_level.access(address, write=False)
+        if len(cache_set) >= self.params.assoc:
+            victim, dirty = next(iter(cache_set.items()))
+            del cache_set[victim]
+            self.evictions += 1
+            if dirty:
+                self.writebacks += 1
+                self.next_level.access(victim << self._block_shift,
+                                       write=True)
+        cache_set[block] = bool(write)
+        return self.params.hit_latency + fill_latency
+
+    def probe(self, address):
+        cache_set, block = self._locate(address)
+        return block in cache_set
+
+    def flush(self):
+        for cache_set in self._sets:
+            for _, dirty in cache_set.items():
+                if dirty:
+                    self.writebacks += 1
+            cache_set.clear()
+
+    def reset_stats(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self):
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class _RefMemoryHierarchy(MemoryHierarchy):
+    """Pre-overhaul hierarchy built from dense _RefCache levels."""
+
+    def __init__(self, params=None):
+        from ..memory.cache import MemoryTiming
+        from ..memory.hierarchy import HierarchyParams
+        self.params = params or HierarchyParams()
+        self.memory_timing = MemoryTiming(self.params.memory_latency)
+        self.l2 = _RefCache(self.params.l2, self.memory_timing)
+        self.il1 = _RefCache(self.params.il1, self.l2)
+        self.dl1 = _RefCache(self.params.dl1, self.l2)
+
+
+class _RefBranchTargetBuffer:
+    """Pre-overhaul BTB: dense OrderedDict sets (verbatim)."""
+
+    def __init__(self, sets=512, assoc=4):
+        self.num_sets = sets
+        self.assoc = assoc
+        self._mask = sets - 1
+        self._sets = [OrderedDict() for _ in range(sets)]
+        self.lookups = 0
+        self.hits = 0
+
+    def lookup(self, pc):
+        self.lookups += 1
+        entry_set = self._sets[pc & self._mask]
+        target = entry_set.get(pc)
+        if target is not None:
+            self.hits += 1
+            entry_set.move_to_end(pc)
+        return target
+
+    def update(self, pc, target):
+        entry_set = self._sets[pc & self._mask]
+        if pc in entry_set:
+            entry_set.move_to_end(pc)
+        elif len(entry_set) >= self.assoc:
+            entry_set.popitem(last=False)
+        entry_set[pc] = target
+
+    def reset(self):
+        for entry_set in self._sets:
+            entry_set.clear()
+        self.lookups = 0
+        self.hits = 0
+
+
+class _RefFaultInjector(FaultInjector):
+    """Pre-overhaul injector: rates recomputed per dispatch.
+
+    Inherits the drawing logic (identical RNG sequence) but restores
+    the original per-call rate/pc-share arithmetic so the reference's
+    cost model stays pre-overhaul.
+    """
+
+    def plan_for_copy(self, inst):
+        rate = self.config.rate
+        if rate <= 0 or self._rng.random() >= rate:
+            return None
+        kind = self._draw_kind()
+        kind = self._fit_kind_to_inst(kind, inst)
+        if kind is None:
+            return None
+        self.planned += 1
+        from ..core.faults import FaultPlan
+        return FaultPlan(kind=kind, bit=self._rng.randrange(64))
+
+    def plan_for_group(self, inst):
+        weights = self.config.kind_weights
+        pc_share = weights.get("pc", 0.0) / sum(weights.values())
+        rate = self.config.rate * pc_share
+        if rate <= 0 or self._rng.random() >= rate:
+            return None
+        self.planned += 1
+        from ..core.faults import FaultPlan
+        return FaultPlan(kind="pc", bit=self._rng.randrange(16))
+
+
+class ReferenceProcessor:
+    """The frozen, unoptimized out-of-order superscalar model."""
+
+    def __init__(self, program, config=None, ft=None, fault_config=None):
+        self.program = program
+        self.config = config or MachineConfig()
+        self.ft = ft or UNPROTECTED
+        self.redundancy = self.ft.redundancy
+        if self.config.rob_size % self.redundancy:
+            raise ConfigError(
+                "ROB size (%d) must be a multiple of the redundancy "
+                "degree (%d)" % (self.config.rob_size, self.redundancy))
+
+        memory = MainMemory(self.config.mem_size_words, image=program.data)
+        self.arch = ArchState(memory=memory, pc=program.entry)
+        self.hierarchy = _RefMemoryHierarchy(self.config.hierarchy)
+        self.fetch_unit = _RefFetchUnit(program, self.config,
+                                        self.hierarchy)
+        self.fus = _RefFuBank(self.config)
+
+        self.groups = deque()             # in-flight groups, program order
+        self.renamer = make_renamer(self.config.rename_scheme, self.groups)
+        self.injector = None
+        if fault_config is not None and fault_config.rate_per_million > 0:
+            self.injector = _RefFaultInjector(fault_config)
+        self.stats = PipelineStats()
+        self.replicator = _RefReplicator(self.redundancy, self.renamer,
+                                     self.arch.read_reg, self.injector,
+                                     stats=self.stats)
+        self.checker = _RefCommitChecker(self.ft)
+        self.recovery = RecoveryController(self.ft)
+        self.lsq = LoadStoreQueue(self.config.lsq_size)
+        self.ifq = deque()
+        self.ready = []                   # heap of (seq, entry)
+        self.events = {}                  # cycle -> [(kind, payload)]
+        self.pending_loads = []           # load groups awaiting access
+
+        self.committed_next_pc = program.entry  # the ECC-protected register
+        self._outstanding_misses = 0
+        self.cycle = 0
+        self.halted = False
+        self.rob_entries = 0
+        self._ports_used = 0
+        self._last_commit_cycle = 0
+        self._lockstep = None
+        self._tracer = None
+
+    # -- public API -------------------------------------------------------
+
+    def enable_lockstep_check(self):
+        """Verify every commit against the in-order golden model.
+
+        The strongest correctness oracle: the committed instruction
+        stream (including across fault rewinds) must match in-order
+        execution exactly.
+        """
+        self._lockstep = FunctionalSimulator(
+            self.program, mem_size=self.config.mem_size_words)
+
+    def attach_tracer(self, tracer):
+        """Record per-instruction lifecycle events into ``tracer``."""
+        self._tracer = tracer
+
+    def run(self, max_instructions=None, max_cycles=None):
+        """Simulate until HALT commits or a budget is exhausted."""
+        instruction_target = None
+        if max_instructions is not None:
+            instruction_target = self.stats.instructions + max_instructions
+        while not self.halted:
+            if max_cycles is not None and self.cycle >= max_cycles:
+                break
+            if (instruction_target is not None
+                    and self.stats.instructions >= instruction_target):
+                break
+            self.step()
+        self.stats.cycles = self.cycle
+        return self.stats
+
+    def step(self):
+        """Advance the machine by one cycle."""
+        self.cycle += 1
+        cycle = self.cycle
+        self._ports_used = 0
+        self._commit_stage(cycle)
+        if self.halted:
+            self.stats.cycles = cycle
+            return
+        self._writeback_stage(cycle)
+        self._issue_stage(cycle)
+        self._dispatch_stage(cycle)
+        self._fetch_stage(cycle)
+        self.stats.rob_occupancy_sum += self.rob_entries
+        self.stats.ifq_occupancy_sum += len(self.ifq)
+        if (not self.groups and not self.ifq
+                and not self.fetch_unit.halted
+                and cycle >= self.fetch_unit.stall_until
+                and self.program.fetch(self.fetch_unit.pc) is None):
+            # The committed control flow has left the program: with
+            # protection off, a corrupted branch can retire and strand
+            # the machine on garbage addresses.  Real hardware would
+            # fetch junk or trap; we record the crash and stop.
+            self.stats.crashed = True
+            self.halted = True
+        if cycle - self._last_commit_cycle > self.config.deadlock_cycles:
+            raise SimulationError(
+                "deadlock: no commit for %d cycles (cycle=%d, rob=%d, "
+                "ifq=%d, pending_loads=%d, head=%r)"
+                % (self.config.deadlock_cycles, cycle, self.rob_entries,
+                   len(self.ifq), len(self.pending_loads),
+                   self.groups[0] if self.groups else None))
+
+    # -- commit -----------------------------------------------------------
+
+    def _commit_stage(self, cycle):
+        budget = self.config.commit_width
+        protected = self.redundancy >= 2
+        while self.groups and budget > 0:
+            group = self.groups[0]
+            copies = len(group.copies)
+            cost = copies * (2 if self.config.shared_physical_regfile
+                             else 1)
+            if cost > budget:
+                break
+            if not group.complete:
+                break
+            if protected:
+                if (self.ft.check_pc_continuity
+                        and group.pc != self.committed_next_pc):
+                    self.stats.pc_continuity_violations += 1
+                    self.stats.faults_detected += 1
+                    self.recovery.rewinds += 1
+                    self._begin_rewind(cycle)
+                    return
+                result = self.checker.check(group)
+                if not result.ok:
+                    self.stats.faults_detected += 1
+                    if self.recovery.decide(result) == ACTION_REWIND:
+                        self._begin_rewind(cycle)
+                        return
+                    self.stats.majority_commits += 1
+                    representative = group.copies[result.representative]
+                else:
+                    representative = group.copies[0]
+            else:
+                representative = group.copies[0]
+                if any(entry.fault_applied for entry in group.copies):
+                    self.stats.silent_commits += 1
+            if not self._retire_group(group, representative, cycle):
+                break  # structural stall (store port); retry next cycle
+            budget -= cost
+            if self.halted:
+                return
+
+    def _retire_group(self, group, representative, cycle):
+        """Commit one verified group; False on a store-port stall."""
+        inst = group.inst
+        info = inst.info
+        if group.is_store:
+            if self._ports_used >= self.config.mem_ports:
+                return False
+            self._ports_used += 1
+            self.hierarchy.store_access(representative.addr)
+            self.arch.memory.store(representative.addr,
+                                   representative.store_val)
+            self.stats.stores_committed += 1
+        if info.writes_reg:
+            self.arch.write_reg(inst.rd, representative.value)
+            self.renamer.on_commit(inst.rd, group)
+        if info.kind == Kind.BRANCH:
+            taken = representative.next_pc != group.pc + 1
+            self.fetch_unit.train_commit(group, representative.next_pc,
+                                         taken)
+            self.stats.branches_committed += 1
+            if representative.next_pc != group.pred_npc:
+                self.stats.branch_mispredicts += 1
+        elif info.kind == Kind.JUMP:
+            self.fetch_unit.train_commit(group, representative.next_pc,
+                                         True)
+            self.stats.jumps_committed += 1
+            if representative.next_pc != group.pred_npc:
+                self.stats.indirect_mispredicts += 1
+        self.committed_next_pc = representative.next_pc
+        self.groups.popleft()
+        self.rob_entries -= len(group.copies)
+        if group.is_mem:
+            self.lsq.remove_committed(group)
+        self.stats.instructions += 1
+        self.stats.entries_committed += len(group.copies)
+        self.recovery.on_commit(cycle)
+        self.stats.recovery_cycles = self.recovery.recovery_cycles
+        self._last_commit_cycle = cycle
+        if self._tracer is not None:
+            self._tracer.on_commit(group, cycle)
+        if self._lockstep is not None:
+            self._lockstep_check(group, representative)
+        if inst.is_halt:
+            self.halted = True
+        return True
+
+    def _lockstep_check(self, group, representative):
+        golden = self._lockstep
+        golden.step()
+        inst = group.inst
+        if golden.state.pc != self.committed_next_pc and not inst.is_halt:
+            raise SimulationError(
+                "lockstep divergence at pc=%d: committed next-PC %d, "
+                "golden %d" % (group.pc, self.committed_next_pc,
+                               golden.state.pc))
+        if inst.info.writes_reg:
+            expected = golden.state.read_reg(inst.rd)
+            actual = self.arch.read_reg(inst.rd)
+            if not values_equal(expected, actual):
+                raise SimulationError(
+                    "lockstep divergence at pc=%d: r%d committed %r, "
+                    "golden %r" % (group.pc, inst.rd, actual, expected))
+        if group.is_store:
+            address = representative.addr
+            expected = golden.state.memory.peek(address)
+            actual = self.arch.memory.peek(address)
+            if not values_equal(expected, actual):
+                raise SimulationError(
+                    "lockstep divergence at pc=%d: mem[%d] committed %r, "
+                    "golden %r" % (group.pc, address, actual, expected))
+
+    # -- recovery ---------------------------------------------------------
+
+    def _begin_rewind(self, cycle):
+        """Discard all speculative state; refetch from committed next-PC."""
+        self.stats.rewinds += 1
+        self.recovery.on_rewind(cycle)
+        for group in self.groups:
+            group.mark_squashed()
+        self.groups.clear()
+        self.lsq.clear()
+        self.ifq.clear()
+        self.ready = []
+        self.pending_loads = []
+        self.rob_entries = 0
+        self.renamer.clear()
+        self.fetch_unit.ras.clear()
+        self.fetch_unit.redirect(self.committed_next_pc, cycle,
+                                 penalty=self.ft.rewind_extra_penalty)
+        if self._tracer is not None:
+            self._tracer.on_rewind(cycle, self.committed_next_pc)
+
+    # -- writeback --------------------------------------------------------
+
+    def _schedule(self, cycle, kind, payload):
+        bucket = self.events.get(cycle)
+        if bucket is None:
+            self.events[cycle] = [(kind, payload)]
+        else:
+            bucket.append((kind, payload))
+
+    def _writeback_stage(self, cycle):
+        bucket = self.events.pop(cycle, None)
+        if not bucket:
+            return
+        for kind, payload in bucket:
+            if kind == _EVENT_EXEC:
+                entry = payload
+                if not entry.squashed:
+                    self._complete_execution(entry, cycle)
+            else:
+                group, value, was_miss = payload
+                if was_miss:
+                    # The fill returns and frees its MSHR even if the
+                    # consuming load was squashed meanwhile.
+                    self._outstanding_misses -= 1
+                if not group.squashed:
+                    self._deliver_load_value(group, value, cycle)
+
+    def _complete_execution(self, entry, cycle):
+        group = entry.group
+        inst = group.inst
+        info = inst.info
+        kind = info.kind
+        if kind == Kind.LOAD or kind == Kind.STORE:
+            if entry.fault_kind == "address" and not entry.fault_applied:
+                entry.addr = u64(entry.addr ^ (1 << (entry.fault_bit & 63)))
+                entry.fault_applied = True
+                self.stats.faults_injected += 1
+            entry.agen_done = True
+            if kind == Kind.STORE:
+                entry.store_val = entry.src_vals[1]
+                if entry.fault_kind == "value" and not entry.fault_applied:
+                    entry.store_val = self._flip_value(entry.store_val,
+                                                       entry.fault_bit)
+                    entry.fault_applied = True
+                    self.stats.faults_injected += 1
+                self._finalize_entry(entry, cycle)
+            else:
+                if entry.copy == 0 and not group.mem_issued:
+                    self.pending_loads.append(group)
+                if group.value_ready:
+                    self._finish_load_copy(entry, group.load_value, cycle)
+            return
+        self._apply_datapath_fault(entry, group)
+        self._finalize_entry(entry, cycle)
+
+    def _apply_datapath_fault(self, entry, group):
+        if entry.fault_kind is None or entry.fault_applied:
+            return
+        inst = group.inst
+        if entry.fault_kind == "value" and inst.info.writes_reg:
+            entry.value = self._flip_value(entry.value, entry.fault_bit)
+            entry.fault_applied = True
+            self.stats.faults_injected += 1
+        elif entry.fault_kind == "branch" and inst.is_control:
+            entry.next_pc = self._corrupt_next_pc(entry, group)
+            entry.fault_applied = True
+            self.stats.faults_injected += 1
+        elif entry.fault_kind == "value" and inst.is_control:
+            entry.next_pc = self._corrupt_next_pc(entry, group)
+            entry.fault_applied = True
+            self.stats.faults_injected += 1
+
+    def _corrupt_next_pc(self, entry, group):
+        inst = group.inst
+        if inst.is_branch:
+            fallthrough = group.pc + 1
+            target = group.pc + 1 + inst.imm
+            return target if entry.next_pc == fallthrough else fallthrough
+        return u64(entry.next_pc ^ (1 << (entry.fault_bit % 16)))
+
+    @staticmethod
+    def _flip_value(value, bit):
+        if isinstance(value, float):
+            return flip_float_bit(value, bit)
+        return flip_int_bit(value if value is not None else 0, bit)
+
+    def _finalize_entry(self, entry, cycle):
+        entry.state = DONE
+        entry.done_cycle = cycle
+        group = entry.group
+        group.done_count += 1
+        if entry.dependents:
+            value = entry.value
+            for dependent, slot in entry.dependents:
+                if dependent.squashed:
+                    continue
+                dependent.src_vals[slot] = value
+                dependent.pending -= 1
+                if dependent.pending == 0 and dependent.state == WAITING:
+                    dependent.state = READY
+                    heappush(self.ready, (dependent.seq, dependent))
+            entry.dependents = []
+        if group.is_control:
+            self._resolve_control(entry, cycle)
+
+    def _resolve_control(self, entry, cycle):
+        group = entry.group
+        if group.resolved:
+            # A later copy disagreeing with the followed path is caught
+            # by the commit-stage cross-check; nothing to do here.
+            return
+        group.resolved = True
+        group.resolved_npc = entry.next_pc
+        if entry.next_pc != group.pred_npc:
+            self._squash_younger(group)
+            self.fetch_unit.restore_ras(group.ras_snap)
+            self.fetch_unit.redirect(entry.next_pc, cycle,
+                                     penalty=self.config.redirect_penalty)
+
+    def _squash_younger(self, group):
+        """Branch-misprediction squash of everything younger than group."""
+        groups = self.groups
+        while groups and groups[-1].gseq > group.gseq:
+            victim = groups.pop()
+            victim.mark_squashed()
+            self.rob_entries -= len(victim.copies)
+        self.lsq.squash_younger(group.gseq)
+        self.ifq.clear()
+        if self.pending_loads:
+            self.pending_loads = [g for g in self.pending_loads
+                                  if not g.squashed]
+        if self.ready:
+            self.ready = [(seq, entry) for seq, entry in self.ready
+                          if not entry.squashed]
+            heapify(self.ready)
+        self.renamer.rebuild(groups)
+
+    def _deliver_load_value(self, group, raw_value, cycle):
+        """The single shared memory access returned: fan out to copies."""
+        if group.inst.info.fp_dest:
+            value = as_float(raw_value)
+        else:
+            value = as_int(raw_value)
+        group.load_value = value
+        group.value_ready = True
+        group.value_cycle = cycle
+        for entry in group.copies:
+            if entry.agen_done and entry.state != DONE:
+                self._finish_load_copy(entry, value, cycle)
+
+    def _finish_load_copy(self, entry, value, cycle):
+        entry.value = value
+        if entry.fault_kind == "value" and not entry.fault_applied:
+            entry.value = self._flip_value(entry.value, entry.fault_bit)
+            entry.fault_applied = True
+            self.stats.faults_injected += 1
+        self._finalize_entry(entry, cycle)
+
+    # -- issue ------------------------------------------------------------
+
+    def _issue_stage(self, cycle):
+        self._progress_pending_loads(cycle)
+        budget = self.config.issue_width
+        deferred = []
+        ready = self.ready
+        saturated = set()
+        co_schedule = self.config.co_schedule_copies
+        num_classes = 4  # INT_ALU, INT_MULT, FP_ADD, FP_MULT
+        while budget > 0 and ready and len(saturated) < num_classes:
+            _, entry = heappop(ready)
+            if entry.squashed or entry.state != READY:
+                continue
+            info = entry.group.inst.info
+            fu_class = FuClass.INT_ALU if info.is_mem else info.fu
+            if fu_class in saturated:
+                deferred.append((entry.seq, entry))
+                continue
+            avoid = None
+            if co_schedule and entry.copy > 0:
+                # Section 3.5: prefer a different physical unit than the
+                # sibling copy, so a slow-transient FU fault cannot
+                # corrupt both redundant results identically.
+                avoid = entry.group.copies[0].fu_unit
+            latency = _ref_op_latency(self.config, entry.group.inst.op)
+            unit = self.fus.try_issue(fu_class, cycle, latency,
+                                      info.unpipelined, avoid=avoid)
+            if unit is not None:
+                entry.fu_unit = unit
+                self._execute(entry, cycle, latency)
+                budget -= 1
+            else:
+                saturated.add(fu_class)
+                deferred.append((entry.seq, entry))
+        for item in deferred:
+            heappush(ready, item)
+
+    def _execute(self, entry, cycle, latency):
+        """Start execution: compute results, schedule the completion."""
+        group = entry.group
+        inst = group.inst
+        kind = inst.info.kind
+        a, b = entry.src_vals
+        if kind == Kind.ALU:
+            entry.value = alu_value(inst.op, a, b, inst.imm, group.pc)
+            entry.next_pc = group.pc + 1
+        elif kind == Kind.LOAD or kind == Kind.STORE:
+            entry.addr = effective_address(a, inst.imm)
+            entry.next_pc = group.pc + 1
+        elif kind == Kind.BRANCH:
+            taken = branch_taken(inst.op, a, b)
+            entry.next_pc = group.pc + 1 + inst.imm if taken \
+                else group.pc + 1
+        elif kind == Kind.JUMP:
+            if inst.op == Op.J or inst.op == Op.JAL:
+                entry.next_pc = inst.imm
+            else:
+                entry.next_pc = u64(as_int(a))
+            if inst.info.writes_reg:
+                entry.value = group.pc + 1
+        entry.state = ISSUED
+        entry.issue_cycle = cycle
+        self.stats.issued += 1
+        self._schedule(cycle + latency, _EVENT_EXEC, entry)
+
+    def _progress_pending_loads(self, cycle):
+        if not self.pending_loads:
+            return
+        self.pending_loads.sort(key=lambda g: g.gseq)
+        still_pending = []
+        for group in self.pending_loads:
+            if group.squashed or group.mem_issued:
+                continue
+            status, match = self.lsq.load_status(group)
+            if status == "blocked":
+                still_pending.append(group)
+            elif status == "forward":
+                group.mem_issued = True
+                self.stats.store_forwards += 1
+                self.stats.loads_executed += 1
+                self._schedule(cycle + 1, _EVENT_LOAD_VALUE,
+                               (group, match.copies[0].store_val, False))
+            else:  # cache access
+                if self._ports_used >= self.config.mem_ports:
+                    still_pending.append(group)
+                    continue
+                address = group.copies[0].addr
+                mshrs = self.config.mshr_count
+                is_miss = not self.hierarchy.dl1.probe(
+                    (address & ((1 << 48) - 1)) << 3)
+                if (mshrs is not None and is_miss
+                        and self._outstanding_misses >= mshrs):
+                    still_pending.append(group)  # MSHRs exhausted
+                    continue
+                self._ports_used += 1
+                latency = self.hierarchy.load_latency(address)
+                value = self.arch.memory.load(address)
+                if is_miss:
+                    self._outstanding_misses += 1
+                group.mem_issued = True
+                self.stats.loads_executed += 1
+                self._schedule(cycle + latency, _EVENT_LOAD_VALUE,
+                               (group, value, is_miss))
+        self.pending_loads = still_pending
+
+    # -- dispatch / fetch ---------------------------------------------------
+
+    def _dispatch_stage(self, cycle):
+        budget = self.config.dispatch_width
+        redundancy = self.redundancy
+        while self.ifq and budget >= redundancy:
+            if self.rob_entries + redundancy > self.config.rob_size:
+                break
+            record = self.ifq[0]
+            if record.inst.is_mem and self.lsq.full:
+                break
+            self.ifq.popleft()
+            group = self.replicator.build_group(record, cycle)
+            group.dispatch_cycle = cycle
+            self.groups.append(group)
+            self.rob_entries += redundancy
+            if group.is_mem:
+                self.lsq.insert(group)
+            for entry in group.copies:
+                if entry.state == READY:
+                    heappush(self.ready, (entry.seq, entry))
+            budget -= redundancy
+            self.stats.dispatched_groups += 1
+            self.stats.dispatched_entries += redundancy
+
+    def _fetch_stage(self, cycle):
+        space = self.config.ifq_size - len(self.ifq)
+        budget = min(self.config.fetch_width, space)
+        if budget <= 0:
+            return
+        records = self.fetch_unit.fetch_cycle(cycle, budget)
+        if records:
+            self.ifq.extend(records)
+            self.stats.fetched += len(records)
+
+
+def simulate_reference(program, config=None, ft=None, fault_config=None,
+                       max_instructions=None, max_cycles=None,
+                       lockstep=False):
+    """One-call reference simulation; returns the finished processor."""
+    processor = ReferenceProcessor(program, config=config, ft=ft,
+                                   fault_config=fault_config)
+    if lockstep:
+        processor.enable_lockstep_check()
+    processor.run(max_instructions=max_instructions, max_cycles=max_cycles)
+    return processor

@@ -18,6 +18,7 @@ SMOKE_ARGS = {
     "campaign": ["--workloads", "gcc", "--models", "SS-2",
                  "--rates", "0,3000", "--replicates", "2",
                  "--instructions", "400", "--quiet"],
+    "bench": ["--quick", "--out", ""],
 }
 
 
@@ -116,3 +117,25 @@ class TestCampaignCli:
                           "--quiet"])
         assert exit_code == 0
         assert "2 trials" in capsys.readouterr().out
+
+
+class TestBenchCli:
+    def test_quick_bench_writes_json(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "BENCH_simulator.json"
+        exit_code = main(["bench", "--quick", "--out", str(out)])
+        assert exit_code == 0
+        assert "speedup" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["quick"] is True
+        assert payload["campaign"]["identical_records"] is True
+        assert payload["campaign"]["reference_seconds"] > 0
+        assert payload["campaign"]["optimized_seconds"] > 0
+        assert payload["engine"]["rows"]
+
+    def test_json_flag_prints_payload(self, capsys):
+        import json
+        exit_code = main(["bench", "--quick", "--out", "", "--json"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["campaign"]["trials"] == 8
