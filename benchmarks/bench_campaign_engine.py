@@ -25,8 +25,8 @@ Shape criteria:
 import os
 import time
 
-from repro.campaign import (CampaignSpec, aggregate, cells_to_json,
-                            run_campaign)
+from repro.campaign import (CampaignSession, CampaignSpec,
+                            ExecutionOptions, aggregate, cells_to_json)
 from repro.harness.report import format_campaign_table
 
 SPEC = CampaignSpec(
@@ -45,12 +45,13 @@ def bench_campaign_engine(benchmark, record_table):
     assert SPEC.grid_size == 64
 
     serial_start = time.monotonic()
-    serial = run_campaign(SPEC, workers=1)
+    serial = CampaignSession(SPEC).run()
     serial_elapsed = time.monotonic() - serial_start
 
+    parallel_options = ExecutionOptions(workers=WORKERS)
     parallel_start = time.monotonic()
     parallel = benchmark.pedantic(
-        lambda: run_campaign(SPEC, workers=WORKERS),
+        lambda: CampaignSession(SPEC, options=parallel_options).run(),
         rounds=1, iterations=1)
     parallel_elapsed = time.monotonic() - parallel_start
 

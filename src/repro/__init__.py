@@ -32,7 +32,8 @@ Quickstart::
         print(model.name, result.ipc)
 """
 
-from .campaign import CampaignSpec, run_campaign
+from .campaign import (CampaignSession, CampaignSpec, ExecutionOptions,
+                       run_campaign)
 from .core.config import (DUAL_REDUNDANT, TRIPLE_MAJORITY, TRIPLE_REWIND,
                           UNPROTECTED, FTConfig)
 from .core.faults import FaultConfig, FaultInjector
@@ -49,7 +50,7 @@ from .workloads.generator import build_workload
 __version__ = "1.1.0"
 
 __all__ = [
-    "CampaignSpec", "run_campaign",
+    "CampaignSession", "CampaignSpec", "ExecutionOptions", "run_campaign",
     "DUAL_REDUNDANT", "TRIPLE_MAJORITY", "TRIPLE_REWIND", "UNPROTECTED",
     "FTConfig", "FaultConfig", "FaultInjector", "run_on_model",
     "assemble", "ProgramBuilder", "MachineModel", "baseline_config",

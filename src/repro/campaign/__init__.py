@@ -4,48 +4,71 @@ Turns one-off ``run_on_model`` simulations into resumable, parallel,
 statistically aggregated injection campaigns:
 
 * :mod:`~repro.campaign.spec` — declarative grid of (workload x model x
-  fault rate x kind mix x replicate), expanded into content-keyed trials;
+  machine-override x fault rate x kind mix x replicate), expanded into
+  content-keyed trials; ``spec.shard(i, n)`` partitions the keyspace
+  deterministically for multi-host runs;
+* :mod:`~repro.campaign.api` — the :class:`CampaignSession` facade:
+  spec + :class:`ExecutionOptions` + store backend + typed
+  :class:`CampaignEvent` stream, with ``run`` / ``resume`` /
+  ``progress`` / ``aggregate``;
 * :mod:`~repro.campaign.outcome` — per-trial golden-reference
   classification (masked / detected_recovered / sdc / timeout);
 * :mod:`~repro.campaign.golden` — memoized, seekable golden traces and
   store-footprint state comparison shared by all trials of a cell;
-* :mod:`~repro.campaign.engine` — serial or process-pool execution with
-  order-independent determinism;
-* :mod:`~repro.campaign.store` — JSONL persistence keyed by trial hash,
-  the substrate for ``--resume``;
+* :mod:`~repro.campaign.store` — pluggable result stores behind
+  :class:`StoreBackend`: single-file JSONL, indexed SQLite and sharded
+  JSONL, selected by URL-style path (``out.jsonl`` /
+  ``sqlite:campaign.db`` / ``shard:dir/``), mergeable via
+  :func:`merge_stores`, compactable via ``StoreBackend.compact``;
+* :mod:`~repro.campaign.engine` — the deprecated ``run_campaign``
+  keyword surface, kept as a thin wrapper over the session;
 * :mod:`~repro.campaign.aggregate` — per-cell coverage / SDC-rate / IPC
   statistics with Wilson confidence intervals.
 
 Quickstart::
 
-    from repro.campaign import CampaignSpec, aggregate, run_campaign
+    from repro.campaign import CampaignSession, CampaignSpec, ExecutionOptions
 
     spec = CampaignSpec(workloads=("gcc",), models=("SS-1", "SS-2"),
                         rates_per_million=(0.0, 3000.0), replicates=8,
                         instructions=2_000)
-    result = run_campaign(spec, workers=4)
-    for cell in aggregate(result.records):
+    session = CampaignSession(spec,
+                              options=ExecutionOptions(workers=4),
+                              store="sqlite:campaign.db")
+    session.run()                        # or .resume() after a kill
+    for cell in session.aggregate():
         print(cell.workload, cell.model, cell.rate_per_million,
               cell.counts, cell.coverage)
 """
 
 from .aggregate import (CellStats, aggregate, cells_to_json,
                         wilson_interval)
-from .engine import CampaignResult, execute_trial_payload, run_campaign
+from .api import (CAMPAIGN_FINISHED, CELL_FINISHED, EVENT_KINDS,
+                  TRIAL_FINISHED, TRIAL_STARTED, CampaignEvent,
+                  CampaignProgress, CampaignResult, CampaignSession,
+                  ExecutionOptions, execute_trial_payload)
+from .engine import run_campaign
 from .golden import (GoldenTrace, cached_trace, clear_trace_cache,
                      compare_with_golden)
 from .outcome import (DETECTED_RECOVERED, MASKED, OUTCOMES, SDC,
                       SIMULATORS, TIMEOUT, TrialResult,
                       clear_result_caches, run_trial)
-from .spec import CampaignSpec, Trial
-from .store import ResultStore
+from .spec import CampaignShard, CampaignSpec, Trial
+from .store import (JSONLStore, ResultStore, ShardedJSONLStore,
+                    SQLiteStore, StoreBackend, merge_stores, open_store,
+                    shard_of_key)
 
 __all__ = [
     "CellStats", "aggregate", "cells_to_json", "wilson_interval",
-    "CampaignResult", "execute_trial_payload", "run_campaign",
+    "CAMPAIGN_FINISHED", "CELL_FINISHED", "EVENT_KINDS",
+    "TRIAL_FINISHED", "TRIAL_STARTED", "CampaignEvent",
+    "CampaignProgress", "CampaignResult", "CampaignSession",
+    "ExecutionOptions", "execute_trial_payload", "run_campaign",
     "GoldenTrace", "cached_trace", "clear_trace_cache",
     "compare_with_golden",
     "DETECTED_RECOVERED", "MASKED", "OUTCOMES", "SDC", "SIMULATORS",
     "TIMEOUT", "TrialResult", "clear_result_caches", "run_trial",
-    "CampaignSpec", "Trial", "ResultStore",
+    "CampaignShard", "CampaignSpec", "Trial",
+    "JSONLStore", "ResultStore", "ShardedJSONLStore", "SQLiteStore",
+    "StoreBackend", "merge_stores", "open_store", "shard_of_key",
 ]

@@ -40,12 +40,18 @@ def wilson_interval(successes, total, z=DEFAULT_Z):
 
 @dataclass
 class CellStats:
-    """Aggregated statistics of one campaign grid cell."""
+    """Aggregated statistics of one campaign grid cell.
+
+    ``machine`` names the cell's ``machine_overrides`` axis value; it
+    stays empty (and absent from :meth:`as_dict`) for specs without
+    that axis, so pre-axis aggregate JSON is byte-identical.
+    """
 
     workload: str
     model: str
     rate_per_million: float
     mix: str
+    machine: str = ""
     n: int = 0
     counts: dict = field(
         default_factory=lambda: {name: 0 for name in OUTCOMES})
@@ -87,7 +93,7 @@ class CellStats:
         """JSON-friendly cell summary (stable field order)."""
         coverage_ci = self.coverage_interval
         sdc_ci = self.sdc_interval
-        return {
+        data = {
             "workload": self.workload,
             "model": self.model,
             "rate_per_million": self.rate_per_million,
@@ -105,12 +111,16 @@ class CellStats:
             "total_faults_detected": self.total_faults_detected,
             "total_rewinds": self.total_rewinds,
         }
+        if self.machine:
+            data["machine"] = self.machine
+        return data
 
 
 def _cell_key(record):
     trial = record["trial"]
     return (trial["workload"], trial["model"],
-            trial["rate_per_million"], trial["mix"])
+            trial.get("machine", ""), trial["rate_per_million"],
+            trial["mix"])
 
 
 def aggregate(records):
@@ -123,7 +133,8 @@ def aggregate(records):
         cell = cells.get(key)
         if cell is None:
             cell = CellStats(workload=key[0], model=key[1],
-                             rate_per_million=key[2], mix=key[3])
+                             machine=key[2], rate_per_million=key[3],
+                             mix=key[4])
             cells[key] = cell
             ipc_sums[key] = [0.0, 0]
             penalty_sums[key] = [0.0, 0]

@@ -1,0 +1,399 @@
+"""Campaign API v2: the :class:`CampaignSession` facade.
+
+A session owns everything one campaign run needs — the spec (or a
+:meth:`~repro.campaign.spec.CampaignSpec.shard` of one), an
+:class:`ExecutionOptions` bundle (absorbing the loose ``simulator`` /
+``golden_cache`` / ``reuse_faultfree`` / ``workers`` / ``max_cycles``
+keywords that accreted on ``run_campaign``), a
+:class:`~repro.campaign.store.StoreBackend`, and a typed
+:class:`CampaignEvent` stream — and exposes the four verbs of the
+campaign lifecycle::
+
+    session = CampaignSession(spec, options=ExecutionOptions(workers=4),
+                              store="sqlite:campaign.db")
+    session.subscribe(lambda e: print(e.kind, e.done, e.total))
+    result = session.run()          # or session.resume()
+    print(session.progress())
+    for cell in session.aggregate():
+        ...
+
+Events replace the bare ``progress(done, total, record)`` closure with
+a typed protocol: ``trial_started`` / ``trial_finished`` per trial,
+``cell_finished`` when the last trial of a (workload, model, machine,
+rate, mix) grid cell completes in this run, and ``campaign_finished``
+once the full record set is assembled.  Listeners are plain callables
+receiving the frozen event object.
+
+The engine guarantees of PR 1 are unchanged: parallelism is purely a
+wall-clock optimisation (per-trial seeds derive from trial keys, never
+from scheduling order), records are re-ordered into spec-expansion
+order before aggregation, and any store backend makes a killed
+campaign resumable from its completed keys.
+
+``repro.campaign.engine.run_campaign`` survives as a thin deprecated
+wrapper over this class, byte-identical in behaviour.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError
+from .aggregate import aggregate
+from .outcome import SIMULATORS, run_trial
+from .spec import CampaignShard, CampaignSpec, Trial
+from .store import StoreBackend, open_store
+
+# -- events ----------------------------------------------------------------
+
+TRIAL_STARTED = "trial_started"
+TRIAL_FINISHED = "trial_finished"
+CELL_FINISHED = "cell_finished"
+CAMPAIGN_FINISHED = "campaign_finished"
+
+#: Every event kind a session can emit, in lifecycle order.
+EVENT_KINDS = (TRIAL_STARTED, TRIAL_FINISHED, CELL_FINISHED,
+               CAMPAIGN_FINISHED)
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One typed notification from a running session.
+
+    ``done``/``total`` always refer to whole-campaign trial progress
+    (resumed trials count as done).  ``trial`` is the
+    ``Trial.to_dict()`` of the trial concerned (started/finished),
+    ``record`` the finished trial's result record, and ``cell`` the
+    (workload, model, machine, rate, mix) tuple of a completed grid
+    cell.  With ``workers > 1``, ``trial_started`` fires at pool
+    submission time and finish order follows the pool's scheduling —
+    only the final record set is order-deterministic.
+    """
+
+    kind: str
+    done: int
+    total: int
+    trial: Optional[dict] = None
+    record: Optional[dict] = None
+    cell: Optional[tuple] = None
+
+
+#: A session listener: any callable accepting one CampaignEvent.
+CampaignListener = Callable[[CampaignEvent], None]
+
+
+# -- options ---------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How a session executes trials (never *what* it executes).
+
+    ``simulator`` / ``golden_cache`` / ``reuse_faultfree`` select
+    between the optimized and the frozen reference execution paths
+    (byte-identical records either way, see
+    :func:`repro.campaign.outcome.run_trial`); ``workers`` widens the
+    process pool; ``max_cycles`` stamps a cycle budget onto a spec that
+    does not set one (it is part of trial identity, so the session
+    refuses to silently contradict a spec's own value).
+    """
+
+    simulator: str = "fast"
+    golden_cache: bool = True
+    reuse_faultfree: bool = True
+    workers: int = 1
+    max_cycles: Optional[int] = None
+
+    def __post_init__(self):
+        if self.simulator not in SIMULATORS:
+            raise ConfigError("unknown simulator %r (choose from %s)"
+                              % (self.simulator, "/".join(SIMULATORS)))
+        if not isinstance(self.workers, int) \
+                or isinstance(self.workers, bool) or self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if self.max_cycles is not None and (
+                not isinstance(self.max_cycles, int)
+                or isinstance(self.max_cycles, bool)
+                or self.max_cycles < 1):
+            raise ConfigError("max_cycles must be a positive integer "
+                              "or None, got %r" % (self.max_cycles,))
+
+    def trial_payload(self, trial: Trial) -> dict:
+        """The worker-pool payload for one trial (plain dicts only)."""
+        return {"trial": trial.to_dict(),
+                "simulator": self.simulator,
+                "golden_cache": self.golden_cache,
+                "reuse_faultfree": self.reuse_faultfree}
+
+
+# -- results ---------------------------------------------------------------
+
+@dataclass
+class CampaignResult:
+    """Everything a finished (or resumed) campaign run produced."""
+
+    spec: object
+    #: One record per trial of the grid, in spec-expansion order.
+    records: list = field(default_factory=list)
+    executed: int = 0               # trials simulated by this run
+    skipped: int = 0                # trials satisfied from the store
+
+    @property
+    def outcome_counts(self):
+        counts = {}
+        for record in self.records:
+            counts[record["outcome"]] = \
+                counts.get(record["outcome"], 0) + 1
+        return counts
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """A point-in-time snapshot of a session's completion state."""
+
+    done: int
+    total: int
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.done
+
+    @property
+    def fraction(self) -> float:
+        return self.done / self.total if self.total else 1.0
+
+    def __str__(self):
+        return "%d/%d trials (%.1f%%)" % (self.done, self.total,
+                                          100.0 * self.fraction)
+
+
+def execute_trial_payload(payload):
+    """Worker entry point: run one serialised trial, return its record.
+
+    Module-level (not a closure) so :class:`ProcessPoolExecutor` can
+    pickle it; takes and returns plain dicts for the same reason.
+    Accepts either a bare ``Trial.to_dict()`` (the PR-1 payload shape)
+    or ``{"trial": ..., "simulator": ..., "golden_cache": ...,
+    "reuse_faultfree": ...}``.
+    """
+    if "trial" in payload:
+        trial = Trial.from_dict(payload["trial"])
+        return run_trial(
+            trial,
+            simulator=payload.get("simulator", "fast"),
+            golden_cache=payload.get("golden_cache", True),
+            reuse_faultfree=payload.get("reuse_faultfree", True),
+        ).to_record()
+    trial = Trial.from_dict(payload)
+    return run_trial(trial).to_record()
+
+
+def _cell_of(trial_dict) -> tuple:
+    """The aggregation cell a trial (as a dict) belongs to."""
+    return (trial_dict["workload"], trial_dict["model"],
+            trial_dict.get("machine", ""),
+            trial_dict["rate_per_million"], trial_dict["mix"])
+
+
+# -- the facade ------------------------------------------------------------
+
+class CampaignSession:
+    """Stateful facade over one campaign: spec + options + store + events.
+
+    ``spec`` may be a :class:`~repro.campaign.spec.CampaignSpec` or a
+    :class:`~repro.campaign.spec.CampaignShard`; ``store`` a
+    :class:`~repro.campaign.store.StoreBackend` instance or a URL-style
+    path (``out.jsonl`` / ``sqlite:campaign.db`` / ``shard:dir/`` —
+    see :func:`~repro.campaign.store.open_store`).
+
+    :meth:`run` executes every trial into an empty (or absent) store;
+    :meth:`resume` skips trials whose keys the store already holds.
+    Either way :attr:`result` ends up with one record per trial in
+    spec-expansion order, and :meth:`aggregate` reduces them to
+    per-cell statistics.  A session whose store was filled by previous
+    runs (or by :func:`~repro.campaign.store.merge_stores` over shard
+    stores) can call :meth:`aggregate` without running at all.
+    """
+
+    def __init__(self, spec, options: Optional[ExecutionOptions] = None,
+                 store=None,
+                 listeners: Tuple[CampaignListener, ...] = ()):
+        self.options = options if options is not None \
+            else ExecutionOptions()
+        self.spec = self._stamp_max_cycles(spec, self.options.max_cycles)
+        self.store: Optional[StoreBackend] = open_store(store)
+        self._listeners: List[CampaignListener] = list(listeners)
+        self.result: Optional[CampaignResult] = None
+
+    @staticmethod
+    def _stamp_max_cycles(spec, max_cycles):
+        if max_cycles is None:
+            return spec
+        current = getattr(spec, "max_cycles", None)
+        if current == max_cycles:
+            return spec
+        if current is not None:
+            raise ConfigError(
+                "options.max_cycles=%d contradicts the spec's "
+                "max_cycles=%d (max_cycles is part of every trial key; "
+                "change the spec instead)" % (max_cycles, current))
+        # isinstance, not duck typing: a CampaignShard delegates every
+        # spec attribute (including `shard`), so only the concrete type
+        # says which replace() is legal.
+        if isinstance(spec, CampaignShard):
+            # Re-stamp the underlying spec, keep the shard view.
+            return replace(spec.spec, max_cycles=max_cycles).shard(
+                spec.index, spec.total)
+        if isinstance(spec, CampaignSpec):
+            return replace(spec, max_cycles=max_cycles)
+        raise ConfigError(
+            "options.max_cycles cannot be stamped onto %s; set "
+            "max_cycles on the spec itself" % type(spec).__name__)
+
+    # -- event stream ------------------------------------------------------
+
+    def subscribe(self, listener: CampaignListener) -> CampaignListener:
+        """Attach a listener; returns it (usable as a decorator)."""
+        self._listeners.append(listener)
+        return listener
+
+    def _emit(self, kind, done, total, trial=None, record=None,
+              cell=None):
+        if not self._listeners:
+            return
+        event = CampaignEvent(kind=kind, done=done, total=total,
+                              trial=trial, record=record, cell=cell)
+        for listener in self._listeners:
+            listener(event)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Execute every trial of the spec (store must be fresh)."""
+        return self._run(resume=False)
+
+    def resume(self) -> CampaignResult:
+        """Execute only the trials the store has no record of yet."""
+        if self.store is None:
+            raise ConfigError("resume requires a result store")
+        return self._run(resume=True)
+
+    def progress(self) -> CampaignProgress:
+        """Completion snapshot: from the finished result if this
+        session ran, else from the store's completed keys."""
+        trials = list(self.spec.trials())
+        if self.result is not None:
+            return CampaignProgress(done=len(self.result.records),
+                                    total=len(trials))
+        done = 0
+        if self.store is not None and self.store.exists:
+            completed = self.store.completed_keys()
+            done = sum(1 for trial in trials if trial.key in completed)
+        return CampaignProgress(done=done, total=len(trials))
+
+    def records(self) -> List[dict]:
+        """This campaign's records, in spec-expansion order.
+
+        From :attr:`result` after a run; otherwise loaded from the
+        store (e.g. an earlier run's file, or shard stores merged via
+        :func:`~repro.campaign.store.merge_stores`) and re-ordered —
+        which is what makes merged-shard aggregation byte-identical to
+        a single-host run.
+        """
+        if self.result is not None:
+            return self.result.records
+        if self.store is None:
+            raise ConfigError("no result yet and no store to load "
+                              "records from; call run() first")
+        by_key = {record["key"]: record for record in self.store.load()}
+        return [by_key[trial.key] for trial in self.spec.trials()
+                if trial.key in by_key]
+
+    def aggregate(self):
+        """Per-cell statistics of :meth:`records` (spec order)."""
+        return aggregate(self.records())
+
+    # -- execution core ----------------------------------------------------
+
+    def _run(self, resume) -> CampaignResult:
+        trials = list(self.spec.trials())
+        total = len(trials)
+        completed: Dict[str, dict] = {}
+        if self.store is not None:
+            if resume:
+                wanted = {trial.key for trial in trials}
+                completed = {record["key"]: record
+                             for record in self.store.load()
+                             if record["key"] in wanted}
+            else:
+                if self.store.completed_keys():
+                    raise ConfigError(
+                        "result store %s already holds completed "
+                        "trials; pass resume=True (--resume) to "
+                        "continue it, or delete the file to start "
+                        "fresh" % self.store.path)
+                self.store.truncate()
+        todo = [trial for trial in trials if trial.key not in completed]
+        result = CampaignResult(spec=self.spec, executed=len(todo),
+                                skipped=total - len(todo))
+        # cell_finished fires when the last outstanding trial of a cell
+        # completes in this run; cells fully satisfied from the store
+        # never re-fire.
+        cell_remaining: Dict[tuple, int] = {}
+        for trial in todo:
+            cell = (trial.workload, trial.model, trial.machine,
+                    trial.rate_per_million, trial.mix)
+            cell_remaining[cell] = cell_remaining.get(cell, 0) + 1
+        fresh = self._execute(todo, cell_remaining,
+                              done_offset=len(completed), total=total)
+        completed.update(fresh)
+        result.records = [completed[trial.key] for trial in trials]
+        self.result = result
+        self._emit(CAMPAIGN_FINISHED, done=total, total=total)
+        return result
+
+    def _execute(self, todo, cell_remaining, done_offset, total):
+        """Run the outstanding trials; return {key: record}."""
+        records: Dict[str, dict] = {}
+        done = done_offset
+
+        def collect(record):
+            nonlocal done
+            records[record["key"]] = record
+            if self.store is not None:
+                self.store.append(record)
+            done += 1
+            trial_dict = record.get("trial")
+            self._emit(TRIAL_FINISHED, done=done, total=total,
+                       trial=trial_dict, record=record)
+            if isinstance(trial_dict, dict):
+                cell = _cell_of(trial_dict)
+                remaining = cell_remaining.get(cell)
+                if remaining is not None:
+                    if remaining <= 1:
+                        del cell_remaining[cell]
+                        self._emit(CELL_FINISHED, done=done, total=total,
+                                   cell=cell)
+                    else:
+                        cell_remaining[cell] = remaining - 1
+
+        workers = self.options.workers
+        if workers == 1 or len(todo) <= 1:
+            for trial in todo:
+                self._emit(TRIAL_STARTED, done=done, total=total,
+                           trial=trial.to_dict())
+                collect(execute_trial_payload(
+                    self.options.trial_payload(trial)))
+            return records
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = []
+            for trial in todo:
+                futures.append(pool.submit(
+                    execute_trial_payload,
+                    self.options.trial_payload(trial)))
+                self._emit(TRIAL_STARTED, done=done, total=total,
+                           trial=trial.to_dict())
+            for future in as_completed(futures):
+                collect(future.result())
+        return records

@@ -1,61 +1,28 @@
-"""Campaign execution: the same trials, serially or across processes.
+"""Deprecated campaign entry point, kept for PR-1/PR-2 callers.
 
-The engine guarantees that parallelism is purely a wall-clock
-optimisation: every trial is a pure function of its
-:class:`~repro.campaign.spec.Trial` (the fault seed is derived from the
-trial key, never from scheduling order), results are re-ordered back
-into spec-expansion order before aggregation, and the JSONL store makes
-a killed campaign resumable from its completed keys.
+The execution core now lives in :mod:`repro.campaign.api` behind the
+:class:`~repro.campaign.api.CampaignSession` facade; this module keeps
+the original ``run_campaign(**kwargs)`` surface (and the historical
+import locations of :func:`execute_trial_payload` and
+:class:`CampaignResult`) working byte-identically — same records, same
+progress-callback semantics, same error messages — while new code
+migrates::
+
+    # old                                  # new
+    run_campaign(spec, workers=4,          CampaignSession(
+        store=ResultStore("r.jsonl"),          spec,
+        resume=True,                           options=ExecutionOptions(workers=4),
+        progress=cb)                           store="r.jsonl").resume()
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
+import warnings
 
-from ..errors import ConfigError
-from .outcome import run_trial
-from .spec import Trial
+from .api import (CampaignResult, CampaignSession, ExecutionOptions,
+                  TRIAL_FINISHED, execute_trial_payload)
 
-
-def execute_trial_payload(payload):
-    """Worker entry point: run one serialised trial, return its record.
-
-    Module-level (not a closure) so :class:`ProcessPoolExecutor` can
-    pickle it; takes and returns plain dicts for the same reason.
-    Accepts either a bare ``Trial.to_dict()`` (the PR-1 payload shape)
-    or ``{"trial": ..., "simulator": ..., "golden_cache": ...,
-    "reuse_faultfree": ...}``.
-    """
-    if "trial" in payload:
-        trial = Trial.from_dict(payload["trial"])
-        return run_trial(
-            trial,
-            simulator=payload.get("simulator", "fast"),
-            golden_cache=payload.get("golden_cache", True),
-            reuse_faultfree=payload.get("reuse_faultfree", True),
-        ).to_record()
-    trial = Trial.from_dict(payload)
-    return run_trial(trial).to_record()
-
-
-@dataclass
-class CampaignResult:
-    """Everything a finished (or resumed) campaign run produced."""
-
-    spec: object
-    #: One record per trial of the grid, in spec-expansion order.
-    records: list = field(default_factory=list)
-    executed: int = 0               # trials simulated by this run
-    skipped: int = 0                # trials satisfied from the store
-
-    @property
-    def outcome_counts(self):
-        counts = {}
-        for record in self.records:
-            counts[record["outcome"]] = \
-                counts.get(record["outcome"], 0) + 1
-        return counts
+__all__ = ["CampaignResult", "execute_trial_payload", "run_campaign"]
 
 
 def run_campaign(spec, workers=1, store=None, resume=False,
@@ -63,73 +30,30 @@ def run_campaign(spec, workers=1, store=None, resume=False,
                  reuse_faultfree=True):
     """Execute every trial of ``spec`` not already in ``store``.
 
-    ``workers > 1`` fans trials out over a process pool; results are
-    identical to a serial run.  With ``resume=True`` (requires a store)
-    completed keys are skipped; without it the store must be empty or
-    absent — a non-empty store is refused rather than silently wiped,
-    because those records may be hours of finished trials.
-    ``progress`` is an optional callable ``(done, total, record)``
-    invoked per trial.  ``simulator``/``golden_cache``/
-    ``reuse_faultfree`` select between the optimized and the frozen
-    reference execution paths (byte-identical records either way; see
-    :func:`repro.campaign.outcome.run_trial`).
+    .. deprecated::
+        Thin wrapper over :class:`~repro.campaign.api.CampaignSession`;
+        the keyword pile maps onto
+        :class:`~repro.campaign.api.ExecutionOptions` and the
+        ``progress(done, total, record)`` closure onto a
+        ``trial_finished`` event listener.  Behaviour (records, resume
+        semantics, refusal of a non-empty store without ``resume``,
+        error messages) is unchanged.
     """
-    if workers < 1:
-        raise ConfigError("workers must be >= 1")
-    if resume and store is None:
-        raise ConfigError("resume requires a result store")
-    trials = list(spec.trials())
-    completed = {}
-    if store is not None:
-        if resume:
-            wanted = {trial.key for trial in trials}
-            completed = {record["key"]: record
-                         for record in store.load()
-                         if record["key"] in wanted}
-        else:
-            if store.completed_keys():
-                raise ConfigError(
-                    "result store %s already holds completed trials; "
-                    "pass resume=True (--resume) to continue it, or "
-                    "delete the file to start fresh" % store.path)
-            store.truncate()
-    todo = [trial for trial in trials if trial.key not in completed]
-    result = CampaignResult(spec=spec, executed=len(todo),
-                            skipped=len(trials) - len(todo))
-    options = {"simulator": simulator, "golden_cache": golden_cache,
-               "reuse_faultfree": reuse_faultfree}
-    fresh = _execute(todo, workers, store, progress, options,
-                     done_offset=len(completed), total=len(trials))
-    completed.update(fresh)
-    result.records = [completed[trial.key] for trial in trials]
-    return result
-
-
-def _execute(todo, workers, store, progress, options, done_offset,
-             total):
-    """Run the outstanding trials; return {key: record}."""
-    records = {}
-    done = done_offset
-
-    def payload(trial):
-        return dict(options, trial=trial.to_dict())
-
-    def collect(record):
-        nonlocal done
-        records[record["key"]] = record
-        if store is not None:
-            store.append(record)
-        done += 1
-        if progress is not None:
-            progress(done, total, record)
-
-    if workers == 1 or len(todo) <= 1:
-        for trial in todo:
-            collect(execute_trial_payload(payload(trial)))
-        return records
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(execute_trial_payload, payload(trial))
-                   for trial in todo]
-        for future in as_completed(futures):
-            collect(future.result())
-    return records
+    warnings.warn(
+        "run_campaign(...) is deprecated; use "
+        "repro.campaign.CampaignSession (ExecutionOptions absorbs the "
+        "simulator/golden_cache/reuse_faultfree/workers switches)",
+        DeprecationWarning, stacklevel=2)
+    options = ExecutionOptions(simulator=simulator,
+                               golden_cache=golden_cache,
+                               reuse_faultfree=reuse_faultfree,
+                               workers=workers)
+    listeners = []
+    if progress is not None:
+        def relay(event):
+            if event.kind == TRIAL_FINISHED:
+                progress(event.done, event.total, event.record)
+        listeners.append(relay)
+    session = CampaignSession(spec, options=options, store=store,
+                              listeners=tuple(listeners))
+    return session.resume() if resume else session.run()

@@ -30,7 +30,6 @@ from ..errors import SimulationError
 from ..functional.checker import compare_states
 from ..functional.simulator import FunctionalSimulator
 from ..harness.experiment import cycle_budget, run_windowed
-from ..models.presets import get_model
 from ..program.cache import cached_workload as _cached_workload
 from ..uarch.processor import Processor
 from ..uarch.reference import ReferenceProcessor
@@ -121,6 +120,7 @@ def run_trial(trial, simulator="fast", golden_cache=True,
     fault_config = trial.fault_config()
     if reuse_faultfree and fast:
         baseline_key = (trial.workload, trial.workload_seed, trial.model,
+                        trial.machine_overrides,
                         trial.instructions, trial.warmup,
                         trial.max_cycles)
         if fault_config is None:
@@ -145,7 +145,7 @@ def _run_baseline(trial, baseline_key, golden_cache):
     """Run and memoize the fault-free twin of ``trial``."""
     result, groups = _execute_and_classify(trial, None, True,
                                            golden_cache)
-    model = get_model(trial.model)
+    model = trial.resolve_model()
     entry = (result, groups, model.ft.redundancy)
     _FAULTFREE_CACHE[baseline_key] = entry
     return entry
@@ -159,7 +159,7 @@ def _worth_baseline(trial, fault_config):
     spend a baseline simulation when silent trials are likely enough
     to be reused by this cell's replicates.
     """
-    model = get_model(trial.model)
+    model = trial.resolve_model()
     draws_per_group = model.ft.redundancy + 1
     estimated_groups = 2.5 * (trial.instructions + trial.warmup)
     p_silent = math.exp(-fault_config.rate * draws_per_group
@@ -199,7 +199,7 @@ def _injector_stays_silent(fault_config, dispatched_groups, redundancy):
 def _execute_and_classify(trial, fault_config, fast, golden_cache):
     """Simulate one trial; return (TrialResult, dispatched groups)."""
     program = _cached_workload(trial.workload, trial.workload_seed)
-    model = get_model(trial.model)
+    model = trial.resolve_model()
     processor_class = Processor if fast else ReferenceProcessor
     processor = processor_class(program, config=model.config, ft=model.ft,
                                 fault_config=fault_config)

@@ -1,16 +1,19 @@
 """Declarative campaign specifications and their trial expansion.
 
 A :class:`CampaignSpec` names the axes of a Monte Carlo fault-injection
-study — workloads, machine models, fault rates, kind-weight mixes and
-seed replicates — and expands their cross product into individually
-keyed :class:`Trial` objects.  The key is a content hash of everything
-that defines the trial, so
+study — workloads, machine models, machine-config overrides, fault
+rates, kind-weight mixes and seed replicates — and expands their cross
+product into individually keyed :class:`Trial` objects.  The key is a
+content hash of everything that defines the trial, so
 
 * the same spec always expands to the same trials, in the same order;
 * each trial's fault seed is derived from its own key, never from the
   position it happens to run at (workers=1 and workers=N agree);
 * a persisted result can be matched back to its trial after a crash,
-  which is what makes campaigns resumable.
+  which is what makes campaigns resumable;
+* :meth:`CampaignSpec.shard` can partition the keyspace across hosts
+  (shard membership is a pure function of the key), and the merged
+  shard stores aggregate identically to a single-host run.
 """
 
 from __future__ import annotations
@@ -18,11 +21,13 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
 
 from ..core.faults import DEFAULT_KIND_WEIGHTS, FaultConfig, get_kind_mix
 from ..errors import ConfigError
-from ..models.presets import get_model
+from ..models.presets import derive_model, get_model
 from ..workloads.profiles import get_profile
+from .store import shard_of_key
 
 #: Spec-hash prefix length; 16 hex chars = 64 bits, collision-safe for
 #: any campaign size this engine will see.
@@ -33,8 +38,11 @@ KEY_LENGTH = 16
 class Trial:
     """One fully resolved simulation: a single point of the campaign grid.
 
-    ``kind_weights`` is a sorted tuple of (kind, weight) pairs so the
-    trial stays hashable and picklable for process-pool workers.
+    ``kind_weights`` (and ``machine_overrides``) are sorted tuples of
+    pairs so the trial stays hashable and picklable for process-pool
+    workers.  ``machine``/``machine_overrides`` are only populated when
+    the spec carries a ``machine_overrides`` axis; the empty defaults
+    keep PR-1/PR-2 trial keys and serialised records byte-identical.
     """
 
     key: str
@@ -42,15 +50,17 @@ class Trial:
     model: str
     rate_per_million: float
     mix: str
-    kind_weights: tuple
+    kind_weights: Tuple[Tuple[str, float], ...]
     replicate: int
     instructions: int
     warmup: int
     fault_seed: int
     workload_seed: int
-    max_cycles: int = None
+    max_cycles: Optional[int] = None
+    machine: str = ""
+    machine_overrides: Tuple[Tuple[str, object], ...] = ()
 
-    def fault_config(self):
+    def fault_config(self) -> Optional[FaultConfig]:
         """The injector configuration for this trial (None if rate 0)."""
         if self.rate_per_million <= 0:
             return None
@@ -58,7 +68,13 @@ class Trial:
                            seed=self.fault_seed,
                            kind_weights=dict(self.kind_weights))
 
-    def to_dict(self):
+    def resolve_model(self):
+        """The machine model of this trial, overrides applied."""
+        if not self.machine_overrides:
+            return get_model(self.model)
+        return derive_model(self.model, dict(self.machine_overrides))
+
+    def to_dict(self) -> dict:
         data = {
             "key": self.key,
             "workload": self.workload,
@@ -74,10 +90,14 @@ class Trial:
         }
         if self.max_cycles is not None:
             data["max_cycles"] = self.max_cycles
+        if self.machine:
+            data["machine"] = self.machine
+            data["machine_overrides"] = [
+                list(pair) for pair in self.machine_overrides]
         return data
 
     @classmethod
-    def from_dict(cls, data):
+    def from_dict(cls, data: dict) -> "Trial":
         return cls(
             key=data["key"], workload=data["workload"],
             model=data["model"],
@@ -90,7 +110,11 @@ class Trial:
             warmup=data["warmup"],
             fault_seed=data["fault_seed"],
             workload_seed=data["workload_seed"],
-            max_cycles=data.get("max_cycles"))
+            max_cycles=data.get("max_cycles"),
+            machine=data.get("machine", ""),
+            machine_overrides=tuple(
+                (name, value) for name, value
+                in data.get("machine_overrides", ())))
 
 
 def _trial_key_and_seed(material):
@@ -105,23 +129,43 @@ def _trial_key_and_seed(material):
     return key, seed
 
 
+_OVERRIDE_SCALARS = (int, float, bool, str)
+
+
+def _canonical_override_value(value):
+    """Collapse integral floats to int (64.0 -> 64) so the same logical
+    override hashes — and simulates — identically whether its value
+    arrived as a JSON int, a JSON float or a CLI string; the same
+    reason trials() canonicalizes rates and mix weights, in the
+    opposite direction because MachineConfig fields are integers."""
+    if isinstance(value, float) and not isinstance(value, bool) \
+            and value.is_integer():
+        return int(value)
+    return value
+
+
 @dataclass(frozen=True)
 class CampaignSpec:
     """The declarative description of one injection campaign."""
 
     name: str = "campaign"
-    workloads: tuple = ("gcc",)
-    models: tuple = ("SS-2",)
-    rates_per_million: tuple = (0.0, 1000.0)
+    workloads: Tuple[str, ...] = ("gcc",)
+    models: Tuple[str, ...] = ("SS-2",)
+    rates_per_million: Tuple[float, ...] = (0.0, 1000.0)
     #: mix name -> kind-weight dict; names become a grid axis.
-    mixes: dict = field(
+    mixes: Dict[str, dict] = field(
         default_factory=lambda: {"default": dict(DEFAULT_KIND_WEIGHTS)})
+    #: override name -> MachineConfig field overrides; when non-empty
+    #: the names become a design-space grid axis (every model of the
+    #: spec is derived once per override set — FU counts, ROB size,
+    #: IFQ depth, any flat MachineConfig field).
+    machine_overrides: Dict[str, dict] = field(default_factory=dict)
     replicates: int = 8
     instructions: int = 2_000
     warmup: int = 0
     base_seed: int = 2001
     workload_seed: int = 1_000_003
-    max_cycles: int = None
+    max_cycles: Optional[int] = None
 
     def __post_init__(self):
         # Type-check first: spec files arrive as arbitrary JSON, and a
@@ -183,36 +227,82 @@ class CampaignSpec:
         for mix_name, weights in self.mixes.items():
             # Borrow FaultConfig's weight validation.
             FaultConfig(rate_per_million=1.0, kind_weights=dict(weights))
+        self._validate_machine_overrides()
+
+    def _validate_machine_overrides(self):
+        if not isinstance(self.machine_overrides, dict):
+            raise ConfigError(
+                "machine_overrides must be a dict of name -> "
+                "MachineConfig override dict, got %r"
+                % (self.machine_overrides,))
+        for name, overrides in self.machine_overrides.items():
+            if not isinstance(name, str) or not name:
+                raise ConfigError("machine override names must be "
+                                  "non-empty strings, got %r" % (name,))
+            if not isinstance(overrides, dict):
+                raise ConfigError(
+                    "machine override %r must map MachineConfig fields "
+                    "to values, got %r" % (name, overrides))
+            for key, value in overrides.items():
+                if value is not None \
+                        and not isinstance(value, _OVERRIDE_SCALARS):
+                    raise ConfigError(
+                        "machine override %r field %r must be a JSON "
+                        "scalar, got %r" % (name, key, value))
+            for model in self.models:
+                # derive_model validates field names and re-runs the
+                # MachineConfig invariants, so a bad override dies here
+                # with a ConfigError instead of mid-campaign.
+                derive_model(model, overrides)
 
     @property
-    def grid_size(self):
+    def grid_size(self) -> int:
         """Number of trials the spec expands to."""
         return (len(self.workloads) * len(self.models)
+                * max(1, len(self.machine_overrides))
                 * len(self.rates_per_million) * len(self.mixes)
                 * self.replicates)
 
-    def trials(self):
+    def trials(self) -> Iterator[Trial]:
         """Expand the grid into Trials, in deterministic order."""
+        machine_axis = self._machine_axis()
         for workload in self.workloads:
             for model in self.models:
-                for rate in self.rates_per_million:
-                    rate = float(rate)
-                    for mix_name in sorted(self.mixes):
-                        # Canonicalize numbers to float so the same
-                        # logical spec hashes identically whether its
-                        # values arrived as ints (JSON spec file) or
-                        # floats (CLI flags) — otherwise resume would
-                        # silently match nothing.
-                        weights = tuple(sorted(
-                            (kind, float(weight)) for kind, weight
-                            in self.mixes[mix_name].items()))
-                        for replicate in range(self.replicates):
-                            yield self._make_trial(workload, model, rate,
-                                                   mix_name, weights,
-                                                   replicate)
+                for machine_name, machine_pairs in machine_axis:
+                    for rate in self.rates_per_million:
+                        rate = float(rate)
+                        for mix_name in sorted(self.mixes):
+                            # Canonicalize numbers to float so the same
+                            # logical spec hashes identically whether
+                            # its values arrived as ints (JSON spec
+                            # file) or floats (CLI flags) — otherwise
+                            # resume would silently match nothing.
+                            weights = tuple(sorted(
+                                (kind, float(weight)) for kind, weight
+                                in self.mixes[mix_name].items()))
+                            for replicate in range(self.replicates):
+                                yield self._make_trial(
+                                    workload, model, machine_name,
+                                    machine_pairs, rate, mix_name,
+                                    weights, replicate)
 
-    def _make_trial(self, workload, model, rate, mix_name, weights,
-                    replicate):
+    def _machine_axis(self):
+        """The (name, override pairs) axis; [("", ())] when absent.
+
+        The empty sentinel keeps trial material — and therefore every
+        pre-existing trial key — byte-identical for specs without the
+        axis.
+        """
+        if not self.machine_overrides:
+            return [("", ())]
+        return [(name,
+                 tuple(sorted((key, _canonical_override_value(value))
+                              for key, value
+                              in self.machine_overrides[name].items())))
+                for name in sorted(self.machine_overrides)]
+
+    def _make_trial(self, workload, model, machine_name, machine_pairs,
+                    rate, mix_name, weights, replicate):
         material = {
             "campaign": self.name,
             "base_seed": self.base_seed,
@@ -227,6 +317,10 @@ class CampaignSpec:
             "warmup": self.warmup,
             "max_cycles": self.max_cycles,
         }
+        if machine_name:
+            material["machine"] = machine_name
+            material["machine_overrides"] = [
+                list(pair) for pair in machine_pairs]
         key, fault_seed = _trial_key_and_seed(material)
         return Trial(key=key, workload=workload, model=model,
                      rate_per_million=rate, mix=mix_name,
@@ -234,12 +328,37 @@ class CampaignSpec:
                      instructions=self.instructions, warmup=self.warmup,
                      fault_seed=fault_seed,
                      workload_seed=self.workload_seed,
-                     max_cycles=self.max_cycles)
+                     max_cycles=self.max_cycles,
+                     machine=machine_name,
+                     machine_overrides=machine_pairs)
+
+    # -- sharding ----------------------------------------------------------
+
+    def shard(self, index: int, total: int) -> "CampaignShard":
+        """Deterministic partition ``index`` of ``total`` over the grid.
+
+        Shard membership is ``int(trial.key, 16) % total == index`` — a
+        pure function of the trial's content hash — so N hosts each
+        running one shard cover the grid exactly once, and the merged
+        result stores aggregate byte-identically to a single-host run.
+        Bounds are validated eagerly: a bad index must fail loudly, not
+        expand to a silently empty grid.
+        """
+        for label, value in (("index", index), ("total", total)):
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ConfigError("shard %s must be an integer, got %r"
+                                  % (label, value))
+        if total < 1:
+            raise ConfigError("shard total must be >= 1, got %d" % total)
+        if not 0 <= index < total:
+            raise ConfigError(
+                "shard index must be in [0, %d), got %d" % (total, index))
+        return CampaignShard(spec=self, index=index, total=total)
 
     # -- serialisation -----------------------------------------------------
 
-    def to_dict(self):
-        return {
+    def to_dict(self) -> dict:
+        data = {
             "name": self.name,
             "workloads": list(self.workloads),
             "models": list(self.models),
@@ -253,9 +372,14 @@ class CampaignSpec:
             "workload_seed": self.workload_seed,
             "max_cycles": self.max_cycles,
         }
+        if self.machine_overrides:
+            data["machine_overrides"] = {
+                name: dict(overrides) for name, overrides
+                in self.machine_overrides.items()}
+        return data
 
     @classmethod
-    def from_dict(cls, data):
+    def from_dict(cls, data: dict) -> "CampaignSpec":
         """Build a spec from a plain dict (e.g. parsed JSON).
 
         Mixes may be given as a dict of weight dicts or as a list of
@@ -282,6 +406,46 @@ class CampaignSpec:
         return cls(**data)
 
     @classmethod
-    def from_json_file(cls, path):
+    def from_json_file(cls, path: str) -> "CampaignSpec":
         with open(path) as handle:
             return cls.from_dict(json.load(handle))
+
+
+@dataclass(frozen=True)
+class CampaignShard:
+    """One deterministic partition of a spec's trial keyspace.
+
+    Quacks like its spec everywhere the engine and reports need it
+    (``trials``, ``grid_size``, ``name``, attribute passthrough), so a
+    :class:`~repro.campaign.api.CampaignSession` can run a shard
+    exactly as it runs a full spec.
+    """
+
+    spec: CampaignSpec
+    index: int
+    total: int
+
+    def trials(self) -> Iterator[Trial]:
+        for trial in self.spec.trials():
+            # Same partition function the sharded store uses to fan out
+            # records — the two must never drift apart.
+            if shard_of_key(trial.key, self.total) == self.index:
+                yield trial
+
+    @property
+    def grid_size(self) -> int:
+        return sum(1 for _ in self.trials())
+
+    @property
+    def name(self) -> str:
+        return "%s[shard %d/%d]" % (self.spec.name, self.index,
+                                    self.total)
+
+    def __getattr__(self, attr):
+        # Delegate spec attributes (workloads, replicates, ...) so shard
+        # views drop into every spec-shaped API.  Dunder lookups (and
+        # 'spec' itself, absent mid-unpickle) must fail normally or
+        # copy/pickle protocols break.
+        if attr.startswith("__") or attr == "spec":
+            raise AttributeError(attr)
+        return getattr(self.spec, attr)

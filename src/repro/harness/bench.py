@@ -28,11 +28,12 @@ recorded, never asserted (shared runners are noisy); the committed
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
 
-from ..campaign.engine import run_campaign
+from ..campaign.api import CampaignSession, ExecutionOptions
 from ..campaign.golden import clear_trace_cache
 from ..campaign.outcome import clear_result_caches
 from ..campaign.spec import CampaignSpec
@@ -41,8 +42,14 @@ from ..program.cache import cached_workload
 from ..uarch.processor import Processor
 from ..uarch.reference import ReferenceProcessor
 
-BENCH_VERSION = 1
+#: v2: the written file became an append-per-PR history — the top
+#: level is still the latest entry (so consumers of the v1 schema keep
+#: working), with prior entries under ``history``.
+BENCH_VERSION = 2
 DEFAULT_OUT = "BENCH_simulator.json"
+
+#: Safety cap on retained history entries (newest kept).
+MAX_HISTORY = 100
 
 #: Single-simulation grid: paper-canonical workloads on the baseline
 #: and the dual-redundant machine.
@@ -141,16 +148,19 @@ def bench_campaign(quick=False, workers=1, repeats=3):
     spec = campaign_bench_spec(quick=quick)
     if quick:
         repeats = 1
+    reference_options = ExecutionOptions(simulator="reference",
+                                         golden_cache=False,
+                                         reuse_faultfree=False,
+                                         workers=workers)
+    optimized_options = ExecutionOptions(workers=workers)
     reference = optimized = None
     reference_seconds = optimized_seconds = None
     for _ in range(repeats):
         clear_result_caches()
         clear_trace_cache()
         start = time.perf_counter()
-        reference = run_campaign(spec, workers=workers,
-                                 simulator="reference",
-                                 golden_cache=False,
-                                 reuse_faultfree=False)
+        reference = CampaignSession(spec,
+                                    options=reference_options).run()
         elapsed = time.perf_counter() - start
         if reference_seconds is None or elapsed < reference_seconds:
             reference_seconds = elapsed
@@ -158,7 +168,8 @@ def bench_campaign(quick=False, workers=1, repeats=3):
         clear_result_caches()
         clear_trace_cache()
         start = time.perf_counter()
-        optimized = run_campaign(spec, workers=workers)
+        optimized = CampaignSession(spec,
+                                    options=optimized_options).run()
         elapsed = time.perf_counter() - start
         if optimized_seconds is None or elapsed < optimized_seconds:
             optimized_seconds = elapsed
@@ -187,8 +198,36 @@ def bench_campaign(quick=False, workers=1, repeats=3):
     }
 
 
+def _load_history(out):
+    """Prior bench entries at ``out``, oldest first.
+
+    The previous file's top level *is* its latest entry; it joins the
+    history list behind any entries it already carried.  Unreadable or
+    foreign files contribute nothing (never an error — the bench must
+    still run on a fresh checkout).
+    """
+    try:
+        with open(out) as handle:
+            previous = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    if not isinstance(previous, dict) or "engine" not in previous:
+        return []
+    history = previous.pop("history", [])
+    if not isinstance(history, list):
+        history = []
+    history.append(previous)
+    return history[-MAX_HISTORY:]
+
+
 def run_bench(quick=False, out=DEFAULT_OUT, workers=1):
-    """Run both benches; write ``out`` (unless empty); return the dict."""
+    """Run both benches; write ``out`` (unless empty); return the dict.
+
+    ``out`` is an append-per-PR history: the new measurement becomes
+    the file's top level (schema-compatible with the v1 single-entry
+    file and the CI divergence check), and every earlier entry is
+    preserved, oldest first, under ``history``.
+    """
     if quick:
         engine = bench_engine(workloads=("gcc", "fpppp"),
                               instructions=600, repeats=1)
@@ -207,9 +246,14 @@ def run_bench(quick=False, out=DEFAULT_OUT, workers=1):
         "campaign": campaign,
     }
     if out:
+        history = _load_history(out) if os.path.exists(out) else []
+        written = dict(payload)
+        if history:
+            written["history"] = history
         with open(out, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
+            json.dump(written, handle, indent=2, sort_keys=True)
             handle.write("\n")
+        payload = written
     return payload
 
 

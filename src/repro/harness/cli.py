@@ -13,9 +13,13 @@ Examples::
     repro-ft demo
     repro-ft campaign --workloads gcc,go --models SS-1,SS-2 \\
         --rates 0,1000,10000 --replicates 8 --workers 4 \\
-        --out results.jsonl
+        --store results.jsonl
     repro-ft campaign --spec campaign.json --workers 4 \\
-        --out results.jsonl --resume
+        --store sqlite:results.db --resume
+    repro-ft campaign --shard 0/2 --store shard:results/ ...
+    repro-ft campaign --override rob64:rob_size=64 \\
+        --override alu8:int_alu=8 ...
+    repro-ft campaign --store results.jsonl --compact
     repro-ft bench --quick
     repro-ft bench --out BENCH_simulator.json
 """
@@ -139,56 +143,147 @@ def _cmd_demo(args):
                           faulty.faults_detected, faulty.rewinds))
 
 
+def _parse_override_value(text):
+    """CLI override value: int, then float, then bool, else string."""
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            pass
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    return text
+
+
+def _parse_overrides(flags):
+    """``--override [name:]key=value[,key=value...]`` flags to an axis.
+
+    Each flag instance becomes one ``machine_overrides`` grid cell;
+    the name defaults to the key=value spec itself, and an empty body
+    (``--override base:``) is the unmodified machine.
+    """
+    axis = {}
+    for flag in flags:
+        name, colon, body = flag.partition(":")
+        if not colon or "=" in name:
+            name, body = flag, flag
+        overrides = {}
+        for pair in body.split(",") if body else ():
+            key, equals, value = pair.partition("=")
+            if not equals or not key:
+                raise ValueError(
+                    "--override expects [name:]key=value[,key=value...]"
+                    ", got %r" % flag)
+            overrides[key.strip()] = _parse_override_value(value.strip())
+        if name in axis:
+            raise ValueError("duplicate --override name %r" % name)
+        axis[name] = overrides
+    return axis
+
+
+def _parse_shard(text):
+    """``--shard I/N`` to an (index, total) pair."""
+    index, slash, total = text.partition("/")
+    if not slash:
+        raise ValueError("--shard expects INDEX/TOTAL (e.g. 0/4), "
+                         "got %r" % text)
+    try:
+        return int(index), int(total)
+    except ValueError:
+        raise ValueError("--shard expects integers INDEX/TOTAL, got %r"
+                         % text)
+
+
 def _campaign_spec_from_args(args):
     from ..campaign import CampaignSpec
     from ..core.faults import get_kind_mix
+    overrides = _parse_overrides(args.override or [])
     if args.spec:
-        return CampaignSpec.from_json_file(args.spec)
-    mixes = {name: get_kind_mix(name)
-             for name in args.mixes.split(",")}
-    return CampaignSpec(
-        name=args.name,
-        workloads=tuple(args.workloads.split(",")),
-        models=tuple(args.models.split(",")),
-        rates_per_million=tuple(float(rate)
-                                for rate in args.rates.split(",")),
-        mixes=mixes,
-        replicates=args.replicates,
-        instructions=args.instructions,
-        warmup=args.warmup,
-        base_seed=args.seed)
+        spec = CampaignSpec.from_json_file(args.spec)
+        if overrides:
+            # --override ADDS grid cells to a spec file's axis; a name
+            # collision is ambiguous (replace or keep?) so it's refused.
+            duplicated = sorted(set(spec.machine_overrides)
+                                & set(overrides))
+            if duplicated:
+                raise ValueError(
+                    "--override name(s) %s already defined by --spec %s"
+                    % (", ".join(duplicated), args.spec))
+            merged = dict(spec.machine_overrides)
+            merged.update(overrides)
+            from dataclasses import replace
+            spec = replace(spec, machine_overrides=merged)
+    else:
+        mixes = {name: get_kind_mix(name)
+                 for name in args.mixes.split(",")}
+        spec = CampaignSpec(
+            name=args.name,
+            workloads=tuple(args.workloads.split(",")),
+            models=tuple(args.models.split(",")),
+            rates_per_million=tuple(float(rate)
+                                    for rate in args.rates.split(",")),
+            mixes=mixes,
+            machine_overrides=overrides,
+            replicates=args.replicates,
+            instructions=args.instructions,
+            warmup=args.warmup,
+            base_seed=args.seed)
+    if args.shard:
+        index, total = _parse_shard(args.shard)
+        spec = spec.shard(index, total)
+    return spec
+
+
+def _cmd_campaign_compact(store):
+    kept, dropped = store.compact()
+    print("compacted %s: kept %d record%s, dropped %d stale/torn "
+          "entr%s" % (store.path, kept, "" if kept == 1 else "s",
+                      dropped, "y" if dropped == 1 else "ies"))
 
 
 def _cmd_campaign(args):
-    from ..campaign import (ResultStore, aggregate, cells_to_json,
-                            run_campaign)
+    from ..campaign import (TRIAL_FINISHED, CampaignSession,
+                            ExecutionOptions, cells_to_json, open_store)
     from ..errors import ConfigError
-    if args.resume and not args.out:
-        raise SystemExit("repro-ft campaign: --resume requires --out")
+    store_path = args.store or args.out
+    if args.resume and not store_path:
+        raise SystemExit("repro-ft campaign: --resume requires --store")
+    try:
+        store = open_store(store_path)
+    except ValueError as exc:
+        raise SystemExit("repro-ft campaign: %s" % exc)
+    if args.compact:
+        if store is None:
+            raise SystemExit("repro-ft campaign: --compact requires "
+                             "--store")
+        _cmd_campaign_compact(store)
+        return
     try:
         spec = _campaign_spec_from_args(args)
+        options = ExecutionOptions(workers=args.workers)
+        session = CampaignSession(spec, options=options, store=store)
     except (ConfigError, ValueError, TypeError, OSError) as exc:
         raise SystemExit("repro-ft campaign: %s" % exc)
     except KeyError as exc:
         # get_profile/get_model raise KeyError with a quoted message.
         raise SystemExit("repro-ft campaign: %s" % exc.args[0])
-    store = ResultStore(args.out) if args.out else None
-    progress = None
     if not args.quiet:
         # Progress goes to stderr so `--json > out.json` (and any
         # other stdout consumer) stays parseable mid-run.
-        def progress(done, total, record):
-            print("  [%d/%d] %s %s" % (done, total, record["key"],
-                                       record["outcome"]),
-                  file=sys.stderr)
+        @session.subscribe
+        def progress(event):
+            if event.kind == TRIAL_FINISHED:
+                print("  [%d/%d] %s %s"
+                      % (event.done, event.total, event.record["key"],
+                         event.record["outcome"]), file=sys.stderr)
     start = time.monotonic()
     try:
-        result = run_campaign(spec, workers=args.workers, store=store,
-                              resume=args.resume, progress=progress)
+        result = session.resume() if args.resume else session.run()
     except ConfigError as exc:
         raise SystemExit("repro-ft campaign: %s" % exc)
     elapsed = time.monotonic() - start
-    cells = aggregate(result.records)
+    cells = session.aggregate()
     if args.json:
         print(cells_to_json(cells))
         return
@@ -265,10 +360,23 @@ def _add_campaign_args(sub):
                      help="campaign base seed (folded into trial keys)")
     sub.add_argument("--workers", type=int, default=1,
                      help="process-pool width (1 = in-process serial)")
+    sub.add_argument("--store", default="",
+                     help="result store URL: PATH.jsonl, sqlite:FILE "
+                          "or shard:[N:]DIR (enables --resume)")
     sub.add_argument("--out", default="",
-                     help="JSONL result store (enables --resume)")
+                     help="legacy alias for --store")
+    sub.add_argument("--shard", default="",
+                     help="run only partition I/N of the trial "
+                          "keyspace (e.g. --shard 0/4)")
+    sub.add_argument("--override", action="append", default=[],
+                     metavar="[NAME:]KEY=VALUE[,KEY=VALUE...]",
+                     help="add a machine_overrides grid cell deriving "
+                          "every model's MachineConfig (repeatable)")
+    sub.add_argument("--compact", action="store_true",
+                     help="compact --store (drop torn tails and stale "
+                          "duplicate keys) and exit")
     sub.add_argument("--resume", action="store_true",
-                     help="skip trials already completed in --out")
+                     help="skip trials already completed in --store")
     sub.add_argument("--json", action="store_true",
                      help="print the aggregate as JSON instead of a "
                           "table")

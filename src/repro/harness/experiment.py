@@ -252,6 +252,43 @@ def sensitivity_rows(benchmarks=BENCHMARK_ORDER,
     return rows
 
 
+def sensitivity_campaign_spec(benchmarks=("gcc",), model="SS-2",
+                              rates=(0.0, 3000.0), replicates=4,
+                              instructions=2_000, labels=("2x",),
+                              name="sensitivity-campaign"):
+    """The Section-5.2 resource sweep as a campaign design-space grid.
+
+    Expresses the FU / RUU scalings as ``machine_overrides`` cells of a
+    :class:`~repro.campaign.spec.CampaignSpec`, so the sensitivity
+    study runs through the campaign engine — resumable, sharded and
+    statistically aggregated — instead of the one-off
+    :func:`sensitivity_rows` loop.  Returns the spec; run it with a
+    :class:`~repro.campaign.api.CampaignSession`.
+    """
+    # Local import: repro.campaign.outcome imports this module.
+    from ..campaign.spec import CampaignSpec
+    base = get_model(model).config
+    machine_overrides = {"base": {}}
+    for label in labels:
+        factor = factor_for_label(label)
+        fu = scale_functional_units(base, factor)
+        machine_overrides["fu-%s" % label] = {
+            "int_alu": fu.int_alu, "int_mult": fu.int_mult,
+            "fp_add": fu.fp_add, "fp_mult": fu.fp_mult,
+            "mem_ports": fu.mem_ports}
+        ruu = scale_window(base, factor)
+        machine_overrides["ruu-%s" % label] = {
+            "rob_size": ruu.rob_size, "lsq_size": ruu.lsq_size}
+    return CampaignSpec(
+        name=name,
+        workloads=tuple(benchmarks),
+        models=(model,),
+        rates_per_million=tuple(rates),
+        machine_overrides=machine_overrides,
+        replicates=replicates,
+        instructions=instructions)
+
+
 # -- recovery cost (Section 5.3 in-text) -------------------------------------
 
 def recovery_cost(benchmark="fpppp", rate_per_million=200.0,

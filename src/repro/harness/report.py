@@ -68,16 +68,19 @@ def format_sensitivity_table(rows):
 def format_campaign_table(cells):
     """Per-cell campaign aggregate with Wilson confidence intervals.
 
-    One row per (workload, model, rate, mix) grid cell: trial count,
-    outcome-class counts, coverage over fault-struck trials and SDC rate
-    (each with its 95% Wilson interval), mean IPC and the observed mean
-    recovery penalty Y.
+    One row per (workload, model, machine override, rate, mix) grid
+    cell: trial count, outcome-class counts, coverage over fault-struck
+    trials and SDC rate (each with its 95% Wilson interval), mean IPC
+    and the observed mean recovery penalty Y.  The machine column only
+    appears when the campaign swept a ``machine_overrides`` axis.
     """
-    header = ("%-8s %-8s %9s %-13s %4s %5s %5s %4s %4s  %-19s %-19s "
+    with_machine = any(getattr(cell, "machine", "") for cell in cells)
+    machine_header = "%-10s " % "machine" if with_machine else ""
+    header = ("%-8s %-8s %s%9s %-13s %4s %5s %5s %4s %4s  %-19s %-19s "
               "%6s %6s"
-              % ("bench", "model", "flt/M", "mix", "n", "mask", "d+r",
-                 "sdc", "t/o", "coverage [95% CI]", "sdc rate [95% CI]",
-                 "IPC", "Y"))
+              % ("bench", "model", machine_header, "flt/M", "mix", "n",
+                 "mask", "d+r", "sdc", "t/o", "coverage [95% CI]",
+                 "sdc rate [95% CI]", "IPC", "Y"))
     lines = [header, "-" * len(header)]
     for cell in cells:
         counts = cell.counts
@@ -88,14 +91,16 @@ def format_campaign_table(cells):
             coverage = "%5.3f [%5.3f,%5.3f]" % (cell.coverage, low, high)
         low, high = cell.sdc_interval
         sdc = "%5.3f [%5.3f,%5.3f]" % (cell.sdc_rate, low, high)
+        machine = ("%-10s " % (getattr(cell, "machine", "") or "-")
+                   if with_machine else "")
         lines.append(
-            "%-8s %-8s %9.0f %-13s %4d %5d %5d %4d %4d  %s %s %6.3f "
+            "%-8s %-8s %s%9.0f %-13s %4d %5d %5d %4d %4d  %s %s %6.3f "
             "%6.1f"
-            % (cell.workload, cell.model, cell.rate_per_million,
-               cell.mix, cell.n, counts["masked"],
-               counts["detected_recovered"], counts["sdc"],
-               counts["timeout"], coverage, sdc, cell.mean_ipc,
-               cell.mean_recovery_penalty))
+            % (cell.workload, cell.model, machine,
+               cell.rate_per_million, cell.mix, cell.n,
+               counts["masked"], counts["detected_recovered"],
+               counts["sdc"], counts["timeout"], coverage, sdc,
+               cell.mean_ipc, cell.mean_recovery_penalty))
     return "\n".join(lines)
 
 
@@ -103,12 +108,15 @@ def format_campaign_summary(result, elapsed=None):
     """One-paragraph header for a finished campaign run."""
     spec = result.spec
     counts = result.outcome_counts
+    machines = len(getattr(spec, "machine_overrides", {}) or {})
+    machine_axis = " x %d machines" % machines if machines else ""
     lines = [
-        "campaign %r: %d trials (%d workloads x %d models x %d rates "
+        "campaign %r: %d trials (%d workloads x %d models%s x %d rates "
         "x %d mixes x %d replicates)"
-        % (spec.name, spec.grid_size, len(spec.workloads),
-           len(spec.models), len(spec.rates_per_million),
-           len(spec.mixes), spec.replicates),
+        % (spec.name, len(result.records), len(spec.workloads),
+           len(spec.models), machine_axis,
+           len(spec.rates_per_million), len(spec.mixes),
+           spec.replicates),
         "executed %d, resumed (skipped) %d"
         % (result.executed, result.skipped),
         "outcomes: " + ", ".join(

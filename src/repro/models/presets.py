@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from ..core.config import (DUAL_REDUNDANT, TRIPLE_MAJORITY, TRIPLE_REWIND,
                            UNPROTECTED, FTConfig)
+from ..errors import ConfigError
 from ..uarch.config import MachineConfig
 
 
@@ -95,3 +96,41 @@ def get_model(name, **overrides):
     if key == "static-2":
         return static2(**overrides)
     raise KeyError("unknown machine model %r" % name)
+
+
+#: MachineConfig fields that may not be overridden through a campaign's
+#: ``machine_overrides`` axis: the name is preset-owned, and the two
+#: composite parameter blocks are not flat scalars.
+NON_OVERRIDABLE_FIELDS = ("name", "branch", "hierarchy")
+
+
+def overridable_config_fields():
+    """The flat MachineConfig fields open to machine_overrides sweeps."""
+    return tuple(f for f in MachineConfig.__dataclass_fields__
+                 if f not in NON_OVERRIDABLE_FIELDS)
+
+
+def derive_model(name, overrides):
+    """Model by name with MachineConfig field overrides applied.
+
+    The design-space entry point behind a campaign's
+    ``machine_overrides`` axis: ``derive_model("SS-2", {"rob_size": 64,
+    "int_alu": 8})`` is SS-2 on a 64-entry-ROB, 8-ALU derivation of the
+    Table-1 datapath.  Unknown fields and invalid values raise
+    :class:`~repro.errors.ConfigError` (not a TypeError traceback), so
+    spec validation can reject bad sweeps before any trial runs.
+    """
+    overrides = dict(overrides)
+    allowed = overridable_config_fields()
+    unknown = sorted(set(overrides) - set(allowed))
+    if unknown:
+        raise ConfigError(
+            "unknown MachineConfig override field(s) %s; overridable "
+            "fields: %s" % (", ".join(unknown), ", ".join(allowed)))
+    try:
+        return get_model(name, **overrides)
+    except ConfigError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ConfigError("invalid machine override for %s: %s"
+                          % (name, exc))

@@ -15,6 +15,7 @@ Defaults reproduce Table 1 of the paper (the SS-1 baseline):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from ..errors import ConfigError
 from ..isa.opcodes import FuClass, Op
@@ -62,7 +63,7 @@ class MachineConfig:
     mem_ports: int = 2
     #: Outstanding-miss (MSHR) limit for loads; None = unbounded, the
     #: paper's implicit assumption and this package's default.
-    mshr_count: int = None
+    mshr_count: Optional[int] = None
     # Operation latencies (cycles).
     lat_int_alu: int = 1
     lat_int_mult: int = 3

@@ -1,0 +1,359 @@
+"""Campaign API v2: CampaignSession facade, ExecutionOptions, typed
+events, store-backend equivalence and shard-aware partitioning.
+
+The heart of this file is the acceptance matrix: one 64-trial spec run
+through the JSONL, SQLite and sharded backends — directly, and as
+``shard(0,2)`` + ``shard(1,2)`` halves merged back together — must
+produce byte-identical records and identical aggregate tables in every
+combination.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (CAMPAIGN_FINISHED, CELL_FINISHED,
+                            TRIAL_FINISHED, TRIAL_STARTED,
+                            CampaignSession, CampaignSpec,
+                            ExecutionOptions, JSONLStore,
+                            ShardedJSONLStore, SQLiteStore,
+                            cells_to_json, merge_stores, run_campaign)
+from repro.errors import ConfigError
+
+#: The acceptance-criteria grid: 1 workload x 2 models x 2 rates x 16
+#: replicates = 64 trials, half of them fault-free (cheap via result
+#: reuse), half at a rate high enough to exercise every outcome class.
+SPEC64 = CampaignSpec(
+    name="api-backend-equivalence",
+    workloads=("gcc",),
+    models=("SS-1", "SS-2"),
+    rates_per_million=(0.0, 20_000.0),
+    replicates=16,
+    instructions=250)
+
+
+def canonical(records):
+    """Byte representation used for record-identity assertions."""
+    return json.dumps(records, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The unsharded single-store run every equivalence test compares
+    against (module-scoped: the suite re-runs the grid per backend, not
+    per test)."""
+    session = CampaignSession(SPEC64)
+    result = session.run()
+    assert len(result.records) == 64
+    return {"records": result.records,
+            "records_json": canonical(result.records),
+            "cells_json": cells_to_json(session.aggregate())}
+
+
+def small_spec(**overrides):
+    kwargs = dict(workloads=("gcc",), models=("SS-2",),
+                  rates_per_million=(0.0, 20_000.0), replicates=2,
+                  instructions=300)
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestExecutionOptions:
+    def test_defaults(self):
+        options = ExecutionOptions()
+        assert options.simulator == "fast"
+        assert options.workers == 1
+        assert options.max_cycles is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ExecutionOptions(simulator="warp")
+        with pytest.raises(ConfigError):
+            ExecutionOptions(workers=0)
+        with pytest.raises(ConfigError):
+            ExecutionOptions(workers=1.5)
+        with pytest.raises(ConfigError):
+            ExecutionOptions(max_cycles=0)
+        with pytest.raises(ConfigError):
+            ExecutionOptions(max_cycles="lots")
+
+    def test_trial_payload_shape(self):
+        trial = next(small_spec().trials())
+        payload = ExecutionOptions(simulator="reference",
+                                   golden_cache=False).trial_payload(trial)
+        assert payload["trial"] == trial.to_dict()
+        assert payload["simulator"] == "reference"
+        assert payload["golden_cache"] is False
+        assert payload["reuse_faultfree"] is True
+
+
+class TestSessionLifecycle:
+    def test_run_and_aggregate(self, tmp_path):
+        spec = small_spec()
+        session = CampaignSession(spec, store=str(tmp_path / "r.jsonl"))
+        result = session.run()
+        assert [r["key"] for r in result.records] \
+            == [t.key for t in spec.trials()]
+        assert session.result is result
+        cells = session.aggregate()
+        assert sum(cell.n for cell in cells) == spec.grid_size
+
+    def test_store_url_and_instance_equivalent(self, tmp_path):
+        by_url = CampaignSession(small_spec(),
+                                 store=str(tmp_path / "a.jsonl"))
+        by_instance = CampaignSession(
+            small_spec(), store=JSONLStore(str(tmp_path / "b.jsonl")))
+        assert canonical(by_url.run().records) \
+            == canonical(by_instance.run().records)
+
+    def test_run_refuses_nonempty_store(self, tmp_path):
+        store = JSONLStore(str(tmp_path / "r.jsonl"))
+        store.append({"key": "stale", "outcome": "masked"})
+        session = CampaignSession(small_spec(), store=store)
+        with pytest.raises(ConfigError,
+                           match="already holds completed trials"):
+            session.run()
+
+    def test_resume_requires_store(self):
+        with pytest.raises(ConfigError, match="requires a result store"):
+            CampaignSession(small_spec()).resume()
+
+    def test_progress_snapshots(self, tmp_path):
+        spec = small_spec()
+        path = str(tmp_path / "r.jsonl")
+        session = CampaignSession(spec, store=path)
+        before = session.progress()
+        assert (before.done, before.total) == (0, spec.grid_size)
+        assert before.remaining == spec.grid_size
+        session.run()
+        after = session.progress()
+        assert (after.done, after.total) == (spec.grid_size,
+                                             spec.grid_size)
+        assert after.fraction == 1.0
+        # A fresh session over the same store sees the stored keys.
+        resumed_view = CampaignSession(spec, store=path)
+        assert resumed_view.progress().done == spec.grid_size
+
+    def test_records_from_store_without_running(self, tmp_path):
+        spec = small_spec()
+        path = str(tmp_path / "r.jsonl")
+        full = CampaignSession(spec, store=path).run()
+        later = CampaignSession(spec, store=path)
+        assert later.records() == full.records
+        fresh = CampaignSession(spec)
+        fresh.run()
+        assert cells_to_json(later.aggregate()) \
+            == cells_to_json(fresh.aggregate())
+
+    def test_records_without_store_or_run_is_an_error(self):
+        with pytest.raises(ConfigError, match="no result yet"):
+            CampaignSession(small_spec()).records()
+
+    def test_options_max_cycles_stamps_spec(self):
+        spec = small_spec()
+        session = CampaignSession(
+            spec, options=ExecutionOptions(max_cycles=9_000))
+        assert session.spec.max_cycles == 9_000
+        assert all(t.max_cycles == 9_000
+                   for t in session.spec.trials())
+
+    def test_options_max_cycles_stamps_shard_views(self):
+        # A CampaignShard delegates spec attributes, so the stamping
+        # must go by concrete type, not duck typing.
+        shard = small_spec().shard(0, 2)
+        session = CampaignSession(
+            shard, options=ExecutionOptions(max_cycles=9_000))
+        assert session.spec.index == 0
+        assert session.spec.total == 2
+        assert all(t.max_cycles == 9_000
+                   for t in session.spec.trials())
+
+    def test_options_max_cycles_conflict_rejected(self):
+        spec = small_spec(max_cycles=5_000)
+        with pytest.raises(ConfigError, match="contradicts"):
+            CampaignSession(spec,
+                            options=ExecutionOptions(max_cycles=9_000))
+        # An agreeing value is not a conflict.
+        session = CampaignSession(
+            spec, options=ExecutionOptions(max_cycles=5_000))
+        assert session.spec is spec
+
+
+class TestDeprecatedWrapper:
+    def test_run_campaign_warns_and_matches_session(self):
+        spec = small_spec()
+        with pytest.warns(DeprecationWarning):
+            old = run_campaign(spec)
+        new = CampaignSession(spec).run()
+        assert canonical(old.records) == canonical(new.records)
+
+    def test_wrapper_progress_callback_semantics(self, tmp_path):
+        spec = small_spec()
+        seen = []
+        with pytest.warns(DeprecationWarning):
+            run_campaign(spec,
+                         progress=lambda done, total, record:
+                         seen.append((done, total, record["key"])))
+        expected_keys = [t.key for t in spec.trials()]
+        assert [done for done, _, _ in seen] \
+            == list(range(1, spec.grid_size + 1))
+        assert all(total == spec.grid_size for _, total, _ in seen)
+        assert sorted(key for _, _, key in seen) == sorted(expected_keys)
+
+
+class TestEvents:
+    def test_serial_event_stream(self):
+        spec = small_spec()
+        events = []
+        session = CampaignSession(spec, listeners=(events.append,))
+        session.run()
+        kinds = [event.kind for event in events]
+        assert kinds.count(TRIAL_STARTED) == spec.grid_size
+        assert kinds.count(TRIAL_FINISHED) == spec.grid_size
+        # 1 workload x 1 model x 2 rates x 1 mix = 2 cells.
+        assert kinds.count(CELL_FINISHED) == 2
+        assert kinds.count(CAMPAIGN_FINISHED) == 1
+        assert kinds[-1] == CAMPAIGN_FINISHED
+        finished = [e for e in events if e.kind == TRIAL_FINISHED]
+        assert [e.done for e in finished] \
+            == list(range(1, spec.grid_size + 1))
+        assert all(e.total == spec.grid_size for e in events)
+        assert all(e.record["key"] == e.trial["key"] for e in finished)
+        cells = {e.cell for e in events if e.kind == CELL_FINISHED}
+        assert cells == {("gcc", "SS-2", "", 0.0, "default"),
+                         ("gcc", "SS-2", "", 20_000.0, "default")}
+
+    def test_subscribe_decorator_and_started_payload(self):
+        spec = small_spec(replicates=1)
+        session = CampaignSession(spec)
+        started = []
+
+        @session.subscribe
+        def listener(event):
+            if event.kind == TRIAL_STARTED:
+                started.append(event.trial["key"])
+
+        assert listener is not None
+        session.run()
+        assert started == [t.key for t in spec.trials()]
+
+    def test_resumed_trials_fire_no_trial_events(self, tmp_path):
+        spec = small_spec()
+        path = str(tmp_path / "r.jsonl")
+        full = CampaignSession(spec, store=path).run()
+        half = len(full.records) // 2
+        partial = JSONLStore(str(tmp_path / "partial.jsonl"))
+        for record in full.records[:half]:
+            partial.append(record)
+        events = []
+        resumed = CampaignSession(spec, store=partial,
+                                  listeners=(events.append,))
+        result = resumed.resume()
+        assert result.skipped == half
+        kinds = [event.kind for event in events]
+        assert kinds.count(TRIAL_STARTED) == spec.grid_size - half
+        assert kinds.count(TRIAL_FINISHED) == spec.grid_size - half
+        assert kinds.count(CAMPAIGN_FINISHED) == 1
+        # done still counts resumed trials: the stream ends at total.
+        assert events[-1].done == spec.grid_size
+
+
+@pytest.mark.parametrize("backend", ["jsonl", "sqlite", "sharded"])
+class TestBackendEquivalence:
+    """The acceptance criteria: all three backends, direct and via
+    2-shard partitions merged back, agree byte-for-byte."""
+
+    def make_store(self, backend, tmp_path, label):
+        if backend == "jsonl":
+            return JSONLStore(str(tmp_path / ("%s.jsonl" % label)))
+        if backend == "sqlite":
+            return SQLiteStore(str(tmp_path / ("%s.db" % label)))
+        return ShardedJSONLStore(str(tmp_path / label), shards=4)
+
+    def test_direct_run_matches_baseline(self, backend, tmp_path,
+                                         baseline):
+        store = self.make_store(backend, tmp_path, "direct")
+        session = CampaignSession(SPEC64, store=store)
+        result = session.run()
+        assert canonical(result.records) == baseline["records_json"]
+        assert cells_to_json(session.aggregate()) \
+            == baseline["cells_json"]
+        # The store round-trips the records too (fresh session, no run).
+        reloaded = CampaignSession(SPEC64, store=store)
+        assert canonical(reloaded.records()) == baseline["records_json"]
+        assert cells_to_json(reloaded.aggregate()) \
+            == baseline["cells_json"]
+
+    def test_two_shard_merge_matches_baseline(self, backend, tmp_path,
+                                              baseline):
+        shard_stores = []
+        for index in (0, 1):
+            store = self.make_store(backend, tmp_path,
+                                    "half%d" % index)
+            shard = SPEC64.shard(index, 2)
+            result = CampaignSession(shard, store=store).run()
+            assert 0 < len(result.records) < 64
+            shard_stores.append(store)
+        merged = self.make_store(backend, tmp_path, "merged")
+        count = merge_stores(shard_stores, merged)
+        assert count == 64
+        view = CampaignSession(SPEC64, store=merged)
+        assert canonical(view.records()) == baseline["records_json"]
+        assert cells_to_json(view.aggregate()) == baseline["cells_json"]
+
+
+class TestSQLiteResume:
+    def test_killed_campaign_resumes_without_rerunning(self, tmp_path,
+                                                       baseline):
+        # The PR-1 kill/resume protocol, repeated against SQLiteStore:
+        # a store holding only the first 3 records resumes into the
+        # exact baseline record set.
+        store = SQLiteStore(str(tmp_path / "killed.db"))
+        for record in baseline["records"][:3]:
+            store.append(record)
+        session = CampaignSession(SPEC64, store=store)
+        result = session.resume()
+        assert result.skipped == 3
+        assert result.executed == 61
+        assert canonical(result.records) == baseline["records_json"]
+        assert store.completed_keys() \
+            == {r["key"] for r in baseline["records"]}
+
+
+class TestMachineOverrides:
+    def test_override_axis_runs_and_aggregates(self):
+        spec = CampaignSpec(
+            name="override-axis",
+            workloads=("gcc",), models=("SS-2",),
+            rates_per_million=(0.0,),
+            machine_overrides={"base": {}, "rob8": {"rob_size": 8}},
+            replicates=1, instructions=300)
+        session = CampaignSession(spec)
+        result = session.run()
+        assert len(result.records) == 2
+        machines = {r["trial"]["machine"]: r for r in result.records}
+        assert set(machines) == {"base", "rob8"}
+        # A starved 8-entry window cannot beat the 128-entry baseline.
+        assert machines["rob8"]["cycles"] \
+            >= machines["base"]["cycles"]
+        cells = session.aggregate()
+        assert [cell.machine for cell in cells] == ["base", "rob8"]
+        payload = json.loads(cells_to_json(cells))
+        assert [cell["machine"] for cell in payload] == ["base", "rob8"]
+
+    def test_faultfree_reuse_keys_on_overrides(self):
+        # Same workload/model/budgets but different overrides must not
+        # collide in the fault-free result memo.
+        from repro.campaign.outcome import clear_result_caches
+        clear_result_caches()
+        plain = CampaignSpec(workloads=("gcc",), models=("SS-2",),
+                             rates_per_million=(0.0,), replicates=1,
+                             instructions=300)
+        squeezed = CampaignSpec(workloads=("gcc",), models=("SS-2",),
+                                rates_per_million=(0.0,), replicates=1,
+                                machine_overrides={"rob8":
+                                                   {"rob_size": 8}},
+                                instructions=300)
+        plain_record = CampaignSession(plain).run().records[0]
+        squeezed_record = CampaignSession(squeezed).run().records[0]
+        assert plain_record["cycles"] != squeezed_record["cycles"]

@@ -75,6 +75,142 @@ class TestExpansion:
             assert by_key[trial.key] == trial.fault_seed
 
 
+class TestSharding:
+    def test_shards_partition_the_keyspace(self):
+        spec = small_spec()
+        full = [t.key for t in spec.trials()]
+        for total in (1, 2, 3):
+            shards = [spec.shard(index, total) for index in range(total)]
+            keys = [set(t.key for t in shard.trials())
+                    for shard in shards]
+            # Disjoint and exhaustive: every trial lands in exactly
+            # one shard, and shard order preserves expansion order.
+            union = set()
+            for shard_keys in keys:
+                assert union.isdisjoint(shard_keys)
+                union.update(shard_keys)
+            assert union == set(full)
+            assert sum(shard.grid_size for shard in shards) == len(full)
+
+    def test_shard_of_one_is_the_full_grid(self):
+        spec = small_spec()
+        assert [t.key for t in spec.shard(0, 1).trials()] \
+            == [t.key for t in spec.trials()]
+
+    def test_shard_membership_is_deterministic(self):
+        spec = small_spec()
+        first = [t.key for t in spec.shard(1, 3).trials()]
+        second = [t.key for t in spec.shard(1, 3).trials()]
+        assert first == second
+
+    def test_shard_delegates_spec_attributes(self):
+        spec = small_spec()
+        shard = spec.shard(0, 2)
+        assert shard.workloads == spec.workloads
+        assert shard.replicates == spec.replicates
+        assert "shard 0/2" in shard.name
+
+    def test_shard_bounds_validated(self):
+        # A bad index must fail loudly, never expand to a silently
+        # empty grid.
+        spec = small_spec()
+        with pytest.raises(ConfigError):
+            spec.shard(2, 2)
+        with pytest.raises(ConfigError):
+            spec.shard(-1, 2)
+        with pytest.raises(ConfigError):
+            spec.shard(0, 0)
+        with pytest.raises(ConfigError):
+            spec.shard(0.0, 2)
+        with pytest.raises(ConfigError):
+            spec.shard(0, "4")
+        with pytest.raises(ConfigError):
+            spec.shard(True, 2)
+
+
+class TestMachineOverrides:
+    def axis_spec(self, **overrides):
+        kwargs = dict(machine_overrides={"base": {},
+                                         "rob64": {"rob_size": 64},
+                                         "alu8": {"int_alu": 8}})
+        kwargs.update(overrides)
+        return small_spec(**kwargs)
+
+    def test_axis_multiplies_grid(self):
+        spec = self.axis_spec()
+        assert spec.grid_size == small_spec().grid_size * 3
+        trials = list(spec.trials())
+        assert len(trials) == spec.grid_size
+        assert len({t.key for t in trials}) == len(trials)
+        assert {t.machine for t in trials} == {"base", "rob64", "alu8"}
+
+    def test_absent_axis_keeps_trials_bare(self):
+        # No machine_overrides: trial keys, dicts and spec dicts stay
+        # byte-identical to the pre-axis schema.
+        trial = next(small_spec().trials())
+        assert trial.machine == ""
+        assert trial.machine_overrides == ()
+        assert "machine" not in trial.to_dict()
+        assert "machine_overrides" not in small_spec().to_dict()
+
+    def test_axis_changes_keys(self):
+        bare = {t.key for t in small_spec().trials()}
+        with_axis = {t.key for t in
+                     small_spec(machine_overrides={"base": {}}).trials()}
+        assert bare.isdisjoint(with_axis)
+
+    def test_spec_round_trip_with_axis(self):
+        spec = self.axis_spec()
+        clone = CampaignSpec.from_dict(spec.to_dict())
+        assert [t.key for t in clone.trials()] \
+            == [t.key for t in spec.trials()]
+
+    def test_trial_round_trip_with_axis(self):
+        trial = next(self.axis_spec().trials())
+        clone = Trial.from_dict(trial.to_dict())
+        assert clone == trial
+
+    def test_integral_float_override_values_hash_identically(self):
+        # A JSON spec file spelling rob_size as 64.0 must expand to the
+        # same trial keys (and the same applied config) as the CLI's
+        # int 64 — otherwise --resume across the two spellings silently
+        # matches nothing.
+        as_int = small_spec(machine_overrides={"r": {"rob_size": 64}})
+        as_float = small_spec(
+            machine_overrides={"r": {"rob_size": 64.0}})
+        assert [t.key for t in as_int.trials()] \
+            == [t.key for t in as_float.trials()]
+        trial = next(as_float.trials())
+        assert trial.machine_overrides == (("rob_size", 64),)
+        assert trial.resolve_model().config.rob_size == 64
+
+    def test_resolve_model_applies_overrides(self):
+        spec = small_spec(models=("SS-2",),
+                          machine_overrides={"rob64": {"rob_size": 64}})
+        trial = next(spec.trials())
+        assert trial.resolve_model().config.rob_size == 64
+
+    def test_unknown_override_field_rejected(self):
+        with pytest.raises(ConfigError):
+            small_spec(machine_overrides={"bad": {"rob_szie": 64}})
+
+    def test_invalid_override_value_rejected(self):
+        with pytest.raises(ConfigError):
+            small_spec(machine_overrides={"bad": {"rob_size": 0}})
+
+    def test_non_scalar_override_rejected(self):
+        with pytest.raises(ConfigError):
+            small_spec(machine_overrides={"bad": {"rob_size": [64]}})
+
+    def test_bad_axis_shapes_rejected(self):
+        with pytest.raises(ConfigError):
+            small_spec(machine_overrides={"": {}})
+        with pytest.raises(ConfigError):
+            small_spec(machine_overrides={"bad": "rob_size=64"})
+        with pytest.raises(ConfigError):
+            small_spec(machine_overrides=["rob64"])
+
+
 class TestValidation:
     def test_unknown_workload_rejected(self):
         with pytest.raises(KeyError):

@@ -1,5 +1,7 @@
 """Smoke tests: every `repro-ft` subcommand runs and prints something."""
 
+import os
+
 import pytest
 
 from repro.harness.cli import _COMMANDS, build_parser, main
@@ -119,6 +121,116 @@ class TestCampaignCli:
         assert "2 trials" in capsys.readouterr().out
 
 
+class TestCampaignCliV2:
+    BASE = ["campaign", "--workloads", "gcc", "--models", "SS-2",
+            "--rates", "0,3000", "--replicates", "2",
+            "--instructions", "300", "--quiet"]
+
+    def test_sqlite_store_and_resume(self, tmp_path, capsys):
+        url = "sqlite:" + str(tmp_path / "r.db")
+        main(self.BASE + ["--store", url])
+        assert "executed 4, resumed (skipped) 0" \
+            in capsys.readouterr().out
+        main(self.BASE + ["--store", url, "--resume"])
+        assert "executed 0, resumed (skipped) 4" \
+            in capsys.readouterr().out
+
+    def test_sharded_store(self, tmp_path, capsys):
+        url = "shard:2:" + str(tmp_path / "results")
+        main(self.BASE + ["--store", url])
+        assert "executed 4" in capsys.readouterr().out
+        files = sorted(os.listdir(str(tmp_path / "results")))
+        assert files == ["shard-000.jsonl", "shard-001.jsonl"]
+
+    def test_shard_runs_cover_grid_once(self, tmp_path, capsys):
+        import json
+        outs = []
+        for index in (0, 1):
+            out = str(tmp_path / ("half%d.jsonl" % index))
+            main(self.BASE + ["--shard", "%d/2" % index,
+                              "--store", out])
+            capsys.readouterr()
+            outs.append(out)
+        keys = []
+        for out in outs:
+            with open(out) as handle:
+                keys += [json.loads(line)["key"] for line in handle]
+        assert len(keys) == 4               # full grid, split once
+        assert len(set(keys)) == 4
+
+    def test_bad_shard_exits_with_message(self, capsys):
+        for flag in ("2/2", "x/2", "0-2"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(self.BASE + ["--shard", flag])
+            assert "repro-ft campaign:" in str(excinfo.value)
+
+    def test_override_axis(self, capsys):
+        import json
+        main(self.BASE[:-1] + ["--rates", "0", "--replicates", "1",
+                               "--override", "rob8:rob_size=8",
+                               "--override", "base:",
+                               "--json", "--quiet"])
+        cells = json.loads(capsys.readouterr().out)
+        assert sorted(cell["machine"] for cell in cells) \
+            == ["base", "rob8"]
+
+    def test_override_extends_spec_file_axis(self, tmp_path, capsys):
+        import json
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(
+            {"workloads": ["gcc"], "models": ["SS-2"],
+             "rates_per_million": [0.0], "replicates": 1,
+             "instructions": 300,
+             "machine_overrides": {"base": {},
+                                   "rob64": {"rob_size": 64}}}))
+        main(["campaign", "--spec", str(spec_path), "--quiet",
+              "--override", "alu8:int_alu=8", "--json"])
+        cells = json.loads(capsys.readouterr().out)
+        # The CLI cell is ADDED to the file's axis, not replacing it.
+        assert sorted(cell["machine"] for cell in cells) \
+            == ["alu8", "base", "rob64"]
+        # A name collision is ambiguous and refused.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--spec", str(spec_path), "--quiet",
+                  "--override", "rob64:rob_size=32"])
+        assert "already defined by --spec" in str(excinfo.value)
+
+    def test_bad_override_exits_with_message(self):
+        for flag in ("rob_szie=8", "rob8:rob_size", "rob8:=8"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(self.BASE + ["--override", flag])
+            assert "repro-ft campaign:" in str(excinfo.value)
+
+    def test_compact(self, tmp_path, capsys):
+        import json
+        from repro.campaign import JSONLStore
+        path = str(tmp_path / "r.jsonl")
+        store = JSONLStore(path)
+        store.append({"key": "aaaa", "outcome": "masked", "ipc": 1.0})
+        store.append({"key": "aaaa", "outcome": "masked", "ipc": 2.0})
+        store.append({"key": "bbbb", "outcome": "sdc"})
+        with open(path, "a") as handle:
+            handle.write('{"key": "torn')
+        main(["campaign", "--store", path, "--compact"])
+        out = capsys.readouterr().out
+        assert "kept 2" in out
+        assert "dropped 2" in out
+        lines = [json.loads(line)
+                 for line in open(path) if line.strip()]
+        assert [line["key"] for line in lines] == ["aaaa", "bbbb"]
+        assert lines[0]["ipc"] == 2.0
+
+    def test_compact_requires_store(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["campaign", "--compact"])
+        assert "--compact requires --store" in str(excinfo.value)
+
+    def test_out_remains_an_alias(self, tmp_path, capsys):
+        out = str(tmp_path / "r.jsonl")
+        main(self.BASE + ["--out", out])
+        assert "store: %s" % out in capsys.readouterr().out
+
+
 class TestBenchCli:
     def test_quick_bench_writes_json(self, tmp_path, capsys):
         import json
@@ -139,3 +251,22 @@ class TestBenchCli:
         assert exit_code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["campaign"]["trials"] == 8
+
+    def test_bench_out_appends_history(self, tmp_path, capsys):
+        # BENCH_simulator.json is an append-per-PR history: a re-run
+        # keeps the previous entry under "history" while the top level
+        # stays the latest entry (v1 schema compatible).
+        import json
+        out = tmp_path / "BENCH_simulator.json"
+        main(["bench", "--quick", "--out", str(out)])
+        first = json.loads(out.read_text())
+        assert "history" not in first
+        main(["bench", "--quick", "--out", str(out)])
+        capsys.readouterr()
+        second = json.loads(out.read_text())
+        assert second["campaign"]["identical_records"] is True
+        assert second["engine"]["rows"]
+        assert len(second["history"]) == 1
+        previous = second["history"][0]
+        assert previous["generated_at"] == first["generated_at"]
+        assert "history" not in previous

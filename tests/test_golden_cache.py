@@ -9,6 +9,9 @@ import pytest
 
 from repro.campaign import (CampaignSpec, ResultStore, run_campaign,
                             run_trial)
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:run_campaign:DeprecationWarning")
 from repro.campaign.golden import (GoldenTrace, cached_trace,
                                    clear_trace_cache,
                                    compare_with_golden)

@@ -73,6 +73,30 @@ class TestRunners:
         assert results["map"].ipc == results["associative"].ipc
 
 
+class TestSensitivityCampaignSpec:
+    def test_builds_override_axis_from_scalings(self):
+        spec = experiment.sensitivity_campaign_spec(
+            benchmarks=("go",), rates=(0.0,), replicates=1,
+            instructions=400, labels=("2x",))
+        assert set(spec.machine_overrides) == {"base", "fu-2x",
+                                               "ruu-2x"}
+        assert spec.machine_overrides["ruu-2x"]["rob_size"] == 256
+        assert spec.machine_overrides["fu-2x"]["int_alu"] == 8
+        assert spec.grid_size == 3
+
+    def test_runs_through_the_session(self):
+        from repro.campaign import CampaignSession
+        spec = experiment.sensitivity_campaign_spec(
+            benchmarks=("go",), rates=(0.0,), replicates=1,
+            instructions=400, labels=("0.5x",))
+        session = CampaignSession(spec)
+        cells = {cell.machine: cell
+                 for cell in (session.run() and session.aggregate())}
+        assert set(cells) == {"base", "fu-0.5x", "ruu-0.5x"}
+        # Halving the window cannot speed the machine up.
+        assert cells["ruu-0.5x"].mean_ipc <= cells["base"].mean_ipc
+
+
 class TestReportFormatting:
     def test_figure5_table(self):
         rows = experiment.figure5_rows(benchmarks=("go",),
