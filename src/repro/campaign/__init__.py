@@ -41,8 +41,9 @@ Quickstart::
               cell.counts, cell.coverage)
 """
 
-from .aggregate import (CellStats, aggregate, cells_to_json,
-                        wilson_interval)
+from .aggregate import (CellStats, StructureStats, aggregate,
+                        aggregate_structures, cells_to_json,
+                        structures_to_json, wilson_interval)
 from .api import (CAMPAIGN_FINISHED, CELL_FINISHED, EVENT_KINDS,
                   TRIAL_FINISHED, TRIAL_STARTED, CampaignEvent,
                   CampaignProgress, CampaignResult, CampaignSession,
@@ -59,7 +60,8 @@ from .store import (JSONLStore, ResultStore, ShardedJSONLStore,
                     shard_of_key)
 
 __all__ = [
-    "CellStats", "aggregate", "cells_to_json", "wilson_interval",
+    "CellStats", "StructureStats", "aggregate", "aggregate_structures",
+    "cells_to_json", "structures_to_json", "wilson_interval",
     "CAMPAIGN_FINISHED", "CELL_FINISHED", "EVENT_KINDS",
     "TRIAL_FINISHED", "TRIAL_STARTED", "CampaignEvent",
     "CampaignProgress", "CampaignResult", "CampaignSession",

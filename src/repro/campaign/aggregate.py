@@ -52,6 +52,9 @@ class CellStats:
     rate_per_million: float
     mix: str
     machine: str = ""
+    #: ``fault_sites`` axis cell name; empty (and absent from
+    #: :meth:`as_dict`) for rate-only campaigns.
+    sites: str = ""
     n: int = 0
     counts: dict = field(
         default_factory=lambda: {name: 0 for name in OUTCOMES})
@@ -113,14 +116,29 @@ class CellStats:
         }
         if self.machine:
             data["machine"] = self.machine
+        if self.sites:
+            data["sites"] = self.sites
         return data
 
 
+def trial_cell(trial):
+    """The aggregation cell a trial belongs to.
+
+    Accepts a trial dict (records, event payloads) or a
+    :class:`~repro.campaign.spec.Trial` (the session's accounting).
+    The single definition of cell identity — a future grid axis only
+    has to be added here.
+    """
+    if isinstance(trial, dict):
+        return (trial["workload"], trial["model"],
+                trial.get("machine", ""), trial["rate_per_million"],
+                trial["mix"], trial.get("sites", ""))
+    return (trial.workload, trial.model, trial.machine,
+            trial.rate_per_million, trial.mix, trial.sites)
+
+
 def _cell_key(record):
-    trial = record["trial"]
-    return (trial["workload"], trial["model"],
-            trial.get("machine", ""), trial["rate_per_million"],
-            trial["mix"])
+    return trial_cell(record["trial"])
 
 
 def aggregate(records):
@@ -134,7 +152,7 @@ def aggregate(records):
         if cell is None:
             cell = CellStats(workload=key[0], model=key[1],
                              machine=key[2], rate_per_million=key[3],
-                             mix=key[4])
+                             mix=key[4], sites=key[5])
             cells[key] = cell
             ipc_sums[key] = [0.0, 0]
             penalty_sums[key] = [0.0, 0]
@@ -168,4 +186,146 @@ def cells_to_json(cells):
     """Canonical JSON of the aggregate — byte-stable for determinism
     checks and machine consumption (``repro-ft campaign --json``)."""
     return json.dumps([cell.as_dict() for cell in cells], indent=2,
+                      sort_keys=True)
+
+
+# -- per-structure sensitivity ----------------------------------------------
+
+@dataclass
+class StructureStats:
+    """Sensitivity of one addressable structure across its trials.
+
+    Rates and coverage are computed over *struck* trials — trials in
+    which at least one strike on this structure actually applied (a
+    site whose window expired, or that armed speculative state which
+    was then squashed before corruption, does not characterise the
+    structure).  ``n`` counts all trials that targeted the structure.
+    """
+
+    structure: str
+    n: int = 0                      # trials targeting this structure
+    struck_trials: int = 0          # trials with >= 1 applied strike
+    strikes_applied: int = 0        # total strikes across all trials
+    counts: dict = field(
+        default_factory=lambda: {name: 0 for name in OUTCOMES})
+    #: Of the struck trials: architecturally correct at the end.
+    covered_trials: int = 0
+    masked_struck: int = 0
+    sdc_struck: int = 0
+
+    @property
+    def coverage(self):
+        """Correct outcomes among struck trials (None if never struck)."""
+        if not self.struck_trials:
+            return None
+        return self.covered_trials / self.struck_trials
+
+    @property
+    def coverage_interval(self):
+        if not self.struck_trials:
+            return None
+        return wilson_interval(self.covered_trials, self.struck_trials)
+
+    @property
+    def sdc_rate(self):
+        """Silent corruptions among struck trials (None if never
+        struck)."""
+        if not self.struck_trials:
+            return None
+        return self.sdc_struck / self.struck_trials
+
+    @property
+    def sdc_interval(self):
+        if not self.struck_trials:
+            return None
+        return wilson_interval(self.sdc_struck, self.struck_trials)
+
+    @property
+    def masked_rate(self):
+        """Struck trials that stayed correct without any detection."""
+        if not self.struck_trials:
+            return None
+        return self.masked_struck / self.struck_trials
+
+    @property
+    def masked_interval(self):
+        if not self.struck_trials:
+            return None
+        return wilson_interval(self.masked_struck, self.struck_trials)
+
+    def as_dict(self):
+        def interval(value):
+            return list(value) if value is not None else None
+        return {
+            "structure": self.structure,
+            "n": self.n,
+            "struck_trials": self.struck_trials,
+            "strikes_applied": self.strikes_applied,
+            "counts": {name: self.counts[name] for name in OUTCOMES},
+            "coverage": self.coverage,
+            "coverage_ci": interval(self.coverage_interval),
+            "sdc_rate": self.sdc_rate,
+            "sdc_ci": interval(self.sdc_interval),
+            "masked_rate": self.masked_rate,
+            "masked_ci": interval(self.masked_interval),
+        }
+
+
+def _target_structures(trial):
+    """The structures a fault-site trial addresses, from its policy
+    spec (sweeps name one; site lists may span several)."""
+    config = trial.get("site_config")
+    if not isinstance(config, dict):
+        return ()
+    if config.get("policy") == "structure_sweep":
+        structure = config.get("structure")
+        return (structure,) if structure else ()
+    if config.get("policy") == "site_list":
+        sites = config.get("sites") or ()
+        return tuple(sorted({site.get("structure") for site in sites
+                             if isinstance(site, dict)
+                             and site.get("structure")}))
+    return ()
+
+
+def aggregate_structures(records):
+    """Reduce fault-site trial records into per-structure sensitivity.
+
+    Only records of trials with a ``fault_sites`` axis cell contribute;
+    a trial targeting several structures (a mixed site list) counts
+    once per structure it targeted, with strikes attributed per
+    structure from the record's ``site_strikes`` ledger.
+    """
+    rows = {}
+    for record in records:
+        trial = record["trial"]
+        if not trial.get("sites"):
+            continue
+        strikes = record.get("site_strikes", {})
+        outcome = record["outcome"]
+        for structure in _target_structures(trial):
+            row = rows.get(structure)
+            if row is None:
+                row = rows[structure] = StructureStats(
+                    structure=structure)
+            row.n += 1
+            if outcome not in row.counts:
+                row.counts[outcome] = 0
+            row.counts[outcome] += 1
+            applied = strikes.get(structure, 0)
+            row.strikes_applied += applied
+            if applied > 0:
+                row.struck_trials += 1
+                if outcome in (MASKED, DETECTED_RECOVERED):
+                    row.covered_trials += 1
+                if outcome == MASKED:
+                    row.masked_struck += 1
+                elif outcome == SDC:
+                    row.sdc_struck += 1
+    return [rows[structure] for structure in sorted(rows)]
+
+
+def structures_to_json(rows):
+    """Canonical JSON of the per-structure sensitivity reduction."""
+    return json.dumps([row.as_dict() for row in rows], indent=2,
                       sort_keys=True)

@@ -41,7 +41,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigError
-from .aggregate import aggregate
+from .aggregate import aggregate, aggregate_structures, trial_cell
 from .outcome import SIMULATORS, run_trial
 from .spec import CampaignShard, CampaignSpec, Trial
 from .store import StoreBackend, open_store
@@ -189,11 +189,9 @@ def execute_trial_payload(payload):
     return run_trial(trial).to_record()
 
 
-def _cell_of(trial_dict) -> tuple:
-    """The aggregation cell a trial (as a dict) belongs to."""
-    return (trial_dict["workload"], trial_dict["model"],
-            trial_dict.get("machine", ""),
-            trial_dict["rate_per_million"], trial_dict["mix"])
+#: The aggregation cell a trial (as a dict) belongs to — shared with
+#: the aggregate reducer so the two can never drift.
+_cell_of = trial_cell
 
 
 # -- the facade ------------------------------------------------------------
@@ -222,6 +220,12 @@ class CampaignSession:
         self.options = options if options is not None \
             else ExecutionOptions()
         self.spec = self._stamp_max_cycles(spec, self.options.max_cycles)
+        if self.options.simulator != "fast" \
+                and getattr(self.spec, "fault_sites", None):
+            # Fail at construction, not per-trial inside a pool worker.
+            raise ConfigError(
+                "fault-site campaigns require the fast simulator (the "
+                "frozen reference engine predates the site subsystem)")
         self.store: Optional[StoreBackend] = open_store(store)
         self._listeners: List[CampaignListener] = list(listeners)
         self.result: Optional[CampaignResult] = None
@@ -314,6 +318,11 @@ class CampaignSession:
         """Per-cell statistics of :meth:`records` (spec order)."""
         return aggregate(self.records())
 
+    def aggregate_structures(self):
+        """Per-structure sensitivity of this campaign's fault-site
+        trials (empty for rate-only campaigns)."""
+        return aggregate_structures(self.records())
+
     # -- execution core ----------------------------------------------------
 
     def _run(self, resume) -> CampaignResult:
@@ -342,8 +351,7 @@ class CampaignSession:
         # never re-fire.
         cell_remaining: Dict[tuple, int] = {}
         for trial in todo:
-            cell = (trial.workload, trial.model, trial.machine,
-                    trial.rate_per_million, trial.mix)
+            cell = _cell_of(trial)
             cell_remaining[cell] = cell_remaining.get(cell, 0) + 1
         fresh = self._execute(todo, cell_remaining,
                               done_offset=len(completed), total=total)

@@ -23,7 +23,7 @@ Outcome classes:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from ..core.faults import FaultInjector
 from ..errors import SimulationError
@@ -71,6 +71,10 @@ class TrialResult:
     avg_recovery_penalty: float = 0.0
     reg_mismatches: int = 0
     mem_mismatches: int = 0
+    #: Applied strikes per addressable structure (fault-site trials
+    #: only; empty — and absent from records — on the rate path, so
+    #: legacy records stay byte-identical).
+    site_strikes: dict = field(default_factory=dict)
 
     @property
     def key(self):
@@ -86,6 +90,8 @@ class TrialResult:
             "reg_mismatches", "mem_mismatches")}
         record["key"] = self.key
         record["trial"] = dict(self.trial)
+        if self.site_strikes:
+            record["site_strikes"] = dict(self.site_strikes)
         return record
 
     @classmethod
@@ -96,7 +102,9 @@ class TrialResult:
             "majority_commits", "pc_continuity_violations",
             "silent_commits", "avg_recovery_penalty",
             "reg_mismatches", "mem_mismatches")}
-        return cls(trial=dict(record["trial"]), **kwargs)
+        return cls(trial=dict(record["trial"]),
+                   site_strikes=dict(record.get("site_strikes", {})),
+                   **kwargs)
 
 
 def run_trial(trial, simulator="fast", golden_cache=True,
@@ -117,6 +125,18 @@ def run_trial(trial, simulator="fast", golden_cache=True,
         raise ValueError("unknown simulator %r (choose from %s)"
                          % (simulator, "/".join(SIMULATORS)))
     fast = simulator == "fast"
+    policy = trial.injection_policy()
+    if policy is not None:
+        # Addressed site strikes: no rate injector, and never a
+        # fault-free result to reuse — the trial *will* be struck (or
+        # its sites expire), so it always runs.
+        if not fast:
+            raise ValueError(
+                "fault-site trials require the fast simulator (the "
+                "frozen reference engine predates the site subsystem)")
+        result, _ = _execute_and_classify(trial, None, True,
+                                          golden_cache, policy=policy)
+        return result
     fault_config = trial.fault_config()
     if reuse_faultfree and fast:
         baseline_key = (trial.workload, trial.workload_seed, trial.model,
@@ -196,13 +216,19 @@ def _injector_stays_silent(fault_config, dispatched_groups, redundancy):
     return True
 
 
-def _execute_and_classify(trial, fault_config, fast, golden_cache):
+def _execute_and_classify(trial, fault_config, fast, golden_cache,
+                          policy=None):
     """Simulate one trial; return (TrialResult, dispatched groups)."""
     program = _cached_workload(trial.workload, trial.workload_seed)
     model = trial.resolve_model()
-    processor_class = Processor if fast else ReferenceProcessor
-    processor = processor_class(program, config=model.config, ft=model.ft,
-                                fault_config=fault_config)
+    if policy is not None:
+        processor = Processor(program, config=model.config, ft=model.ft,
+                              policy=policy)
+    else:
+        processor_class = Processor if fast else ReferenceProcessor
+        processor = processor_class(program, config=model.config,
+                                    ft=model.ft,
+                                    fault_config=fault_config)
     budget = trial.instructions + trial.warmup
     max_cycles = trial.max_cycles
     if max_cycles is None:
@@ -261,6 +287,9 @@ def _fill_counters(result, stats, warm_cycles, warm_instructions):
     result.pc_continuity_violations = stats.pc_continuity_violations
     result.silent_commits = stats.silent_commits
     result.avg_recovery_penalty = stats.avg_recovery_penalty
+    strikes = stats.extras.get("site_strikes")
+    if strikes:
+        result.site_strikes = dict(strikes)
 
 
 def _classify_against_golden(processor, program, model, committed,

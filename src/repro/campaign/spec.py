@@ -25,6 +25,7 @@ from typing import Dict, Iterator, Optional, Tuple
 
 from ..core.faults import DEFAULT_KIND_WEIGHTS, FaultConfig, get_kind_mix
 from ..errors import ConfigError
+from ..faults.policy import build_policy
 from ..models.presets import derive_model, get_model
 from ..workloads.profiles import get_profile
 from .store import shard_of_key
@@ -59,6 +60,11 @@ class Trial:
     max_cycles: Optional[int] = None
     machine: str = ""
     machine_overrides: Tuple[Tuple[str, object], ...] = ()
+    #: ``fault_sites`` axis cell: the cell name and the canonical JSON
+    #: of its policy spec.  Empty for rate-only campaigns, keeping all
+    #: pre-axis trial keys and records byte-identical.
+    sites: str = ""
+    site_config: str = ""
 
     def fault_config(self) -> Optional[FaultConfig]:
         """The injector configuration for this trial (None if rate 0)."""
@@ -67,6 +73,19 @@ class Trial:
         return FaultConfig(rate_per_million=self.rate_per_million,
                            seed=self.fault_seed,
                            kind_weights=dict(self.kind_weights))
+
+    def injection_policy(self):
+        """The site policy of this trial, or ``None`` on the rate path.
+
+        Sampling policies are seeded from the trial's content-derived
+        ``fault_seed`` and default their horizon to the instruction
+        budget, so the same trial always sweeps the same sites.
+        """
+        if not self.sites:
+            return None
+        return build_policy(json.loads(self.site_config),
+                            seed=self.fault_seed,
+                            horizon=self.instructions + self.warmup)
 
     def resolve_model(self):
         """The machine model of this trial, overrides applied."""
@@ -94,10 +113,17 @@ class Trial:
             data["machine"] = self.machine
             data["machine_overrides"] = [
                 list(pair) for pair in self.machine_overrides]
+        if self.sites:
+            data["sites"] = self.sites
+            data["site_config"] = json.loads(self.site_config)
         return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "Trial":
+        if data.get("sites") and "site_config" not in data:
+            raise ConfigError(
+                "trial %r names fault-sites cell %r but has no "
+                "site_config" % (data.get("key"), data["sites"]))
         return cls(
             key=data["key"], workload=data["workload"],
             model=data["model"],
@@ -114,7 +140,10 @@ class Trial:
             machine=data.get("machine", ""),
             machine_overrides=tuple(
                 (name, value) for name, value
-                in data.get("machine_overrides", ())))
+                in data.get("machine_overrides", ())),
+            sites=data.get("sites", ""),
+            site_config=_canonical_site_config(data["site_config"])
+            if data.get("sites") else "")
 
 
 def _trial_key_and_seed(material):
@@ -130,6 +159,16 @@ def _trial_key_and_seed(material):
 
 
 _OVERRIDE_SCALARS = (int, float, bool, str)
+
+
+def _canonical_site_config(config):
+    """Canonical JSON of one ``fault_sites`` policy spec dict.
+
+    The canonical string both rides on the (hashable, picklable) Trial
+    and feeds the key material, so a spec hashes identically however
+    its JSON arrived formatted.
+    """
+    return json.dumps(config, sort_keys=True, separators=(",", ":"))
 
 
 def _canonical_override_value(value):
@@ -160,6 +199,11 @@ class CampaignSpec:
     #: spec is derived once per override set — FU counts, ROB size,
     #: IFQ depth, any flat MachineConfig field).
     machine_overrides: Dict[str, dict] = field(default_factory=dict)
+    #: cell name -> fault-site policy spec (see
+    #: :func:`repro.faults.policy.build_policy`); when non-empty the
+    #: names become an addressable-injection grid axis and the spec's
+    #: rates must all be 0 (site strikes replace the rate injector).
+    fault_sites: Dict[str, dict] = field(default_factory=dict)
     replicates: int = 8
     instructions: int = 2_000
     warmup: int = 0
@@ -228,6 +272,7 @@ class CampaignSpec:
             # Borrow FaultConfig's weight validation.
             FaultConfig(rate_per_million=1.0, kind_weights=dict(weights))
         self._validate_machine_overrides()
+        self._validate_fault_sites()
 
     def _validate_machine_overrides(self):
         if not isinstance(self.machine_overrides, dict):
@@ -255,17 +300,42 @@ class CampaignSpec:
                 # with a ConfigError instead of mid-campaign.
                 derive_model(model, overrides)
 
+    def _validate_fault_sites(self):
+        if not isinstance(self.fault_sites, dict):
+            raise ConfigError(
+                "fault_sites must be a dict of name -> policy spec "
+                "dict, got %r" % (self.fault_sites,))
+        if not self.fault_sites:
+            return
+        for rate in self.rates_per_million:
+            if rate > 0:
+                raise ConfigError(
+                    "a fault_sites campaign replaces the rate injector "
+                    "with site policies; use rates_per_million=(0,) "
+                    "(got rate %r)" % (rate,))
+        for name, config in self.fault_sites.items():
+            if not isinstance(name, str) or not name:
+                raise ConfigError("fault_sites cell names must be "
+                                  "non-empty strings, got %r" % (name,))
+            # build_policy validates the spec shape, structure names,
+            # site bounds and windows — a bad cell dies here with a
+            # ConfigError instead of mid-campaign.
+            build_policy(config, seed=0,
+                         horizon=self.instructions + self.warmup)
+
     @property
     def grid_size(self) -> int:
         """Number of trials the spec expands to."""
         return (len(self.workloads) * len(self.models)
                 * max(1, len(self.machine_overrides))
                 * len(self.rates_per_million) * len(self.mixes)
+                * max(1, len(self.fault_sites))
                 * self.replicates)
 
     def trials(self) -> Iterator[Trial]:
         """Expand the grid into Trials, in deterministic order."""
         machine_axis = self._machine_axis()
+        sites_axis = self._sites_axis()
         for workload in self.workloads:
             for model in self.models:
                 for machine_name, machine_pairs in machine_axis:
@@ -280,11 +350,13 @@ class CampaignSpec:
                             weights = tuple(sorted(
                                 (kind, float(weight)) for kind, weight
                                 in self.mixes[mix_name].items()))
-                            for replicate in range(self.replicates):
-                                yield self._make_trial(
-                                    workload, model, machine_name,
-                                    machine_pairs, rate, mix_name,
-                                    weights, replicate)
+                            for sites_name, site_config in sites_axis:
+                                for replicate in range(self.replicates):
+                                    yield self._make_trial(
+                                        workload, model, machine_name,
+                                        machine_pairs, rate, mix_name,
+                                        weights, sites_name,
+                                        site_config, replicate)
 
     def _machine_axis(self):
         """The (name, override pairs) axis; [("", ())] when absent.
@@ -301,8 +373,17 @@ class CampaignSpec:
                               in self.machine_overrides[name].items())))
                 for name in sorted(self.machine_overrides)]
 
+    def _sites_axis(self):
+        """The (name, canonical policy JSON) axis; [("", "")] when
+        absent — the same empty sentinel trick as the machine axis."""
+        if not self.fault_sites:
+            return [("", "")]
+        return [(name, _canonical_site_config(self.fault_sites[name]))
+                for name in sorted(self.fault_sites)]
+
     def _make_trial(self, workload, model, machine_name, machine_pairs,
-                    rate, mix_name, weights, replicate):
+                    rate, mix_name, weights, sites_name, site_config,
+                    replicate):
         material = {
             "campaign": self.name,
             "base_seed": self.base_seed,
@@ -321,6 +402,9 @@ class CampaignSpec:
             material["machine"] = machine_name
             material["machine_overrides"] = [
                 list(pair) for pair in machine_pairs]
+        if sites_name:
+            material["sites"] = sites_name
+            material["site_config"] = site_config
         key, fault_seed = _trial_key_and_seed(material)
         return Trial(key=key, workload=workload, model=model,
                      rate_per_million=rate, mix=mix_name,
@@ -330,7 +414,8 @@ class CampaignSpec:
                      workload_seed=self.workload_seed,
                      max_cycles=self.max_cycles,
                      machine=machine_name,
-                     machine_overrides=machine_pairs)
+                     machine_overrides=machine_pairs,
+                     sites=sites_name, site_config=site_config)
 
     # -- sharding ----------------------------------------------------------
 
@@ -376,6 +461,10 @@ class CampaignSpec:
             data["machine_overrides"] = {
                 name: dict(overrides) for name, overrides
                 in self.machine_overrides.items()}
+        if self.fault_sites:
+            data["fault_sites"] = {
+                name: json.loads(_canonical_site_config(config))
+                for name, config in self.fault_sites.items()}
         return data
 
     @classmethod

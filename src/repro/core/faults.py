@@ -65,12 +65,29 @@ def get_kind_mix(name):
             % (name, ", ".join(sorted(KIND_MIX_PRESETS)))) from None
 
 
+#: Width of the field each fault kind flips a bit of: values and
+#: addresses are 64-bit datapath quantities, the PC register is 16 bits
+#: wide in this ISA.
+KIND_FIELD_WIDTHS = {"value": 64, "address": 64, "branch": 64, "pc": 16}
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A fault scheduled against one copy (or one group for ``pc``)."""
 
     kind: str
     bit: int
+
+    def __post_init__(self):
+        width = KIND_FIELD_WIDTHS.get(self.kind)
+        if width is None:
+            raise ConfigError("unknown fault kind %r (choose from %s)"
+                              % (self.kind, ", ".join(FAULT_KINDS)))
+        if not isinstance(self.bit, int) or isinstance(self.bit, bool) \
+                or not 0 <= self.bit < width:
+            raise ConfigError(
+                "fault bit %r out of range for a %s fault (the struck "
+                "field is %d bits wide)" % (self.bit, self.kind, width))
 
 
 @dataclass
@@ -181,3 +198,42 @@ class FaultInjector:
                 return "branch"
             return None  # nop/halt: no architectural site to corrupt
         return kind
+
+
+def check_mix_applicability(kind_weights, program):
+    """Refuse a kind mix that can never strike ``program``.
+
+    Mirrors :meth:`FaultInjector._fit_kind_to_inst` exactly, including
+    its fallbacks (``address`` on a non-memory instruction falls to
+    ``value``, ``value`` on a control instruction to ``branch``): the
+    mix is rejected only when *every* nonzero-weight kind maps to no
+    site in the program, which would otherwise plan nothing, silently,
+    for the whole campaign.  ``pc`` faults strike the fetch PC and are
+    always applicable.
+    """
+    nonzero = sorted(kind for kind, weight in kind_weights.items()
+                     if weight > 0)
+    if "pc" in nonzero:
+        return
+    has_value_site = has_mem = has_control = False
+    for inst in program.text:
+        info = inst.info
+        if info.writes_reg or info.kind == Kind.STORE:
+            has_value_site = True
+        if info.is_mem:
+            has_mem = True
+        if inst.is_control:
+            has_control = True
+        if has_value_site and has_mem and has_control:
+            break
+    value_ok = has_value_site or has_control
+    applicable = {"value": value_ok,
+                  "address": has_mem or value_ok,
+                  "branch": has_control or value_ok}
+    if not any(applicable.get(kind, False) for kind in nonzero):
+        raise ConfigError(
+            "fault kind mix %r can never strike workload %r: the "
+            "program has no %s site (and no fallback applies); the "
+            "injector would silently plan nothing"
+            % (dict(kind_weights), program.name,
+               "/".join(nonzero)))

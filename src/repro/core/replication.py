@@ -15,6 +15,7 @@ the (ECC-protected, shared) committed register file.
 
 from __future__ import annotations
 
+from ..faults.sites import arm_entry, count_strike
 from ..isa.opcodes import Kind
 from ..isa.registers import ZERO
 from .rob import DONE, READY, WAITING, Group, RobEntry
@@ -24,12 +25,21 @@ class Replicator:
     """Builds R-redundant groups from fetched instructions."""
 
     def __init__(self, redundancy, renamer, committed_read,
-                 fault_injector=None, stats=None):
-        """``committed_read(areg)`` reads the committed register file."""
+                 fault_injector=None, stats=None, site_policy=None):
+        """``committed_read(areg)`` reads the committed register file.
+
+        ``fault_injector`` is the legacy rate injector (the hot loop
+        inlines its draws; RNG stream unchanged); ``site_policy`` an
+        addressable :class:`~repro.faults.policy.InjectionPolicy`
+        consulted per group and per copy.  At most one is set — the
+        processor resolves a :class:`~repro.faults.policy.RatePolicy`
+        to its wrapped injector before construction.
+        """
         self.redundancy = redundancy
         self.renamer = renamer
         self.committed_read = committed_read
         self.fault_injector = fault_injector
+        self.site_policy = site_policy
         self.stats = stats
         self._gseq = 0
         self._seq = 0
@@ -49,6 +59,7 @@ class Replicator:
         injector = self.fault_injector
         rng_random = None
         copy_rate = 0.0
+        site_policy = None
         if injector is not None:
             # Rate draws inlined (plan_for_*_hit fires on the rare hit);
             # the RNG sequence is identical to the plan_for_* methods.
@@ -63,6 +74,17 @@ class Replicator:
                 group.pc ^= 1 << plan.bit
                 if self.stats is not None:
                     self.stats.faults_injected += 1
+        else:
+            site_policy = self.site_policy
+            if site_policy is not None:
+                strike = site_policy.plan_group(group.gseq, cycle)
+                if strike is not None:
+                    # Group-scope (pc) strike: applied right here — the
+                    # corrupted fetch PC is what all copies carry.
+                    group.pc ^= 1 << (strike.bit & 15)
+                    if self.stats is not None:
+                        self.stats.faults_injected += 1
+                        count_strike(self.stats, strike.structure)
 
         info = meta.info if meta is not None else inst.info
         kind = info.kind
@@ -99,11 +121,17 @@ class Replicator:
             entry = RobEntry(seq, vidx + copy, group, copy)
             seq += 1
             copies.append(entry)
-            if injector is not None and rng_random() < copy_rate:
-                plan = injector.plan_for_copy_hit(inst)
-                if plan is not None:
-                    entry.fault_kind = plan.kind
-                    entry.fault_bit = plan.bit
+            if injector is not None:
+                if rng_random() < copy_rate:
+                    plan = injector.plan_for_copy_hit(inst)
+                    if plan is not None:
+                        entry.fault_kind = plan.kind
+                        entry.fault_bit = plan.bit
+            elif site_policy is not None:
+                strike = site_policy.plan_copy(group.gseq, copy, inst,
+                                               cycle)
+                if strike is not None:
+                    arm_entry(entry, strike)
             if inert:
                 # Nothing to execute: completes at dispatch.
                 entry.state = DONE

@@ -52,9 +52,14 @@ class RobEntry:
         "done_cycle",
         "fu_unit",      # physical unit index this copy executed on
         "agen_done",    # memory ops: address generation finished
-        "fault_kind",   # None or one of core.faults.FAULT_KINDS
+        "fault_kind",   # None, one of core.faults.FAULT_KINDS, or
+                        # "rob_value" (post-wakeup ROB-entry strike)
         "fault_bit",    # bit position the injected fault flips
         "fault_applied",  # the planned fault actually corrupted a field
+        "op_fault",     # None or (operand slot, bit): source-operand
+                        # strike applied at issue (rename_tag/iq_entry)
+        "site",         # addressable structure name of a planned site
+                        # strike (None on the legacy rate path)
         "squashed",
     )
 
@@ -79,6 +84,8 @@ class RobEntry:
         self.fault_kind = None
         self.fault_bit = 0
         self.fault_applied = False
+        self.op_fault = None
+        self.site = None
         self.squashed = False
 
     def __repr__(self):

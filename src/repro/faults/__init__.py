@@ -1,0 +1,36 @@
+"""Addressable fault-site subsystem.
+
+Splits transient-fault injection into two orthogonal questions:
+
+* **Where can a fault land?** — :mod:`repro.faults.sites`: the
+  :class:`FaultSite` address (structure x dynamic target x copy x bit
+  x cycle window) over the taxonomy of pipeline structures;
+* **Which faults strike this run?** — :mod:`repro.faults.policy`: the
+  :class:`InjectionPolicy` ABC with the legacy Monte Carlo
+  :class:`RatePolicy` (byte-identical RNG stream), directed
+  :class:`SiteListPolicy` strikes, and per-structure
+  :class:`StructureSweepPolicy` sampling.
+
+The legacy surface (:class:`repro.core.faults.FaultConfig` /
+:class:`~repro.core.faults.FaultInjector`) keeps working unchanged;
+this package is the extensible face of the same machinery.
+"""
+
+from .policy import (InjectionPolicy, POLICY_REGISTRY, RatePolicy,
+                     SITE_POLICY_NAMES, SiteListPolicy,
+                     StructureSweepPolicy, build_policy, register_policy)
+from .sites import (COPY_STRUCTURES, FaultSite, GROUP_STRUCTURES,
+                    OPERAND_STRUCTURES, STRUCTURES,
+                    STRUCTURE_DESCRIPTIONS, STRUCTURE_WIDTHS, SiteStrike,
+                    arm_entry, count_strike, structure_applies,
+                    structure_width)
+
+__all__ = [
+    "InjectionPolicy", "POLICY_REGISTRY", "RatePolicy",
+    "SITE_POLICY_NAMES", "SiteListPolicy", "StructureSweepPolicy",
+    "build_policy", "register_policy",
+    "COPY_STRUCTURES", "FaultSite", "GROUP_STRUCTURES",
+    "OPERAND_STRUCTURES", "STRUCTURES", "STRUCTURE_DESCRIPTIONS",
+    "STRUCTURE_WIDTHS", "SiteStrike", "arm_entry", "count_strike",
+    "structure_applies", "structure_width",
+]

@@ -1,0 +1,365 @@
+"""Pluggable injection policies: *when and where* faults strike.
+
+An :class:`InjectionPolicy` is the dispatch-time oracle the pipeline
+consults for every replicated instruction: once per group (group-scope
+``pc`` strikes) and once per redundant copy (everything else).  Three
+policies ship:
+
+* :class:`RatePolicy` — the legacy Monte Carlo injector behind the
+  ABC.  It *is* :class:`~repro.core.faults.FaultInjector`, wrapped:
+  the RNG stream, plan sequence and therefore every existing trial
+  key, record and aggregate are byte-identical to the pre-subsystem
+  engine (the hot loop still inlines the rate draws against the
+  wrapped injector — see ``Replicator.build_group``).
+* :class:`SiteListPolicy` — a deterministic list of addressed
+  :class:`~repro.faults.sites.FaultSite` strikes for directed
+  experiments: "flip bit 12 of the ROB entry of the 4000th dispatched
+  group's copy 1".
+* :class:`StructureSweepPolicy` — uniform sampling *within one
+  structure* (target index, copy, operand slot and bit drawn from a
+  seeded RNG), the per-structure sensitivity-campaign workhorse.
+
+Policies are registered by name; :func:`build_policy` constructs one
+from a plain JSON-able spec dict, which is how campaign trials carry
+them across process-pool workers.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from ..core.faults import FaultConfig, FaultInjector
+from ..errors import ConfigError
+from .sites import (FaultSite, SiteStrike, STRUCTURES, structure_applies,
+                    structure_width)
+
+
+class InjectionPolicy(ABC):
+    """Decides, at dispatch, which faults strike which sites.
+
+    The pipeline calls :meth:`bind` once (processor construction),
+    :meth:`reset` to rewind the policy to its initial state, then
+    :meth:`plan_group` per dispatched group and :meth:`plan_copy` per
+    redundant copy.  Returning ``None`` means no strike.
+    """
+
+    #: Registry name; subclasses override.
+    name = "?"
+
+    def bind(self, redundancy):
+        """Late-bind machine facts (called once per processor)."""
+
+    @abstractmethod
+    def reset(self):
+        """Rewind to the initial state (fresh RNG, re-armed sites)."""
+
+    def plan_group(self, gseq, cycle):
+        """A group-scope (``pc``) strike for dispatched group ``gseq``,
+        or ``None``."""
+        return None
+
+    def plan_copy(self, gseq, copy, inst, cycle):
+        """A copy-scope strike for copy ``copy`` of group ``gseq``, or
+        ``None``."""
+        return None
+
+    def describe(self):
+        """One-line human description of this policy instance."""
+        doc = (type(self).__doc__ or "").strip()
+        return doc.splitlines()[0] if doc else type(self).__name__
+
+
+class RatePolicy(InjectionPolicy):
+    """The legacy global-rate injector, unchanged behind the ABC.
+
+    Wraps a :class:`~repro.core.faults.FaultInjector`; the engine's
+    dispatch loop recognises the wrapped injector and keeps its inlined
+    rate draws, so the RNG stream — and with it every trial key,
+    record and aggregate ever produced — is byte-identical to the
+    pre-subsystem code (``tests/test_injector_rng_freeze.py`` and the
+    policy-equivalence suite enforce this).
+    """
+
+    name = "rate"
+
+    def __init__(self, config=None):
+        self.config = config or FaultConfig()
+        self.injector = FaultInjector(self.config)
+
+    def bind(self, redundancy):
+        pass
+
+    def reset(self):
+        self.injector.reset()
+
+    def plan_group(self, gseq, cycle):
+        plan = self.injector.plan_for_group(None)
+        if plan is None:
+            return None
+        return SiteStrike(structure="pc", bit=plan.bit)
+
+    def plan_copy(self, gseq, copy, inst, cycle):
+        plan = self.injector.plan_for_copy(inst)
+        if plan is None:
+            return None
+        structure = {"value": "fu_result", "address": "lsq_address",
+                     "branch": "branch_outcome"}[plan.kind]
+        bit = plan.bit
+        if structure == "branch_outcome":
+            # The legacy injector draws branch bits over 64; the
+            # engine applies them mod the 16-bit outcome field, so the
+            # strike declares the bit it will actually flip.
+            bit &= 15
+        return SiteStrike(structure=structure, bit=bit)
+
+    def describe(self):
+        return ("Monte Carlo rate injector: %.6g faults/M instructions "
+                "per copy, kind weights %r"
+                % (self.config.rate_per_million,
+                   dict(self.config.kind_weights)))
+
+
+class SiteListPolicy(InjectionPolicy):
+    """Deterministic directed strikes against an explicit site list.
+
+    Each :class:`~repro.faults.sites.FaultSite` arms independently and
+    fires at the first applicable dispatch at-or-after its ``index``
+    (copy-scope sites additionally wait for their ``copy``); a site
+    whose cycle ``window`` closes first expires.  After the run,
+    :attr:`landed` / :attr:`expired` / :attr:`pending` account for
+    every site.
+    """
+
+    name = "site_list"
+
+    def __init__(self, sites):
+        sites = tuple(sites)
+        if not sites:
+            raise ConfigError("site_list policy needs >= 1 fault site")
+        for site in sites:
+            if not isinstance(site, FaultSite):
+                raise ConfigError("site_list entries must be FaultSite "
+                                  "objects, got %r" % (site,))
+        self.sites = sites
+        self.reset()
+
+    def reset(self):
+        self._group_sites = [site for site in self.sites
+                             if site.is_group_scope]
+        self._copy_sites = [site for site in self.sites
+                            if not site.is_group_scope]
+        self.landed = []
+        self.expired = []
+
+    @property
+    def pending(self):
+        """Sites that neither landed nor expired (yet)."""
+        return tuple(self._group_sites) + tuple(self._copy_sites)
+
+    def _sweep_expired(self, sites, cycle):
+        live = [site for site in sites if not site.expired(cycle)]
+        if len(live) != len(sites):
+            self.expired.extend(site for site in sites
+                                if site.expired(cycle))
+        return live
+
+    def plan_group(self, gseq, cycle):
+        sites = self._group_sites
+        if not sites:
+            return None
+        sites = self._group_sites = self._sweep_expired(sites, cycle)
+        for position, site in enumerate(sites):
+            if gseq >= site.index and site.in_window(cycle):
+                del sites[position]
+                self.landed.append(site)
+                return SiteStrike(structure=site.structure, bit=site.bit)
+        return None
+
+    def plan_copy(self, gseq, copy, inst, cycle):
+        sites = self._copy_sites
+        if not sites:
+            return None
+        sites = self._copy_sites = self._sweep_expired(sites, cycle)
+        for position, site in enumerate(sites):
+            if (gseq >= site.index and copy == site.copy
+                    and site.in_window(cycle)
+                    and structure_applies(site.structure, inst,
+                                          site.operand)):
+                del sites[position]
+                self.landed.append(site)
+                return SiteStrike(structure=site.structure, bit=site.bit,
+                                  operand=site.operand)
+        return None
+
+    def describe(self):
+        return ("directed strikes: %d site%s (%s)"
+                % (len(self.sites), "" if len(self.sites) == 1 else "s",
+                   ", ".join(sorted({site.structure
+                                     for site in self.sites}))))
+
+
+class StructureSweepPolicy(InjectionPolicy):
+    """Uniform site sampling within one structure.
+
+    Draws ``strikes`` sites from a seeded RNG — target index uniform
+    over ``[0, horizon)`` dispatched groups, copy uniform over the
+    machine's redundancy (late-bound), bit uniform over the structure's
+    field width, operand slot uniform for operand structures — then
+    behaves exactly like a :class:`SiteListPolicy` over that sample.
+    The same (structure, seed, horizon, redundancy) always sweeps the
+    same sites, which is what makes sweep trials content-addressable.
+    """
+
+    name = "structure_sweep"
+
+    def __init__(self, structure, strikes=1, horizon=1_000, seed=0):
+        if structure not in STRUCTURES:
+            raise ConfigError(
+                "unknown fault structure %r (choose from %s)"
+                % (structure, ", ".join(STRUCTURES)))
+        if not isinstance(strikes, int) or isinstance(strikes, bool) \
+                or strikes < 1:
+            raise ConfigError("structure_sweep strikes must be >= 1, "
+                              "got %r" % (strikes,))
+        if not isinstance(horizon, int) or isinstance(horizon, bool) \
+                or horizon < 1:
+            raise ConfigError("structure_sweep horizon must be >= 1, "
+                              "got %r" % (horizon,))
+        self.structure = structure
+        self.strikes = strikes
+        self.horizon = horizon
+        self.seed = seed
+        self._redundancy = 1
+        self._list = None
+        self.reset()
+
+    def bind(self, redundancy):
+        if redundancy != self._redundancy:
+            self._redundancy = redundancy
+            self._sample()
+
+    def reset(self):
+        self._sample()
+
+    def _sample(self):
+        from .sites import OPERAND_STRUCTURES
+        rng = random.Random(self.seed)
+        width = structure_width(self.structure)
+        operand_scope = self.structure in OPERAND_STRUCTURES
+        sites = []
+        for _ in range(self.strikes):
+            sites.append(FaultSite(
+                structure=self.structure,
+                index=rng.randrange(self.horizon),
+                copy=rng.randrange(self._redundancy),
+                bit=rng.randrange(width),
+                operand=rng.randrange(2) if operand_scope else 0))
+        self._list = SiteListPolicy(sites)
+
+    @property
+    def sites(self):
+        return self._list.sites
+
+    @property
+    def landed(self):
+        return self._list.landed
+
+    @property
+    def expired(self):
+        return self._list.expired
+
+    @property
+    def pending(self):
+        return self._list.pending
+
+    def plan_group(self, gseq, cycle):
+        return self._list.plan_group(gseq, cycle)
+
+    def plan_copy(self, gseq, copy, inst, cycle):
+        return self._list.plan_copy(gseq, copy, inst, cycle)
+
+    def describe(self):
+        return ("uniform sweep of %s: %d strike%s over %d dispatched "
+                "groups (seed %d)"
+                % (self.structure, self.strikes,
+                   "" if self.strikes == 1 else "s", self.horizon,
+                   self.seed))
+
+
+#: Registered policies, by name.
+POLICY_REGISTRY = {
+    RatePolicy.name: RatePolicy,
+    SiteListPolicy.name: SiteListPolicy,
+    StructureSweepPolicy.name: StructureSweepPolicy,
+}
+
+#: Policies constructible from a campaign ``fault_sites`` axis cell.
+SITE_POLICY_NAMES = (SiteListPolicy.name, StructureSweepPolicy.name)
+
+
+def register_policy(cls):
+    """Register an :class:`InjectionPolicy` subclass by its ``name``.
+
+    Usable as a decorator for out-of-tree policies.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, InjectionPolicy)):
+        raise ConfigError("register_policy expects an InjectionPolicy "
+                          "subclass, got %r" % (cls,))
+    if not cls.name or cls.name == "?":
+        raise ConfigError("policy %r needs a non-default 'name'"
+                          % cls.__name__)
+    POLICY_REGISTRY[cls.name] = cls
+    return cls
+
+
+def build_policy(spec, seed=0, horizon=None):
+    """Construct a site policy from a plain JSON-able spec dict.
+
+    ``spec`` is one ``fault_sites`` axis cell, e.g.::
+
+        {"policy": "structure_sweep", "structure": "rob_entry",
+         "strikes": 1}
+        {"policy": "site_list",
+         "sites": [{"structure": "fu_result", "index": 40, "bit": 7}]}
+
+    ``seed`` (normally the trial's content-derived fault seed) feeds
+    sampling policies; ``horizon`` supplies a default sweep horizon
+    when the spec does not fix one (normally the trial's instruction
+    budget).
+    """
+    if not isinstance(spec, dict):
+        raise ConfigError("fault-site policy spec must be a dict, "
+                          "got %r" % (spec,))
+    kind = spec.get("policy")
+    if kind == SiteListPolicy.name:
+        unknown = set(spec) - {"policy", "sites"}
+        if unknown:
+            raise ConfigError("unknown site_list fields: %s"
+                              % sorted(unknown))
+        sites = spec.get("sites")
+        if not isinstance(sites, (list, tuple)) or not sites:
+            raise ConfigError("site_list policy needs a non-empty "
+                              "'sites' list")
+        return SiteListPolicy([FaultSite.from_dict(site)
+                               for site in sites])
+    if kind == StructureSweepPolicy.name:
+        unknown = set(spec) - {"policy", "structure", "strikes",
+                               "horizon", "seed"}
+        if unknown:
+            raise ConfigError("unknown structure_sweep fields: %s"
+                              % sorted(unknown))
+        if "structure" not in spec:
+            raise ConfigError("structure_sweep policy needs a "
+                              "'structure' field")
+        sweep_horizon = spec.get("horizon")
+        if sweep_horizon is None:
+            sweep_horizon = horizon if horizon is not None else 1_000
+        return StructureSweepPolicy(
+            structure=spec["structure"],
+            strikes=spec.get("strikes", 1),
+            horizon=sweep_horizon,
+            seed=spec.get("seed", seed))
+    raise ConfigError(
+        "unknown fault-site policy %r (choose from %s)"
+        % (kind, ", ".join(SITE_POLICY_NAMES)))

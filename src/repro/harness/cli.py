@@ -20,6 +20,9 @@ Examples::
     repro-ft campaign --override rob64:rob_size=64 \\
         --override alu8:int_alu=8 ...
     repro-ft campaign --store results.jsonl --compact
+    repro-ft campaign --sites all --replicates 16      # per-structure
+    repro-ft campaign --sites rob_entry,pc --strikes 2 # sensitivity
+    repro-ft faults --list
     repro-ft bench --quick
     repro-ft bench --out BENCH_simulator.json
 """
@@ -38,9 +41,10 @@ from ..workloads.mix import format_mix_table
 from ..workloads.profiles import BENCHMARK_ORDER
 from . import experiment
 from .report import (ascii_chart, format_campaign_summary,
-                     format_campaign_table, format_figure5_table,
-                     format_figure6_table, format_machine_table,
-                     format_sensitivity_table)
+                     format_campaign_table, format_faults_listing,
+                     format_figure5_table, format_figure6_table,
+                     format_machine_table, format_sensitivity_table,
+                     format_structure_table)
 
 
 def _add_common(parser):
@@ -143,6 +147,10 @@ def _cmd_demo(args):
                           faulty.faults_detected, faulty.rewinds))
 
 
+#: The campaign parser's --rates default (swapped for 0 by --sites).
+_DEFAULT_RATES = "0,1000,10000"
+
+
 def _parse_override_value(text):
     """CLI override value: int, then float, then bool, else string."""
     for parse in (int, float):
@@ -182,6 +190,24 @@ def _parse_overrides(flags):
     return axis
 
 
+def _parse_sites(text, strikes):
+    """``--sites STRUCT[,STRUCT...]|all`` to a ``fault_sites`` axis.
+
+    Each structure becomes one :class:`StructureSweepPolicy` grid cell
+    (``strikes`` uniform strikes per trial, targets drawn from each
+    trial's content-derived seed).
+    """
+    from ..faults.sites import STRUCTURES
+    names = STRUCTURES if text == "all" \
+        else tuple(name.strip() for name in text.split(","))
+    for name in names:
+        if name not in STRUCTURES:
+            raise ValueError(
+                "--sites: unknown structure %r (choose from %s or "
+                "'all')" % (name, ", ".join(STRUCTURES)))
+    return experiment.structure_sweep_cells(names, strikes=strikes)
+
+
 def _parse_shard(text):
     """``--shard I/N`` to an (index, total) pair."""
     index, slash, total = text.partition("/")
@@ -199,8 +225,16 @@ def _campaign_spec_from_args(args):
     from ..campaign import CampaignSpec
     from ..core.faults import get_kind_mix
     overrides = _parse_overrides(args.override or [])
+    sites = _parse_sites(args.sites, args.strikes) if args.sites else {}
     if args.spec:
         spec = CampaignSpec.from_json_file(args.spec)
+        if sites:
+            if spec.fault_sites:
+                raise ValueError(
+                    "--sites conflicts with the fault_sites axis "
+                    "already defined by --spec %s" % args.spec)
+            from dataclasses import replace
+            spec = replace(spec, fault_sites=sites)
         if overrides:
             # --override ADDS grid cells to a spec file's axis; a name
             # collision is ambiguous (replace or keep?) so it's refused.
@@ -217,14 +251,21 @@ def _campaign_spec_from_args(args):
     else:
         mixes = {name: get_kind_mix(name)
                  for name in args.mixes.split(",")}
+        if args.rates is None:
+            # Site strikes replace the rate injector; an absent --rates
+            # must not make a --sites spec self-contradict.
+            rates = (0.0,) if sites else tuple(
+                float(rate) for rate in _DEFAULT_RATES.split(","))
+        else:
+            rates = tuple(float(rate) for rate in args.rates.split(","))
         spec = CampaignSpec(
             name=args.name,
             workloads=tuple(args.workloads.split(",")),
             models=tuple(args.models.split(",")),
-            rates_per_million=tuple(float(rate)
-                                    for rate in args.rates.split(",")),
+            rates_per_million=rates,
             mixes=mixes,
             machine_overrides=overrides,
+            fault_sites=sites,
             replicates=args.replicates,
             instructions=args.instructions,
             warmup=args.warmup,
@@ -284,8 +325,17 @@ def _cmd_campaign(args):
         raise SystemExit("repro-ft campaign: %s" % exc)
     elapsed = time.monotonic() - start
     cells = session.aggregate()
+    with_sites = bool(getattr(session.spec, "fault_sites", None))
     if args.json:
-        print(cells_to_json(cells))
+        if with_sites:
+            import json as _json
+            print(_json.dumps(
+                {"cells": [cell.as_dict() for cell in cells],
+                 "structures": [row.as_dict() for row in
+                                session.aggregate_structures()]},
+                indent=2, sort_keys=True))
+        else:
+            print(cells_to_json(cells))
         return
     print(format_campaign_summary(result, elapsed=elapsed))
     if store is not None:
@@ -293,6 +343,24 @@ def _cmd_campaign(args):
                                           len(result.records)))
     print()
     print(format_campaign_table(cells))
+    if with_sites:
+        print()
+        print("Per-structure fault sensitivity (struck trials)")
+        print(format_structure_table(session.aggregate_structures()))
+
+
+def _cmd_faults(args):
+    from ..core.faults import KIND_MIX_PRESETS
+    from ..faults import (POLICY_REGISTRY, STRUCTURES,
+                          STRUCTURE_DESCRIPTIONS, STRUCTURE_WIDTHS)
+    # --list is the only action (and the default): an inventory of the
+    # addressable fault model, replacing grepping KIND_MIX_PRESETS.
+    policies = {
+        name: (cls.__doc__ or "").strip().splitlines()[0]
+        for name, cls in POLICY_REGISTRY.items()}
+    print(format_faults_listing(STRUCTURES, STRUCTURE_WIDTHS,
+                                STRUCTURE_DESCRIPTIONS,
+                                KIND_MIX_PRESETS, policies))
 
 
 def _cmd_bench(args):
@@ -322,6 +390,7 @@ _COMMANDS = {
     "coverage": _cmd_coverage,
     "demo": _cmd_demo,
     "campaign": _cmd_campaign,
+    "faults": _cmd_faults,
     "bench": _cmd_bench,
 }
 
@@ -348,8 +417,12 @@ def _add_campaign_args(sub):
                      help="comma-separated benchmark names")
     sub.add_argument("--models", default="SS-2",
                      help="comma-separated machine models")
-    sub.add_argument("--rates", default="0,1000,10000",
-                     help="comma-separated fault rates (faults/M instr)")
+    # default=None distinguishes "not given" (swapped for 0 by --sites)
+    # from an explicitly typed default (refused with --sites like any
+    # other nonzero rate).
+    sub.add_argument("--rates", default=None,
+                     help="comma-separated fault rates (faults/M "
+                          "instr); default %s" % _DEFAULT_RATES)
     sub.add_argument("--mixes", default="default",
                      help="comma-separated kind-mix preset names")
     sub.add_argument("--replicates", type=int, default=8,
@@ -372,6 +445,14 @@ def _add_campaign_args(sub):
                      metavar="[NAME:]KEY=VALUE[,KEY=VALUE...]",
                      help="add a machine_overrides grid cell deriving "
                           "every model's MachineConfig (repeatable)")
+    sub.add_argument("--sites", default="",
+                     metavar="STRUCT[,STRUCT...]|all",
+                     help="per-structure sensitivity sweep: one "
+                          "fault_sites grid cell per named structure "
+                          "(see 'repro-ft faults --list'); forces "
+                          "rate 0 unless --rates is set explicitly")
+    sub.add_argument("--strikes", type=int, default=1,
+                     help="uniform strikes per trial for --sites cells")
     sub.add_argument("--compact", action="store_true",
                      help="compact --store (drop torn tails and stale "
                           "duplicate keys) and exit")
@@ -401,6 +482,10 @@ def build_parser():
             sub.add_argument("--benchmark", default="fpppp")
         if name == "campaign":
             _add_campaign_args(sub)
+        if name == "faults":
+            sub.add_argument("--list", action="store_true",
+                             help="list structures, kind-mix presets "
+                                  "and registered policies (default)")
         if name == "bench":
             _add_bench_args(sub)
     return parser

@@ -289,6 +289,54 @@ def sensitivity_campaign_spec(benchmarks=("gcc",), model="SS-2",
         instructions=instructions)
 
 
+def structure_sweep_cells(structures, strikes=1):
+    """One ``fault_sites`` sweep cell per structure.
+
+    The single definition of the ``sweep-<structure>`` cell shape: the
+    cell name and policy spec feed trial-key material, so the CLI
+    (``--sites``) and :func:`site_sensitivity_spec` must build them
+    identically or CLI-run and API-run campaigns stop sharing stores.
+    """
+    return {
+        "sweep-%s" % structure: {"policy": "structure_sweep",
+                                 "structure": structure,
+                                 "strikes": strikes}
+        for structure in structures}
+
+
+def site_sensitivity_spec(benchmarks=("gcc",), model="SS-2",
+                          structures=None, strikes=1, replicates=16,
+                          instructions=2_000,
+                          name="site-sensitivity"):
+    """A per-structure fault-sensitivity study as a campaign grid.
+
+    One :class:`~repro.faults.policy.StructureSweepPolicy` cell per
+    addressable structure: every replicate strikes ``strikes``
+    uniformly sampled sites of that structure (targets drawn per trial
+    from the trial's content-derived seed), and the aggregate answers
+    *which structure is sensitive* — coverage, SDC rate and masked rate
+    per structure with Wilson CIs
+    (:func:`repro.campaign.aggregate.aggregate_structures`).  This is
+    the "Not All Faults Are Equal" per-site characterisation the
+    ROADMAP names, run on the paper's machinery.  Returns the spec; run
+    it with a :class:`~repro.campaign.api.CampaignSession` or
+    ``repro-ft campaign --sites all``.
+    """
+    from ..campaign.spec import CampaignSpec
+    from ..faults.sites import STRUCTURES
+    if structures is None:
+        structures = STRUCTURES
+    fault_sites = structure_sweep_cells(structures, strikes=strikes)
+    return CampaignSpec(
+        name=name,
+        workloads=tuple(benchmarks),
+        models=(model,),
+        rates_per_million=(0.0,),
+        fault_sites=fault_sites,
+        replicates=replicates,
+        instructions=instructions)
+
+
 # -- recovery cost (Section 5.3 in-text) -------------------------------------
 
 def recovery_cost(benchmark="fpppp", rate_per_million=200.0,

@@ -76,11 +76,13 @@ def format_campaign_table(cells):
     """
     with_machine = any(getattr(cell, "machine", "") for cell in cells)
     machine_header = "%-10s " % "machine" if with_machine else ""
-    header = ("%-8s %-8s %s%9s %-13s %4s %5s %5s %4s %4s  %-19s %-19s "
+    with_sites = any(getattr(cell, "sites", "") for cell in cells)
+    sites_header = "%-16s " % "sites" if with_sites else ""
+    header = ("%-8s %-8s %s%s%9s %-13s %4s %5s %5s %4s %4s  %-19s %-19s "
               "%6s %6s"
-              % ("bench", "model", machine_header, "flt/M", "mix", "n",
-                 "mask", "d+r", "sdc", "t/o", "coverage [95% CI]",
-                 "sdc rate [95% CI]", "IPC", "Y"))
+              % ("bench", "model", machine_header, sites_header, "flt/M",
+                 "mix", "n", "mask", "d+r", "sdc", "t/o",
+                 "coverage [95% CI]", "sdc rate [95% CI]", "IPC", "Y"))
     lines = [header, "-" * len(header)]
     for cell in cells:
         counts = cell.counts
@@ -93,14 +95,75 @@ def format_campaign_table(cells):
         sdc = "%5.3f [%5.3f,%5.3f]" % (cell.sdc_rate, low, high)
         machine = ("%-10s " % (getattr(cell, "machine", "") or "-")
                    if with_machine else "")
+        sites = ("%-16s " % (getattr(cell, "sites", "") or "-")
+                 if with_sites else "")
         lines.append(
-            "%-8s %-8s %s%9.0f %-13s %4d %5d %5d %4d %4d  %s %s %6.3f "
+            "%-8s %-8s %s%s%9.0f %-13s %4d %5d %5d %4d %4d  %s %s %6.3f "
             "%6.1f"
-            % (cell.workload, cell.model, machine,
+            % (cell.workload, cell.model, machine, sites,
                cell.rate_per_million, cell.mix, cell.n,
                counts["masked"], counts["detected_recovered"],
                counts["sdc"], counts["timeout"], coverage, sdc,
                cell.mean_ipc, cell.mean_recovery_penalty))
+    return "\n".join(lines)
+
+
+def format_structure_table(rows):
+    """Per-structure fault-sensitivity table with Wilson intervals.
+
+    One row per addressable structure targeted by a fault-site
+    campaign (:func:`repro.campaign.aggregate.aggregate_structures`):
+    trial and applied-strike counts, then coverage, SDC rate and
+    masked rate over the struck trials, each with its 95% Wilson
+    interval.
+    """
+    header = ("%-15s %5s %6s %7s %5s %4s %4s %4s  %-19s %-19s %-19s"
+              % ("structure", "n", "struck", "strikes", "mask", "d+r",
+                 "sdc", "t/o", "coverage [95% CI]",
+                 "sdc rate [95% CI]", "masked [95% CI]"))
+    lines = [header, "-" * len(header)]
+
+    def fmt(value, interval):
+        if value is None:
+            return "     (not struck)  "
+        low, high = interval
+        return "%5.3f [%5.3f,%5.3f]" % (value, low, high)
+
+    for row in rows:
+        # Outcome columns over struck trials only, like the rates, so
+        # every row reconciles: mask + d+r + sdc + t/o == struck.
+        struck = row.struck_trials
+        detected = row.covered_trials - row.masked_struck
+        other = struck - row.covered_trials - row.sdc_struck
+        lines.append(
+            "%-15s %5d %6d %7d %5d %4d %4d %4d  %s %s %s"
+            % (row.structure, row.n, struck, row.strikes_applied,
+               row.masked_struck, detected, row.sdc_struck, other,
+               fmt(row.coverage, row.coverage_interval),
+               fmt(row.sdc_rate, row.sdc_interval),
+               fmt(row.masked_rate, row.masked_interval)))
+    return "\n".join(lines)
+
+
+def format_faults_listing(structures, widths, descriptions, presets,
+                          policies):
+    """The ``repro-ft faults --list`` inventory: addressable
+    structures, kind-mix presets and registered injection policies."""
+    lines = ["Addressable fault structures", ""]
+    name_width = max(len(name) for name in structures)
+    for name in structures:
+        lines.append("  %-*s  %2d-bit  %s"
+                     % (name_width, name, widths[name],
+                        descriptions[name]))
+    lines += ["", "Kind-mix presets (legacy rate injector)", ""]
+    for name in sorted(presets):
+        weights = presets[name]
+        lines.append("  %-14s %s"
+                     % (name, ", ".join("%s=%.2f" % (kind, weights[kind])
+                                        for kind in sorted(weights))))
+    lines += ["", "Registered injection policies", ""]
+    for name in sorted(policies):
+        lines.append("  %-16s %s" % (name, policies[name]))
     return "\n".join(lines)
 
 
@@ -110,12 +173,14 @@ def format_campaign_summary(result, elapsed=None):
     counts = result.outcome_counts
     machines = len(getattr(spec, "machine_overrides", {}) or {})
     machine_axis = " x %d machines" % machines if machines else ""
+    sites = len(getattr(spec, "fault_sites", {}) or {})
+    sites_axis = " x %d site cells" % sites if sites else ""
     lines = [
         "campaign %r: %d trials (%d workloads x %d models%s x %d rates "
-        "x %d mixes x %d replicates)"
+        "x %d mixes%s x %d replicates)"
         % (spec.name, len(result.records), len(spec.workloads),
            len(spec.models), machine_axis,
-           len(spec.rates_per_million), len(spec.mixes),
+           len(spec.rates_per_million), len(spec.mixes), sites_axis,
            spec.replicates),
         "executed %d, resumed (skipped) %d"
         % (result.executed, result.skipped),

@@ -52,9 +52,11 @@ from heapq import heapify, heappop, heappush
 
 from ..core.config import FTConfig, UNPROTECTED
 from ..core.detection import CommitChecker, _field_equal
-from ..core.faults import FaultInjector
+from ..core.faults import FaultInjector, check_mix_applicability
 from ..core.recovery import ACTION_REWIND, RecoveryController
 from ..core.replication import Replicator
+from ..faults.policy import InjectionPolicy, RatePolicy
+from ..faults.sites import count_strike
 from ..errors import ConfigError, SimulationError
 from ..functional.numeric import (as_float, as_int, flip_float_bit,
                                   flip_int_bit, u64, values_equal)
@@ -114,9 +116,17 @@ def _entries_agree(first, other):
 
 
 class Processor:
-    """A simulated out-of-order superscalar processor."""
+    """A simulated out-of-order superscalar processor.
 
-    def __init__(self, program, config=None, ft=None, fault_config=None):
+    Fault injection is configured either through the legacy
+    ``fault_config`` (a :class:`~repro.core.faults.FaultConfig`, run as
+    a :class:`~repro.faults.policy.RatePolicy` with an unchanged RNG
+    stream) or through an explicit ``policy`` (any
+    :class:`~repro.faults.policy.InjectionPolicy`) — never both.
+    """
+
+    def __init__(self, program, config=None, ft=None, fault_config=None,
+                 policy=None):
         self.program = program
         self.config = config or MachineConfig()
         self.ft = ft or UNPROTECTED
@@ -135,13 +145,37 @@ class Processor:
 
         self.groups = deque()             # in-flight groups, program order
         self.renamer = make_renamer(self.config.rename_scheme, self.groups)
+        if policy is not None and fault_config is not None:
+            raise ConfigError(
+                "pass either fault_config or an injection policy, "
+                "not both")
+        if policy is None and fault_config is not None \
+                and fault_config.rate_per_million > 0:
+            policy = RatePolicy(fault_config)
         self.injector = None
-        if fault_config is not None and fault_config.rate_per_million > 0:
-            self.injector = FaultInjector(fault_config)
+        site_policy = None
+        self.policy = policy
+        if policy is not None:
+            if not isinstance(policy, InjectionPolicy):
+                raise ConfigError(
+                    "policy must be an InjectionPolicy, got %r"
+                    % (policy,))
+            policy.bind(self.redundancy)
+            policy.reset()
+            if isinstance(policy, RatePolicy):
+                # The rate path keeps its inlined draws against the
+                # wrapped FaultInjector: byte-identical RNG stream.
+                if policy.config.rate_per_million > 0:
+                    check_mix_applicability(policy.config.kind_weights,
+                                            program)
+                    self.injector = policy.injector
+            else:
+                site_policy = policy
         self.stats = PipelineStats()
         self.replicator = Replicator(self.redundancy, self.renamer,
                                      self.arch.read_reg, self.injector,
-                                     stats=self.stats)
+                                     stats=self.stats,
+                                     site_policy=site_policy)
         self.checker = CommitChecker(self.ft)
         self.recovery = RecoveryController(self.ft)
         self.lsq = LoadStoreQueue(self.config.lsq_size)
@@ -486,6 +520,12 @@ class Processor:
                 if not group.squashed:
                     self._deliver_load_value(group, value, cycle)
 
+    def _count_fault(self, entry):
+        """Record one applied fault (plus its site, when addressed)."""
+        self.stats.faults_injected += 1
+        if entry.site is not None:
+            count_strike(self.stats, entry.site)
+
     def _complete_execution(self, entry, cycle):
         group = entry.group
         kind = group.meta.kind
@@ -493,7 +533,7 @@ class Processor:
             if entry.fault_kind == "address" and not entry.fault_applied:
                 entry.addr = u64(entry.addr ^ (1 << (entry.fault_bit & 63)))
                 entry.fault_applied = True
-                self.stats.faults_injected += 1
+                self._count_fault(entry)
             entry.agen_done = True
             if kind == _K_STORE:
                 entry.store_val = entry.src_vals[1]
@@ -501,7 +541,7 @@ class Processor:
                     entry.store_val = self._flip_value(entry.store_val,
                                                        entry.fault_bit)
                     entry.fault_applied = True
-                    self.stats.faults_injected += 1
+                    self._count_fault(entry)
                 self._finalize_entry(entry, cycle)
             else:
                 if entry.copy == 0 and not group.mem_issued:
@@ -530,6 +570,13 @@ class Processor:
                     heappush(queues[dependent.group.meta.qidx],
                              (dependent.seq, dependent))
             entry.dependents = None
+        if entry.fault_kind == "rob_value" and not entry.fault_applied:
+            # ROB-entry strike: the value corrupts *at rest*, after the
+            # dependents captured the clean result — only commit (and
+            # the cross-check) sees it.
+            entry.value = self._flip_value(entry.value, entry.fault_bit)
+            entry.fault_applied = True
+            self._count_fault(entry)
         if group.is_control:
             self._resolve_control(entry, cycle)
 
@@ -540,15 +587,15 @@ class Processor:
         if entry.fault_kind == "value" and meta.writes_reg:
             entry.value = self._flip_value(entry.value, entry.fault_bit)
             entry.fault_applied = True
-            self.stats.faults_injected += 1
+            self._count_fault(entry)
         elif entry.fault_kind == "branch" and meta.is_control:
             entry.next_pc = self._corrupt_next_pc(entry, group)
             entry.fault_applied = True
-            self.stats.faults_injected += 1
+            self._count_fault(entry)
         elif entry.fault_kind == "value" and meta.is_control:
             entry.next_pc = self._corrupt_next_pc(entry, group)
             entry.fault_applied = True
-            self.stats.faults_injected += 1
+            self._count_fault(entry)
 
     def _corrupt_next_pc(self, entry, group):
         meta = group.meta
@@ -583,6 +630,12 @@ class Processor:
                     heappush(queues[dependent.group.meta.qidx],
                              (dependent.seq, dependent))
             entry.dependents = None
+        if entry.fault_kind == "rob_value" and not entry.fault_applied:
+            # ROB-entry strike: corrupts after the dependents captured
+            # the clean value (see _complete_execution).
+            entry.value = self._flip_value(entry.value, entry.fault_bit)
+            entry.fault_applied = True
+            self._count_fault(entry)
         if group.is_control:
             self._resolve_control(entry, cycle)
 
@@ -639,7 +692,7 @@ class Processor:
         if entry.fault_kind == "value" and not entry.fault_applied:
             entry.value = self._flip_value(entry.value, entry.fault_bit)
             entry.fault_applied = True
-            self.stats.faults_injected += 1
+            self._count_fault(entry)
         self._finalize_entry(entry, cycle)
 
     # -- issue ------------------------------------------------------------
@@ -749,6 +802,16 @@ class Processor:
         meta = group.meta
         kind = meta.kind
         pc = group.pc
+        op_fault = entry.op_fault
+        if op_fault is not None:
+            # Source-operand strike (rename_tag / iq_entry): the copy
+            # computes on a corrupted operand from here on.
+            slot, bit = op_fault
+            entry.src_vals[slot] = self._flip_value(
+                entry.src_vals[slot], bit)
+            entry.op_fault = None
+            entry.fault_applied = True
+            self._count_fault(entry)
         a, b = entry.src_vals
         if kind == _K_ALU:
             entry.value = meta.value_fn(a, b, meta.imm, pc)
@@ -901,10 +964,11 @@ class Processor:
 
 
 def simulate(program, config=None, ft=None, fault_config=None,
-             max_instructions=None, max_cycles=None, lockstep=False):
+             max_instructions=None, max_cycles=None, lockstep=False,
+             policy=None):
     """One-call simulation helper; returns the finished Processor."""
     processor = Processor(program, config=config, ft=ft,
-                          fault_config=fault_config)
+                          fault_config=fault_config, policy=policy)
     if lockstep:
         processor.enable_lockstep_check()
     processor.run(max_instructions=max_instructions, max_cycles=max_cycles)

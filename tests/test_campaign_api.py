@@ -220,8 +220,8 @@ class TestEvents:
         assert all(e.total == spec.grid_size for e in events)
         assert all(e.record["key"] == e.trial["key"] for e in finished)
         cells = {e.cell for e in events if e.kind == CELL_FINISHED}
-        assert cells == {("gcc", "SS-2", "", 0.0, "default"),
-                         ("gcc", "SS-2", "", 20_000.0, "default")}
+        assert cells == {("gcc", "SS-2", "", 0.0, "default", ""),
+                         ("gcc", "SS-2", "", 20_000.0, "default", "")}
 
     def test_subscribe_decorator_and_started_payload(self):
         spec = small_spec(replicates=1)

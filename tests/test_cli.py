@@ -20,6 +20,7 @@ SMOKE_ARGS = {
     "campaign": ["--workloads", "gcc", "--models", "SS-2",
                  "--rates", "0,3000", "--replicates", "2",
                  "--instructions", "400", "--quiet"],
+    "faults": ["--list"],
     "bench": ["--quick", "--out", ""],
 }
 

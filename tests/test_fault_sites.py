@@ -1,0 +1,406 @@
+"""The addressable fault-site model and its injection policies."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (FaultSite, InjectionPolicy, POLICY_REGISTRY,
+                          RatePolicy, STRUCTURES, SiteListPolicy,
+                          SiteStrike, StructureSweepPolicy, arm_entry,
+                          build_policy, register_policy,
+                          structure_applies, structure_width)
+from repro.models.presets import ss1, ss2
+from repro.uarch.processor import Processor
+from repro.workloads.generator import build_workload
+
+
+class TestFaultSite:
+    def test_defaults_and_round_trip(self):
+        site = FaultSite(structure="fu_result", index=40, copy=1, bit=7)
+        assert FaultSite.from_dict(site.to_dict()) == site
+        windowed = FaultSite(structure="pc", index=3, bit=2,
+                             window=(10, 500))
+        assert FaultSite.from_dict(windowed.to_dict()) == windowed
+
+    def test_unknown_structure(self):
+        with pytest.raises(ConfigError):
+            FaultSite(structure="tlb_entry", bit=0)
+
+    def test_bit_bounds_follow_structure_width(self):
+        FaultSite(structure="rob_entry", bit=63)
+        FaultSite(structure="pc", bit=15)
+        FaultSite(structure="branch_outcome", bit=15)
+        with pytest.raises(ConfigError):
+            FaultSite(structure="pc", bit=16)
+        with pytest.raises(ConfigError):
+            FaultSite(structure="branch_outcome", bit=16)
+        with pytest.raises(ConfigError):
+            FaultSite(structure="fu_result", bit=64)
+        with pytest.raises(ConfigError):
+            FaultSite(structure="fu_result", bit=-1)
+
+    def test_operand_and_window_validation(self):
+        with pytest.raises(ConfigError):
+            FaultSite(structure="rename_tag", operand=2)
+        with pytest.raises(ConfigError):
+            FaultSite(structure="pc", window=(5, 5))
+        with pytest.raises(ConfigError):
+            FaultSite(structure="pc", window=(-1, 5))
+        with pytest.raises(ConfigError):
+            FaultSite(structure="pc", window=(0,))
+
+    def test_window_gates(self):
+        site = FaultSite(structure="pc", window=(10, 20))
+        assert not site.in_window(9)
+        assert site.in_window(10)
+        assert site.in_window(19)
+        assert not site.in_window(20)
+        assert site.expired(20)
+        assert not site.expired(19)
+
+    def test_from_dict_rejects_junk(self):
+        with pytest.raises(ConfigError):
+            FaultSite.from_dict({"bit": 3})            # no structure
+        with pytest.raises(ConfigError):
+            FaultSite.from_dict({"structure": "pc", "depth": 1})
+        with pytest.raises(ConfigError):
+            FaultSite.from_dict("pc")
+
+    def test_every_structure_has_width_and_description(self):
+        from repro.faults import (STRUCTURE_DESCRIPTIONS,
+                                  STRUCTURE_WIDTHS)
+        assert set(STRUCTURE_WIDTHS) == set(STRUCTURES)
+        assert set(STRUCTURE_DESCRIPTIONS) == set(STRUCTURES)
+        for structure in STRUCTURES:
+            assert structure_width(structure) in (16, 64)
+
+
+class TestStructureApplies:
+    @pytest.fixture(scope="class")
+    def by_kind(self):
+        """One instruction per interesting shape, from a real workload."""
+        program = build_workload("gcc")
+        found = {}
+        for inst in program.text:
+            info = inst.info
+            if info.is_mem and "mem" not in found:
+                found["mem"] = inst
+            elif inst.is_control and "control" not in found:
+                found["control"] = inst
+            elif info.writes_reg and not info.is_mem \
+                    and "alu" not in found:
+                found["alu"] = inst
+            elif not info.writes_reg and not inst.is_control \
+                    and not info.is_mem and "inert" not in found:
+                found["inert"] = inst
+        return found
+
+    def test_mem_structures(self, by_kind):
+        assert structure_applies("lsq_address", by_kind["mem"])
+        assert not structure_applies("lsq_address", by_kind["alu"])
+
+    def test_control_structures(self, by_kind):
+        assert structure_applies("branch_outcome", by_kind["control"])
+        assert not structure_applies("branch_outcome", by_kind["alu"])
+
+    def test_result_structures(self, by_kind):
+        assert structure_applies("fu_result", by_kind["alu"])
+        assert structure_applies("rob_entry", by_kind["alu"])
+        if "inert" in by_kind:
+            assert not structure_applies("fu_result", by_kind["inert"])
+
+    def test_pc_always_applies(self, by_kind):
+        for inst in by_kind.values():
+            assert structure_applies("pc", inst)
+
+    def test_unknown_structure_raises(self, by_kind):
+        with pytest.raises(ConfigError):
+            structure_applies("warp_core", by_kind["alu"])
+
+
+class _Entry:
+    """Minimal RobEntry stand-in for arm_entry unit tests."""
+
+    def __init__(self):
+        self.fault_kind = None
+        self.fault_bit = 0
+        self.op_fault = None
+        self.site = None
+
+
+class TestArmEntry:
+    def test_result_structures_ride_fault_kind(self):
+        entry = _Entry()
+        arm_entry(entry, SiteStrike(structure="fu_result", bit=9))
+        assert (entry.fault_kind, entry.fault_bit) == ("value", 9)
+        assert entry.site == "fu_result"
+        entry = _Entry()
+        arm_entry(entry, SiteStrike(structure="rob_entry", bit=3))
+        assert entry.fault_kind == "rob_value"
+        entry = _Entry()
+        arm_entry(entry, SiteStrike(structure="lsq_address", bit=1))
+        assert entry.fault_kind == "address"
+        entry = _Entry()
+        arm_entry(entry, SiteStrike(structure="branch_outcome", bit=2))
+        assert entry.fault_kind == "branch"
+
+    def test_operand_structures_ride_op_fault(self):
+        entry = _Entry()
+        arm_entry(entry, SiteStrike(structure="iq_entry", bit=5,
+                                    operand=1))
+        assert entry.op_fault == (1, 5)
+        assert entry.fault_kind is None
+        assert entry.site == "iq_entry"
+
+    def test_group_scope_strike_rejected(self):
+        with pytest.raises(ConfigError):
+            arm_entry(_Entry(), SiteStrike(structure="pc", bit=0))
+
+
+class TestSiteListPolicy:
+    def test_needs_sites(self):
+        with pytest.raises(ConfigError):
+            SiteListPolicy([])
+        with pytest.raises(ConfigError):
+            SiteListPolicy([{"structure": "pc"}])      # not a FaultSite
+
+    def test_strike_waits_for_applicable_target(self):
+        program = build_workload("gcc")
+        alu_inst = next(inst for inst in program.text
+                        if inst.info.writes_reg and not inst.info.is_mem)
+        mem_inst = next(inst for inst in program.text
+                        if inst.info.is_mem)
+        policy = SiteListPolicy([FaultSite(structure="lsq_address",
+                                           index=5, copy=0, bit=4)])
+        assert policy.plan_copy(4, 0, mem_inst, cycle=1) is None  # early
+        assert policy.plan_copy(5, 1, mem_inst, cycle=1) is None  # copy
+        assert policy.plan_copy(5, 0, alu_inst, cycle=1) is None  # shape
+        strike = policy.plan_copy(7, 0, mem_inst, cycle=1)
+        assert strike == SiteStrike(structure="lsq_address", bit=4)
+        assert len(policy.landed) == 1 and not policy.pending
+        # One strike per site: it never fires twice.
+        assert policy.plan_copy(8, 0, mem_inst, cycle=1) is None
+
+    def test_window_expiry(self):
+        program = build_workload("gcc")
+        inst = next(inst for inst in program.text
+                    if inst.info.writes_reg)
+        policy = SiteListPolicy([FaultSite(structure="fu_result",
+                                           index=0, copy=0, bit=1,
+                                           window=(0, 10))])
+        assert policy.plan_copy(0, 0, inst, cycle=10) is None
+        assert len(policy.expired) == 1 and not policy.pending
+
+    def test_group_scope_sites_fire_in_plan_group(self):
+        policy = SiteListPolicy([FaultSite(structure="pc", index=3,
+                                           bit=2)])
+        assert policy.plan_group(2, cycle=1) is None
+        assert policy.plan_group(3, cycle=1) \
+            == SiteStrike(structure="pc", bit=2)
+        assert policy.plan_copy(3, 0, None, cycle=1) is None
+
+    def test_reset_rearms(self):
+        policy = SiteListPolicy([FaultSite(structure="pc", bit=1)])
+        assert policy.plan_group(0, 1) is not None
+        policy.reset()
+        assert policy.plan_group(0, 1) is not None
+
+
+class TestStructureSweepPolicy:
+    def test_same_seed_same_sites(self):
+        a = StructureSweepPolicy("rob_entry", strikes=3, horizon=500,
+                                 seed=42)
+        b = StructureSweepPolicy("rob_entry", strikes=3, horizon=500,
+                                 seed=42)
+        a.bind(2)
+        b.bind(2)
+        assert a.sites == b.sites
+        assert all(site.structure == "rob_entry" for site in a.sites)
+        assert all(0 <= site.index < 500 for site in a.sites)
+        assert all(site.copy in (0, 1) for site in a.sites)
+
+    def test_different_seed_different_sites(self):
+        a = StructureSweepPolicy("rob_entry", strikes=4, horizon=500,
+                                 seed=1)
+        b = StructureSweepPolicy("rob_entry", strikes=4, horizon=500,
+                                 seed=2)
+        assert a.sites != b.sites
+
+    def test_bind_resamples_copies_for_redundancy(self):
+        policy = StructureSweepPolicy("fu_result", strikes=8,
+                                      horizon=100, seed=9)
+        assert all(site.copy == 0 for site in policy.sites)
+        policy.bind(3)
+        assert any(site.copy > 0 for site in policy.sites)
+
+    def test_operand_structures_sample_operand_slots(self):
+        policy = StructureSweepPolicy("rename_tag", strikes=16,
+                                      horizon=100, seed=5)
+        assert {site.operand for site in policy.sites} == {0, 1}
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StructureSweepPolicy("warp_core")
+        with pytest.raises(ConfigError):
+            StructureSweepPolicy("pc", strikes=0)
+        with pytest.raises(ConfigError):
+            StructureSweepPolicy("pc", horizon=0)
+
+
+class TestBuildPolicyAndRegistry:
+    def test_build_structure_sweep(self):
+        policy = build_policy({"policy": "structure_sweep",
+                               "structure": "iq_entry", "strikes": 2},
+                              seed=7, horizon=300)
+        assert isinstance(policy, StructureSweepPolicy)
+        assert policy.seed == 7 and policy.horizon == 300
+
+    def test_build_site_list(self):
+        policy = build_policy({"policy": "site_list",
+                               "sites": [{"structure": "pc", "bit": 3}]})
+        assert isinstance(policy, SiteListPolicy)
+
+    def test_build_rejects_junk(self):
+        for bad in ({"policy": "nosuch"},
+                    {"policy": "site_list", "sites": []},
+                    {"policy": "site_list"},
+                    {"policy": "structure_sweep"},
+                    {"policy": "structure_sweep", "structure": "pc",
+                     "surprise": 1},
+                    "structure_sweep", 42):
+            with pytest.raises(ConfigError):
+                build_policy(bad)
+
+    def test_registry_contents(self):
+        assert set(POLICY_REGISTRY) >= {"rate", "site_list",
+                                        "structure_sweep"}
+
+    def test_every_policy_describes_itself(self):
+        from repro.core.faults import FaultConfig
+        policies = (RatePolicy(FaultConfig(rate_per_million=10.0)),
+                    SiteListPolicy([FaultSite(structure="pc", bit=1)]),
+                    StructureSweepPolicy("rob_entry", horizon=100))
+        for policy in policies:
+            text = policy.describe()
+            assert isinstance(text, str) and text
+
+        class Minimal(InjectionPolicy):
+            name = "minimal"
+
+            def reset(self):
+                pass
+
+        # describe() has a working default: subclasses are not forced
+        # to implement a method the harness may never call.
+        assert Minimal().describe()
+
+    def test_register_policy_validates(self):
+        with pytest.raises(ConfigError):
+            register_policy(dict)
+
+        class Nameless(InjectionPolicy):
+            def reset(self):
+                pass
+
+            def describe(self):
+                return ""
+
+        with pytest.raises(ConfigError):
+            register_policy(Nameless)
+
+        class Custom(Nameless):
+            name = "custom-test"
+
+        try:
+            assert register_policy(Custom) is Custom
+            assert POLICY_REGISTRY["custom-test"] is Custom
+        finally:
+            POLICY_REGISTRY.pop("custom-test", None)
+
+
+#: Strikes used by the engine-integration matrix: index 50 lands well
+#: inside the gcc loop on every model.
+_SITES = {
+    "fu_result": FaultSite(structure="fu_result", index=50, copy=1,
+                           bit=5),
+    "rob_entry": FaultSite(structure="rob_entry", index=50, copy=1,
+                           bit=5),
+    "lsq_address": FaultSite(structure="lsq_address", index=50, copy=1,
+                             bit=5),
+    "branch_outcome": FaultSite(structure="branch_outcome", index=50,
+                                copy=1, bit=5),
+    "pc": FaultSite(structure="pc", index=50, bit=5),
+    "rename_tag": FaultSite(structure="rename_tag", index=50, copy=1,
+                            bit=5),
+    "iq_entry": FaultSite(structure="iq_entry", index=50, copy=1,
+                          bit=5, operand=0),
+}
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("structure", sorted(_SITES))
+    def test_every_structure_strikes_and_is_detected_on_ss2(
+            self, structure):
+        """One directed strike per structure: it applies exactly once,
+        the R=2 machine detects it, and the run stays architecturally
+        correct (commit cross-check or PC continuity catches it)."""
+        program = build_workload("gcc")
+        model = ss2()
+        policy = SiteListPolicy([_SITES[structure]])
+        processor = Processor(program, config=model.config, ft=model.ft,
+                              policy=policy)
+        processor.run(max_instructions=2_000, max_cycles=100_000)
+        stats = processor.stats
+        assert stats.faults_injected == 1
+        assert stats.faults_detected >= 1
+        assert stats.extras["site_strikes"] == {structure: 1}
+        if structure == "pc":
+            assert stats.pc_continuity_violations == 1
+
+    def test_rate_and_policy_are_mutually_exclusive(self):
+        from repro.core.faults import FaultConfig
+        program = build_workload("gcc")
+        model = ss2()
+        with pytest.raises(ConfigError):
+            Processor(program, config=model.config, ft=model.ft,
+                      fault_config=FaultConfig(rate_per_million=100.0),
+                      policy=SiteListPolicy([_SITES["pc"]]))
+
+    def test_policy_must_be_an_injection_policy(self):
+        program = build_workload("gcc")
+        model = ss2()
+        with pytest.raises(ConfigError):
+            Processor(program, config=model.config, ft=model.ft,
+                      policy="rate")
+
+    def test_unprotected_machine_commits_silent_corruption(self):
+        """The same rob_entry strike on SS-1: nothing detects it, the
+        corrupted value (or nothing, if masked) simply commits."""
+        program = build_workload("gcc")
+        model = ss1()
+        # copy=0: the R=1 machine has no second copy to strike.
+        policy = SiteListPolicy([FaultSite(structure="rob_entry",
+                                           index=50, copy=0, bit=5)])
+        processor = Processor(program, config=model.config, ft=model.ft,
+                              policy=policy)
+        processor.run(max_instructions=2_000, max_cycles=100_000)
+        stats = processor.stats
+        assert stats.faults_injected == 1
+        assert stats.faults_detected == 0
+        assert stats.rewinds == 0
+        assert stats.silent_commits == 1
+
+    def test_rate_policy_matches_fault_config(self):
+        """Processor(policy=RatePolicy(cfg)) is Processor(fault_config=
+        cfg): identical stats, byte for byte."""
+        from repro.core.faults import FaultConfig
+        program = build_workload("gcc")
+        model = ss2()
+        config = FaultConfig(rate_per_million=20_000.0, seed=4242)
+        via_config = Processor(program, config=model.config,
+                               ft=model.ft, fault_config=config)
+        via_config.run(max_instructions=1_500, max_cycles=100_000)
+        via_policy = Processor(program, config=model.config,
+                               ft=model.ft,
+                               policy=RatePolicy(config))
+        via_policy.run(max_instructions=1_500, max_cycles=100_000)
+        assert via_config.stats == via_policy.stats

@@ -1,0 +1,91 @@
+"""Legacy-path compatibility of the fault-site refactor.
+
+``tests/data/golden_spec64.json`` holds the 64-trial acceptance grid —
+records and aggregate JSON — exactly as the pre-refactor
+``run_campaign`` path produced them.  Every rate-based execution route
+through the new policy subsystem (serial session, ``workers=2`` pool,
+SQLite-store resume, the deprecated ``run_campaign`` wrapper) must
+reproduce that fixture byte-for-byte: the ``RatePolicy`` indirection
+may cost nothing in trial keys, records or aggregates.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (CampaignSession, CampaignSpec,
+                            ExecutionOptions, cells_to_json,
+                            clear_result_caches, open_store,
+                            run_campaign)
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "data",
+                       "golden_spec64.json")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(FIXTURE) as handle:
+        payload = json.load(handle)
+    payload["records_json"] = json.dumps(payload["records"],
+                                         sort_keys=True)
+    return payload
+
+
+@pytest.fixture(scope="module")
+def spec(golden):
+    return CampaignSpec.from_dict(golden["spec"])
+
+
+def canonical(records):
+    return json.dumps(records, sort_keys=True)
+
+
+def test_trial_keys_are_unchanged(golden, spec):
+    """The content hashes themselves: any key drift would silently
+    orphan every stored campaign on resume."""
+    expected = [record["key"] for record in golden["records"]]
+    assert [trial.key for trial in spec.trials()] == expected
+
+
+def test_serial_records_byte_identical(golden, spec):
+    session = CampaignSession(spec)
+    result = session.run()
+    assert canonical(result.records) == golden["records_json"]
+    assert cells_to_json(session.aggregate()) == golden["cells_json"]
+
+
+def test_worker_pool_records_byte_identical(golden, spec):
+    session = CampaignSession(spec,
+                              options=ExecutionOptions(workers=2))
+    result = session.run()
+    assert canonical(result.records) == golden["records_json"]
+    assert cells_to_json(session.aggregate()) == golden["cells_json"]
+
+
+def test_sqlite_resume_byte_identical(golden, spec, tmp_path):
+    """A killed-and-resumed campaign against a SQLite store must also
+    land on the fixture: the store holds a prefix of the records, the
+    resumed session completes the rest."""
+    store = open_store("sqlite:%s" % (tmp_path / "resume.db"))
+    for record in golden["records"][:23]:
+        store.append(record)
+    session = CampaignSession(spec, store=store)
+    result = session.resume()
+    assert result.skipped == 23
+    assert result.executed == 41
+    assert canonical(result.records) == golden["records_json"]
+    assert cells_to_json(session.aggregate()) == golden["cells_json"]
+
+
+def test_deprecated_run_campaign_byte_identical(golden, spec):
+    with pytest.warns(DeprecationWarning):
+        result = run_campaign(spec)
+    assert canonical(result.records) == golden["records_json"]
+
+
+def test_fresh_caches_do_not_change_records(golden, spec):
+    """The fixture must not depend on warm per-process memos."""
+    clear_result_caches()
+    result = CampaignSession(spec).run()
+    assert canonical(result.records) == golden["records_json"]
