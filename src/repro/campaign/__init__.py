@@ -23,7 +23,15 @@ statistically aggregated injection campaigns:
 * :mod:`~repro.campaign.engine` — the deprecated ``run_campaign``
   keyword surface, kept as a thin wrapper over the session;
 * :mod:`~repro.campaign.aggregate` — per-cell coverage / SDC-rate / IPC
-  statistics with Wilson confidence intervals.
+  statistics with Wilson confidence intervals;
+* :mod:`~repro.campaign.adaptive` — :class:`SamplingPlan` adaptive
+  sampling: stop a cell once its Wilson interval is tight enough and
+  spend the freed replicate budget on the widest open interval
+  (``ExecutionOptions(sampling=SamplingPlan.wilson(0.05))``);
+* :mod:`~repro.campaign.orchestrator` — the multi-shard driver:
+  launch N shard workers, monitor their stores, restart dead workers
+  from their records, merge on completion
+  (``CampaignSession.orchestrate(...)`` / ``repro-ft orchestrate``).
 
 Quickstart::
 
@@ -41,14 +49,20 @@ Quickstart::
               cell.counts, cell.coverage)
 """
 
+from .adaptive import (AdaptiveScheduler, AdaptiveSummary,
+                       SamplingPlan, merged_adaptive_summary,
+                       wilson_halfwidth)
 from .aggregate import (CellStats, StructureStats, aggregate,
                         aggregate_structures, cells_to_json,
                         structures_to_json, wilson_interval)
-from .api import (CAMPAIGN_FINISHED, CELL_FINISHED, EVENT_KINDS,
-                  TRIAL_FINISHED, TRIAL_STARTED, CampaignEvent,
-                  CampaignProgress, CampaignResult, CampaignSession,
-                  ExecutionOptions, execute_trial_payload)
+from .api import (CAMPAIGN_FINISHED, CELL_CONVERGED, CELL_FINISHED,
+                  EVENT_KINDS, TRIAL_FINISHED, TRIAL_STARTED,
+                  CampaignEvent, CampaignProgress, CampaignResult,
+                  CampaignSession, ExecutionOptions,
+                  execute_trial_payload)
 from .engine import run_campaign
+from .orchestrator import (CampaignOrchestrator, ShardWorker,
+                           shard_store_path)
 from .golden import (GoldenTrace, cached_trace, clear_trace_cache,
                      compare_with_golden)
 from .outcome import (DETECTED_RECOVERED, MASKED, OUTCOMES, SDC,
@@ -60,12 +74,15 @@ from .store import (JSONLStore, ResultStore, ShardedJSONLStore,
                     shard_of_key)
 
 __all__ = [
+    "AdaptiveScheduler", "AdaptiveSummary", "SamplingPlan",
+    "merged_adaptive_summary", "wilson_halfwidth",
     "CellStats", "StructureStats", "aggregate", "aggregate_structures",
     "cells_to_json", "structures_to_json", "wilson_interval",
-    "CAMPAIGN_FINISHED", "CELL_FINISHED", "EVENT_KINDS",
-    "TRIAL_FINISHED", "TRIAL_STARTED", "CampaignEvent",
+    "CAMPAIGN_FINISHED", "CELL_CONVERGED", "CELL_FINISHED",
+    "EVENT_KINDS", "TRIAL_FINISHED", "TRIAL_STARTED", "CampaignEvent",
     "CampaignProgress", "CampaignResult", "CampaignSession",
     "ExecutionOptions", "execute_trial_payload", "run_campaign",
+    "CampaignOrchestrator", "ShardWorker", "shard_store_path",
     "GoldenTrace", "cached_trace", "clear_trace_cache",
     "compare_with_golden",
     "DETECTED_RECOVERED", "MASKED", "OUTCOMES", "SDC", "SIMULATORS",

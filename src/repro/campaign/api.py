@@ -36,11 +36,14 @@ wrapper over this class, byte-identical in behaviour.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                as_completed, wait)
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigError
+from .adaptive import (CONVERGED as _CONVERGED, AdaptiveScheduler,
+                       AdaptiveSummary, SamplingPlan)
 from .aggregate import aggregate, aggregate_structures, trial_cell
 from .outcome import SIMULATORS, run_trial
 from .spec import CampaignShard, CampaignSpec, Trial
@@ -51,11 +54,17 @@ from .store import StoreBackend, open_store
 TRIAL_STARTED = "trial_started"
 TRIAL_FINISHED = "trial_finished"
 CELL_FINISHED = "cell_finished"
+CELL_CONVERGED = "cell_converged"
 CAMPAIGN_FINISHED = "campaign_finished"
 
 #: Every event kind a session can emit, in lifecycle order.
+#: ``cell_converged`` only fires under an adaptive
+#: :class:`~repro.campaign.adaptive.SamplingPlan`, when a cell's
+#: confidence interval reaches the target before its replicates run
+#: out (the cell's remaining pre-keyed trials are then skipped, so its
+#: ``cell_finished`` never fires).
 EVENT_KINDS = (TRIAL_STARTED, TRIAL_FINISHED, CELL_FINISHED,
-               CAMPAIGN_FINISHED)
+               CELL_CONVERGED, CAMPAIGN_FINISHED)
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,10 @@ class CampaignEvent:
     trial: Optional[dict] = None
     record: Optional[dict] = None
     cell: Optional[tuple] = None
+    #: Shard index the event originated from — only set by the
+    #: multi-shard orchestrator's merged live stream (None for
+    #: single-session events).
+    shard: Optional[int] = None
 
 
 #: A session listener: any callable accepting one CampaignEvent.
@@ -96,7 +109,12 @@ class ExecutionOptions:
     :func:`repro.campaign.outcome.run_trial`); ``workers`` widens the
     process pool; ``max_cycles`` stamps a cycle budget onto a spec that
     does not set one (it is part of trial identity, so the session
-    refuses to silently contradict a spec's own value).
+    refuses to silently contradict a spec's own value); ``sampling``
+    attaches a :class:`~repro.campaign.adaptive.SamplingPlan` — a
+    wilson plan stops statistically converged cells early and spends
+    the freed replicate budget on the widest-interval cells (``None``
+    and ``SamplingPlan.fixed()`` are the historical run-everything
+    behaviour).
     """
 
     simulator: str = "fast"
@@ -104,6 +122,7 @@ class ExecutionOptions:
     reuse_faultfree: bool = True
     workers: int = 1
     max_cycles: Optional[int] = None
+    sampling: Optional[SamplingPlan] = None
 
     def __post_init__(self):
         if self.simulator not in SIMULATORS:
@@ -118,6 +137,41 @@ class ExecutionOptions:
                 or self.max_cycles < 1):
             raise ConfigError("max_cycles must be a positive integer "
                               "or None, got %r" % (self.max_cycles,))
+        if self.sampling is not None \
+                and not isinstance(self.sampling, SamplingPlan):
+            raise ConfigError(
+                "sampling must be a SamplingPlan or None, got %r"
+                % (self.sampling,))
+
+    @property
+    def adaptive(self) -> bool:
+        """Whether this options bundle schedules trials adaptively."""
+        return self.sampling is not None and self.sampling.is_adaptive
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (orchestrator worker payloads)."""
+        data = {"simulator": self.simulator,
+                "golden_cache": self.golden_cache,
+                "reuse_faultfree": self.reuse_faultfree,
+                "workers": self.workers}
+        if self.max_cycles is not None:
+            data["max_cycles"] = self.max_cycles
+        if self.sampling is not None:
+            data["sampling"] = self.sampling.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionOptions":
+        data = dict(data)
+        sampling = data.pop("sampling", None)
+        if sampling is not None:
+            data["sampling"] = SamplingPlan.from_dict(sampling)
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError("unknown execution option fields: %s"
+                              % sorted(unknown))
+        return cls(**data)
 
     def trial_payload(self, trial: Trial) -> dict:
         """The worker-pool payload for one trial (plain dicts only)."""
@@ -135,9 +189,15 @@ class CampaignResult:
 
     spec: object
     #: One record per trial of the grid, in spec-expansion order.
+    #: Under an adaptive plan, trials a converged cell never ran have
+    #: no record — the list is then the executed subset, still in spec
+    #: order.
     records: list = field(default_factory=list)
     executed: int = 0               # trials simulated by this run
     skipped: int = 0                # trials satisfied from the store
+    #: :class:`~repro.campaign.adaptive.AdaptiveSummary` of what the
+    #: scheduler did (None for fixed-plan runs).
+    adaptive: Optional[AdaptiveSummary] = None
 
     @property
     def outcome_counts(self):
@@ -323,6 +383,33 @@ class CampaignSession:
         trials (empty for rate-only campaigns)."""
         return aggregate_structures(self.records())
 
+    def orchestrate(self, shards: int, store_dir: str,
+                    mode: str = "process", poll_interval: float = 0.2,
+                    max_restarts: int = 2) -> CampaignResult:
+        """Run this session's spec across ``shards`` parallel shard
+        workers (see :class:`~repro.campaign.orchestrator.
+        CampaignOrchestrator`).
+
+        The session's options (including an adaptive sampling plan)
+        apply to every shard worker, its listeners receive the merged
+        live event stream, and its store — when it has one — becomes
+        the merged destination store.  On return :attr:`result` holds
+        the merged records in spec order, so :meth:`aggregate` works
+        exactly as after :meth:`run`.
+        """
+        from .orchestrator import CampaignOrchestrator
+        orchestrator = CampaignOrchestrator(
+            self.spec, shards=shards, store_dir=store_dir,
+            options=self.options, mode=mode,
+            poll_interval=poll_interval, max_restarts=max_restarts,
+            merged_store=self.store, listeners=tuple(self._listeners))
+        result = orchestrator.run()
+        if self.store is None:
+            # Later records()/progress() calls read the merged store.
+            self.store = orchestrator.merged_store
+        self.result = result
+        return result
+
     # -- execution core ----------------------------------------------------
 
     def _run(self, resume) -> CampaignResult:
@@ -348,49 +435,91 @@ class CampaignSession:
                                 skipped=total - len(todo))
         # cell_finished fires when the last outstanding trial of a cell
         # completes in this run; cells fully satisfied from the store
-        # never re-fire.
+        # never re-fire.  (Under an adaptive plan a converged cell
+        # keeps a positive remainder forever — it emits cell_converged
+        # instead.)
         cell_remaining: Dict[tuple, int] = {}
         for trial in todo:
             cell = _cell_of(trial)
             cell_remaining[cell] = cell_remaining.get(cell, 0) + 1
-        fresh = self._execute(todo, cell_remaining,
-                              done_offset=len(completed), total=total)
+        if self.options.adaptive:
+            scheduler = AdaptiveScheduler(self.options.sampling, trials,
+                                          completed)
+            fresh = self._execute_adaptive(
+                scheduler, cell_remaining,
+                done_offset=len(completed), total=total)
+            result.adaptive = scheduler.summary()
+            result.executed = len(fresh)
+        else:
+            fresh = self._execute(todo, cell_remaining,
+                                  done_offset=len(completed),
+                                  total=total)
         completed.update(fresh)
-        result.records = [completed[trial.key] for trial in trials]
+        if self.options.adaptive:
+            # Converged cells legitimately leave replicates unrun.
+            result.records = [completed[trial.key] for trial in trials
+                              if trial.key in completed]
+        else:
+            # Fixed plans must cover the grid — a missing record is a
+            # store/worker defect and must fail loudly (KeyError), not
+            # silently shrink the aggregate.
+            result.records = [completed[trial.key] for trial in trials]
         self.result = result
-        self._emit(CAMPAIGN_FINISHED, done=total, total=total)
+        self._emit(CAMPAIGN_FINISHED, done=len(result.records),
+                   total=total)
         return result
 
-    def _execute(self, todo, cell_remaining, done_offset, total):
-        """Run the outstanding trials; return {key: record}."""
-        records: Dict[str, dict] = {}
-        done = done_offset
+    def _make_collector(self, records, cell_remaining, done_offset,
+                        total, on_record=None):
+        """The shared per-record bookkeeping closure: store append,
+        progress counter, ``trial_finished``/``cell_finished`` events,
+        plus an optional hook (the adaptive scheduler's observer).
+
+        The hook runs *before* the ``cell_finished`` accounting and
+        its return value can veto that event: a cell whose final
+        pending replicate is also its converging observation (or a
+        straggler landing after convergence) must emit only
+        ``cell_converged`` — the two events are documented as
+        mutually exclusive per cell.
+        """
+        state = {"done": done_offset}
 
         def collect(record):
-            nonlocal done
             records[record["key"]] = record
             if self.store is not None:
                 self.store.append(record)
-            done += 1
+            state["done"] += 1
+            done = state["done"]
             trial_dict = record.get("trial")
             self._emit(TRIAL_FINISHED, done=done, total=total,
                        trial=trial_dict, record=record)
+            suppress_finished = False
+            if on_record is not None:
+                suppress_finished = bool(on_record(record, done))
             if isinstance(trial_dict, dict):
                 cell = _cell_of(trial_dict)
                 remaining = cell_remaining.get(cell)
                 if remaining is not None:
                     if remaining <= 1:
                         del cell_remaining[cell]
-                        self._emit(CELL_FINISHED, done=done, total=total,
-                                   cell=cell)
+                        if not suppress_finished:
+                            self._emit(CELL_FINISHED, done=done,
+                                       total=total, cell=cell)
                     else:
                         cell_remaining[cell] = remaining - 1
 
+        return collect, state
+
+    def _execute(self, todo, cell_remaining, done_offset, total):
+        """Run the outstanding trials; return {key: record}."""
+        records: Dict[str, dict] = {}
+        collect, state = self._make_collector(records, cell_remaining,
+                                              done_offset, total)
         workers = self.options.workers
         if workers == 1 or len(todo) <= 1:
             for trial in todo:
-                self._emit(TRIAL_STARTED, done=done, total=total,
-                           trial=trial.to_dict())
+                self._emit(TRIAL_STARTED, done=state["done"],
+                           total=total, trial=trial.to_dict())
                 collect(execute_trial_payload(
                     self.options.trial_payload(trial)))
             return records
@@ -400,8 +529,78 @@ class CampaignSession:
                 futures.append(pool.submit(
                     execute_trial_payload,
                     self.options.trial_payload(trial)))
-                self._emit(TRIAL_STARTED, done=done, total=total,
-                           trial=trial.to_dict())
+                self._emit(TRIAL_STARTED, done=state["done"],
+                           total=total, trial=trial.to_dict())
             for future in as_completed(futures):
                 collect(future.result())
+        return records
+
+    def _execute_adaptive(self, scheduler, cell_remaining, done_offset,
+                          total):
+        """Run trials the scheduler selects; return {key: record}.
+
+        The scheduler re-decides after every finished trial, so the
+        worker pool is fed one slot at a time instead of being flooded
+        up front — that is the whole point: a trial that would have
+        gone to an already-converged cell goes to the widest open
+        interval instead.
+        """
+        records: Dict[str, dict] = {}
+
+        def on_record(record, done):
+            converged = scheduler.record_finished(record)
+            if converged is not None:
+                self._emit(CELL_CONVERGED, done=done, total=total,
+                           cell=converged.cell)
+            # Veto cell_finished for any converged cell — whether this
+            # record converged it or it is a straggler completing the
+            # cell's last outstanding trial after convergence.
+            trial = record.get("trial")
+            if not isinstance(trial, dict):
+                return False
+            tracker = scheduler.trackers.get(_cell_of(trial))
+            return tracker is not None \
+                and tracker.closed == _CONVERGED
+
+        collect, state = self._make_collector(
+            records, cell_remaining, done_offset, total,
+            on_record=on_record)
+        for tracker in scheduler.pre_converged():
+            # Cells the resumed store already settled: surface the
+            # decision even though this run executes nothing for them.
+            self._emit(CELL_CONVERGED, done=state["done"], total=total,
+                       cell=tracker.cell)
+        workers = self.options.workers
+        if workers == 1:
+            while True:
+                trial = scheduler.next_trial()
+                if trial is None:
+                    break
+                self._emit(TRIAL_STARTED, done=state["done"],
+                           total=total, trial=trial.to_dict())
+                collect(execute_trial_payload(
+                    self.options.trial_payload(trial)))
+            return records
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+
+            def refill():
+                while len(futures) < workers:
+                    trial = scheduler.next_trial()
+                    if trial is None:
+                        return
+                    future = pool.submit(
+                        execute_trial_payload,
+                        self.options.trial_payload(trial))
+                    futures[future] = trial
+                    self._emit(TRIAL_STARTED, done=state["done"],
+                               total=total, trial=trial.to_dict())
+
+            refill()
+            while futures:
+                finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    futures.pop(future)
+                    collect(future.result())
+                refill()
         return records

@@ -1,0 +1,466 @@
+"""Multi-shard campaign orchestrator: one driver, N shard sessions.
+
+:meth:`CampaignSpec.shard` already partitions a campaign's trial
+keyspace deterministically; this module adds the driver that actually
+runs all partitions at once and survives the failures a multi-hour
+sweep will see:
+
+* **launch** — one worker per shard, either an in-process fork running
+  a :class:`~repro.campaign.api.CampaignSession` over
+  ``spec.shard(i, n)`` (``mode="process"``) or a ``repro-ft campaign
+  --shard i/N`` subprocess (``mode="cli"`` — the exact worker you
+  would start by hand on another host);
+* **monitor** — the driver polls every shard's result store and
+  re-emits each new record on the session event stream
+  (``trial_finished`` with merged ``done``/``total`` and the
+  originating ``shard``), so one listener observes the merged live
+  state of the whole fleet;
+* **restart** — a worker that dies (crash, OOM-kill, ``kill -9``) is
+  relaunched against its own store and *resumes*: every record the
+  dead worker flushed is kept, only its unfinished trials re-run.
+  A worker that keeps dying past ``max_restarts`` fails the campaign
+  with :class:`~repro.errors.OrchestratorError`;
+* **merge** — on completion the shard stores are stitched together
+  with :func:`~repro.campaign.store.merge_stores` into one merged
+  store, and the result carries the records in spec-expansion order —
+  byte-identical to a single-session run of the same spec.
+
+The shard stores under ``store_dir`` are the durable state: killing
+and re-running the *orchestrator itself* also resumes, because every
+launch decision is "store has records -> resume, else run".
+
+Adaptive sampling composes: an adaptive
+:class:`~repro.campaign.adaptive.SamplingPlan` on the options is
+applied by every shard session to its own slice of each cell (each
+shard must individually reach the half-width target on its local
+sample — a conservative split, since the merged interval is at least
+as tight as the widest per-shard one).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..errors import ConfigError, OrchestratorError
+from .api import (CAMPAIGN_FINISHED, TRIAL_FINISHED, CampaignEvent,
+                  CampaignListener, CampaignResult, CampaignSession,
+                  ExecutionOptions)
+from .adaptive import merged_adaptive_summary
+from .spec import CampaignSpec
+from .store import JSONLStore, merge_stores, open_store, shard_of_key
+
+# -- shard lifecycle event kinds (same listener protocol as sessions) ------
+
+SHARD_STARTED = "shard_started"
+SHARD_FINISHED = "shard_finished"
+SHARD_RESTARTED = "shard_restarted"
+
+#: Worker launch modes.
+PROCESS_MODE = "process"        # forked in-process CampaignSession
+CLI_MODE = "cli"                # repro-ft campaign --shard subprocess
+MODES = (PROCESS_MODE, CLI_MODE)
+
+_SHARD_STORE = "shard-%02d-of-%02d.jsonl"
+_SHARD_LOG = "shard-%02d.log"
+_SPEC_FILE = "orchestrate-spec.json"
+MERGED_STORE = "merged.jsonl"
+
+
+def shard_store_path(store_dir: str, index: int, total: int) -> str:
+    """The canonical store file of shard ``index`` under ``store_dir``."""
+    return os.path.join(store_dir, _SHARD_STORE % (index, total))
+
+
+def _run_shard(spec_data, index, total, options_data, store_path):
+    """Process-mode worker entry point (module-level: picklable).
+
+    Resumes when the shard store already holds records — the restart
+    path and the fresh-launch path are the same function.
+    """
+    spec = CampaignSpec.from_dict(spec_data)
+    options = ExecutionOptions.from_dict(options_data)
+    store = JSONLStore(store_path)
+    session = CampaignSession(spec.shard(index, total), options=options,
+                              store=store)
+    if store.exists and store.completed_keys():
+        session.resume()
+    else:
+        session.run()
+
+
+@dataclass
+class ShardWorker:
+    """Driver-side handle for one shard's worker process."""
+
+    index: int
+    total: int
+    store: JSONLStore
+    #: Full shard keyspace (what "complete" means for a fixed plan).
+    expected_keys: frozenset
+    restarts: int = 0
+    seen: Set[str] = field(default_factory=set)
+    process: object = None          # multiprocessing.Process or Popen
+    finished: bool = False
+    log_path: str = ""
+    #: How far into the (append-only) shard store the driver has read.
+    read_offset: int = 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def alive(self) -> bool:
+        if self.process is None:
+            return False
+        if isinstance(self.process, subprocess.Popen):
+            return self.process.poll() is None
+        return self.process.is_alive()
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        if self.process is None:
+            return None
+        if isinstance(self.process, subprocess.Popen):
+            return self.process.poll()
+        return self.process.exitcode
+
+    def reap(self):
+        """Join/terminate bookkeeping after the process ended."""
+        if isinstance(self.process, subprocess.Popen):
+            self.process.wait()
+        else:
+            self.process.join()
+
+    def terminate(self):
+        if self.process is None or not self.alive:
+            return
+        self.process.terminate()
+        self.reap()
+
+
+class CampaignOrchestrator:
+    """Drive one campaign spec across N shard workers to a merged result.
+
+    ``store_dir`` receives one JSONL store per shard (plus the worker
+    logs and spec file in ``cli`` mode); ``merged_store`` — any
+    :func:`~repro.campaign.store.open_store` URL or backend — receives
+    the merged record set on completion (default:
+    ``store_dir/merged.jsonl``).  The merge appends and compacts, so
+    records already in the merged store survive unless a fresh shard
+    record supersedes their key — handing in a store that holds other
+    results is safe; the shard stores remain the durable campaign
+    state.
+
+    Listeners receive the same :class:`~repro.campaign.api.
+    CampaignEvent` protocol a session emits, with ``event.shard`` set:
+    ``shard_started`` / ``shard_restarted`` / ``shard_finished`` for
+    worker lifecycle, ``trial_finished`` per record as it appears in
+    any shard store, and one final ``campaign_finished``.
+    """
+
+    def __init__(self, spec, shards: int, store_dir: str,
+                 options: Optional[ExecutionOptions] = None,
+                 mode: str = PROCESS_MODE, poll_interval: float = 0.2,
+                 max_restarts: int = 2, merged_store=None,
+                 listeners=()):
+        if not isinstance(spec, CampaignSpec):
+            raise ConfigError(
+                "orchestrate needs a full CampaignSpec (got %s); the "
+                "orchestrator does its own sharding"
+                % type(spec).__name__)
+        if not isinstance(shards, int) or isinstance(shards, bool) \
+                or shards < 1:
+            raise ConfigError("shards must be an integer >= 1, got %r"
+                              % (shards,))
+        if mode not in MODES:
+            raise ConfigError("unknown orchestrator mode %r (choose "
+                              "from %s)" % (mode, "/".join(MODES)))
+        if poll_interval <= 0:
+            raise ConfigError("poll_interval must be > 0")
+        if not isinstance(max_restarts, int) \
+                or isinstance(max_restarts, bool) or max_restarts < 0:
+            raise ConfigError("max_restarts must be an integer >= 0")
+        self.options = options if options is not None \
+            else ExecutionOptions()
+        if mode == CLI_MODE:
+            defaults = ExecutionOptions()
+            for name in ("simulator", "golden_cache", "reuse_faultfree"):
+                if getattr(self.options, name) \
+                        != getattr(defaults, name):
+                    raise ConfigError(
+                        "mode='cli' shard workers run the default "
+                        "execution path; %s is not forwardable over "
+                        "the repro-ft command line" % name)
+        # Stamp max_cycles onto the spec up front so both worker modes
+        # (and the spec file) agree on trial identity.
+        self.spec = CampaignSession._stamp_max_cycles(
+            spec, self.options.max_cycles)
+        self.shards = shards
+        self.store_dir = store_dir
+        self.mode = mode
+        self.poll_interval = poll_interval
+        self.max_restarts = max_restarts
+        self.merged_store = open_store(merged_store) \
+            if merged_store is not None else None
+        if self.merged_store is None:
+            self.merged_store = JSONLStore(
+                os.path.join(store_dir, MERGED_STORE))
+        self._listeners: List[CampaignListener] = list(listeners)
+        self.workers: List[ShardWorker] = []
+        self.result: Optional[CampaignResult] = None
+        self._total = 0
+
+    # -- event stream ------------------------------------------------------
+
+    def subscribe(self, listener: CampaignListener) -> CampaignListener:
+        self._listeners.append(listener)
+        return listener
+
+    def _emit(self, kind, shard=None, record=None, trial=None):
+        if not self._listeners:
+            return
+        event = CampaignEvent(kind=kind, done=self._done(),
+                              total=self._total, trial=trial,
+                              record=record, shard=shard)
+        for listener in self._listeners:
+            listener(event)
+
+    def _done(self) -> int:
+        return sum(len(worker.seen) for worker in self.workers)
+
+    # -- worker management -------------------------------------------------
+
+    def _make_workers(self):
+        # One grid expansion, bucketed with the same partition
+        # function spec.shard uses — expanding the full grid once per
+        # shard would hash every trial key N+1 times at startup.  The
+        # list is kept for the merge ordering at the end of run().
+        trials = self._trials = list(self.spec.trials())
+        self._total = len(trials)
+        shard_keys: Dict[int, set] = {i: set()
+                                      for i in range(self.shards)}
+        for trial in trials:
+            shard_keys[shard_of_key(trial.key, self.shards)].add(
+                trial.key)
+        self.workers = [
+            ShardWorker(
+                index=index, total=self.shards,
+                store=JSONLStore(shard_store_path(self.store_dir,
+                                                  index, self.shards)),
+                expected_keys=frozenset(shard_keys[index]),
+                log_path=os.path.join(self.store_dir,
+                                      _SHARD_LOG % index))
+            for index in range(self.shards)]
+
+    def _launch(self, worker: ShardWorker):
+        if self.mode == PROCESS_MODE:
+            context = multiprocessing.get_context()
+            worker.process = context.Process(
+                target=_run_shard,
+                args=(self.spec.to_dict(), worker.index, self.shards,
+                      self.options.to_dict(), worker.store.path))
+            worker.process.start()
+            return
+        command = [sys.executable, "-m", "repro.harness.cli",
+                   "campaign", "--spec", self._spec_file,
+                   "--shard", "%d/%d" % (worker.index, self.shards),
+                   "--store", worker.store.path, "--quiet"]
+        if self.options.workers > 1:
+            command += ["--workers", str(self.options.workers)]
+        plan = self.options.sampling
+        if plan is not None and plan.is_adaptive:
+            command += ["--adaptive", repr(plan.target_halfwidth),
+                        "--adaptive-metric", plan.metric,
+                        "--adaptive-min", str(plan.min_replicates)]
+            if plan.max_replicates is not None:
+                command += ["--adaptive-max",
+                            str(plan.max_replicates)]
+        if worker.store.exists and worker.store.completed_keys():
+            command.append("--resume")
+        env = dict(os.environ)
+        package_root = os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.dirname(package_root)]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        log = open(worker.log_path, "a")
+        try:
+            worker.process = subprocess.Popen(
+                command, stdout=log, stderr=subprocess.STDOUT, env=env)
+        finally:
+            log.close()
+
+    def _poll_store(self, worker: ShardWorker):
+        """Surface records appended to one shard store since last poll.
+
+        Shard stores are append-only JSONL, so the driver reads only
+        the tail past its per-worker byte offset — a full re-parse per
+        tick would make monitoring quadratic in campaign size.  Only
+        newline-terminated lines are consumed (the tail may be
+        mid-write; it is left for the next poll), and a terminated
+        line that fails to parse is torn-tail garbage a killed worker
+        left behind — skipped for good, exactly like
+        :meth:`~repro.campaign.store.JSONLStore.load` skips it.
+
+        Read errors are tolerated: a store that cannot be read right
+        now (transient NFS hiccup, or a genuinely broken path) yields
+        no new records this poll — a broken path also kills the worker
+        itself, whose restart budget then reports the shard properly.
+        """
+        try:
+            size = os.path.getsize(worker.store.path)
+            if size < worker.read_offset:
+                # The worker truncated and recreated the store (fresh
+                # run over a file that held no intact records).
+                worker.read_offset = 0
+            if size <= worker.read_offset:
+                return
+            with open(worker.store.path, "rb") as handle:
+                handle.seek(worker.read_offset)
+                chunk = handle.read()
+        except OSError:
+            return
+        cut = chunk.rfind(b"\n")
+        if cut < 0:
+            return
+        worker.read_offset += cut + 1
+        for line in chunk[:cut + 1].splitlines():
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            key = record.get("key")
+            if key is None or key in worker.seen:
+                continue
+            worker.seen.add(key)
+            self._emit(TRIAL_FINISHED, shard=worker.index,
+                       record=record, trial=record.get("trial"))
+
+    def _shard_complete(self, worker: ShardWorker) -> bool:
+        """Whether a clean exit may be trusted as 'shard done'.
+
+        Fixed plans must cover the whole shard keyspace; adaptive
+        plans legitimately skip converged cells' replicates, so the
+        worker's exit status is the only authority.
+        """
+        if self.options.adaptive:
+            return True
+        return worker.expected_keys <= worker.seen
+
+    def _handle_exit(self, worker: ShardWorker):
+        exitcode = worker.exitcode
+        worker.reap()
+        self._poll_store(worker)     # drain before judging
+        if exitcode == 0 and self._shard_complete(worker):
+            worker.finished = True
+            self._emit(SHARD_FINISHED, shard=worker.index)
+            return
+        if worker.restarts >= self.max_restarts:
+            raise OrchestratorError(
+                "shard %d/%d died with exit code %s after %d "
+                "restart%s (store: %s%s); its completed records are "
+                "preserved — fix the cause and re-run to resume"
+                % (worker.index, self.shards, exitcode, worker.restarts,
+                   "" if worker.restarts == 1 else "s",
+                   worker.store.path,
+                   ", log: %s" % worker.log_path
+                   if self.mode == CLI_MODE else ""))
+        worker.restarts += 1
+        self._launch(worker)
+        self._emit(SHARD_RESTARTED, shard=worker.index)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Drive every shard to completion and merge the result."""
+        os.makedirs(self.store_dir, exist_ok=True)
+        self._make_workers()
+        if self.mode == CLI_MODE:
+            self._spec_file = os.path.join(self.store_dir, _SPEC_FILE)
+            with open(self._spec_file, "w") as handle:
+                json.dump(self.spec.to_dict(), handle, indent=2,
+                          sort_keys=True)
+        resumed_keys = set()
+        for worker in self.workers:
+            self._poll_store(worker)       # records of a previous run
+            resumed_keys.update(worker.seen)
+        skipped = len(resumed_keys)
+        try:
+            for worker in self.workers:
+                if not self.options.adaptive \
+                        and self._shard_complete(worker):
+                    # A prior run already covered this shard's whole
+                    # keyspace: nothing to launch (adaptive shards
+                    # must still run — only the worker knows whether
+                    # its open cells have converged).
+                    worker.finished = True
+                    self._emit(SHARD_FINISHED, shard=worker.index)
+                    continue
+                self._launch(worker)
+                self._emit(SHARD_STARTED, shard=worker.index)
+            while True:
+                for worker in self.workers:
+                    if worker.finished:
+                        continue
+                    self._poll_store(worker)
+                    if not worker.alive:
+                        self._handle_exit(worker)
+                if all(worker.finished for worker in self.workers):
+                    break
+                time.sleep(self.poll_interval)
+        finally:
+            for worker in self.workers:
+                worker.terminate()
+        for worker in self.workers:
+            self._poll_store(worker)       # final drain
+        # Merge APPENDS to the merged store (fresh shard records win
+        # over anything already there, per merge_stores' documented
+        # last-write-wins) and compaction collapses the duplicates —
+        # a pre-existing store a user handed in is never wiped, which
+        # run() on a session would have refused to do too.
+        merge_stores([worker.store for worker in self.workers],
+                     self.merged_store)
+        self.merged_store.compact()
+        by_key = {record["key"]: record
+                  for record in self.merged_store.load()}
+        trials = self._trials
+        if self.options.adaptive:
+            records = [by_key[trial.key] for trial in trials
+                       if trial.key in by_key]
+        else:
+            # Fixed plans must cover the grid; a gap in the merged
+            # store is a defect, not a convergence decision.
+            missing = [trial.key for trial in trials
+                       if trial.key not in by_key]
+            if missing:
+                raise OrchestratorError(
+                    "merged store %s is missing %d of %d trial "
+                    "records (first: %s) — shard stores and merge "
+                    "disagree" % (self.merged_store.path,
+                                  len(missing), len(trials),
+                                  missing[0]))
+            records = [by_key[trial.key] for trial in trials]
+        self.result = CampaignResult(
+            spec=self.spec, records=records,
+            executed=self._done() - skipped, skipped=skipped)
+        if self.options.adaptive:
+            self.result.adaptive = merged_adaptive_summary(
+                self.options.sampling, trials,
+                {record["key"]: record for record in records},
+                resumed_keys=resumed_keys)
+        self._emit(CAMPAIGN_FINISHED)
+        return self.result
+
+    @property
+    def total_restarts(self) -> int:
+        return sum(worker.restarts for worker in self.workers)

@@ -403,10 +403,21 @@ def open_store(path: Optional[str]):
 def merge_stores(sources: Iterable[StoreBackend], dest: StoreBackend):
     """Merge records from ``sources`` into ``dest``; returns the count.
 
-    Duplicate keys collapse last-write-wins across the source order
-    (the same rule resume applies within one store), so merging the
-    per-shard stores of a ``spec.shard(i, n)`` campaign rebuilds
-    exactly the record set of the single-host run.
+    Duplicate keys collapse last-write-wins (the same rule resume
+    applies within one store), so merging the per-shard stores of a
+    ``spec.shard(i, n)`` campaign rebuilds exactly the record set of
+    the single-host run.
+
+    Tie-break, precisely: sources are read in the order given, each
+    source in its own :meth:`StoreBackend.load` order (write order),
+    and the *last* record seen for a key wins — so a key duplicated
+    across two sources resolves to the later source in the argument
+    list, and a key duplicated within one source resolves to its
+    newest write.  Trial keys are content hashes of the whole trial,
+    so two honest writers can only ever disagree on a key through
+    nondeterministic environment differences; last-write-wins simply
+    keeps the freshest observation, mirroring what ``resume`` would
+    have kept.
     """
     merged = {}
     for source in sources:

@@ -25,3 +25,8 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """Raised when a machine configuration is invalid."""
+
+
+class OrchestratorError(ReproError):
+    """Raised when a multi-shard campaign cannot be driven to
+    completion (a shard worker keeps dying past its restart budget)."""

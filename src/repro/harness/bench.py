@@ -220,13 +220,15 @@ def _load_history(out):
     return history[-MAX_HISTORY:]
 
 
-def run_bench(quick=False, out=DEFAULT_OUT, workers=1):
+def run_bench(quick=False, out=DEFAULT_OUT, workers=1, note=""):
     """Run both benches; write ``out`` (unless empty); return the dict.
 
     ``out`` is an append-per-PR history: the new measurement becomes
     the file's top level (schema-compatible with the v1 single-entry
     file and the CI divergence check), and every earlier entry is
-    preserved, oldest first, under ``history``.
+    preserved, oldest first, under ``history``.  ``note`` is a
+    free-form label recorded with the entry (what this measurement
+    demonstrates — e.g. which PR's overhead claim it pins).
     """
     if quick:
         engine = bench_engine(workloads=("gcc", "fpppp"),
@@ -245,6 +247,8 @@ def run_bench(quick=False, out=DEFAULT_OUT, workers=1):
         "engine": engine,
         "campaign": campaign,
     }
+    if note:
+        payload["note"] = note
     if out:
         history = _load_history(out) if os.path.exists(out) else []
         written = dict(payload)

@@ -22,6 +22,12 @@ Examples::
     repro-ft campaign --store results.jsonl --compact
     repro-ft campaign --sites all --replicates 16      # per-structure
     repro-ft campaign --sites rob_entry,pc --strikes 2 # sensitivity
+    repro-ft campaign --adaptive 0.05 --adaptive-metric coverage \\
+        --replicates 64 ...                 # stop converged cells early
+    repro-ft orchestrate --shards 4 --store-dir results/ \\
+        --workloads gcc,go --replicates 32  # multi-shard driver
+    repro-ft orchestrate --shards 2 --store-dir results/ \\
+        --adaptive 0.1 --adaptive-metric sdc_rate ...
     repro-ft faults --list
     repro-ft bench --quick
     repro-ft bench --out BENCH_simulator.json
@@ -40,11 +46,12 @@ from ..models.presets import baseline_config
 from ..workloads.mix import format_mix_table
 from ..workloads.profiles import BENCHMARK_ORDER
 from . import experiment
-from .report import (ascii_chart, format_campaign_summary,
-                     format_campaign_table, format_faults_listing,
-                     format_figure5_table, format_figure6_table,
-                     format_machine_table, format_sensitivity_table,
-                     format_structure_table)
+from .report import (ascii_chart, format_adaptive_summary,
+                     format_campaign_summary, format_campaign_table,
+                     format_faults_listing, format_figure5_table,
+                     format_figure6_table, format_machine_table,
+                     format_orchestrate_summary,
+                     format_sensitivity_table, format_structure_table)
 
 
 def _add_common(parser):
@@ -221,6 +228,17 @@ def _parse_shard(text):
                          % text)
 
 
+def _sampling_plan_from_args(args):
+    """The ``--adaptive*`` flags as a SamplingPlan (None when absent)."""
+    if args.adaptive is None:
+        return None
+    from ..campaign import SamplingPlan
+    return SamplingPlan.wilson(args.adaptive,
+                               metric=args.adaptive_metric,
+                               min_replicates=args.adaptive_min,
+                               max_replicates=args.adaptive_max)
+
+
 def _campaign_spec_from_args(args):
     from ..campaign import CampaignSpec
     from ..core.faults import get_kind_mix
@@ -270,10 +288,44 @@ def _campaign_spec_from_args(args):
             instructions=args.instructions,
             warmup=args.warmup,
             base_seed=args.seed)
-    if args.shard:
+    # orchestrate has no --shard flag: the driver shards by itself.
+    if getattr(args, "shard", ""):
         index, total = _parse_shard(args.shard)
         spec = spec.shard(index, total)
     return spec
+
+
+def _render_campaign_output(cells, structures=None, adaptive=None,
+                            as_json=False, header_lines=()):
+    """The shared output tail of ``campaign`` and ``orchestrate``:
+    one JSON payload ({cells[, structures][, adaptive]}, or the plain
+    cells array when neither extra block applies — byte-compatible
+    with pre-adaptive output) or the summary/table sequence."""
+    from ..campaign import cells_to_json
+    if as_json:
+        if structures is not None or adaptive is not None:
+            import json as _json
+            payload = {"cells": [cell.as_dict() for cell in cells]}
+            if structures is not None:
+                payload["structures"] = [row.as_dict()
+                                         for row in structures]
+            if adaptive is not None:
+                payload["adaptive"] = adaptive.as_dict()
+            print(_json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(cells_to_json(cells))
+        return
+    for line in header_lines:
+        print(line)
+    print()
+    print(format_campaign_table(cells))
+    if structures is not None:
+        print()
+        print("Per-structure fault sensitivity (struck trials)")
+        print(format_structure_table(structures))
+    if adaptive is not None:
+        print()
+        print(format_adaptive_summary(adaptive))
 
 
 def _cmd_campaign_compact(store):
@@ -285,7 +337,7 @@ def _cmd_campaign_compact(store):
 
 def _cmd_campaign(args):
     from ..campaign import (TRIAL_FINISHED, CampaignSession,
-                            ExecutionOptions, cells_to_json, open_store)
+                            ExecutionOptions, open_store)
     from ..errors import ConfigError
     store_path = args.store or args.out
     if args.resume and not store_path:
@@ -302,7 +354,9 @@ def _cmd_campaign(args):
         return
     try:
         spec = _campaign_spec_from_args(args)
-        options = ExecutionOptions(workers=args.workers)
+        options = ExecutionOptions(
+            workers=args.workers,
+            sampling=_sampling_plan_from_args(args))
         session = CampaignSession(spec, options=options, store=store)
     except (ConfigError, ValueError, TypeError, OSError) as exc:
         raise SystemExit("repro-ft campaign: %s" % exc)
@@ -326,27 +380,77 @@ def _cmd_campaign(args):
     elapsed = time.monotonic() - start
     cells = session.aggregate()
     with_sites = bool(getattr(session.spec, "fault_sites", None))
-    if args.json:
-        if with_sites:
-            import json as _json
-            print(_json.dumps(
-                {"cells": [cell.as_dict() for cell in cells],
-                 "structures": [row.as_dict() for row in
-                                session.aggregate_structures()]},
-                indent=2, sort_keys=True))
-        else:
-            print(cells_to_json(cells))
-        return
-    print(format_campaign_summary(result, elapsed=elapsed))
+    header = [format_campaign_summary(result, elapsed=elapsed)]
     if store is not None:
-        print("store: %s (%d records)" % (store.path,
-                                          len(result.records)))
-    print()
-    print(format_campaign_table(cells))
-    if with_sites:
-        print()
-        print("Per-structure fault sensitivity (struck trials)")
-        print(format_structure_table(session.aggregate_structures()))
+        header.append("store: %s (%d records)"
+                      % (store.path, len(result.records)))
+    _render_campaign_output(
+        cells,
+        structures=session.aggregate_structures() if with_sites
+        else None,
+        adaptive=result.adaptive, as_json=args.json,
+        header_lines=header)
+
+
+def _cmd_orchestrate(args):
+    from ..campaign import (TRIAL_FINISHED, CampaignOrchestrator,
+                            ExecutionOptions, aggregate,
+                            aggregate_structures)
+    from ..campaign.orchestrator import (SHARD_FINISHED,
+                                         SHARD_RESTARTED,
+                                         SHARD_STARTED)
+    from ..errors import ConfigError, OrchestratorError
+    try:
+        spec = _campaign_spec_from_args(args)
+        options = ExecutionOptions(
+            workers=args.workers,
+            sampling=_sampling_plan_from_args(args))
+        orchestrator = CampaignOrchestrator(
+            spec, shards=args.shards, store_dir=args.store_dir,
+            options=options, mode=args.mode,
+            poll_interval=args.poll_interval,
+            max_restarts=args.max_restarts)
+    except (ConfigError, ValueError, TypeError, OSError) as exc:
+        raise SystemExit("repro-ft orchestrate: %s" % exc)
+    except KeyError as exc:
+        raise SystemExit("repro-ft orchestrate: %s" % exc.args[0])
+    if not args.quiet:
+        @orchestrator.subscribe
+        def progress(event):
+            if event.kind == TRIAL_FINISHED:
+                print("  [%d/%d] %s %s (shard %d)"
+                      % (event.done, event.total, event.record["key"],
+                         event.record["outcome"], event.shard),
+                      file=sys.stderr)
+            elif event.kind == SHARD_STARTED:
+                print("shard %d/%d started" % (event.shard,
+                                               args.shards),
+                      file=sys.stderr)
+            elif event.kind == SHARD_RESTARTED:
+                print("shard %d restarted from its store"
+                      % event.shard, file=sys.stderr)
+            elif event.kind == SHARD_FINISHED:
+                print("shard %d finished" % event.shard,
+                      file=sys.stderr)
+    start = time.monotonic()
+    try:
+        result = orchestrator.run()
+    except (ConfigError, OrchestratorError, OSError) as exc:
+        # OSError: unwritable --store-dir and friends deserve the
+        # same one-line exit as every other operator mistake.
+        raise SystemExit("repro-ft orchestrate: %s" % exc)
+    elapsed = time.monotonic() - start
+    cells = aggregate(result.records)
+    with_sites = bool(getattr(spec, "fault_sites", None))
+    _render_campaign_output(
+        cells,
+        structures=aggregate_structures(result.records) if with_sites
+        else None,
+        adaptive=result.adaptive, as_json=args.json,
+        header_lines=[
+            format_campaign_summary(result),
+            format_orchestrate_summary(orchestrator,
+                                       elapsed=elapsed)])
 
 
 def _cmd_faults(args):
@@ -367,7 +471,7 @@ def _cmd_bench(args):
     from .bench import BenchDivergence, format_bench_summary, run_bench
     try:
         payload = run_bench(quick=args.quick, out=args.out,
-                            workers=args.workers)
+                            workers=args.workers, note=args.note)
     except BenchDivergence as exc:
         raise SystemExit("repro-ft bench: DIVERGENCE: %s" % exc)
     if args.json:
@@ -390,6 +494,7 @@ _COMMANDS = {
     "coverage": _cmd_coverage,
     "demo": _cmd_demo,
     "campaign": _cmd_campaign,
+    "orchestrate": _cmd_orchestrate,
     "faults": _cmd_faults,
     "bench": _cmd_bench,
 }
@@ -402,11 +507,15 @@ def _add_bench_args(sub):
                      help="result JSON path ('' disables the file)")
     sub.add_argument("--workers", type=int, default=1,
                      help="campaign process-pool width for both paths")
+    sub.add_argument("--note", default="",
+                     help="free-form label recorded with the entry")
     sub.add_argument("--json", action="store_true",
                      help="print the full payload as JSON")
 
 
-def _add_campaign_args(sub):
+def _add_grid_args(sub):
+    """The campaign-grid flags shared by ``campaign`` and
+    ``orchestrate`` (both feed :func:`_campaign_spec_from_args`)."""
     sub.set_defaults(instructions=2_000)   # campaigns trade depth for n
     sub.add_argument("--name", default="campaign",
                      help="campaign name (part of every trial key)")
@@ -431,16 +540,6 @@ def _add_campaign_args(sub):
                      help="warmup instructions before the window")
     sub.add_argument("--seed", type=int, default=2001,
                      help="campaign base seed (folded into trial keys)")
-    sub.add_argument("--workers", type=int, default=1,
-                     help="process-pool width (1 = in-process serial)")
-    sub.add_argument("--store", default="",
-                     help="result store URL: PATH.jsonl, sqlite:FILE "
-                          "or shard:[N:]DIR (enables --resume)")
-    sub.add_argument("--out", default="",
-                     help="legacy alias for --store")
-    sub.add_argument("--shard", default="",
-                     help="run only partition I/N of the trial "
-                          "keyspace (e.g. --shard 0/4)")
     sub.add_argument("--override", action="append", default=[],
                      metavar="[NAME:]KEY=VALUE[,KEY=VALUE...]",
                      help="add a machine_overrides grid cell deriving "
@@ -453,16 +552,73 @@ def _add_campaign_args(sub):
                           "rate 0 unless --rates is set explicitly")
     sub.add_argument("--strikes", type=int, default=1,
                      help="uniform strikes per trial for --sites cells")
-    sub.add_argument("--compact", action="store_true",
-                     help="compact --store (drop torn tails and stale "
-                          "duplicate keys) and exit")
-    sub.add_argument("--resume", action="store_true",
-                     help="skip trials already completed in --store")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="process-pool width per session "
+                          "(1 = in-process serial)")
     sub.add_argument("--json", action="store_true",
                      help="print the aggregate as JSON instead of a "
                           "table")
     sub.add_argument("--quiet", action="store_true",
                      help="suppress per-trial progress lines")
+
+
+def _add_adaptive_args(sub):
+    """The adaptive-sampling flags (campaign and orchestrate)."""
+    sub.add_argument("--adaptive", type=float, default=None,
+                     metavar="HALFWIDTH",
+                     help="adaptive sampling: stop each grid cell once "
+                          "its Wilson 95%% interval half-width reaches "
+                          "this target, spending the freed replicates "
+                          "on the widest open cells")
+    sub.add_argument("--adaptive-metric", default="coverage",
+                     choices=("coverage", "sdc_rate"),
+                     help="the proportion the half-width target "
+                          "applies to (default: coverage)")
+    sub.add_argument("--adaptive-min", type=int, default=4,
+                     metavar="N",
+                     help="observations before a cell may converge")
+    sub.add_argument("--adaptive-max", type=int, default=None,
+                     metavar="N",
+                     help="hard per-cell budget below the spec's "
+                          "replicate count (records then diverge from "
+                          "the fixed plan)")
+
+
+def _add_campaign_args(sub):
+    _add_grid_args(sub)
+    _add_adaptive_args(sub)
+    sub.add_argument("--store", default="",
+                     help="result store URL: PATH.jsonl, sqlite:FILE "
+                          "or shard:[N:]DIR (enables --resume)")
+    sub.add_argument("--out", default="",
+                     help="legacy alias for --store")
+    sub.add_argument("--shard", default="",
+                     help="run only partition I/N of the trial "
+                          "keyspace (e.g. --shard 0/4)")
+    sub.add_argument("--compact", action="store_true",
+                     help="compact --store (drop torn tails and stale "
+                          "duplicate keys) and exit")
+    sub.add_argument("--resume", action="store_true",
+                     help="skip trials already completed in --store")
+
+
+def _add_orchestrate_args(sub):
+    _add_grid_args(sub)
+    _add_adaptive_args(sub)
+    sub.add_argument("--shards", type=int, required=True,
+                     help="number of shard workers to launch")
+    sub.add_argument("--store-dir", required=True,
+                     help="directory for the per-shard stores and the "
+                          "merged result (the durable campaign state)")
+    sub.add_argument("--mode", default="process",
+                     choices=("process", "cli"),
+                     help="worker launch mode: forked in-process "
+                          "sessions or repro-ft subprocesses")
+    sub.add_argument("--poll-interval", type=float, default=0.2,
+                     help="seconds between shard-store polls")
+    sub.add_argument("--max-restarts", type=int, default=2,
+                     help="restarts allowed per shard before the "
+                          "campaign fails")
 
 
 def build_parser():
@@ -482,6 +638,8 @@ def build_parser():
             sub.add_argument("--benchmark", default="fpppp")
         if name == "campaign":
             _add_campaign_args(sub)
+        if name == "orchestrate":
+            _add_orchestrate_args(sub)
         if name == "faults":
             sub.add_argument("--list", action="store_true",
                              help="list structures, kind-mix presets "

@@ -289,6 +289,30 @@ def sensitivity_campaign_spec(benchmarks=("gcc",), model="SS-2",
         instructions=instructions)
 
 
+def adaptive_demo_spec(benchmarks=("gcc",), models=("SS-1", "SS-2"),
+                       rates=(0.0, 20_000.0), replicates=24,
+                       instructions=250, name="adaptive-demo"):
+    """A deliberately high-contrast grid for adaptive sampling.
+
+    Rate-0 cells never produce an SDC and the 20k-faults/M cells sit
+    near a proportion extreme on both machines (SS-1 mostly silent
+    corruptions, SS-2 mostly detected+recovered), so under
+    ``SamplingPlan.wilson(..., metric="sdc_rate")`` every cell's
+    interval collapses long before the replicate budget runs out —
+    the spec the adaptive tests and the CI smoke use to show the
+    scheduler stopping cells early.  Returns the spec; attach the plan
+    through :class:`~repro.campaign.api.ExecutionOptions`.
+    """
+    from ..campaign.spec import CampaignSpec
+    return CampaignSpec(
+        name=name,
+        workloads=tuple(benchmarks),
+        models=tuple(models),
+        rates_per_million=tuple(rates),
+        replicates=replicates,
+        instructions=instructions)
+
+
 def structure_sweep_cells(structures, strikes=1):
     """One ``fault_sites`` sweep cell per structure.
 

@@ -194,6 +194,75 @@ def format_campaign_summary(result, elapsed=None):
     return "\n".join(lines)
 
 
+def format_adaptive_summary(summary):
+    """What the adaptive sampler did: per-cell sample sizes, skipped
+    replicates and final half-widths, plus the plan and the totals.
+
+    ``summary`` is a :class:`repro.campaign.adaptive.AdaptiveSummary`
+    (or its ``as_dict()``).
+    """
+    data = summary if isinstance(summary, dict) else summary.as_dict()
+    plan = data["plan"]
+    lines = [
+        "adaptive sampling: wilson(target halfwidth %.4g, metric %s, "
+        "min %d%s)"
+        % (plan["target_halfwidth"], plan["metric"],
+           plan["min_replicates"],
+           ", max %d" % plan["max_replicates"]
+           if plan.get("max_replicates") is not None else ""),
+        "converged %d of %d cells early; executed %d trials, "
+        "skipped %d pre-keyed replicates"
+        % (data["converged_cells"], len(data["cells"]),
+           data["total_executed"], data["total_skipped"]),
+    ]
+    with_machine = any(cell.get("machine") for cell in data["cells"])
+    machine_header = "%-10s " % "machine" if with_machine else ""
+    with_sites = any(cell.get("sites") for cell in data["cells"])
+    sites_header = "%-16s " % "sites" if with_sites else ""
+    header = ("%-8s %-8s %s%s%9s %-13s %4s %5s %5s %10s %s"
+              % ("bench", "model", machine_header, sites_header,
+                 "flt/M", "mix", "n", "run", "skip", "halfwidth",
+                 "closed"))
+    lines += ["", header, "-" * len(header)]
+    for cell in data["cells"]:
+        machine = ("%-10s " % (cell.get("machine") or "-")
+                   if with_machine else "")
+        sites = ("%-16s " % (cell.get("sites") or "-")
+                 if with_sites else "")
+        lines.append(
+            "%-8s %-8s %s%s%9.0f %-13s %4d %5d %5d %10.4f %s"
+            % (cell["workload"], cell["model"], machine, sites,
+               cell["rate_per_million"], cell["mix"], cell["n"],
+               cell["executed"], cell["skipped"], cell["halfwidth"],
+               cell["closed"]))
+    return "\n".join(lines)
+
+
+def format_orchestrate_summary(orchestrator, elapsed=None):
+    """One-paragraph header for a finished multi-shard campaign."""
+    workers = orchestrator.workers
+    result = orchestrator.result
+    lines = [
+        "orchestrated %d shard%s (%s mode): %d records merged into %s"
+        % (len(workers), "" if len(workers) == 1 else "s",
+           orchestrator.mode, len(result.records),
+           orchestrator.merged_store.path),
+        "shard stores: " + ", ".join(
+            "%d: %d record%s%s"
+            % (worker.index, len(worker.seen),
+               "" if len(worker.seen) == 1 else "s",
+               " (%d restart%s)" % (worker.restarts,
+                                    "" if worker.restarts == 1 else "s")
+               if worker.restarts else "")
+            for worker in workers),
+    ]
+    if elapsed is not None:
+        lines.append("wall clock: %.2f s (%.1f trials/s)"
+                     % (elapsed, result.executed / elapsed
+                        if elapsed > 0 else 0.0))
+    return "\n".join(lines)
+
+
 def format_machine_table(config):
     """Table-1 style machine-parameter listing from a MachineConfig."""
     hierarchy = config.hierarchy

@@ -252,3 +252,31 @@ class TestMergeStores:
         dest.append(record("zzzz"))
         merge_stores([source], dest)
         assert dest.completed_keys() == {"aaaa", "zzzz"}
+
+    def test_concurrent_writers_same_key_last_write_wins(self,
+                                                         tmp_path):
+        """Two shard stores both hold the same trial key with
+        different payloads (the concurrent-writer case: a shard
+        restarted on another host, or an operator re-running a shard
+        by hand).  The documented tie-break: sources are read in
+        argument order, newest-seen record per key wins — so the
+        later *source* beats the earlier one, and within one source a
+        re-appended record beats its own stale predecessor.
+        """
+        first = make_store("jsonl", tmp_path, "shard0")
+        second = make_store("jsonl", tmp_path, "shard1")
+        first.append(record("f00d", outcome="sdc", ipc=0.25))
+        first.append(record("f00d", outcome="masked", ipc=0.5))
+        second.append(record("f00d", outcome="detected_recovered",
+                             ipc=0.75))
+        dest = make_store("jsonl", tmp_path, "winner")
+        assert merge_stores([first, second], dest) == 1
+        (merged,) = dest.load()
+        assert merged["outcome"] == "detected_recovered"
+        assert merged["ipc"] == 0.75
+        # Flip the source order: the other writer's newest now wins.
+        dest_flipped = make_store("jsonl", tmp_path, "flipped")
+        assert merge_stores([second, first], dest_flipped) == 1
+        (merged,) = dest_flipped.load()
+        assert merged["outcome"] == "masked"
+        assert merged["ipc"] == 0.5

@@ -20,6 +20,12 @@ SMOKE_ARGS = {
     "campaign": ["--workloads", "gcc", "--models", "SS-2",
                  "--rates", "0,3000", "--replicates", "2",
                  "--instructions", "400", "--quiet"],
+    "orchestrate": ["--shards", "2",
+                    "--store-dir", "{tmpdir}",    # filled per test run
+                    "--workloads", "gcc", "--models", "SS-2",
+                    "--rates", "0,3000", "--replicates", "2",
+                    "--instructions", "400", "--poll-interval", "0.05",
+                    "--quiet"],
     "faults": ["--list"],
     "bench": ["--quick", "--out", ""],
 }
@@ -30,8 +36,10 @@ def test_smoke_args_cover_every_command():
 
 
 @pytest.mark.parametrize("command", sorted(_COMMANDS))
-def test_subcommand_smoke(command, capsys):
-    exit_code = main([command] + SMOKE_ARGS[command])
+def test_subcommand_smoke(command, capsys, tmp_path):
+    args = [arg.replace("{tmpdir}", str(tmp_path))
+            for arg in SMOKE_ARGS[command]]
+    exit_code = main([command] + args)
     assert exit_code == 0
     out = capsys.readouterr().out
     assert out.strip(), "%s printed nothing" % command
