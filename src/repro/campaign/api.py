@@ -92,6 +92,40 @@ class CampaignEvent:
     #: single-session events).
     shard: Optional[int] = None
 
+    def to_dict(self) -> dict:
+        """JSON-able form — the wire format of the campaign service's
+        SSE progress stream.  Optional fields are omitted when unset so
+        the wire payload stays minimal; ``cell`` becomes a list (JSON
+        has no tuples) and :meth:`from_dict` restores it."""
+        data = {"kind": self.kind, "done": self.done,
+                "total": self.total}
+        if self.trial is not None:
+            data["trial"] = self.trial
+        if self.record is not None:
+            data["record"] = self.record
+        if self.cell is not None:
+            data["cell"] = list(self.cell)
+        if self.shard is not None:
+            data["shard"] = self.shard
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignEvent":
+        """Rebuild an event from :meth:`to_dict` output (round-trips
+        to an equal frozen dataclass)."""
+        known = {"kind", "done", "total", "trial", "record", "cell",
+                 "shard"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError("unknown campaign event fields: %s"
+                              % sorted(unknown))
+        cell = data.get("cell")
+        return cls(kind=data["kind"], done=data["done"],
+                   total=data["total"], trial=data.get("trial"),
+                   record=data.get("record"),
+                   cell=tuple(cell) if cell is not None else None,
+                   shard=data.get("shard"))
+
 
 #: A session listener: any callable accepting one CampaignEvent.
 CampaignListener = Callable[[CampaignEvent], None]
@@ -114,7 +148,11 @@ class ExecutionOptions:
     wilson plan stops statistically converged cells early and spends
     the freed replicate budget on the widest-interval cells (``None``
     and ``SamplingPlan.fixed()`` are the historical run-everything
-    behaviour).
+    behaviour); ``poll_interval`` sets how often a store-watching
+    driver (the multi-shard orchestrator, the campaign service's live
+    progress feed) re-reads result stores — ``None`` keeps each
+    driver's own default (0.2 s for the orchestrator; the service
+    backend runs a tighter interval for live SSE progress).
     """
 
     simulator: str = "fast"
@@ -123,6 +161,7 @@ class ExecutionOptions:
     workers: int = 1
     max_cycles: Optional[int] = None
     sampling: Optional[SamplingPlan] = None
+    poll_interval: Optional[float] = None
 
     def __post_init__(self):
         if self.simulator not in SIMULATORS:
@@ -142,6 +181,12 @@ class ExecutionOptions:
             raise ConfigError(
                 "sampling must be a SamplingPlan or None, got %r"
                 % (self.sampling,))
+        if self.poll_interval is not None and (
+                not isinstance(self.poll_interval, (int, float))
+                or isinstance(self.poll_interval, bool)
+                or self.poll_interval <= 0):
+            raise ConfigError("poll_interval must be a positive number "
+                              "or None, got %r" % (self.poll_interval,))
 
     @property
     def adaptive(self) -> bool:
@@ -158,6 +203,8 @@ class ExecutionOptions:
             data["max_cycles"] = self.max_cycles
         if self.sampling is not None:
             data["sampling"] = self.sampling.to_dict()
+        if self.poll_interval is not None:
+            data["poll_interval"] = self.poll_interval
         return data
 
     @classmethod
@@ -384,7 +431,8 @@ class CampaignSession:
         return aggregate_structures(self.records())
 
     def orchestrate(self, shards: int, store_dir: str,
-                    mode: str = "process", poll_interval: float = 0.2,
+                    mode: str = "process",
+                    poll_interval: Optional[float] = None,
                     max_restarts: int = 2) -> CampaignResult:
         """Run this session's spec across ``shards`` parallel shard
         workers (see :class:`~repro.campaign.orchestrator.

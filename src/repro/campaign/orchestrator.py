@@ -48,7 +48,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
-from ..errors import ConfigError, OrchestratorError
+from ..errors import (ConfigError, OrchestratorError,
+                      OrchestratorStopped)
 from .api import (CAMPAIGN_FINISHED, TRIAL_FINISHED, CampaignEvent,
                   CampaignListener, CampaignResult, CampaignSession,
                   ExecutionOptions)
@@ -166,11 +167,16 @@ class CampaignOrchestrator:
     any shard store, and one final ``campaign_finished``.
     """
 
+    #: Store poll cadence when neither the constructor nor
+    #: ``ExecutionOptions.poll_interval`` chooses one.
+    DEFAULT_POLL_INTERVAL = 0.2
+
     def __init__(self, spec, shards: int, store_dir: str,
                  options: Optional[ExecutionOptions] = None,
-                 mode: str = PROCESS_MODE, poll_interval: float = 0.2,
+                 mode: str = PROCESS_MODE,
+                 poll_interval: Optional[float] = None,
                  max_restarts: int = 2, merged_store=None,
-                 listeners=()):
+                 listeners=(), stop_requested=None):
         if not isinstance(spec, CampaignSpec):
             raise ConfigError(
                 "orchestrate needs a full CampaignSpec (got %s); the "
@@ -183,13 +189,21 @@ class CampaignOrchestrator:
         if mode not in MODES:
             raise ConfigError("unknown orchestrator mode %r (choose "
                               "from %s)" % (mode, "/".join(MODES)))
-        if poll_interval <= 0:
-            raise ConfigError("poll_interval must be > 0")
         if not isinstance(max_restarts, int) \
                 or isinstance(max_restarts, bool) or max_restarts < 0:
             raise ConfigError("max_restarts must be an integer >= 0")
         self.options = options if options is not None \
             else ExecutionOptions()
+        # Explicit constructor value wins; the options bundle is the
+        # configurable default (the campaign service sets a tight
+        # interval there for live progress); 0.2 s the fallback.
+        if poll_interval is None:
+            poll_interval = self.options.poll_interval \
+                if self.options.poll_interval is not None \
+                else self.DEFAULT_POLL_INTERVAL
+        if not isinstance(poll_interval, (int, float)) \
+                or isinstance(poll_interval, bool) or poll_interval <= 0:
+            raise ConfigError("poll_interval must be > 0")
         if mode == CLI_MODE:
             defaults = ExecutionOptions()
             for name in ("simulator", "golden_cache", "reuse_faultfree"):
@@ -214,6 +228,13 @@ class CampaignOrchestrator:
             self.merged_store = JSONLStore(
                 os.path.join(store_dir, MERGED_STORE))
         self._listeners: List[CampaignListener] = list(listeners)
+        #: Optional zero-argument callable polled once per monitor
+        #: tick; returning truthy terminates every worker and raises
+        #: :class:`~repro.errors.OrchestratorStopped`.  This is the
+        #: cancellation/drain hook of the campaign service — shard
+        #: stores keep every completed record, so a stopped campaign
+        #: resumes exactly like a crashed one.
+        self.stop_requested = stop_requested
         self.workers: List[ShardWorker] = []
         self.result: Optional[CampaignResult] = None
         self._total = 0
@@ -409,6 +430,14 @@ class CampaignOrchestrator:
                 self._launch(worker)
                 self._emit(SHARD_STARTED, shard=worker.index)
             while True:
+                if self.stop_requested is not None \
+                        and self.stop_requested():
+                    raise OrchestratorStopped(
+                        "campaign %r stopped on request with %d/%d "
+                        "trials recorded; shard stores under %s keep "
+                        "every completed record and a re-run resumes "
+                        "from them" % (self.spec.name, self._done(),
+                                       self._total, self.store_dir))
                 for worker in self.workers:
                     if worker.finished:
                         continue

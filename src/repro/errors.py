@@ -30,3 +30,20 @@ class ConfigError(ReproError):
 class OrchestratorError(ReproError):
     """Raised when a multi-shard campaign cannot be driven to
     completion (a shard worker keeps dying past its restart budget)."""
+
+
+class OrchestratorStopped(ReproError):
+    """Raised when a running orchestrator's ``stop_requested`` hook
+    asked it to abandon the campaign (service cancellation or drain).
+    Deliberately NOT an :class:`OrchestratorError`: a stop is an
+    honoured request, not a failure, and the shard stores keep every
+    completed record for a later resume."""
+
+
+class ServiceError(ReproError):
+    """Raised when the campaign service cannot honour a request
+    (unknown job, invalid submission, service not running)."""
+
+
+class QuotaError(ServiceError):
+    """Raised when a tenant's submission exceeds its queue quota."""

@@ -483,6 +483,16 @@ def _cmd_bench(args):
             print("\nwritten: %s" % args.out)
 
 
+def _cmd_serve(args):
+    from ..service.server import run_serve
+    return run_serve(args)
+
+
+def _cmd_load(args):
+    from ..service.loadgen import run_load
+    return run_load(args)
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -497,7 +507,71 @@ _COMMANDS = {
     "orchestrate": _cmd_orchestrate,
     "faults": _cmd_faults,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "load": _cmd_load,
 }
+
+
+def _add_serve_args(sub):
+    sub.add_argument("--data-dir", required=True,
+                     help="service state directory (jobs, stores, "
+                          "event logs, service.json)")
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="bind address")
+    sub.add_argument("--port", type=int, default=0,
+                     help="bind port (0 = ephemeral; the binding is "
+                          "written to DATA_DIR/service.json)")
+    sub.add_argument("--slots", type=int, default=2,
+                     help="worker slots shared by all tenants")
+    sub.add_argument("--tenant", action="append", default=[],
+                     metavar="NAME[:WEIGHT[:MAX_RUNNING[:MAX_QUEUED]]]",
+                     help="pre-register a tenant with a fair-share "
+                          "weight and job quotas (repeatable; unknown "
+                          "tenants auto-register with weight 1)")
+    sub.add_argument("--replicate-budget", type=int, default=None,
+                     metavar="N",
+                     help="pace adaptive jobs to N extra replicates "
+                          "per second, split by tenant weight "
+                          "(default: unpaced)")
+    sub.add_argument("--poll-interval", type=float, default=None,
+                     help="store/SSE poll interval in seconds "
+                          "(default 0.05)")
+    sub.add_argument("--drain-timeout", type=float, default=60.0,
+                     help="seconds to wait for in-flight trials on "
+                          "SIGTERM before exiting anyway")
+
+
+def _add_load_args(sub):
+    sub.add_argument("--url", default="",
+                     help="service base URL (e.g. "
+                          "http://127.0.0.1:8123)")
+    sub.add_argument("--data-dir", default="",
+                     help="discover the service from "
+                          "DATA_DIR/service.json instead of --url")
+    sub.add_argument("--workload", action="append", default=[],
+                     required=True,
+                     metavar="TENANT:KIND:...",
+                     help="one tenant's arrival schedule: "
+                          "tenant:static:<jobs>, "
+                          "tenant:dynamic:<jobs>:<rate-per-s> or "
+                          "tenant:trace:<path>[:<time-scale>] "
+                          "(repeatable)")
+    sub.add_argument("--spec-file", default="",
+                     help="JSON CampaignSpec every generated job "
+                          "submits (default: a tiny built-in spec)")
+    sub.add_argument("--tolerance", type=float, default=0.35,
+                     help="allowed shortfall from the weighted "
+                          "max-min slot share before the fairness "
+                          "check fails")
+    sub.add_argument("--verify", action="store_true",
+                     help="re-run every spec in-process and require "
+                          "byte-identical records from the service")
+    sub.add_argument("--no-sse", action="store_true",
+                     help="skip sampling each tenant's SSE stream")
+    sub.add_argument("--timeout", type=float, default=60.0,
+                     help="per-request HTTP timeout in seconds")
+    sub.add_argument("--json", action="store_true",
+                     help="print the full report as JSON")
 
 
 def _add_bench_args(sub):
@@ -646,13 +720,16 @@ def build_parser():
                                   "and registered policies (default)")
         if name == "bench":
             _add_bench_args(sub)
+        if name == "serve":
+            _add_serve_args(sub)
+        if name == "load":
+            _add_load_args(sub)
     return parser
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    _COMMANDS[args.command](args)
-    return 0
+    return _COMMANDS[args.command](args) or 0
 
 
 if __name__ == "__main__":

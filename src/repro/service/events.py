@@ -1,0 +1,133 @@
+"""Per-job progress event log: the durable source of the SSE stream.
+
+Runners append one JSON line per event — the
+:meth:`~repro.campaign.api.CampaignEvent.to_dict` wire form plus a
+``seq`` (1-based, monotonic per job) and a wall-clock ``ts`` — and the
+HTTP server tails the file to serve ``text/event-stream`` clients.
+Writing a file instead of an in-memory bus buys three properties at
+once: SSE replay for late subscribers, a progress stream that survives
+service restarts, and zero cross-thread plumbing between the executor
+threads and the asyncio loop.
+
+The log is advisory (the result store is the durable truth), so
+appends flush but do not fsync; a SIGKILL can tear the final line,
+which :meth:`EventLog.read` skips exactly like the JSONL result store
+skips its torn tails.  A fresh appender starts after the last intact
+``seq``, so sequence numbers stay monotonic across restarts.
+
+Job lifecycle markers (``job_queued`` / ``job_started`` /
+``job_resumed`` / ``job_finished`` / ``job_failed`` /
+``job_cancelled`` / ``job_interrupted``) share the stream with the
+campaign's own ``trial_*`` / ``cell_*`` / ``shard_*`` /
+``campaign_finished`` events; they carry ``job``, ``tenant`` and
+``state`` fields instead of trial progress.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from ..campaign import CampaignEvent
+
+#: Lifecycle event kinds the service adds to the campaign protocol.
+JOB_QUEUED = "job_queued"
+JOB_STARTED = "job_started"
+JOB_RESUMED = "job_resumed"
+JOB_FINISHED = "job_finished"
+JOB_FAILED = "job_failed"
+JOB_CANCELLED = "job_cancelled"
+JOB_INTERRUPTED = "job_interrupted"
+
+JOB_EVENT_KINDS = (JOB_QUEUED, JOB_STARTED, JOB_RESUMED, JOB_FINISHED,
+                   JOB_FAILED, JOB_CANCELLED, JOB_INTERRUPTED)
+
+
+def job_event(kind: str, job) -> dict:
+    """A lifecycle event payload for ``job`` (a :class:`~repro.
+    service.jobs.Job`)."""
+    data = {"kind": kind, "job": job.id, "tenant": job.tenant,
+            "state": job.state, "done": job.done, "total": job.total}
+    if job.error:
+        data["error"] = job.error
+    return data
+
+
+class EventLog:
+    """Append/tail access to one job's ``events.jsonl``."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._lock = threading.Lock()
+        self._seq: Optional[int] = None
+
+    # -- writing -----------------------------------------------------------
+
+    def _next_seq_locked(self) -> int:
+        if self._seq is None:
+            last = 0
+            for seq, _event in self._read(0):
+                last = seq
+            self._seq = last
+        self._seq += 1
+        return self._seq
+
+    def append(self, event) -> int:
+        """Append one event (a :class:`CampaignEvent` or a plain event
+        dict); returns its sequence number."""
+        payload = event.to_dict() if isinstance(event, CampaignEvent) \
+            else dict(event)
+        with self._lock:
+            seq = self._next_seq_locked()
+            payload["seq"] = seq
+            payload["ts"] = round(time.time(), 3)
+            os.makedirs(os.path.dirname(os.path.abspath(self.path)),
+                        exist_ok=True)
+            line = json.dumps(payload, sort_keys=True)
+            if self._tail_is_torn():
+                line = "\n" + line
+            with open(self.path, "a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+        return seq
+
+    def _tail_is_torn(self) -> bool:
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return False
+        if size == 0:
+            return False
+        with open(self.path, "rb") as handle:
+            handle.seek(-1, os.SEEK_END)
+            return handle.read(1) != b"\n"
+
+    # -- reading -----------------------------------------------------------
+
+    def _read(self, after_seq: int):
+        try:
+            handle = open(self.path)
+        except OSError:
+            return
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError:
+                    continue        # torn tail of a killed writer
+                if not isinstance(event, dict):
+                    continue
+                seq = event.get("seq")
+                if not isinstance(seq, int) or seq <= after_seq:
+                    continue
+                yield seq, event
+
+    def read(self, after_seq: int = 0) -> List[Tuple[int, dict]]:
+        """Every intact event with ``seq > after_seq``, in order."""
+        return list(self._read(after_seq))

@@ -1,0 +1,613 @@
+"""Load generator for the campaign service (``repro-ft load``).
+
+Split the way storage-system load generators are (driver / client /
+workload):
+
+* **workloads** describe *when* jobs arrive and *what* they submit —
+  :class:`StaticWorkload` (a burst of N identical jobs at t=0),
+  :class:`DynamicWorkload` (seeded-Poisson arrivals at a target rate)
+  and :class:`TraceReplayWorkload` (a recorded JSONL arrival trace,
+  optionally time-scaled);
+* the **client** (:class:`ServiceClient`) speaks the HTTP API —
+  submit / status / cancel / result / SSE / fairness report — over
+  stdlib ``http.client``;
+* the **driver** (:class:`LoadDriver`) runs one thread per tenant,
+  replays that tenant's arrival schedule, waits for every job to reach
+  a terminal state, samples the SSE stream of each tenant's first job,
+  and reduces it all into a per-tenant report: jobs completed/failed,
+  trials executed, submit latency, trial throughput, SSE event count.
+
+The driver then fetches ``/api/tenants`` and checks the service's own
+no-starvation invariant: for every tenant that spent meaningful time
+demanding slots, the average slots it held while demanding
+(``busy_seconds / demand_seconds``) must reach its weighted max-min
+share of the pool within ``--tolerance`` (the share is computed
+against concurrently-demanding tenants only, so a tenant running alone
+is simply expected to hold the pool).  ``--verify`` re-runs every
+submitted spec through a plain in-process
+:class:`~repro.campaign.api.CampaignSession` and asserts the service's
+merged records are byte-identical — the acceptance check that the
+service adds scheduling, never semantics.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlencode, urlsplit
+
+from ..campaign import CampaignSession, CampaignSpec, ExecutionOptions
+from ..errors import ConfigError, ServiceError
+
+#: The built-in tiny spec the generated workloads submit when the
+#: caller does not provide one (kept small: the point of a load run is
+#: scheduling pressure, not simulation depth).
+DEFAULT_SPEC = {
+    "name": "load",
+    "workloads": ["gcc"],
+    "models": ["SS-1"],
+    "rates_per_million": [0.0, 3000.0],
+    "replicates": 2,
+    "instructions": 300,
+}
+
+
+# -- client -----------------------------------------------------------------
+
+class ServiceClient:
+    """Thin blocking HTTP client for one campaign service."""
+
+    def __init__(self, url: str, timeout: float = 30.0):
+        parts = urlsplit(url if "//" in url else "//" + url)
+        if not parts.hostname:
+            raise ConfigError("bad service URL %r" % url)
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Tuple[int, dict]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None \
+                else json.dumps(body).encode()
+            headers = {"Connection": "close"}
+            if payload is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload,
+                               headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(data.decode() or "{}")
+        except ValueError:
+            decoded = {"error": data.decode(errors="replace")[:200]}
+        return response.status, decoded
+
+    def _checked(self, method, path, body=None) -> dict:
+        status, payload = self._request(method, path, body)
+        if status >= 400:
+            raise ServiceError("%s %s -> %d: %s"
+                               % (method, path, status,
+                                  payload.get("error", payload)))
+        return payload
+
+    def health(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def submit(self, tenant: str, spec: dict, options=None,
+               priority: int = 0, shards: int = 0) -> dict:
+        body = {"tenant": tenant, "spec": spec}
+        if options:
+            body["options"] = options
+        if priority:
+            body["priority"] = priority
+        if shards:
+            body["shards"] = shards
+        return self._checked("POST", "/api/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        return self._checked("GET", "/api/jobs/%s" % job_id)
+
+    def jobs(self, tenant: Optional[str] = None) -> List[dict]:
+        path = "/api/jobs"
+        if tenant:
+            path += "?" + urlencode({"tenant": tenant})
+        return self._checked("GET", path)["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._checked("POST", "/api/jobs/%s/cancel" % job_id)
+
+    def result(self, job_id: str, records: bool = False) -> dict:
+        path = "/api/jobs/%s/result" % job_id
+        if records:
+            path += "?records=1"
+        return self._checked("GET", path)
+
+    def tenants(self) -> dict:
+        return self._checked("GET", "/api/tenants")
+
+    def stream_events(self, job_id: str, after: int = 0,
+                      follow: bool = True,
+                      max_events: Optional[int] = None,
+                      timeout: Optional[float] = None) -> List[dict]:
+        """Consume the job's SSE stream; returns the decoded events
+        (ends at ``stream_end``, ``max_events`` or ``timeout``)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=timeout if timeout is not None else self.timeout)
+        events: List[dict] = []
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        try:
+            connection.request(
+                "GET", "/api/jobs/%s/events?after=%d&follow=%d"
+                % (job_id, after, 1 if follow else 0),
+                headers={"Accept": "text/event-stream"})
+            response = connection.getresponse()
+            if response.status != 200:
+                raise ServiceError(
+                    "SSE request for %s -> %d"
+                    % (job_id, response.status))
+            kind, data = None, []
+            while True:
+                if deadline is not None \
+                        and time.monotonic() > deadline:
+                    break
+                line = response.readline()
+                if not line:
+                    break
+                line = line.decode().rstrip("\n")
+                if line.startswith("event:"):
+                    kind = line.split(":", 1)[1].strip()
+                elif line.startswith("data:"):
+                    data.append(line.split(":", 1)[1].strip())
+                elif not line:
+                    if kind == "stream_end":
+                        break
+                    if data:
+                        try:
+                            events.append(json.loads("\n".join(data)))
+                        except ValueError:
+                            pass
+                    kind, data = None, []
+                    if max_events is not None \
+                            and len(events) >= max_events:
+                        break
+        finally:
+            connection.close()
+        return events
+
+
+# -- workloads --------------------------------------------------------------
+
+class Workload:
+    """An arrival schedule: :meth:`arrivals` yields
+    ``(at_seconds, submission)`` pairs, where ``submission`` is the
+    POST /api/jobs body minus the tenant."""
+
+    def arrivals(self) -> List[Tuple[float, dict]]:
+        raise NotImplementedError
+
+    def _submission(self, spec, options, priority, shards) -> dict:
+        body = {"spec": dict(spec)}
+        if options:
+            body["options"] = dict(options)
+        if priority:
+            body["priority"] = priority
+        if shards:
+            body["shards"] = shards
+        return body
+
+
+class StaticWorkload(Workload):
+    """``jobs`` identical submissions, all at t=0 (a burst)."""
+
+    def __init__(self, jobs: int, spec: Optional[dict] = None,
+                 options: Optional[dict] = None, priority: int = 0,
+                 shards: int = 0):
+        if jobs < 1:
+            raise ConfigError("StaticWorkload needs jobs >= 1")
+        self.jobs = jobs
+        self.spec = dict(spec or DEFAULT_SPEC)
+        self.options = options
+        self.priority = priority
+        self.shards = shards
+
+    def arrivals(self):
+        return [(0.0, self._submission(self.spec, self.options,
+                                       self.priority, self.shards))
+                for _ in range(self.jobs)]
+
+
+class DynamicWorkload(Workload):
+    """``jobs`` submissions with seeded-Poisson interarrival gaps at
+    ``rate`` jobs/second — open-loop arrival pressure rather than a
+    burst, deterministic per seed."""
+
+    def __init__(self, jobs: int, rate: float,
+                 spec: Optional[dict] = None,
+                 options: Optional[dict] = None, priority: int = 0,
+                 shards: int = 0, seed: int = 0):
+        if jobs < 1:
+            raise ConfigError("DynamicWorkload needs jobs >= 1")
+        if rate <= 0:
+            raise ConfigError("DynamicWorkload needs rate > 0")
+        self.jobs = jobs
+        self.rate = rate
+        self.spec = dict(spec or DEFAULT_SPEC)
+        self.options = options
+        self.priority = priority
+        self.shards = shards
+        self.seed = seed
+
+    def arrivals(self):
+        rng = random.Random(self.seed)
+        at = 0.0
+        schedule = []
+        for _ in range(self.jobs):
+            at += rng.expovariate(self.rate)
+            schedule.append((at, self._submission(
+                self.spec, self.options, self.priority, self.shards)))
+        return schedule
+
+
+class TraceReplayWorkload(Workload):
+    """Replay a recorded arrival trace.
+
+    The trace is JSONL, one arrival per line::
+
+        {"at": 0.8, "spec": {...}, "options": {...},
+         "priority": 0, "shards": 0}
+
+    ``at`` is seconds from trace start; missing ``spec`` falls back to
+    the workload's default.  ``time_scale`` stretches (>1) or
+    compresses (<1) the replay clock.
+    """
+
+    def __init__(self, path: str, time_scale: float = 1.0,
+                 spec: Optional[dict] = None):
+        if time_scale <= 0:
+            raise ConfigError("time_scale must be > 0")
+        self.path = path
+        self.time_scale = time_scale
+        self.spec = dict(spec or DEFAULT_SPEC)
+
+    def arrivals(self):
+        schedule = []
+        try:
+            handle = open(self.path)
+        except OSError as exc:
+            raise ConfigError("cannot read trace %s: %s"
+                              % (self.path, exc))
+        with handle:
+            for number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError as exc:
+                    raise ConfigError("trace %s line %d is not JSON: "
+                                      "%s" % (self.path, number, exc))
+                at = float(entry.get("at", 0.0)) * self.time_scale
+                schedule.append((at, self._submission(
+                    entry.get("spec", self.spec),
+                    entry.get("options"),
+                    int(entry.get("priority", 0)),
+                    int(entry.get("shards", 0)))))
+        if not schedule:
+            raise ConfigError("trace %s holds no arrivals" % self.path)
+        schedule.sort(key=lambda pair: pair[0])
+        return schedule
+
+
+def parse_workload_arg(text: str) -> Tuple[str, Workload]:
+    """``tenant:kind:jobs[:rate]`` → (tenant, workload).
+
+    Kinds: ``static:<jobs>``, ``dynamic:<jobs>:<rate>`` and
+    ``trace:<path>[:<time_scale>]``.
+    """
+    parts = text.split(":")
+    if len(parts) < 2 or not parts[0]:
+        raise ConfigError("malformed workload spec %r (want "
+                          "tenant:kind:...)" % text)
+    tenant, kind = parts[0], parts[1]
+    try:
+        if kind == "static" and len(parts) == 3:
+            return tenant, StaticWorkload(jobs=int(parts[2]))
+        if kind == "dynamic" and len(parts) == 4:
+            return tenant, DynamicWorkload(jobs=int(parts[2]),
+                                           rate=float(parts[3]))
+        if kind == "trace" and len(parts) in (3, 4):
+            scale = float(parts[3]) if len(parts) == 4 else 1.0
+            return tenant, TraceReplayWorkload(parts[2],
+                                               time_scale=scale)
+    except ValueError:
+        raise ConfigError("malformed workload spec %r" % text)
+    raise ConfigError(
+        "malformed workload spec %r (want tenant:static:<jobs>, "
+        "tenant:dynamic:<jobs>:<rate> or "
+        "tenant:trace:<path>[:<scale>])" % text)
+
+
+# -- driver -----------------------------------------------------------------
+
+class LoadDriver:
+    """Replays one workload per tenant against a service and reduces
+    the outcome into per-tenant and fairness reports."""
+
+    def __init__(self, client: ServiceClient,
+                 workloads: Dict[str, Workload],
+                 poll_interval: float = 0.1,
+                 spec_override: Optional[dict] = None):
+        if not workloads:
+            raise ConfigError("LoadDriver needs at least one tenant "
+                              "workload")
+        self.client = client
+        self.workloads = workloads
+        self.poll_interval = poll_interval
+        self.spec_override = spec_override
+        self._lock = threading.Lock()
+        #: tenant -> list of {job_id, submission, submit_latency, ...}
+        self.submissions: Dict[str, List[dict]] = {}
+        self.errors: List[str] = []
+
+    # -- per-tenant thread -------------------------------------------------
+
+    def _run_tenant(self, tenant: str, workload: Workload,
+                    start: float):
+        entries = []
+        for at, submission in workload.arrivals():
+            delay = start + at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            if self.spec_override is not None:
+                submission = dict(submission,
+                                  spec=dict(self.spec_override))
+            t0 = time.monotonic()
+            try:
+                summary = self.client.submit(
+                    tenant, submission["spec"],
+                    options=submission.get("options"),
+                    priority=submission.get("priority", 0),
+                    shards=submission.get("shards", 0))
+            except ServiceError as exc:
+                with self._lock:
+                    self.errors.append("%s: %s" % (tenant, exc))
+                continue
+            entries.append({
+                "job_id": summary["id"],
+                "submission": submission,
+                "submit_latency": time.monotonic() - t0,
+                "submitted_at": time.monotonic() - start,
+            })
+        # Wait for this tenant's jobs to reach terminal states.
+        outstanding = {entry["job_id"] for entry in entries}
+        summaries = {}
+        while outstanding:
+            for job_id in sorted(outstanding):
+                summary = self.client.job(job_id)
+                if summary["state"] in ("done", "failed", "cancelled"):
+                    summaries[job_id] = summary
+                    outstanding.discard(job_id)
+            if outstanding:
+                time.sleep(self.poll_interval)
+        for entry in entries:
+            summary = summaries[entry["job_id"]]
+            entry["state"] = summary["state"]
+            entry["trials"] = summary["done"]
+            entry["error"] = summary.get("error", "")
+            entry["finished_at"] = time.monotonic() - start
+        with self._lock:
+            self.submissions[tenant] = entries
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self, sse_sample: bool = True) -> dict:
+        """Replay every workload; returns the load report."""
+        start = time.monotonic()
+        threads = [threading.Thread(
+            target=self._run_tenant, args=(tenant, workload, start),
+            name="load-%s" % tenant, daemon=True)
+            for tenant, workload in sorted(self.workloads.items())]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.monotonic() - start
+        report = {"wall_seconds": round(wall, 3), "tenants": {},
+                  "errors": list(self.errors)}
+        for tenant in sorted(self.workloads):
+            entries = self.submissions.get(tenant, [])
+            latencies = [entry["submit_latency"] for entry in entries]
+            trials = sum(entry["trials"] for entry in entries)
+            active = max((entry["finished_at"] for entry in entries),
+                         default=0.0) - \
+                min((entry["submitted_at"] for entry in entries),
+                    default=0.0)
+            tenant_report = {
+                "jobs_submitted": len(entries),
+                "jobs_done": sum(1 for entry in entries
+                                 if entry["state"] == "done"),
+                "jobs_failed": sum(1 for entry in entries
+                                   if entry["state"] != "done"),
+                "trials_executed": trials,
+                "submit_latency_mean": round(
+                    sum(latencies) / len(latencies), 4)
+                if latencies else 0.0,
+                "submit_latency_max": round(max(latencies), 4)
+                if latencies else 0.0,
+                "active_seconds": round(active, 3),
+                "trials_per_second": round(trials / active, 3)
+                if active > 0 else 0.0,
+            }
+            if sse_sample and entries:
+                events = self.client.stream_events(
+                    entries[0]["job_id"], follow=False)
+                tenant_report["sse_events_first_job"] = len(events)
+                tenant_report["sse_kinds"] = sorted(
+                    {event.get("kind", "?") for event in events})
+            report["tenants"][tenant] = tenant_report
+        report["fairness"] = self.client.tenants()
+        return report
+
+    # -- checks ------------------------------------------------------------
+
+    @staticmethod
+    def check_fairness(report: dict, tolerance: float = 0.35,
+                       min_demand_seconds: float = 0.2) -> List[str]:
+        """No-starvation check over the service's fairness report.
+
+        For each tenant with at least ``min_demand_seconds`` of time
+        wanting slots, the average slots held while demanding must
+        reach ``(1 - tolerance)`` of its weighted max-min share of the
+        pool (share computed against the other demanding tenants).
+        Returns human-readable violations (empty = fair).
+        """
+        fairness = report["fairness"]["tenants"]
+        slots = report["fairness"]["slots"]
+        demanding = {name: entry for name, entry in fairness.items()
+                     if entry["demand_seconds"] >= min_demand_seconds}
+        violations = []
+        total_weight = sum(entry["weight"]
+                           for entry in demanding.values())
+        for name, entry in sorted(demanding.items()):
+            share = slots * entry["weight"] / total_weight
+            observed = entry["busy_seconds"] / entry["demand_seconds"]
+            if observed < share * (1.0 - tolerance):
+                violations.append(
+                    "tenant %r averaged %.2f slots while demanding, "
+                    "below %.0f%% of its weighted max-min share %.2f"
+                    % (name, observed, (1.0 - tolerance) * 100, share))
+            if entry["trials_executed"] == 0:
+                violations.append("tenant %r executed no trials"
+                                  % name)
+        return violations
+
+    def verify_results(self) -> List[str]:
+        """Re-run every submission in-process and compare records
+        byte-for-byte with the service's merged results.  Returns
+        mismatch descriptions (empty = identical)."""
+        mismatches = []
+        for tenant in sorted(self.submissions):
+            for entry in self.submissions[tenant]:
+                if entry["state"] != "done":
+                    continue
+                served = self.client.result(entry["job_id"],
+                                            records=True)["records"]
+                submission = entry["submission"]
+                spec = CampaignSpec.from_dict(submission["spec"])
+                options = ExecutionOptions.from_dict(
+                    submission.get("options") or {})
+                local = CampaignSession(spec, options=options).run()
+                if json.dumps(served, sort_keys=True) \
+                        != json.dumps(local.records, sort_keys=True):
+                    mismatches.append(
+                        "job %s (tenant %s): served records differ "
+                        "from an in-process run of the same spec"
+                        % (entry["job_id"], tenant))
+        return mismatches
+
+
+# -- CLI entry --------------------------------------------------------------
+
+def _discover_url(args) -> str:
+    if args.url:
+        return args.url
+    if args.data_dir:
+        path = "%s/service.json" % args.data_dir
+        try:
+            with open(path) as handle:
+                return json.load(handle)["url"]
+        except (OSError, ValueError, KeyError) as exc:
+            raise ConfigError("cannot discover service from %s: %s"
+                              % (path, exc))
+    raise ConfigError("need --url or --data-dir to find the service")
+
+
+def format_load_report(report: dict) -> str:
+    lines = ["load run: %.1fs wall" % report["wall_seconds"]]
+    header = ("tenant", "jobs", "done", "trials", "trials/s",
+              "submit ms", "sse")
+    rows = [header]
+    for name, entry in sorted(report["tenants"].items()):
+        rows.append((name, str(entry["jobs_submitted"]),
+                     str(entry["jobs_done"]),
+                     str(entry["trials_executed"]),
+                     "%.2f" % entry["trials_per_second"],
+                     "%.1f" % (entry["submit_latency_mean"] * 1e3),
+                     str(entry.get("sse_events_first_job", "-"))))
+    widths = [max(len(row[i]) for row in rows)
+              for i in range(len(header))]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths))
+                     .rstrip())
+    lines.append("")
+    lines.append("fairness (avg slots held while demanding):")
+    fairness = report["fairness"]["tenants"]
+    for name, entry in sorted(fairness.items()):
+        held = entry["busy_seconds"] / entry["demand_seconds"] \
+            if entry["demand_seconds"] > 0 else 0.0
+        lines.append("  %-12s weight %-4.3g held %.2f of %d slots "
+                     "(%d trials)"
+                     % (name, entry["weight"], held,
+                        report["fairness"]["slots"],
+                        entry["trials_executed"]))
+    if report["errors"]:
+        lines.append("errors:")
+        lines.extend("  " + error for error in report["errors"])
+    return "\n".join(lines)
+
+
+def run_load(args) -> int:
+    """``repro-ft load`` entry point."""
+    import sys
+    try:
+        url = _discover_url(args)
+        workloads = dict(parse_workload_arg(text)
+                         for text in args.workload)
+        spec_override = None
+        if args.spec_file:
+            with open(args.spec_file) as handle:
+                spec_override = json.load(handle)
+        client = ServiceClient(url, timeout=args.timeout)
+        client.health()
+        driver = LoadDriver(client, workloads,
+                            spec_override=spec_override)
+        report = driver.run(sse_sample=not args.no_sse)
+        violations = driver.check_fairness(
+            report, tolerance=args.tolerance)
+        report["fairness_violations"] = violations
+        mismatches = []
+        if args.verify:
+            mismatches = driver.verify_results()
+            report["verify_mismatches"] = mismatches
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(format_load_report(report))
+            if violations:
+                print("fairness violations:")
+                for violation in violations:
+                    print("  " + violation)
+            if args.verify:
+                print("verify: %s" % ("records byte-identical to "
+                                      "in-process runs" if not
+                                      mismatches else "MISMATCH"))
+        failed = bool(violations) or bool(mismatches) \
+            or bool(report["errors"]) \
+            or any(entry["jobs_failed"]
+                   for entry in report["tenants"].values())
+        return 1 if failed else 0
+    except (ConfigError, ServiceError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2

@@ -1,0 +1,230 @@
+"""Load-generator workloads, report reduction and fairness checks.
+
+Mostly offline unit tests (arrival schedules, argument parsing,
+``check_fairness`` on synthetic reports); one live two-tenant run
+against a real ``repro-ft serve`` subprocess closes the loop — the
+acceptance shape of the PR: mixed traffic, nobody starved, served
+records byte-identical to in-process runs.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.loadgen import (DEFAULT_SPEC, DynamicWorkload,
+                                   LoadDriver, StaticWorkload,
+                                   TraceReplayWorkload,
+                                   format_load_report,
+                                   parse_workload_arg)
+
+
+class TestStaticWorkload:
+    def test_burst_arrives_at_time_zero(self):
+        arrivals = StaticWorkload(jobs=3).arrivals()
+        assert [at for at, _ in arrivals] == [0.0, 0.0, 0.0]
+        for _at, submission in arrivals:
+            assert submission["spec"] == DEFAULT_SPEC
+            assert "options" not in submission
+
+    def test_optional_fields_forwarded(self):
+        workload = StaticWorkload(jobs=1, spec={"name": "mine"},
+                                  options={"workers": 2},
+                                  priority=4, shards=2)
+        _at, submission = workload.arrivals()[0]
+        assert submission == {"spec": {"name": "mine"},
+                              "options": {"workers": 2},
+                              "priority": 4, "shards": 2}
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StaticWorkload(jobs=0)
+
+
+class TestDynamicWorkload:
+    def test_seeded_schedule_is_deterministic(self):
+        first = DynamicWorkload(jobs=5, rate=2.0, seed=7).arrivals()
+        again = DynamicWorkload(jobs=5, rate=2.0, seed=7).arrivals()
+        assert first == again
+        other = DynamicWorkload(jobs=5, rate=2.0, seed=8).arrivals()
+        assert [at for at, _ in first] != [at for at, _ in other]
+
+    def test_arrival_times_increase_at_roughly_the_rate(self):
+        arrivals = DynamicWorkload(jobs=200, rate=4.0).arrivals()
+        times = [at for at, _ in arrivals]
+        assert times == sorted(times)
+        assert all(at > 0 for at in times)
+        # Mean interarrival of Exp(4.0) is 0.25s; with 200 samples the
+        # empirical mean lands well within a factor of two.
+        assert 0.125 < times[-1] / len(times) < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DynamicWorkload(jobs=0, rate=1.0)
+        with pytest.raises(ConfigError):
+            DynamicWorkload(jobs=1, rate=0.0)
+
+
+class TestTraceReplayWorkload:
+    def write_trace(self, tmp_path, lines):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_replay_sorts_and_fills_defaults(self, tmp_path):
+        path = self.write_trace(tmp_path, [
+            '{"at": 2.0, "priority": 3}',
+            "# a comment, skipped",
+            '{"at": 0.5, "spec": {"name": "custom"}, "shards": 2}',
+            "",
+            '{"at": 1.0, "options": {"workers": 1}}',
+        ])
+        arrivals = TraceReplayWorkload(path).arrivals()
+        assert [at for at, _ in arrivals] == [0.5, 1.0, 2.0]
+        assert arrivals[0][1]["spec"] == {"name": "custom"}
+        assert arrivals[0][1]["shards"] == 2
+        assert arrivals[1][1]["options"] == {"workers": 1}
+        assert arrivals[2][1]["spec"] == DEFAULT_SPEC
+        assert arrivals[2][1]["priority"] == 3
+
+    def test_time_scale_stretches_the_clock(self, tmp_path):
+        path = self.write_trace(tmp_path, ['{"at": 2.0}'])
+        assert TraceReplayWorkload(path, time_scale=0.5) \
+            .arrivals()[0][0] == 1.0
+
+    def test_malformed_line_names_the_line(self, tmp_path):
+        path = self.write_trace(tmp_path, ['{"at": 0}', "{broken"])
+        with pytest.raises(ConfigError, match="line 2"):
+            TraceReplayWorkload(path).arrivals()
+
+    def test_missing_or_empty_traces_raise(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            TraceReplayWorkload(str(tmp_path / "nope")).arrivals()
+        empty = self.write_trace(tmp_path, ["# nothing"])
+        with pytest.raises(ConfigError, match="no arrivals"):
+            TraceReplayWorkload(empty).arrivals()
+        with pytest.raises(ConfigError):
+            TraceReplayWorkload("x", time_scale=0.0)
+
+
+class TestParseWorkloadArg:
+    def test_static(self):
+        tenant, workload = parse_workload_arg("alice:static:3")
+        assert tenant == "alice"
+        assert isinstance(workload, StaticWorkload)
+        assert workload.jobs == 3
+
+    def test_dynamic(self):
+        tenant, workload = parse_workload_arg("bob:dynamic:4:2.5")
+        assert tenant == "bob"
+        assert isinstance(workload, DynamicWorkload)
+        assert (workload.jobs, workload.rate) == (4, 2.5)
+
+    def test_trace_with_scale(self):
+        tenant, workload = parse_workload_arg(
+            "carol:trace:/tmp/t.jsonl:0.5")
+        assert tenant == "carol"
+        assert isinstance(workload, TraceReplayWorkload)
+        assert workload.time_scale == 0.5
+
+    @pytest.mark.parametrize("text", [
+        "", "alice", ":static:2", "alice:static", "alice:static:x",
+        "alice:dynamic:3", "alice:dynamic:3:fast", "alice:burst:2",
+    ])
+    def test_malformed(self, text):
+        with pytest.raises(ConfigError):
+            parse_workload_arg(text)
+
+
+class TestCheckFairness:
+    def report(self, slots=2, **tenants):
+        return {"fairness": {
+            "slots": slots,
+            "tenants": {name: dict(entry)
+                        for name, entry in tenants.items()}}}
+
+    def entry(self, busy, demand, weight=1.0, trials=10):
+        return {"busy_seconds": busy, "demand_seconds": demand,
+                "weight": weight, "trials_executed": trials}
+
+    def test_fair_run_is_clean(self):
+        report = self.report(alice=self.entry(9.0, 10.0),
+                             bob=self.entry(9.5, 10.0))
+        assert LoadDriver.check_fairness(report) == []
+
+    def test_starved_tenant_is_flagged(self):
+        report = self.report(alice=self.entry(19.0, 10.0),
+                             bob=self.entry(0.5, 10.0))
+        violations = LoadDriver.check_fairness(report)
+        assert len(violations) == 1
+        assert "'bob'" in violations[0]
+        assert "max-min share" in violations[0]
+
+    def test_share_is_weighted(self):
+        # 3:1 weights over 4 slots: alice's share is 3, bob's is 1.
+        # bob holding a full slot is fair; alice holding one is not.
+        report = self.report(
+            slots=4,
+            alice=self.entry(10.0, 10.0, weight=3.0),
+            bob=self.entry(10.0, 10.0, weight=1.0))
+        violations = LoadDriver.check_fairness(report, tolerance=0.2)
+        assert len(violations) == 1 and "'alice'" in violations[0]
+
+    def test_brief_demand_is_ignored(self):
+        report = self.report(alice=self.entry(19.0, 10.0),
+                             bob=self.entry(0.0, 0.05))
+        assert LoadDriver.check_fairness(report) == []
+
+    def test_zero_trials_is_flagged(self):
+        report = self.report(alice=self.entry(9.0, 10.0, trials=0))
+        violations = LoadDriver.check_fairness(
+            report, tolerance=0.99)
+        assert violations == ["tenant 'alice' executed no trials"]
+
+
+class TestFormatReport:
+    def test_report_renders_human_readably(self):
+        report = {
+            "wall_seconds": 4.2,
+            "errors": ["tenant bob: boom"],
+            "tenants": {"alice": {
+                "jobs_submitted": 2, "jobs_done": 2,
+                "jobs_failed": 0, "trials_executed": 8,
+                "submit_latency_mean": 0.01,
+                "submit_latency_max": 0.02,
+                "active_seconds": 3.0, "trials_per_second": 2.67,
+                "sse_events_first_job": 11,
+                "sse_kinds": ["job_queued", "trial_finished"]}},
+            "fairness": {"slots": 2, "tenants": {
+                "alice": {"busy_seconds": 2.0, "demand_seconds": 2.5,
+                          "weight": 1.0, "in_flight": 0,
+                          "trials_executed": 8}}},
+        }
+        text = format_load_report(report)
+        assert "alice" in text
+        assert "boom" in text
+        assert json.loads(json.dumps(report)) == report  # JSON-safe
+
+
+class TestLiveLoad:
+    def test_two_tenant_mixed_traffic_end_to_end(self, tmp_path):
+        from test_service_server import ServeProcess
+        serve = ServeProcess(tmp_path / "svc")
+        try:
+            driver = LoadDriver(
+                serve.client,
+                {"alice": StaticWorkload(jobs=2),
+                 "bob": DynamicWorkload(jobs=2, rate=4.0)})
+            report = driver.run()
+            for tenant in ("alice", "bob"):
+                entry = report["tenants"][tenant]
+                assert entry["jobs_done"] == 2
+                assert entry["jobs_failed"] == 0
+                assert entry["trials_executed"] == 8
+                assert entry["sse_events_first_job"] > 0
+                assert "trial_finished" in entry["sse_kinds"]
+            assert report["errors"] == []
+            assert LoadDriver.check_fairness(report) == []
+            assert driver.verify_results() == []
+        finally:
+            serve.terminate()

@@ -1,0 +1,262 @@
+"""ServiceBackend: the fairness-gated execution engine.
+
+The load-bearing property throughout: the service schedules, it never
+changes results.  Every execution shape (trial-level gated pool,
+adaptive plans, orchestrated shards) must produce records
+byte-identical to a plain in-process CampaignSession run of the same
+spec, and interruption at any point (cancel, drain, recovery) must
+leave stores that a resumed run completes to the identical record set.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.campaign import (CampaignSession, CampaignSpec,
+                            ExecutionOptions, SamplingPlan, aggregate)
+from repro.errors import QuotaError, ServiceError
+from repro.service import (CANCELLED, DONE, INTERRUPTED, QUEUED,
+                           RUNNING, ServiceBackend, TenantConfig)
+from repro.service.jobs import Job
+
+
+def spec(name="backend", replicates=2, rates=(0.0, 3000.0),
+         instructions=300):
+    return CampaignSpec(name=name, workloads=("gcc",),
+                        models=("SS-1",), rates_per_million=rates,
+                        replicates=replicates,
+                        instructions=instructions)
+
+
+def wait_terminal(backend, job_id, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = backend.job(job_id)
+        if job.terminal:
+            return job
+        time.sleep(0.05)
+    raise AssertionError("job %s stuck in state %r"
+                         % (job_id, backend.job(job_id).state))
+
+
+def records_of(backend, job_id):
+    return backend.job_result(job_id, with_records=True)["records"]
+
+
+@pytest.fixture
+def backend(tmp_path):
+    instance = ServiceBackend(str(tmp_path), slots=2)
+    yield instance
+    instance.close(drain_timeout=10.0)
+
+
+class TestExecution:
+    def test_records_byte_identical_to_plain_session(self, backend):
+        job = backend.submit("alice", spec())
+        assert wait_terminal(backend, job.id).state == DONE
+        plain = CampaignSession(spec()).run()
+        assert json.dumps(records_of(backend, job.id), sort_keys=True) \
+            == json.dumps(plain.records, sort_keys=True)
+
+    def test_adaptive_job_matches_plain_adaptive_session(self, backend):
+        options = ExecutionOptions(sampling=SamplingPlan.wilson(
+            0.5, min_replicates=2))
+        job = backend.submit("alice", spec(replicates=6),
+                             options=options)
+        assert wait_terminal(backend, job.id).state == DONE
+        plain = CampaignSession(spec(replicates=6),
+                                options=options).run()
+        assert {record["key"] for record in records_of(backend, job.id)} \
+            == {record["key"] for record in plain.records}
+        result = backend.job_result(job.id)
+        assert "adaptive" in result
+        assert result["adaptive"]["cells"]
+
+    def test_event_stream_serializes_the_campaign_protocol(
+            self, backend):
+        job = backend.submit("alice", spec())
+        wait_terminal(backend, job.id)
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            kinds = [event["kind"]
+                     for _seq, event in backend.read_events(job.id)]
+            if "job_finished" in kinds:
+                break
+            time.sleep(0.05)
+        assert kinds[0] == "job_queued"
+        assert "job_started" in kinds
+        assert kinds.count("trial_finished") == 4
+        assert "campaign_finished" in kinds
+        assert kinds[-1] == "job_finished"
+
+    def test_result_aggregate_matches_session_aggregate(self, backend):
+        job = backend.submit("alice", spec())
+        wait_terminal(backend, job.id)
+        plain = CampaignSession(spec()).run()
+        expected = [cell.as_dict() for cell in aggregate(plain.records)]
+        assert backend.job_result(job.id)["cells"] == expected
+
+    def test_orchestrated_job_matches_plain_session(self, backend):
+        job = backend.submit("alice", spec(name="orch"), shards=2)
+        assert wait_terminal(backend, job.id).state == DONE
+        plain = CampaignSession(spec(name="orch")).run()
+        assert json.dumps(records_of(backend, job.id), sort_keys=True) \
+            == json.dumps(plain.records, sort_keys=True)
+        kinds = {event["kind"]
+                 for _seq, event in backend.read_events(job.id)}
+        assert "shard_started" in kinds
+
+    def test_orchestrated_shards_over_slots_rejected(self, backend):
+        with pytest.raises(ServiceError, match="slots"):
+            backend.submit("alice", spec(), shards=5)
+
+
+class TestAdmission:
+    def test_submit_validates_tenant_and_spec(self, backend):
+        with pytest.raises(ServiceError, match="tenant"):
+            backend.submit("", spec())
+        with pytest.raises(ServiceError, match="spec"):
+            backend.submit("alice", "not-a-spec")
+
+    def test_submit_accepts_wire_dicts(self, backend):
+        job = backend.submit("alice", spec().to_dict(),
+                             options={"workers": 1})
+        assert wait_terminal(backend, job.id).state == DONE
+
+    def test_quota_enforced(self, tmp_path):
+        backend = ServiceBackend(
+            str(tmp_path / "q"), slots=1,
+            tenants=[TenantConfig("alice", max_queued=1,
+                                  max_running=1)])
+        try:
+            first = backend.submit("alice", spec(name="q1"))
+            deadline = time.monotonic() + 30
+            while backend.job(first.id).state == QUEUED:
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            backend.submit("alice", spec(name="q2"))
+            with pytest.raises(QuotaError):
+                backend.submit("alice", spec(name="q3"))
+        finally:
+            backend.close(drain_timeout=10.0)
+
+    def test_poll_interval_defaults_to_the_service_interval(
+            self, backend):
+        job = backend.submit("alice", spec())
+        assert job.options.poll_interval == backend.poll_interval
+        explicit = backend.submit(
+            "alice", spec(name="explicit"),
+            options=ExecutionOptions(poll_interval=0.42))
+        assert explicit.options.poll_interval == 0.42
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self, tmp_path):
+        backend = ServiceBackend(
+            str(tmp_path / "c"), slots=1,
+            tenants=[TenantConfig("alice", max_running=1)])
+        try:
+            first = backend.submit("alice", spec(name="c1",
+                                                 replicates=4))
+            second = backend.submit("alice", spec(name="c2"))
+            cancelled = backend.cancel(second.id)
+            assert cancelled.state == CANCELLED
+            assert wait_terminal(backend, first.id).state == DONE
+            assert backend.job(second.id).state == CANCELLED
+        finally:
+            backend.close(drain_timeout=10.0)
+
+    def test_cancel_running_job_keeps_completed_records(self, backend):
+        big = spec(name="cancelme", replicates=30,
+                   instructions=1_500)
+        job = backend.submit("alice", big)
+        deadline = time.monotonic() + 60
+        while backend.job(job.id).done < 2:
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        backend.cancel(job.id)
+        final = wait_terminal(backend, job.id)
+        assert final.state == CANCELLED
+        store = job.store(backend.data_dir)
+        completed = store.completed_keys()
+        assert completed                      # progress survived
+        assert len(completed) < big.grid_size  # but it really stopped
+        kinds = [event["kind"]
+                 for _seq, event in backend.read_events(job.id)]
+        assert "job_cancelled" in kinds
+
+    def test_cancel_terminal_job_is_a_noop(self, backend):
+        job = backend.submit("alice", spec())
+        wait_terminal(backend, job.id)
+        assert backend.cancel(job.id).state == DONE
+
+
+class TestDrainAndRecovery:
+    def test_drain_interrupts_and_recovery_resumes_identically(
+            self, tmp_path):
+        data_dir = str(tmp_path / "svc")
+        big = spec(name="drainme", replicates=24, instructions=1_500)
+        backend = ServiceBackend(data_dir, slots=2)
+        job = backend.submit("alice", big)
+        deadline = time.monotonic() + 60
+        while backend.job(job.id).done < 2:
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        assert backend.drain(timeout=30.0)
+        interrupted = backend.job(job.id)
+        assert interrupted.state == INTERRUPTED
+        partial = len(job.store(data_dir).completed_keys())
+        assert 0 < partial < big.grid_size
+        with pytest.raises(ServiceError, match="draining"):
+            backend.submit("alice", spec(name="late"))
+        backend.close(drain_timeout=5.0)
+
+        # A new service process adopts the interrupted job, resumes it
+        # from the store, and completes to the identical record set.
+        revived = ServiceBackend(data_dir, slots=2)
+        try:
+            recovered = revived.recover()
+            assert [job_.id for job_ in recovered] == [job.id]
+            final = wait_terminal(revived, job.id)
+            assert final.state == DONE
+            plain = CampaignSession(big).run()
+            assert json.dumps(records_of(revived, job.id),
+                              sort_keys=True) \
+                == json.dumps(plain.records, sort_keys=True)
+            kinds = [event["kind"]
+                     for _seq, event in revived.read_events(job.id)]
+            assert "job_interrupted" in kinds
+            assert "job_resumed" in kinds
+        finally:
+            revived.close(drain_timeout=10.0)
+
+    def test_recover_preserves_terminal_jobs_without_requeue(
+            self, tmp_path):
+        data_dir = str(tmp_path / "svc")
+        backend = ServiceBackend(data_dir, slots=2)
+        job = backend.submit("alice", spec())
+        wait_terminal(backend, job.id)
+        backend.close(drain_timeout=10.0)
+        revived = ServiceBackend(data_dir, slots=2)
+        try:
+            assert revived.recover() == []
+            assert revived.job(job.id).state == DONE
+        finally:
+            revived.close(drain_timeout=5.0)
+
+
+class TestFairnessAccounting:
+    def test_concurrent_tenants_both_execute_and_report(self, backend):
+        jobs = [backend.submit("alice", spec(name="fa", replicates=4)),
+                backend.submit("bob", spec(name="fb", replicates=4))]
+        for job in jobs:
+            assert wait_terminal(backend, job.id).state == DONE
+        report = backend.fairness_report()
+        for tenant in ("alice", "bob"):
+            entry = report["tenants"][tenant]
+            assert entry["trials_executed"] == 8
+            assert entry["jobs"] == {"done": 1}
+            assert entry["busy_seconds"] > 0
+        assert report["slots"] == 2
+        assert report["draining"] is False
