@@ -69,9 +69,9 @@ from .outcome import (DETECTED_RECOVERED, MASKED, OUTCOMES, SDC,
                       SIMULATORS, TIMEOUT, TrialResult,
                       clear_result_caches, run_trial)
 from .spec import CampaignShard, CampaignSpec, Trial
-from .store import (JSONLStore, ResultStore, ShardedJSONLStore,
-                    SQLiteStore, StoreBackend, merge_stores, open_store,
-                    shard_of_key)
+from .store import (JSONLStore, ResultStore, RetryingStore,
+                    ShardedJSONLStore, SQLiteStore, StoreBackend,
+                    merge_stores, open_store, shard_of_key)
 
 __all__ = [
     "AdaptiveScheduler", "AdaptiveSummary", "SamplingPlan",
@@ -88,6 +88,7 @@ __all__ = [
     "DETECTED_RECOVERED", "MASKED", "OUTCOMES", "SDC", "SIMULATORS",
     "TIMEOUT", "TrialResult", "clear_result_caches", "run_trial",
     "CampaignShard", "CampaignSpec", "Trial",
-    "JSONLStore", "ResultStore", "ShardedJSONLStore", "SQLiteStore",
+    "JSONLStore", "ResultStore", "RetryingStore",
+    "ShardedJSONLStore", "SQLiteStore",
     "StoreBackend", "merge_stores", "open_store", "shard_of_key",
 ]

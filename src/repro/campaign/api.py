@@ -36,8 +36,7 @@ wrapper over this class, byte-identical in behaviour.
 
 from __future__ import annotations
 
-from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
-                                as_completed, wait)
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -47,7 +46,9 @@ from .adaptive import (CONVERGED as _CONVERGED, AdaptiveScheduler,
 from .aggregate import aggregate, aggregate_structures, trial_cell
 from .outcome import SIMULATORS, run_trial
 from .spec import CampaignShard, CampaignSpec, Trial
-from .store import StoreBackend, open_store
+from .store import RetryingStore, StoreBackend, open_store
+from ..resilience.retry import RetryPolicy
+from ..resilience.watchdog import PoolSupervisor
 
 # -- events ----------------------------------------------------------------
 
@@ -153,6 +154,18 @@ class ExecutionOptions:
     progress feed) re-reads result stores — ``None`` keeps each
     driver's own default (0.2 s for the orchestrator; the service
     backend runs a tighter interval for live SSE progress).
+
+    The resilience knobs only shape the pooled execution paths
+    (``workers > 1``): ``trial_timeout`` is the per-trial *wall-clock*
+    deadline distinguishing an infrastructure hang from the simulated
+    ``timeout`` outcome (which returns promptly as a normal record);
+    ``trial_retries`` bounds how often one trial may be re-submitted
+    across pool rebuilds before the run fails with
+    :class:`~repro.errors.TrialHangError`; ``store_retry`` wraps the
+    session's store in a :class:`~repro.campaign.store.RetryingStore`
+    so a transient write error does not discard a finished simulation.
+    The serial path (``workers == 1``, the benchmark hot path) is
+    untouched by the first two — zero overhead.
     """
 
     simulator: str = "fast"
@@ -162,6 +175,9 @@ class ExecutionOptions:
     max_cycles: Optional[int] = None
     sampling: Optional[SamplingPlan] = None
     poll_interval: Optional[float] = None
+    trial_timeout: Optional[float] = None
+    trial_retries: int = 2
+    store_retry: Optional[RetryPolicy] = None
 
     def __post_init__(self):
         if self.simulator not in SIMULATORS:
@@ -187,6 +203,22 @@ class ExecutionOptions:
                 or self.poll_interval <= 0):
             raise ConfigError("poll_interval must be a positive number "
                               "or None, got %r" % (self.poll_interval,))
+        if self.trial_timeout is not None and (
+                not isinstance(self.trial_timeout, (int, float))
+                or isinstance(self.trial_timeout, bool)
+                or self.trial_timeout <= 0):
+            raise ConfigError("trial_timeout must be a positive number "
+                              "or None, got %r" % (self.trial_timeout,))
+        if not isinstance(self.trial_retries, int) \
+                or isinstance(self.trial_retries, bool) \
+                or self.trial_retries < 0:
+            raise ConfigError("trial_retries must be an integer >= 0, "
+                              "got %r" % (self.trial_retries,))
+        if self.store_retry is not None \
+                and not isinstance(self.store_retry, RetryPolicy):
+            raise ConfigError(
+                "store_retry must be a RetryPolicy or None, got %r"
+                % (self.store_retry,))
 
     @property
     def adaptive(self) -> bool:
@@ -205,6 +237,15 @@ class ExecutionOptions:
             data["sampling"] = self.sampling.to_dict()
         if self.poll_interval is not None:
             data["poll_interval"] = self.poll_interval
+        # Resilience fields ride along only when set away from their
+        # defaults, keeping worker payloads and persisted job files
+        # byte-compatible with pre-resilience runs.
+        if self.trial_timeout is not None:
+            data["trial_timeout"] = self.trial_timeout
+        if self.trial_retries != 2:
+            data["trial_retries"] = self.trial_retries
+        if self.store_retry is not None:
+            data["store_retry"] = self.store_retry.to_dict()
         return data
 
     @classmethod
@@ -213,6 +254,9 @@ class ExecutionOptions:
         sampling = data.pop("sampling", None)
         if sampling is not None:
             data["sampling"] = SamplingPlan.from_dict(sampling)
+        store_retry = data.pop("store_retry", None)
+        if store_retry is not None:
+            data["store_retry"] = RetryPolicy.from_dict(store_retry)
         known = set(cls.__dataclass_fields__)
         unknown = set(data) - known
         if unknown:
@@ -334,6 +378,11 @@ class CampaignSession:
                 "fault-site campaigns require the fast simulator (the "
                 "frozen reference engine predates the site subsystem)")
         self.store: Optional[StoreBackend] = open_store(store)
+        if self.store is not None \
+                and self.options.store_retry is not None \
+                and not isinstance(self.store, RetryingStore):
+            self.store = RetryingStore(self.store,
+                                       policy=self.options.store_retry)
         self._listeners: List[CampaignListener] = list(listeners)
         self.result: Optional[CampaignResult] = None
 
@@ -558,6 +607,54 @@ class CampaignSession:
 
         return collect, state
 
+    def _pool_supervisor(self, state, total):
+        """A :class:`~repro.resilience.watchdog.PoolSupervisor` over a
+        session-private process pool.
+
+        The holder closure owns pool lifetime: the supervisor retires
+        a broken executor through ``reset_pool`` and lazily rebuilds
+        through ``get_pool``, so a SIGKILL'd pool worker (or a trial
+        past ``options.trial_timeout``) costs a rebuild + resubmit
+        instead of the whole session.  Every resubmission re-emits
+        ``trial_started`` — listeners see the retry, and the record
+        that eventually lands is byte-identical (trial seeds derive
+        from trial keys, not scheduling).
+        """
+        workers = self.options.workers
+        holder = {"pool": None}
+
+        def get_pool():
+            if holder["pool"] is None:
+                holder["pool"] = ProcessPoolExecutor(
+                    max_workers=workers)
+            return holder["pool"]
+
+        def reset_pool(broken=None):
+            pool = holder["pool"]
+            if pool is None or (broken is not None
+                                and pool is not broken):
+                return
+            holder["pool"] = None
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        def on_resubmit(trial, attempt):
+            self._emit(TRIAL_STARTED, done=state["done"], total=total,
+                       trial=trial.to_dict())
+
+        supervisor = PoolSupervisor(
+            get_pool, reset_pool,
+            trial_timeout=self.options.trial_timeout,
+            trial_retries=self.options.trial_retries,
+            on_resubmit=on_resubmit)
+        return supervisor, holder
+
+    @staticmethod
+    def _shutdown_pool(holder):
+        pool = holder["pool"]
+        holder["pool"] = None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
     def _execute(self, todo, cell_remaining, done_offset, total):
         """Run the outstanding trials; return {key: record}."""
         records: Dict[str, dict] = {}
@@ -571,16 +668,19 @@ class CampaignSession:
                 collect(execute_trial_payload(
                     self.options.trial_payload(trial)))
             return records
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = []
+        supervisor, holder = self._pool_supervisor(state, total)
+        try:
             for trial in todo:
-                futures.append(pool.submit(
-                    execute_trial_payload,
-                    self.options.trial_payload(trial)))
+                supervisor.submit(trial.key, execute_trial_payload,
+                                  self.options.trial_payload(trial),
+                                  context=trial)
                 self._emit(TRIAL_STARTED, done=state["done"],
                            total=total, trial=trial.to_dict())
-            for future in as_completed(futures):
-                collect(future.result())
+            while supervisor.inflight:
+                for _trial, record in supervisor.wait():
+                    collect(record)
+        finally:
+            self._shutdown_pool(holder)
         return records
 
     def _execute_adaptive(self, scheduler, cell_remaining, done_offset,
@@ -629,26 +729,25 @@ class CampaignSession:
                 collect(execute_trial_payload(
                     self.options.trial_payload(trial)))
             return records
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {}
+        supervisor, holder = self._pool_supervisor(state, total)
 
-            def refill():
-                while len(futures) < workers:
-                    trial = scheduler.next_trial()
-                    if trial is None:
-                        return
-                    future = pool.submit(
-                        execute_trial_payload,
-                        self.options.trial_payload(trial))
-                    futures[future] = trial
-                    self._emit(TRIAL_STARTED, done=state["done"],
-                               total=total, trial=trial.to_dict())
+        def refill():
+            while supervisor.inflight < workers:
+                trial = scheduler.next_trial()
+                if trial is None:
+                    return
+                supervisor.submit(trial.key, execute_trial_payload,
+                                  self.options.trial_payload(trial),
+                                  context=trial)
+                self._emit(TRIAL_STARTED, done=state["done"],
+                           total=total, trial=trial.to_dict())
 
+        try:
             refill()
-            while futures:
-                finished, _ = wait(futures, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    futures.pop(future)
-                    collect(future.result())
+            while supervisor.inflight:
+                for _trial, record in supervisor.wait():
+                    collect(record)
                 refill()
+        finally:
+            self._shutdown_pool(holder)
         return records

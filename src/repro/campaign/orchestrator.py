@@ -50,6 +50,8 @@ from typing import Dict, List, Optional, Set
 
 from ..errors import (ConfigError, OrchestratorError,
                       OrchestratorStopped)
+from ..resilience.heartbeat import Heartbeat, HeartbeatMonitor
+from ..resilience.retry import RetryPolicy
 from .api import (CAMPAIGN_FINISHED, TRIAL_FINISHED, CampaignEvent,
                   CampaignListener, CampaignResult, CampaignSession,
                   ExecutionOptions)
@@ -62,6 +64,10 @@ from .store import JSONLStore, merge_stores, open_store, shard_of_key
 SHARD_STARTED = "shard_started"
 SHARD_FINISHED = "shard_finished"
 SHARD_RESTARTED = "shard_restarted"
+#: A live-but-stalled worker was detected via heartbeat lease expiry
+#: and SIGKILL'd; a ``shard_restarted`` follows once its backoff
+#: delay elapses.
+SHARD_HUNG = "shard_hung"
 
 #: Worker launch modes.
 PROCESS_MODE = "process"        # forked in-process CampaignSession
@@ -70,8 +76,22 @@ MODES = (PROCESS_MODE, CLI_MODE)
 
 _SHARD_STORE = "shard-%02d-of-%02d.jsonl"
 _SHARD_LOG = "shard-%02d.log"
+_SHARD_HEARTBEAT = "shard-%02d.heartbeat"
 _SPEC_FILE = "orchestrate-spec.json"
 MERGED_STORE = "merged.jsonl"
+
+#: Default relaunch backoff: 0.5 s doubling to 30 s, ±10 % jitter
+#: derived from the shard index (deterministic — a replayed failure
+#: schedule restarts on the same timeline).
+DEFAULT_RESTART_BACKOFF = RetryPolicy(
+    attempts=1, base_delay=0.5, max_delay=30.0, multiplier=2.0,
+    jitter=0.1)
+
+#: A worker that stayed up this long before dying earns its restart
+#: count back — transient deaths spread over a long campaign must not
+#: accumulate into a spurious OrchestratorError, while a crash loop
+#: (deaths far faster than this) still burns the budget.
+DEFAULT_MIN_UPTIME = 5.0
 
 
 def shard_store_path(store_dir: str, index: int, total: int) -> str:
@@ -79,21 +99,36 @@ def shard_store_path(store_dir: str, index: int, total: int) -> str:
     return os.path.join(store_dir, _SHARD_STORE % (index, total))
 
 
-def _run_shard(spec_data, index, total, options_data, store_path):
+def _run_shard(spec_data, index, total, options_data, store_path,
+               heartbeat_path=None, heartbeat_interval=1.0):
     """Process-mode worker entry point (module-level: picklable).
 
     Resumes when the shard store already holds records — the restart
-    path and the fresh-launch path are the same function.
+    path and the fresh-launch path are the same function.  When the
+    driver asked for liveness (``heartbeat_path``), the worker stamps
+    a progress-coupled heartbeat on every session event — a worker
+    that stops making progress stops beating, whatever its process
+    state says.
     """
     spec = CampaignSpec.from_dict(spec_data)
     options = ExecutionOptions.from_dict(options_data)
     store = JSONLStore(store_path)
     session = CampaignSession(spec.shard(index, total), options=options,
                               store=store)
+    heartbeat = None
+    if heartbeat_path:
+        heartbeat = Heartbeat(heartbeat_path,
+                              interval=heartbeat_interval)
+        session.subscribe(
+            lambda event: heartbeat.beat(progress=event.done))
+        heartbeat.beat(progress=0, force=True)
     if store.exists and store.completed_keys():
         session.resume()
     else:
         session.run()
+    if heartbeat is not None:
+        heartbeat.beat(progress=len(session.result.records),
+                       force=True)
 
 
 @dataclass
@@ -105,13 +140,28 @@ class ShardWorker:
     store: JSONLStore
     #: Full shard keyspace (what "complete" means for a fixed plan).
     expected_keys: frozenset
+    #: Deaths in the *current* crash-loop window; reset once the
+    #: worker stays up past ``min_uptime`` (budget forgiveness).
     restarts: int = 0
+    #: Lifetime relaunch count — never forgiven; feeds observability.
+    lifetime_restarts: int = 0
     seen: Set[str] = field(default_factory=set)
     process: object = None          # multiprocessing.Process or Popen
     finished: bool = False
     log_path: str = ""
     #: How far into the (append-only) shard store the driver has read.
     read_offset: int = 0
+    #: monotonic() stamp of the last launch (crash-loop detection).
+    launched_at: float = 0.0
+    #: monotonic() deadline of a scheduled (backed-off) relaunch;
+    #: ``None`` when no relaunch is pending.
+    relaunch_at: Optional[float] = None
+    #: Heartbeat file the worker stamps (liveness enabled only).
+    heartbeat_path: str = ""
+    #: Driver-side lease over the heartbeat (liveness enabled only).
+    monitor: Optional[HeartbeatMonitor] = None
+    #: Times this worker was SIGKILL'd for a heartbeat lease expiry.
+    hung: int = 0
 
     @property
     def pid(self) -> Optional[int]:
@@ -146,6 +196,17 @@ class ShardWorker:
         self.process.terminate()
         self.reap()
 
+    def kill(self):
+        """SIGKILL (not terminate): a hung worker may ignore SIGTERM —
+        and a SIGSTOP'd one certainly does; SIGKILL takes down both."""
+        if self.process is None:
+            return
+        try:
+            self.process.kill()
+        except (ProcessLookupError, OSError):
+            pass
+        self.reap()
+
 
 class CampaignOrchestrator:
     """Drive one campaign spec across N shard workers to a merged result.
@@ -176,7 +237,11 @@ class CampaignOrchestrator:
                  mode: str = PROCESS_MODE,
                  poll_interval: Optional[float] = None,
                  max_restarts: int = 2, merged_store=None,
-                 listeners=(), stop_requested=None):
+                 listeners=(), stop_requested=None,
+                 restart_backoff: Optional[RetryPolicy] = None,
+                 min_uptime: float = DEFAULT_MIN_UPTIME,
+                 heartbeat_lease: Optional[float] = None,
+                 heartbeat_interval: float = 1.0):
         if not isinstance(spec, CampaignSpec):
             raise ConfigError(
                 "orchestrate needs a full CampaignSpec (got %s); the "
@@ -217,11 +282,36 @@ class CampaignOrchestrator:
         # (and the spec file) agree on trial identity.
         self.spec = CampaignSession._stamp_max_cycles(
             spec, self.options.max_cycles)
+        if restart_backoff is not None \
+                and not isinstance(restart_backoff, RetryPolicy):
+            raise ConfigError("restart_backoff must be a RetryPolicy "
+                              "or None")
+        if not isinstance(min_uptime, (int, float)) \
+                or isinstance(min_uptime, bool) or min_uptime < 0:
+            raise ConfigError("min_uptime must be >= 0")
+        if heartbeat_lease is not None and (
+                not isinstance(heartbeat_lease, (int, float))
+                or isinstance(heartbeat_lease, bool)
+                or heartbeat_lease <= 0):
+            raise ConfigError("heartbeat_lease must be > 0 (or None)")
         self.shards = shards
         self.store_dir = store_dir
         self.mode = mode
         self.poll_interval = poll_interval
         self.max_restarts = max_restarts
+        #: Relaunch backoff schedule (see DEFAULT_RESTART_BACKOFF).
+        self.restart_backoff = restart_backoff \
+            if restart_backoff is not None else DEFAULT_RESTART_BACKOFF
+        #: Uptime that restores a worker's full restart budget.
+        self.min_uptime = float(min_uptime)
+        #: When set, each worker stamps a progress-coupled heartbeat
+        #: file and the driver SIGKILLs (then restarts) any live
+        #: worker whose heartbeat AND store both stall for a full
+        #: lease interval.  ``None`` disables liveness detection —
+        #: the lease must exceed the worst honest trial time, which
+        #: only the operator knows.
+        self.heartbeat_lease = heartbeat_lease
+        self.heartbeat_interval = heartbeat_interval
         self.merged_store = open_store(merged_store) \
             if merged_store is not None else None
         if self.merged_store is None:
@@ -282,18 +372,38 @@ class CampaignOrchestrator:
             for index in range(self.shards)]
 
     def _launch(self, worker: ShardWorker):
+        worker.relaunch_at = None
+        worker.launched_at = time.monotonic()
+        if self.heartbeat_lease is not None:
+            worker.heartbeat_path = os.path.join(
+                self.store_dir, _SHARD_HEARTBEAT % worker.index)
+            # A stale heartbeat from the previous incarnation must not
+            # renew the new lease; the monitor grants a full lease
+            # from launch for the first beat anyway.
+            try:
+                os.unlink(worker.heartbeat_path)
+            except OSError:
+                pass
+            worker.monitor = HeartbeatMonitor(worker.heartbeat_path,
+                                              self.heartbeat_lease)
         if self.mode == PROCESS_MODE:
             context = multiprocessing.get_context()
             worker.process = context.Process(
                 target=_run_shard,
                 args=(self.spec.to_dict(), worker.index, self.shards,
-                      self.options.to_dict(), worker.store.path))
+                      self.options.to_dict(), worker.store.path,
+                      worker.heartbeat_path or None,
+                      self.heartbeat_interval))
             worker.process.start()
             return
         command = [sys.executable, "-m", "repro.harness.cli",
                    "campaign", "--spec", self._spec_file,
                    "--shard", "%d/%d" % (worker.index, self.shards),
                    "--store", worker.store.path, "--quiet"]
+        if worker.heartbeat_path:
+            command += ["--heartbeat", worker.heartbeat_path,
+                        "--heartbeat-interval",
+                        repr(self.heartbeat_interval)]
         if self.options.workers > 1:
             command += ["--workers", str(self.options.workers)]
         plan = self.options.sampling
@@ -386,6 +496,13 @@ class CampaignOrchestrator:
             worker.finished = True
             self._emit(SHARD_FINISHED, shard=worker.index)
             return
+        # Crash-loop window: a worker that stayed up past min_uptime
+        # earned its restart budget back — only deaths in quick
+        # succession accumulate toward OrchestratorError.
+        uptime = time.monotonic() - worker.launched_at
+        if worker.launched_at and self.min_uptime \
+                and uptime >= self.min_uptime:
+            worker.restarts = 0
         if worker.restarts >= self.max_restarts:
             raise OrchestratorError(
                 "shard %d/%d died with exit code %s after %d "
@@ -396,9 +513,32 @@ class CampaignOrchestrator:
                    worker.store.path,
                    ", log: %s" % worker.log_path
                    if self.mode == CLI_MODE else ""))
+        # Schedule the relaunch behind an exponential backoff instead
+        # of firing immediately — an immediate relaunch into the same
+        # fault (full disk, dead mount) burns max_restarts in
+        # milliseconds and amplifies whatever is already on fire.
         worker.restarts += 1
-        self._launch(worker)
-        self._emit(SHARD_RESTARTED, shard=worker.index)
+        worker.lifetime_restarts += 1
+        worker.relaunch_at = time.monotonic() + self.restart_backoff \
+            .delay(worker.restarts - 1, token="shard-%d" % worker.index)
+
+    def _check_hung(self, worker: ShardWorker) -> bool:
+        """SIGKILL a live worker whose heartbeat lease expired.
+
+        The lease renews on heartbeat payload changes AND on store
+        progress the driver observes itself (``len(worker.seen)``), so
+        a worker beating onto a dead disk is still covered; expiry
+        means *neither* channel moved for a full lease.
+        """
+        if worker.monitor is None \
+                or not worker.monitor.expired(
+                    progress=len(worker.seen)):
+            return False
+        worker.hung += 1
+        self._emit(SHARD_HUNG, shard=worker.index)
+        worker.kill()
+        self._handle_exit(worker)
+        return True
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -442,8 +582,16 @@ class CampaignOrchestrator:
                     if worker.finished:
                         continue
                     self._poll_store(worker)
+                    if worker.relaunch_at is not None:
+                        if time.monotonic() >= worker.relaunch_at:
+                            self._launch(worker)
+                            self._emit(SHARD_RESTARTED,
+                                       shard=worker.index)
+                        continue
                     if not worker.alive:
                         self._handle_exit(worker)
+                    else:
+                        self._check_hung(worker)
                 if all(worker.finished for worker in self.workers):
                     break
                 time.sleep(self.poll_interval)
@@ -492,4 +640,11 @@ class CampaignOrchestrator:
 
     @property
     def total_restarts(self) -> int:
-        return sum(worker.restarts for worker in self.workers)
+        """Worker relaunches over the whole run (cumulative — crash-loop
+        forgiveness resets the per-window budget, not this tally)."""
+        return sum(worker.lifetime_restarts for worker in self.workers)
+
+    @property
+    def total_hung(self) -> int:
+        """Workers SIGKILL'd for heartbeat lease expiry (cumulative)."""
+        return sum(worker.hung for worker in self.workers)

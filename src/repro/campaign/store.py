@@ -368,6 +368,63 @@ class ShardedJSONLStore(StoreBackend):
         return (kept, dropped)
 
 
+class RetryingStore(StoreBackend):
+    """Wrap any backend with a :class:`~repro.resilience.retry.
+    RetryPolicy` on its I/O methods.
+
+    Store writes are the one durable side effect of a trial — a
+    transient ``OSError`` (NFS hiccup, fd-table pressure, sqlite
+    ``disk I/O error``) must not throw away a finished simulation.
+    Appends/loads/compactions retry under the policy with the record
+    key as jitter token; persistent failure propagates the last error
+    unchanged.  ``sqlite3.OperationalError`` is an ``sqlite3.Error``,
+    not an ``OSError``, so both are retried.
+    """
+
+    #: Exception classes treated as transient storage failures.
+    RETRY_ON = (OSError, sqlite3.Error)
+
+    def __init__(self, inner: StoreBackend, policy=None,
+                 sleep=None):
+        from ..resilience.retry import RetryPolicy
+        self.inner = inner
+        self.path = inner.path
+        self.policy = policy if policy is not None \
+            else RetryPolicy(attempts=3, base_delay=0.05, max_delay=1.0)
+        self._sleep = sleep
+        #: Appends that needed at least one retry (observability).
+        self.retried = 0
+
+    def _call(self, fn, token=""):
+        def bump(attempt, exc):
+            self.retried += 1
+        kwargs = {"retry_on": self.RETRY_ON, "token": token,
+                  "on_retry": bump}
+        if self._sleep is not None:
+            kwargs["sleep"] = self._sleep
+        return self.policy.call(fn, **kwargs)
+
+    @property
+    def exists(self):
+        return self.inner.exists
+
+    def truncate(self):
+        self._call(self.inner.truncate, token="truncate")
+
+    def append(self, record):
+        key = self._check_key(record)
+        self._call(lambda: self.inner.append(record), token=key)
+
+    def load(self):
+        return self._call(self.inner.load, token="load")
+
+    def compact(self):
+        return self._call(self.inner.compact, token="compact")
+
+    def completed_keys(self):
+        return self._call(self.inner.completed_keys, token="keys")
+
+
 def shard_of_key(key, total):
     """Deterministic shard index of a trial key (hex hash or any str)."""
     try:

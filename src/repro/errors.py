@@ -40,6 +40,19 @@ class OrchestratorStopped(ReproError):
     completed record for a later resume."""
 
 
+class ResilienceError(ReproError):
+    """Base class for fault-tolerance layer failures (retry budgets
+    exhausted, unrecoverable pool state, hung-trial limits)."""
+
+
+class TrialHangError(ResilienceError):
+    """Raised when a trial keeps hanging or dying across pool rebuilds
+    past its retry budget.  Distinct from the simulated ``timeout``
+    outcome: that one is a *result* (the injected fault wedged the
+    simulated machine); this one means the host-side worker process
+    never came back — an infrastructure failure."""
+
+
 class ServiceError(ReproError):
     """Raised when the campaign service cannot honour a request
     (unknown job, invalid submission, service not running)."""

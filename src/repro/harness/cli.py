@@ -372,11 +372,23 @@ def _cmd_campaign(args):
                 print("  [%d/%d] %s %s"
                       % (event.done, event.total, event.record["key"],
                          event.record["outcome"]), file=sys.stderr)
+    heartbeat = None
+    if args.heartbeat:
+        # A supervising driver (the orchestrator's cli mode, or any
+        # external watchdog) monitors this file for liveness.
+        from ..resilience.heartbeat import Heartbeat
+        heartbeat = Heartbeat(args.heartbeat,
+                              interval=args.heartbeat_interval)
+        session.subscribe(
+            lambda event: heartbeat.beat(progress=event.done))
+        heartbeat.beat(progress=0, force=True)
     start = time.monotonic()
     try:
         result = session.resume() if args.resume else session.run()
     except ConfigError as exc:
         raise SystemExit("repro-ft campaign: %s" % exc)
+    if heartbeat is not None:
+        heartbeat.beat(progress=len(result.records), force=True)
     elapsed = time.monotonic() - start
     cells = session.aggregate()
     with_sites = bool(getattr(session.spec, "fault_sites", None))
@@ -409,7 +421,10 @@ def _cmd_orchestrate(args):
             spec, shards=args.shards, store_dir=args.store_dir,
             options=options, mode=args.mode,
             poll_interval=args.poll_interval,
-            max_restarts=args.max_restarts)
+            max_restarts=args.max_restarts,
+            min_uptime=args.min_uptime,
+            heartbeat_lease=args.heartbeat_lease,
+            heartbeat_interval=args.heartbeat_interval)
     except (ConfigError, ValueError, TypeError, OSError) as exc:
         raise SystemExit("repro-ft orchestrate: %s" % exc)
     except KeyError as exc:
@@ -488,6 +503,11 @@ def _cmd_serve(args):
     return run_serve(args)
 
 
+def _cmd_chaos(args):
+    from ..resilience.chaos import run_chaos
+    return run_chaos(args)
+
+
 def _cmd_load(args):
     from ..service.loadgen import run_load
     return run_load(args)
@@ -509,6 +529,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "serve": _cmd_serve,
     "load": _cmd_load,
+    "chaos": _cmd_chaos,
 }
 
 
@@ -539,6 +560,17 @@ def _add_serve_args(sub):
     sub.add_argument("--drain-timeout", type=float, default=60.0,
                      help="seconds to wait for in-flight trials on "
                           "SIGTERM before exiting anyway")
+    sub.add_argument("--trial-timeout", type=float, default=None,
+                     help="per-trial wall-clock deadline for pooled "
+                          "jobs; expired trials SIGKILL their worker "
+                          "and re-run (default: no deadline)")
+    sub.add_argument("--runner-lease", type=float, default=None,
+                     help="SIGKILL shared-pool workers when a job with "
+                          "in-flight trials makes no progress for this "
+                          "long (default: no liveness thread)")
+    sub.add_argument("--heartbeat-lease", type=float, default=None,
+                     help="shard heartbeat lease for orchestrated "
+                          "(shards >= 1) jobs (default: no liveness)")
 
 
 def _add_load_args(sub):
@@ -674,6 +706,11 @@ def _add_campaign_args(sub):
                           "duplicate keys) and exit")
     sub.add_argument("--resume", action="store_true",
                      help="skip trials already completed in --store")
+    sub.add_argument("--heartbeat", default="", metavar="PATH",
+                     help="stamp a progress-coupled heartbeat file a "
+                          "supervising driver can watch for liveness")
+    sub.add_argument("--heartbeat-interval", type=float, default=1.0,
+                     help="minimum seconds between heartbeat stamps")
 
 
 def _add_orchestrate_args(sub):
@@ -693,6 +730,53 @@ def _add_orchestrate_args(sub):
     sub.add_argument("--max-restarts", type=int, default=2,
                      help="restarts allowed per shard before the "
                           "campaign fails")
+    sub.add_argument("--heartbeat-lease", type=float, default=None,
+                     help="kill and restart a shard whose heartbeat "
+                          "and store both stall this long (default: "
+                          "exit detection only)")
+    sub.add_argument("--heartbeat-interval", type=float, default=1.0,
+                     help="minimum seconds between worker heartbeats")
+    sub.add_argument("--min-uptime", type=float, default=5.0,
+                     help="a shard alive this long earns its restart "
+                          "budget back (crash-loop forgiveness; 0 "
+                          "disables)")
+
+
+def _add_chaos_args(sub):
+    sub.add_argument("--target", default="orchestrate",
+                     choices=("orchestrate", "service", "both"),
+                     help="which stack to disturb")
+    sub.add_argument("--dir", required=True,
+                     help="scratch directory for the chaos run's "
+                          "stores/state")
+    sub.add_argument("--seed", type=int, default=0,
+                     help="fault-schedule seed (op kinds and times "
+                          "are deterministic per seed)")
+    sub.add_argument("--shards", type=int, default=2,
+                     help="orchestrate target: shard workers")
+    sub.add_argument("--kills", type=int, default=1,
+                     help="scheduled worker SIGKILLs")
+    sub.add_argument("--stalls", type=int, default=1,
+                     help="scheduled worker SIGSTOPs (hangs the "
+                          "liveness layer must detect)")
+    sub.add_argument("--torn", type=int, default=1,
+                     help="scheduled torn store appends "
+                          "(orchestrate target only)")
+    sub.add_argument("--heartbeat-lease", type=float, default=1.5,
+                     help="orchestrate target: shard heartbeat lease")
+    sub.add_argument("--jobs", type=int, default=2,
+                     help="service target: jobs to submit")
+    sub.add_argument("--slots", type=int, default=2,
+                     help="service target: shared pool slots")
+    sub.add_argument("--trial-timeout", type=float, default=3.0,
+                     help="service target: per-trial deadline")
+    sub.add_argument("--runner-lease", type=float, default=3.0,
+                     help="service target: hung-runner lease")
+    sub.add_argument("--spec", default="",
+                     help="JSON CampaignSpec to run under chaos "
+                          "(default: a small built-in grid)")
+    sub.add_argument("--json", action="store_true",
+                     help="print the full report(s) as JSON")
 
 
 def build_parser():
@@ -724,6 +808,8 @@ def build_parser():
             _add_serve_args(sub)
         if name == "load":
             _add_load_args(sub)
+        if name == "chaos":
+            _add_chaos_args(sub)
     return parser
 
 

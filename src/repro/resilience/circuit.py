@@ -1,0 +1,100 @@
+"""A small circuit breaker (CLOSED / OPEN / HALF_OPEN, thread-safe).
+
+The service uses one breaker per job runner to decide when to stop
+paying for *optional* work: consecutive infrastructure failures trip
+the breaker, and an OPEN breaker tells the runner to shed adaptive
+extra replicates (finish the seed replicates, skip the statistical
+gravy) instead of burning its whole retry budget and failing the job.
+After ``recovery_time`` the breaker admits one probe (HALF_OPEN); a
+success closes it, another failure re-opens the clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..errors import ConfigError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Trip after ``failure_threshold`` consecutive failures.
+
+    * CLOSED — everything allowed; failures count up, a success
+      resets the count.
+    * OPEN — :meth:`allow` refuses until ``recovery_time`` elapses.
+    * HALF_OPEN — one probe is allowed through; its outcome decides
+      (success -> CLOSED, failure -> OPEN with a fresh clock).
+    """
+
+    def __init__(self, failure_threshold: int = 3,
+                 recovery_time: float = 10.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if not isinstance(failure_threshold, int) \
+                or isinstance(failure_threshold, bool) \
+                or failure_threshold < 1:
+            raise ConfigError(
+                "failure_threshold must be an integer >= 1")
+        if not isinstance(recovery_time, (int, float)) \
+                or isinstance(recovery_time, bool) or recovery_time < 0:
+            raise ConfigError("recovery_time must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = float(recovery_time)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        #: Total trips to OPEN over the breaker's lifetime.
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._advance()
+
+    def _advance(self) -> str:
+        """Lock held: apply the recovery-time transition."""
+        if self._state == OPEN and not self._probing \
+                and self._clock() - self._opened_at \
+                >= self.recovery_time:
+            self._state = HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May optional work proceed right now?
+
+        In HALF_OPEN exactly one caller gets ``True`` (the probe)
+        until its outcome is recorded.
+        """
+        with self._lock:
+            state = self._advance()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self):
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            self._state = CLOSED
+
+    def record_failure(self):
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if self._state == HALF_OPEN \
+                    or self._failures >= self.failure_threshold:
+                if self._state != OPEN:
+                    self.trips += 1
+                self._state = OPEN
+                self._opened_at = self._clock()

@@ -1,0 +1,152 @@
+"""Progress-coupled heartbeat files and lease-expiry monitors.
+
+A dead worker is easy to notice (the process table says so); a *hung*
+one — SIGSTOP'd, wedged on a dead filesystem, livelocked — looks
+perfectly healthy to ``is_alive()`` forever.  The fix is a lease: the
+worker stamps a small JSON file whenever it makes *progress* (not
+merely whenever it is scheduled — a beat loop inside a wedged worker
+would happily keep beating), and the supervisor declares the worker
+hung when neither the heartbeat payload nor any externally observable
+progress (e.g. records landing in the worker's store) has changed for
+a full lease interval.
+
+Writes are atomic (unique tmp + ``os.replace``) so a monitor never
+reads a torn heartbeat, and throttled so a hot trial loop does not
+turn into an fsync storm — the stamp only needs to move once per
+lease, not once per trial.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from typing import Callable, Optional
+
+from ..errors import ConfigError
+
+
+class Heartbeat:
+    """Worker-side heartbeat writer (progress-coupled, throttled).
+
+    Call :meth:`beat` at every progress point (trial finished, pool
+    wait tick); the file is only rewritten when ``interval`` has
+    elapsed since the last write or when forced, so beating is cheap
+    enough to sprinkle liberally.
+    """
+
+    def __init__(self, path: str, interval: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if not isinstance(interval, (int, float)) \
+                or isinstance(interval, bool) or interval <= 0:
+            raise ConfigError("heartbeat interval must be > 0")
+        self.path = path
+        self.interval = float(interval)
+        self._clock = clock
+        self._last_write = None   # type: Optional[float]
+        self._seq = 0
+        self._progress = None
+
+    def beat(self, progress=None, force: bool = False):
+        """Stamp the heartbeat file (throttled to ``interval``).
+
+        ``progress`` is any JSON-serializable progress indicator
+        (typically a done-trial count); a *changed* progress value is
+        always worth a write even inside the throttle window — the
+        monitor renews its lease on payload changes, so suppressing
+        one could cost a worker its lease during a slow stretch.
+        """
+        now = self._clock()
+        throttled = (self._last_write is not None
+                     and now - self._last_write < self.interval
+                     and progress == self._progress)
+        if throttled and not force:
+            return
+        self._last_write = now
+        self._seq += 1
+        self._progress = progress
+        payload = {"pid": os.getpid(), "seq": self._seq,
+                   "time": time.time(), "progress": progress}
+        tmp = "%s.tmp.%s" % (self.path, uuid.uuid4().hex[:8])
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, self.path)
+        except OSError:
+            # A heartbeat that cannot be written must never take the
+            # worker down with it — losing the lease is the correct
+            # (and self-describing) failure mode here.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def clear(self):
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class HeartbeatMonitor:
+    """Supervisor-side lease over a worker's heartbeat file.
+
+    The lease renews whenever the heartbeat payload changes OR the
+    supervisor observes external progress (pass the worker's current
+    record count to :meth:`expired`) — the two channels back each
+    other up: a worker whose heartbeat file landed on a dead disk is
+    still covered by its store progress, and a worker making no store
+    progress on a legitimately slow trial is covered by its beats.
+    :meth:`expired` returning ``True`` means *neither* channel moved
+    for a full ``lease`` interval: kill and restart.
+    """
+
+    def __init__(self, path: str, lease: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if not isinstance(lease, (int, float)) \
+                or isinstance(lease, bool) or lease <= 0:
+            raise ConfigError("heartbeat lease must be > 0")
+        self.path = path
+        self.lease = float(lease)
+        self._clock = clock
+        # The launch itself counts as activity: a worker gets a full
+        # lease to produce its first beat before it can be called hung.
+        self._renewed = clock()
+        self._last_payload = None
+        self._last_progress = None
+
+    def _read(self):
+        try:
+            with open(self.path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def renew(self):
+        self._renewed = self._clock()
+
+    def expired(self, progress=None) -> bool:
+        """Check the lease; renews on any observed activity.
+
+        ``progress`` is the supervisor's own progress observation for
+        this worker (e.g. ``len(worker.seen)``) — the external renewal
+        channel.
+        """
+        now = self._clock()
+        payload = self._read()
+        if payload is not None:
+            stamp = (payload.get("seq"), payload.get("progress"))
+            if stamp != self._last_payload:
+                self._last_payload = stamp
+                self._renewed = now
+        if progress is not None and progress != self._last_progress:
+            self._last_progress = progress
+            self._renewed = now
+        return now - self._renewed > self.lease
+
+    @property
+    def idle(self) -> float:
+        """Seconds since the last observed activity."""
+        return max(0.0, self._clock() - self._renewed)

@@ -36,22 +36,24 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
-    wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from typing import Dict, List, Optional
 
 from ..campaign import (CampaignOrchestrator, CampaignSession,
-                        CampaignSpec, ExecutionOptions,
+                        CampaignSpec, ExecutionOptions, RetryingStore,
                         aggregate, aggregate_structures,
                         execute_trial_payload, merged_adaptive_summary)
-from ..campaign.adaptive import CONVERGED
+from ..campaign.adaptive import CAPPED, CONVERGED
 from ..campaign.aggregate import trial_cell
 from ..campaign.api import CELL_CONVERGED, TRIAL_STARTED
 from ..errors import (OrchestratorStopped, ReproError, ServiceError)
-from .events import (EventLog, JOB_CANCELLED, JOB_FAILED, JOB_FINISHED,
-                     JOB_INTERRUPTED, JOB_QUEUED, JOB_RESUMED,
-                     JOB_STARTED, job_event)
+from ..resilience.circuit import CircuitBreaker
+from ..resilience.retry import RetryPolicy
+from ..resilience.watchdog import PoolSupervisor, kill_pool_workers
+from .events import (EventLog, JOB_CANCELLED, JOB_DEGRADED, JOB_FAILED,
+                     JOB_FINISHED, JOB_INTERRUPTED, JOB_QUEUED,
+                     JOB_RESUMED, JOB_STARTED, job_event)
 from .jobs import (CANCELLED, DONE, FAILED, INTERRUPTED, Job, JobQueue,
                    QUEUED, RUNNING, new_job_id)
 from .scheduler import (FairScheduler, ReplicateBudget, SlotPool,
@@ -103,6 +105,18 @@ class JobRunner(threading.Thread):
         self._stop_event = threading.Event()
         #: CANCELLED or INTERRUPTED once a stop was requested.
         self.stop_reason: Optional[str] = None
+        #: Per-runner circuit breaker over infrastructure failures
+        #: (pool breakage, hung trials).  OPEN => shed adaptive extra
+        #: replicates instead of risking the whole job.
+        self.breaker = CircuitBreaker(
+            failure_threshold=backend.breaker_threshold,
+            recovery_time=backend.breaker_recovery)
+        #: monotonic() stamp of the last observed progress (submission
+        #: or landed record) — the backend liveness thread's lease.
+        self.progress_stamp = time.monotonic()
+        #: Trials currently in flight on the shared pool (liveness
+        #: only kills pool workers for runners that actually wait).
+        self.inflight = 0
 
     def request_stop(self, reason: str):
         """Ask the runner to stop; cancellation wins over drain."""
@@ -120,6 +134,10 @@ class JobRunner(threading.Thread):
         job = self.job
         backend = self.backend
         store = job.store(backend.data_dir)
+        if backend.store_retry is not None:
+            # Job stores are the durable truth of the service; retry
+            # transient write errors instead of failing the job.
+            store = RetryingStore(store, policy=backend.store_retry)
         resumed = store.exists and bool(store.completed_keys())
         job.started_at = time.time()
         job.save(backend.data_dir)
@@ -211,8 +229,29 @@ class JobRunner(threading.Thread):
             for tracker in adaptive.pre_converged():
                 session._emit(CELL_CONVERGED, done=state["done"],
                               total=total, cell=tracker.cell)
-        futures: Dict[object, object] = {}
         deferred = None                 # adaptive trial awaiting token
+        held = 0                        # slots this runner holds
+        options = session.options
+        timeout = options.trial_timeout \
+            if options.trial_timeout is not None \
+            else backend.trial_timeout
+
+        def on_resubmit(trial, attempt):
+            # A recovered trial re-enters the pool: listeners see the
+            # retry as a fresh trial_started; the record that lands
+            # is byte-identical (seeds derive from keys).
+            session._emit(TRIAL_STARTED, done=state["done"],
+                          total=total, trial=trial.to_dict())
+
+        supervisor = PoolSupervisor(
+            get_pool=lambda: backend.pool,
+            reset_pool=backend.reset_pool,
+            trial_timeout=timeout,
+            trial_retries=options.trial_retries,
+            on_resubmit=on_resubmit,
+            on_failure=self.breaker.record_failure,
+            on_success=self.breaker.record_success)
+        self.supervisor = supervisor
 
         def open_pending() -> int:
             """Trials still schedulable (not yet in flight)."""
@@ -233,6 +272,30 @@ class JobRunner(threading.Thread):
             return tracker is not None \
                 and tracker.scheduled > plan.min_replicates
 
+        def shed_extras() -> int:
+            """Close every cell already at its seed replicates.
+
+            The breaker tripping means the infrastructure keeps
+            failing under this job; adaptive *extra* replicates are
+            optional statistical tightening, so they are shed (the
+            cells close as CAPPED — an explicit budget cut, not a
+            convergence decision) and the job finishes on what the
+            seed replicates support.
+            """
+            shed = 0
+            for tracker in adaptive.trackers.values():
+                if tracker.closed is None \
+                        and tracker.scheduled >= plan.min_replicates:
+                    tracker.closed = CAPPED
+                    shed += len(tracker.pending)
+            if shed:
+                self.log.append(job_event(
+                    JOB_DEGRADED, self.job,
+                    detail="circuit breaker open: shed %d adaptive "
+                           "extra replicate%s"
+                           % (shed, "" if shed == 1 else "s")))
+            return shed
+
         def select() -> Optional[object]:
             """The next trial to submit, or None (nothing available
             or the replicate budget paced us this epoch)."""
@@ -251,8 +314,9 @@ class JobRunner(threading.Thread):
             return trial
 
         def submit_some():
+            nonlocal held
             while not self.stopping:
-                demand = open_pending() + len(futures)
+                demand = open_pending() + supervisor.inflight
                 backend.slot_pool.set_demand(tenant, consumer, demand)
                 if adaptive is not None:
                     backend.replicate_budget.set_demand(
@@ -265,61 +329,62 @@ class JobRunner(threading.Thread):
                 if trial is None:
                     backend.slot_pool.release(tenant)
                     return
-                future = backend.pool.submit(
-                    execute_trial_payload,
-                    session.options.trial_payload(trial))
-                futures[future] = trial
+                held += 1
+                supervisor.submit(trial.key, execute_trial_payload,
+                                  session.options.trial_payload(trial),
+                                  context=trial)
+                self.progress_stamp = time.monotonic()
+                self.inflight = supervisor.inflight
                 session._emit(TRIAL_STARTED, done=state["done"],
                               total=total, trial=trial.to_dict())
 
-        def drain(collect_records: bool):
-            """Land every in-flight future and release its slot."""
-            while futures:
-                finished, _ = wait(list(futures),
-                                   return_when=FIRST_COMPLETED)
-                for future in finished:
-                    futures.pop(future)
-                    try:
-                        record = future.result()
-                    except Exception:
-                        backend.slot_pool.release(tenant)
-                        raise
-                    if collect_records:
-                        collect(record)
-                    backend.slot_pool.release(tenant,
-                                              executed_trials=1)
+        def land(results, collect_records=True):
+            nonlocal held
+            for _trial, record in results:
+                held -= 1
+                if collect_records:
+                    collect(record)
+                backend.slot_pool.release(tenant, executed_trials=1)
+            if results:
+                self.progress_stamp = time.monotonic()
+            self.inflight = supervisor.inflight
 
         try:
             while True:
+                if adaptive is not None and not self.breaker.allow():
+                    shed_extras()
                 submit_some()
                 if self.stopping:
                     # Graceful: every submitted trial still lands in
                     # the store, so resume re-runs nothing.
-                    drain(collect_records=True)
+                    while supervisor.inflight:
+                        land(supervisor.wait(timeout=1.0))
                     raise _JobStopped()
-                if not futures:
+                if not supervisor.inflight:
                     if open_pending() == 0:
                         break
                     # Blocked on a slot or a replicate token.
                     time.sleep(backend.poll_interval)
                     continue
-                finished, _ = wait(list(futures),
-                                   return_when=FIRST_COMPLETED,
-                                   timeout=backend.poll_interval)
-                for future in finished:
-                    futures.pop(future)
-                    try:
-                        record = future.result()
-                    except Exception:
-                        backend.slot_pool.release(tenant)
-                        raise
-                    collect(record)
-                    backend.slot_pool.release(tenant,
-                                              executed_trials=1)
+                land(supervisor.wait(backend.poll_interval))
         finally:
             try:
-                drain(collect_records=False)
+                # Land stragglers without collecting (failure paths;
+                # the stop path above already collected everything) —
+                # their slots and the tenant's executed-trial credit
+                # must be returned either way.
+                while supervisor.inflight:
+                    land(supervisor.wait(timeout=1.0),
+                         collect_records=False)
+            except Exception:
+                pass      # the original exception is the diagnosis
             finally:
+                self.inflight = 0
+                # Slots for trials that errored out (popped without a
+                # release above).
+                while held > 0:
+                    held -= 1
+                    backend.slot_pool.release(tenant)
                 backend.slot_pool.set_demand(tenant, consumer, 0)
                 if adaptive is not None:
                     backend.replicate_budget.set_demand(tenant, 0)
@@ -353,7 +418,8 @@ class JobRunner(threading.Thread):
                 store_dir=job.shards_dir(backend.data_dir),
                 options=job.options, merged_store=store,
                 listeners=(listener,),
-                stop_requested=self._stop_event.is_set)
+                stop_requested=self._stop_event.is_set,
+                heartbeat_lease=backend.heartbeat_lease)
             try:
                 orchestrator.run()
             except OrchestratorStopped:
@@ -372,16 +438,50 @@ class ServiceBackend:
     """The multi-tenant campaign execution service (no HTTP here —
     :mod:`repro.service.server` adds the wire)."""
 
+    #: Default retry policy for job-store writes: a transient write
+    #: error must not discard a finished simulation.
+    DEFAULT_STORE_RETRY = RetryPolicy(attempts=3, base_delay=0.05,
+                                      max_delay=1.0)
+
     def __init__(self, data_dir: str, slots: int = 2,
                  tenants=(), replicate_budget: Optional[int] = None,
                  replicate_epoch: float = 1.0,
-                 poll_interval: float = SERVICE_POLL_INTERVAL):
+                 poll_interval: float = SERVICE_POLL_INTERVAL,
+                 trial_timeout: Optional[float] = None,
+                 trial_retries: int = 2,
+                 runner_lease: Optional[float] = None,
+                 heartbeat_lease: Optional[float] = None,
+                 breaker_threshold: int = 3,
+                 breaker_recovery: float = 10.0,
+                 store_retry: Optional[RetryPolicy] = None):
         if poll_interval <= 0:
             raise ServiceError("poll_interval must be > 0")
+        if trial_timeout is not None and trial_timeout <= 0:
+            raise ServiceError("trial_timeout must be > 0 (or None)")
+        if runner_lease is not None and runner_lease <= 0:
+            raise ServiceError("runner_lease must be > 0 (or None)")
         self.data_dir = data_dir
         os.makedirs(os.path.join(data_dir, "jobs"), exist_ok=True)
         self.slots = slots
         self.poll_interval = poll_interval
+        #: Backend-wide default per-trial wall-clock deadline for
+        #: pooled jobs; a job's own ``options.trial_timeout`` wins.
+        self.trial_timeout = trial_timeout
+        self.trial_retries = trial_retries
+        #: When set, a background thread SIGKILLs the shared pool's
+        #: workers whenever a runner with in-flight trials makes no
+        #: progress for this long — the runners' supervisors then
+        #: rebuild and resubmit (hung-runner recovery).
+        self.runner_lease = runner_lease
+        #: Forwarded to orchestrated jobs' CampaignOrchestrator as its
+        #: shard heartbeat lease.
+        self.heartbeat_lease = heartbeat_lease
+        self.breaker_threshold = breaker_threshold
+        self.breaker_recovery = breaker_recovery
+        self.store_retry = store_retry if store_retry is not None \
+            else self.DEFAULT_STORE_RETRY
+        #: Shared-pool worker kills performed by the liveness thread.
+        self.hung_runners = 0
         self.scheduler = FairScheduler(
             slots, [config if isinstance(config, TenantConfig)
                     else TenantConfig.from_dict(config)
@@ -403,6 +503,12 @@ class ServiceBackend:
             target=self._admission_loop, name="service-admission",
             daemon=True)
         self._admission.start()
+        self._liveness = None
+        if self.runner_lease is not None:
+            self._liveness = threading.Thread(
+                target=self._liveness_loop, name="service-liveness",
+                daemon=True)
+            self._liveness.start()
 
     # -- shared resources --------------------------------------------------
 
@@ -413,6 +519,32 @@ class ServiceBackend:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.slots)
             return self._pool
+
+    def reset_pool(self, broken=None):
+        """Retire the shared pool so the next :attr:`pool` access
+        rebuilds it.
+
+        Compare-and-swap on the executor identity: several runners'
+        supervisors may detect the same breakage concurrently, and
+        only the first one may retire the pool — a later reset aimed
+        at an already-replaced executor must not kill the fresh pool
+        (and the resubmitted trials on it).
+        """
+        with self._pool_lock:
+            pool = self._pool
+            if pool is None \
+                    or (broken is not None and pool is not broken):
+                return
+            self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def kill_pool_workers(self):
+        """SIGKILL the shared pool's workers (hung-runner recovery;
+        the supervisors of affected runners rebuild and resubmit)."""
+        with self._pool_lock:
+            pool = self._pool
+        if pool is not None:
+            kill_pool_workers(pool)
 
     def event_log(self, job_id: str) -> EventLog:
         with self._runners_lock:
@@ -585,6 +717,32 @@ class ServiceBackend:
                     self._runners[job.id] = runner
                 runner.start()
 
+    def _liveness_loop(self):
+        """Hung-runner detection over the shared pool.
+
+        A runner with in-flight trials whose progress stamp (last
+        submission or landed record) is older than ``runner_lease``
+        is presumed stuck on a wedged worker: SIGKILL the pool's
+        workers, which surfaces as ``BrokenProcessPool`` in every
+        waiting supervisor — they rebuild the pool and resubmit by
+        key, and replay determinism makes the reruns byte-identical.
+        """
+        interval = min(self.runner_lease / 4.0, 1.0)
+        while not self._closed.is_set():
+            if self._closed.wait(timeout=interval):
+                return
+            now = time.monotonic()
+            for runner in self.active_runners():
+                if runner.inflight \
+                        and now - runner.progress_stamp \
+                        > self.runner_lease:
+                    # Re-stamp first so one wedged runner triggers at
+                    # most one kill per lease interval.
+                    runner.progress_stamp = now
+                    self.hung_runners += 1
+                    self.kill_pool_workers()
+                    break
+
     def _runner_finished(self, runner: JobRunner):
         with self._runners_lock:
             self._runners.pop(runner.job.id, None)
@@ -599,10 +757,32 @@ class ServiceBackend:
         land (running jobs become ``interrupted``), keep queued jobs
         queued.  Returns True when every runner exited in time."""
         self._draining.set()
-        for runner in self.active_runners():
-            runner.request_stop(INTERRUPTED)
         deadline = None if timeout is None \
             else time.monotonic() + timeout
+        # Admission races drain: a job claimed by the admission loop
+        # just before _draining was set may not have its runner
+        # registered yet.  Re-sweep until the set of running jobs is
+        # covered by stopped runners (or the deadline passes).
+        stopped = set()
+        while True:
+            new = [runner for runner in self.active_runners()
+                   if runner.job.id not in stopped]
+            for runner in new:
+                runner.request_stop(INTERRUPTED)
+                stopped.add(runner.job.id)
+            if new:
+                continue
+            with self._runners_lock:
+                registered = set(self._runners)
+            pending = [job for job in self.queue.jobs()
+                       if job.state == RUNNING
+                       and job.id not in registered
+                       and job.id not in stopped]
+            if not pending:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            time.sleep(0.01)
         clean = True
         for runner in self.active_runners():
             remaining = None if deadline is None \

@@ -41,18 +41,25 @@ JOB_FINISHED = "job_finished"
 JOB_FAILED = "job_failed"
 JOB_CANCELLED = "job_cancelled"
 JOB_INTERRUPTED = "job_interrupted"
+#: The runner's circuit breaker shed optional work (adaptive extra
+#: replicates) to finish the job on its seed replicates instead of
+#: failing it — an explicit degradation, not a convergence decision.
+JOB_DEGRADED = "job_degraded"
 
 JOB_EVENT_KINDS = (JOB_QUEUED, JOB_STARTED, JOB_RESUMED, JOB_FINISHED,
-                   JOB_FAILED, JOB_CANCELLED, JOB_INTERRUPTED)
+                   JOB_FAILED, JOB_CANCELLED, JOB_INTERRUPTED,
+                   JOB_DEGRADED)
 
 
-def job_event(kind: str, job) -> dict:
+def job_event(kind: str, job, detail: Optional[str] = None) -> dict:
     """A lifecycle event payload for ``job`` (a :class:`~repro.
     service.jobs.Job`)."""
     data = {"kind": kind, "job": job.id, "tenant": job.tenant,
             "state": job.state, "done": job.done, "total": job.total}
     if job.error:
         data["error"] = job.error
+    if detail:
+        data["detail"] = detail
     return data
 
 

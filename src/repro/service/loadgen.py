@@ -42,6 +42,8 @@ from urllib.parse import urlencode, urlsplit
 
 from ..campaign import CampaignSession, CampaignSpec, ExecutionOptions
 from ..errors import ConfigError, ServiceError
+from ..resilience.retry import RetryPolicy
+from .jobs import new_job_id
 
 #: The built-in tiny spec the generated workloads submit when the
 #: caller does not provide one (kept small: the point of a load run is
@@ -59,18 +61,42 @@ DEFAULT_SPEC = {
 # -- client -----------------------------------------------------------------
 
 class ServiceClient:
-    """Thin blocking HTTP client for one campaign service."""
+    """Thin blocking HTTP client for one campaign service.
 
-    def __init__(self, url: str, timeout: float = 30.0):
+    With ``retry`` set, connection-level failures (refused, reset,
+    timed out) back off and retry per the policy.  Submissions stay
+    exactly-once across retries: the client mints the job id itself,
+    so a retried POST whose first attempt actually landed trips the
+    server's duplicate-id guard and resolves to the existing job.
+    """
+
+    #: Connection-level retry used by ``retry=True``.
+    DEFAULT_RETRY = RetryPolicy(attempts=3, base_delay=0.1,
+                                max_delay=2.0)
+
+    def __init__(self, url: str, timeout: float = 30.0,
+                 retry: Optional[RetryPolicy] = None):
         parts = urlsplit(url if "//" in url else "//" + url)
         if not parts.hostname:
             raise ConfigError("bad service URL %r" % url)
         self.host = parts.hostname
         self.port = parts.port or 80
         self.timeout = timeout
+        if retry is True:
+            retry = self.DEFAULT_RETRY
+        self.retry = retry
 
     def _request(self, method: str, path: str,
                  body: Optional[dict] = None) -> Tuple[int, dict]:
+        if self.retry is None:
+            return self._request_once(method, path, body)
+        return self.retry.call(
+            lambda: self._request_once(method, path, body),
+            retry_on=(OSError, http.client.HTTPException),
+            token="%s %s" % (method, path))
+
+    def _request_once(self, method: str, path: str,
+                      body: Optional[dict] = None) -> Tuple[int, dict]:
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout)
         try:
@@ -103,7 +129,8 @@ class ServiceClient:
         return self._checked("GET", "/healthz")
 
     def submit(self, tenant: str, spec: dict, options=None,
-               priority: int = 0, shards: int = 0) -> dict:
+               priority: int = 0, shards: int = 0,
+               job_id: Optional[str] = None) -> dict:
         body = {"tenant": tenant, "spec": spec}
         if options:
             body["options"] = options
@@ -111,7 +138,18 @@ class ServiceClient:
             body["priority"] = priority
         if shards:
             body["shards"] = shards
-        return self._checked("POST", "/api/jobs", body)
+        if job_id is None and self.retry is not None:
+            job_id = new_job_id()
+        if job_id:
+            body["job_id"] = job_id
+        try:
+            return self._checked("POST", "/api/jobs", body)
+        except ServiceError as exc:
+            if job_id and "duplicate job id" in str(exc):
+                # A retried POST whose first attempt landed: the job
+                # exists under our id — idempotent success.
+                return self.job(job_id)
+            raise
 
     def job(self, job_id: str) -> dict:
         return self._checked("GET", "/api/jobs/%s" % job_id)

@@ -358,7 +358,10 @@ async def _serve(args) -> int:
         args.data_dir, slots=args.slots, tenants=tenants,
         replicate_budget=args.replicate_budget,
         poll_interval=args.poll_interval
-        if args.poll_interval is not None else SERVICE_POLL_INTERVAL)
+        if args.poll_interval is not None else SERVICE_POLL_INTERVAL,
+        trial_timeout=getattr(args, "trial_timeout", None),
+        runner_lease=getattr(args, "runner_lease", None),
+        heartbeat_lease=getattr(args, "heartbeat_lease", None))
     recovered = backend.recover()
     if recovered:
         print("recovered %d interrupted/queued job%s: %s"

@@ -121,6 +121,31 @@ class TestEventLog:
         assert [seq for seq, _ in events] == [1, 2]
         assert events[1][1]["kind"] == EXAMPLES[1].kind
 
+    def test_torn_tail_heals_at_every_byte_offset(self, tmp_path):
+        """Exhaustive SIGKILL simulation: truncate the log inside its
+        final record at every byte offset.  Every residue must load
+        cleanly (earlier events intact, the fragment skipped), and a
+        fresh appender must quarantine the fragment and continue the
+        sequence."""
+        log = self.log(tmp_path)
+        for event in EXAMPLES[:3]:
+            log.append(event)
+        with open(log.path, "rb") as handle:
+            blob = handle.read()
+        start = blob.rstrip(b"\n").rfind(b"\n") + 1
+        for cut in range(start, len(blob)):
+            with open(log.path, "wb") as handle:
+                handle.write(blob[:cut])
+            healed = EventLog(log.path)
+            # cut == len(blob) - 1 drops only the trailing newline:
+            # the final record is still one intact JSON line.
+            expected = [1, 2, 3] if cut == len(blob) - 1 else [1, 2]
+            assert [seq for seq, _ in healed.read()] == expected
+            appended = healed.append(EXAMPLES[3])
+            assert appended == expected[-1] + 1
+            assert [seq for seq, _ in EventLog(log.path).read()] \
+                == expected + [appended]
+
     def test_campaign_event_payload_survives(self, tmp_path):
         log = self.log(tmp_path)
         log.append(EXAMPLES[3])

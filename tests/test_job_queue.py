@@ -149,6 +149,38 @@ class TestJobQueue:
         counts = queue.counts("alice")
         assert counts[QUEUED] == 1 and counts[DONE] == 1
 
+    def test_adopted_jobs_count_toward_quotas_after_recovery(
+            self, tmp_path):
+        """SIGKILL-then-recover must not forget quota accounting: a
+        job that round-tripped through ``job.json`` and was adopted
+        by a fresh queue counts toward ``max_queued`` and
+        ``max_running`` exactly like a freshly submitted one."""
+        data_dir = str(tmp_path)
+        survivor = make_job("alice")
+        survivor.save(data_dir)
+        interrupted = make_job("alice", state=RUNNING)
+        interrupted.save(data_dir)
+        # The service process is SIGKILL'd here; a fresh queue adopts
+        # from disk (recovery re-queues non-terminal jobs).
+        queue = self.queue(TenantConfig("alice", max_queued=1,
+                                        max_running=1))
+        for name in sorted(os.listdir(os.path.join(data_dir, "jobs"))):
+            job = Job.load(data_dir, name)
+            if job.state == RUNNING:
+                job.state = QUEUED
+            queue.adopt(job)
+        # Two adopted queued jobs: alice is over max_queued already,
+        # so a new submission is refused instead of silently growing
+        # the backlog past the quota.
+        with pytest.raises(QuotaError):
+            queue.submit(make_job("alice"))
+        # max_running still paces admission of the adopted jobs.
+        first = queue.next_runnable()
+        assert first is not None and first.tenant == "alice"
+        assert queue.next_runnable() is None
+        first.state = DONE
+        assert queue.next_runnable() is not None
+
     def test_adopt_skips_quota_and_orders_by_adoption(self):
         queue = self.queue(TenantConfig("alice", max_queued=1))
         recovered = make_job("alice")

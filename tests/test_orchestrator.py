@@ -18,9 +18,10 @@ from repro.campaign import (CampaignOrchestrator, CampaignSession,
                             SamplingPlan, TRIAL_FINISHED, aggregate,
                             cells_to_json, shard_store_path)
 from repro.campaign.orchestrator import (CLI_MODE, SHARD_FINISHED,
-                                         SHARD_RESTARTED,
+                                         SHARD_HUNG, SHARD_RESTARTED,
                                          SHARD_STARTED, _run_shard)
 from repro.errors import ConfigError, OrchestratorError
+from repro.resilience import RetryPolicy
 
 
 def orchestrated_spec(replicates=4, instructions=1_000,
@@ -212,6 +213,91 @@ class TestKillAndRestart:
         assert "shard 0/2" in str(excinfo.value)
         assert sum(1 for event in events
                    if event.kind == SHARD_RESTARTED) == 1
+
+
+class TestCrashLoopWindow:
+    def test_uptime_past_min_uptime_earns_the_budget_back(
+            self, tmp_path):
+        """``max_restarts`` bounds crash *loops*, not total restarts
+        over a long campaign: a worker killed twice — but healthy past
+        ``min_uptime`` in between — must be forgiven both times, even
+        with a budget of one."""
+        spec = orchestrated_spec(replicates=8, instructions=2_000,
+                                 name="crash-window")
+        single = CampaignSession(spec).run()
+        orchestrator = CampaignOrchestrator(
+            spec, shards=2, store_dir=str(tmp_path),
+            poll_interval=0.05, max_restarts=1, min_uptime=0.01,
+            restart_backoff=RetryPolicy(attempts=1, base_delay=0.05,
+                                        max_delay=0.1, jitter=0.0))
+        kills = []
+
+        @orchestrator.subscribe
+        def assassin(event):
+            # A shard-0 record landing proves the (re)launched worker
+            # ran well past min_uptime before each kill.  Only strike
+            # while the shard still has trials left, so every kill
+            # forces a real relaunch (a kill after the final flush
+            # just finishes the shard from its store).
+            if len(kills) >= 2 or event.kind != TRIAL_FINISHED \
+                    or event.shard != 0:
+                return
+            worker = orchestrator.workers[0]
+            # One kill per launch: a poll batch can emit several
+            # shard-0 records back-to-back, and a SIGKILL to an
+            # already-dying pid would double-count as a second death.
+            if worker.alive and not worker.finished \
+                    and worker.pid not in kills \
+                    and len(worker.store.load()) <= 10:
+                try:
+                    os.kill(worker.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    return
+                kills.append(worker.pid)
+
+        result = orchestrator.run()
+        assert len(kills) == 2, "needed two kills of the same shard"
+        assert orchestrator.total_restarts >= 2
+        assert canonical(result.records) == canonical(single.records)
+
+
+class TestHeartbeatLiveness:
+    def test_sigstopped_worker_detected_and_recovered(self, tmp_path):
+        """A SIGSTOPped worker is alive by every OS measure but makes
+        no progress; only the heartbeat lease can tell.  The driver
+        must declare it hung, SIGKILL it, and restart from its store
+        with the merge still key-for-key identical."""
+        spec = orchestrated_spec(replicates=8, instructions=2_000,
+                                 name="stall-test")
+        single = CampaignSession(spec).run()
+        orchestrator = CampaignOrchestrator(
+            spec, shards=2, store_dir=str(tmp_path),
+            poll_interval=0.05, max_restarts=2, min_uptime=0.01,
+            heartbeat_lease=1.0, heartbeat_interval=0.1,
+            restart_backoff=RetryPolicy(attempts=1, base_delay=0.05,
+                                        max_delay=0.1, jitter=0.0))
+        stalled = []
+        events = []
+        orchestrator.subscribe(events.append)
+
+        @orchestrator.subscribe
+        def stopper(event):
+            if stalled or event.kind != TRIAL_FINISHED:
+                return
+            for worker in orchestrator.workers:
+                if worker.alive and not worker.finished:
+                    try:
+                        os.kill(worker.pid, signal.SIGSTOP)
+                    except ProcessLookupError:
+                        continue
+                    stalled.append(worker.index)
+                    return
+
+        result = orchestrator.run()
+        assert stalled, "no worker was alive to stall mid-campaign"
+        assert orchestrator.total_hung >= 1
+        assert any(event.kind == SHARD_HUNG for event in events)
+        assert canonical(result.records) == canonical(single.records)
 
 
 class TestCliMode:

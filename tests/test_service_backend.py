@@ -231,6 +231,37 @@ class TestDrainAndRecovery:
         finally:
             revived.close(drain_timeout=10.0)
 
+    def test_drain_catches_job_claimed_but_not_yet_registered(
+            self, tmp_path):
+        """The admission race: ``next_runnable`` marks a job RUNNING
+        before its runner registers.  A drain landing inside that
+        window must keep sweeping until the runner shows up and is
+        stopped — not return with the job silently still running."""
+        backend = ServiceBackend(str(tmp_path / "svc"), slots=2,
+                                 poll_interval=0.02)
+        try:
+            claim = backend.queue.next_runnable
+
+            def slow_claim():
+                job = claim()
+                if job is not None:
+                    time.sleep(0.4)   # stretch the claim→register gap
+                return job
+
+            backend.queue.next_runnable = slow_claim
+            job = backend.submit("alice", spec(name="racer",
+                                               replicates=8))
+            # Give admission time to claim the job (state RUNNING) but
+            # land the drain well inside the registration stall.
+            deadline = time.monotonic() + 10
+            while backend.job(job.id).state == QUEUED:
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            assert backend.drain(timeout=30.0)
+            assert backend.job(job.id).state != RUNNING
+        finally:
+            backend.close(drain_timeout=10.0)
+
     def test_recover_preserves_terminal_jobs_without_requeue(
             self, tmp_path):
         data_dir = str(tmp_path / "svc")
