@@ -69,6 +69,12 @@ SHARD_RESTARTED = "shard_restarted"
 #: delay elapses.
 SHARD_HUNG = "shard_hung"
 
+#: Registry of every shard lifecycle kind — the wire-parity lint rule
+#: checks emissions against this, mirroring ``EVENT_KINDS`` /
+#: ``JOB_EVENT_KINDS``.
+SHARD_EVENT_KINDS = (SHARD_STARTED, SHARD_FINISHED, SHARD_RESTARTED,
+                     SHARD_HUNG)
+
 #: Worker launch modes.
 PROCESS_MODE = "process"        # forked in-process CampaignSession
 CLI_MODE = "cli"                # repro-ft campaign --shard subprocess

@@ -51,8 +51,12 @@ class ProtectedArray:
         self._codewords[index] ^= 1 << bit
 
     def inject_random_flips(self, index, count, rng=None):
-        """Flip ``count`` distinct random bits of one codeword."""
-        rng = rng or random.Random()
+        """Flip ``count`` distinct random bits of one codeword.
+
+        Without an explicit ``rng`` the draw is seeded from the index
+        so repeated campaigns stay replayable.
+        """
+        rng = rng or random.Random(index)
         bits = rng.sample(range(CODEWORD_BITS), count)
         for bit in bits:
             self.inject_bit_flip(index, bit)

@@ -513,6 +513,11 @@ def _cmd_load(args):
     return run_load(args)
 
 
+def _cmd_lint(args):
+    from ..lint.cli import run_lint_cli
+    return run_lint_cli(args)
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -530,6 +535,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "load": _cmd_load,
     "chaos": _cmd_chaos,
+    "lint": _cmd_lint,
 }
 
 
@@ -810,6 +816,9 @@ def build_parser():
             _add_load_args(sub)
         if name == "chaos":
             _add_chaos_args(sub)
+        if name == "lint":
+            from ..lint.cli import add_lint_args
+            add_lint_args(sub)
     return parser
 
 

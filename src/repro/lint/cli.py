@@ -1,0 +1,98 @@
+"""Command-line surface of the analyzer (``repro-ft lint``)."""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from ..errors import ConfigError
+from .framework import RULE_REGISTRY
+from .oracle import REFERENCE_PATH, freeze
+from .runner import (DEFAULT_BASELINE, DEFAULT_ROOT, run_lint,
+                     write_baseline)
+
+
+def add_lint_args(parser):
+    parser.add_argument(
+        "--rule", action="append", metavar="NAME",
+        help="run only this rule (repeatable; default: all)")
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="lint root containing the repro package "
+             "(default: the installed src tree)")
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline JSON of grandfathered findings "
+             "(default: the committed %s)"
+             % os.path.basename(DEFAULT_BASELINE))
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full report as JSON")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="grandfather every current finding into the baseline "
+             "file instead of failing on it")
+    parser.add_argument(
+        "--refreeze-oracle", action="store_true",
+        help="re-commit the AST fingerprint of uarch/reference.py "
+             "(deliberate oracle changes only)")
+
+
+def run_lint_cli(args, out=None) -> int:
+    out = out if out is not None else sys.stdout
+
+    def emit(line=""):
+        print(line, file=out)
+
+    if args.list_rules:
+        width = max(len(name) for name in RULE_REGISTRY)
+        for name, cls in RULE_REGISTRY.items():
+            emit("%-*s  [%s] %s" % (width, name, cls.severity,
+                                    cls.description))
+        return 0
+
+    root = args.root or DEFAULT_ROOT
+
+    if args.refreeze_oracle:
+        reference = os.path.join(root, REFERENCE_PATH)
+        try:
+            with open(reference, encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            raise ConfigError(
+                "cannot read %s: %s" % (reference, exc)) from exc
+        record = freeze(source)
+        emit("froze %s @ sha256:%s"
+             % (record["path"], record["sha256"]))
+        return 0
+
+    report = run_lint(root=root, rule_names=args.rule,
+                      baseline_path=args.baseline)
+
+    if args.write_baseline:
+        path = args.baseline or DEFAULT_BASELINE
+        count = write_baseline(report.findings, path)
+        emit("wrote %d finding(s) to %s" % (count, path))
+        return 0
+
+    if args.as_json:
+        emit(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+
+    baselined = {f.identity for f in report.baselined}
+    for finding in report.findings:
+        suffix = "  (baselined)" if finding.identity in baselined \
+            else ""
+        emit(finding.render() + suffix)
+    emit("%d finding(s): %d failing, %d baselined, %d warning(s)"
+         % (len(report.findings), len(report.failures),
+            len(report.baselined),
+            sum(1 for f in report.findings
+                if f.severity != "error")))
+    if report.ok:
+        emit("lint: OK")
+    return 0 if report.ok else 1

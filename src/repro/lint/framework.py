@@ -1,0 +1,240 @@
+"""Rule framework of ``repro.lint``: findings, rules, suppressions.
+
+The analyzer is a plain :mod:`ast` walk — no third-party dependency —
+organised as a registry of :class:`Rule` subclasses.  Each rule sees
+every parsed source file once (:meth:`Rule.check_file`) and gets one
+project-wide pass at the end (:meth:`Rule.finalize`) for checks that
+need cross-file state (import graphs, protocol registries).
+
+Findings carry a stable identity ``(rule, path, message)`` —
+deliberately *without* the line number, so a committed baseline keeps
+matching a grandfathered finding while unrelated edits shift it around
+the file.
+
+Suppressions are inline comments::
+
+    x = time.time()          # repro-lint: disable=determinism
+    # repro-lint: disable=lock-discipline -- monotonic stamp, benign race
+    self._seen = now
+
+A comment suppresses the named rule(s) on its own line; a standalone
+comment (nothing but whitespace before the ``#``) also covers the
+following line.  ``disable=all`` silences every rule.  Everything
+after ``--`` is the human justification and is ignored by the parser
+but expected by reviewers.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+#: Severities: an ``error`` fails the lint run; a ``warning`` is
+#: reported but (like a baselined finding) does not fail it.
+ERROR = "error"
+WARNING = "warning"
+
+SUPPRESS_ALL = "all"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str           # posix path relative to the lint root
+    line: int
+    message: str
+    severity: str = ERROR
+
+    @property
+    def identity(self):
+        """Baseline-matching key (line numbers excluded on purpose)."""
+        return (self.rule, self.path, self.message)
+
+    def as_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message, "severity": self.severity}
+
+    def render(self) -> str:
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule names disabled there (see module doc)."""
+    disabled: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return disabled
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if not match:
+            continue
+        rules = {name.strip() for name in match.group(1).split(",")}
+        line = token.start[0]
+        disabled.setdefault(line, set()).update(rules)
+        standalone = not token.line[:token.start[1]].strip()
+        if standalone:
+            disabled.setdefault(line + 1, set()).update(rules)
+    return disabled
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus its lint metadata."""
+
+    path: str           # posix path relative to the lint root
+    source: str
+    tree: ast.Module
+    suppressions: Dict[int, Set[str]]
+
+    @property
+    def module(self) -> str:
+        """Dotted module name, e.g. ``repro.uarch.rob``."""
+        name = self.path[:-3] if self.path.endswith(".py") else self.path
+        parts = name.split("/")
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        return bool(rules) and (rule in rules or SUPPRESS_ALL in rules)
+
+
+class LintContext:
+    """Everything a rule may look at: the full parsed file set."""
+
+    def __init__(self, root: str, files: List[SourceFile]):
+        self.root = root
+        self.files = files
+        self._by_path = {file.path: file for file in files}
+
+    def file(self, path: str) -> Optional[SourceFile]:
+        return self._by_path.get(path)
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, register."""
+
+    #: Stable rule id used by --rule filters, suppressions, baselines.
+    name = ""
+    description = ""
+    severity = ERROR
+
+    def check_file(self, context: LintContext,
+                   file: SourceFile) -> Iterable[Finding]:
+        return ()
+
+    def finalize(self, context: LintContext) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, path: str, line: int, message: str) -> Finding:
+        return Finding(rule=self.name, path=path, line=line,
+                       message=message, severity=self.severity)
+
+
+#: name -> Rule subclass, in registration order.
+RULE_REGISTRY: Dict[str, type] = {}
+
+
+def register_rule(cls):
+    """Class decorator adding a rule to :data:`RULE_REGISTRY`."""
+    if not cls.name:
+        raise ValueError("rule %r has no name" % cls)
+    if cls.name in RULE_REGISTRY:
+        raise ValueError("duplicate rule name %r" % cls.name)
+    RULE_REGISTRY[cls.name] = cls
+    return cls
+
+
+# -- shared AST utilities --------------------------------------------------
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> absolute dotted name for plain (level-0) imports.
+
+    ``import time`` -> {"time": "time"}; ``from datetime import
+    datetime as dt`` -> {"dt": "datetime.datetime"}.  Relative imports
+    are skipped here (see :func:`resolved_imports` for those).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                and node.module:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = "%s.%s" % (node.module, alias.name)
+    return aliases
+
+
+def resolved_imports(file: SourceFile) -> Set[str]:
+    """Every absolute dotted name this module imports, with relative
+    imports resolved against the module's own package."""
+    parts = file.module.split(".")
+    package = parts[:-1]
+    resolved: Set[str] = set()
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                resolved.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                anchor = package[:len(package) - (node.level - 1)] \
+                    if node.level <= len(package) + 1 else []
+                base = ".".join(anchor)
+                if node.module:
+                    base = "%s.%s" % (base, node.module) if base \
+                        else node.module
+            for alias in node.names:
+                if alias.name == "*":
+                    resolved.add(base)
+                else:
+                    resolved.add("%s.%s" % (base, alias.name)
+                                 if base else alias.name)
+    return resolved
+
+
+def call_name(node: ast.Call,
+              aliases: Dict[str, str]) -> Optional[str]:
+    """The dotted name a call resolves to through the import table,
+    or None for dynamic receivers (``self.x()``, ``obj.m()``...)."""
+    chain: List[str] = []
+    func = node.func
+    while isinstance(func, ast.Attribute):
+        chain.append(func.attr)
+        func = func.value
+    if not isinstance(func, ast.Name):
+        return None
+    chain.append(func.id)
+    chain.reverse()
+    chain[0] = aliases.get(chain[0], chain[0])
+    return ".".join(chain)
+
+
+def const_str(node) -> Optional[str]:
+    """The value of a string-constant node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None

@@ -1,0 +1,88 @@
+"""Exception-policy rule: no silent swallowing, no generic raises.
+
+Three checks:
+
+* ``except:`` (bare) is always an error — it catches
+  ``KeyboardInterrupt`` and ``SystemExit`` and has masked real worker
+  hangs in earlier fault-injection harnesses;
+* ``except Exception:`` whose handler body neither re-raises nor calls
+  anything (no logging, no callback, no cleanup call — just ``pass``
+  or an assignment) swallows the failure with no trace.  Handlers that
+  log, record the error on a job, invoke a failure callback, or
+  re-raise are fine;
+* ``raise Exception(...)`` / ``RuntimeError`` / ``BaseException`` —
+  boundary errors should be :mod:`repro.errors` types so callers can
+  catch :class:`~repro.errors.ReproError` at the service boundary
+  without guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .framework import Rule, register_rule
+
+_GENERIC_RAISES = frozenset({
+    "Exception", "BaseException", "RuntimeError"})
+
+_BROAD_CATCHES = frozenset({"Exception", "BaseException"})
+
+
+def _exc_name(node) -> str:
+    """``Exception`` / ``builtins.Exception`` -> ``"Exception"``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return getattr(node, "id", "")
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the handler neither re-raises nor calls anything."""
+    for node in ast.walk(handler):
+        if isinstance(node, (ast.Raise, ast.Call)):
+            return False
+    return True
+
+
+@register_rule
+class ExceptionPolicyRule(Rule):
+    """No bare excepts, no silent broad catches, no generic raises."""
+
+    name = "except-policy"
+    description = ("no bare `except:`, no `except Exception:` that "
+                   "swallows silently, boundary raises use "
+                   "repro.errors types")
+
+    def check_file(self, context, file):
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield self.finding(
+                        file.path, node.lineno,
+                        "bare `except:` also catches "
+                        "KeyboardInterrupt/SystemExit; name the "
+                        "exception types (at minimum `except "
+                        "Exception:`)")
+                    continue
+                types = node.type.elts if isinstance(
+                    node.type, ast.Tuple) else [node.type]
+                if any(_exc_name(t) in _BROAD_CATCHES
+                       for t in types) and _is_silent(node):
+                    yield self.finding(
+                        file.path, node.lineno,
+                        "`except %s:` swallows the failure without "
+                        "re-raising, logging or recording it; narrow "
+                        "the type or surface the error"
+                        % _exc_name(next(
+                            t for t in types
+                            if _exc_name(t) in _BROAD_CATCHES)))
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                target = node.exc
+                if isinstance(target, ast.Call):
+                    target = target.func
+                name = _exc_name(target)
+                if name in _GENERIC_RAISES:
+                    yield self.finding(
+                        file.path, node.lineno,
+                        "raises bare %s; use a repro.errors type so "
+                        "callers can catch ReproError at the "
+                        "boundary" % name)

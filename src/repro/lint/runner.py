@@ -1,0 +1,191 @@
+"""Lint driver: collect sources, run the registry, diff the baseline.
+
+The default lint root is the ``src`` directory that contains the
+``repro`` package, so finding paths look like
+``repro/service/backend.py`` regardless of the process working
+directory.  Tests point ``root`` at fixture trees instead.
+
+The **baseline** is a committed JSON list of finding identities
+``(rule, path, message)``.  Findings present in the baseline are
+reported but do not fail the run — that is how a pre-existing,
+justified violation is grandfathered without an inline suppression.
+Identities exclude line numbers on purpose, so unrelated edits that
+shift a grandfathered finding around a file do not un-baseline it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ConfigError
+from .framework import (ERROR, Finding, LintContext, SourceFile,
+                        RULE_REGISTRY, parse_suppressions)
+
+import ast
+
+#: Directory that contains the ``repro`` package.
+DEFAULT_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+#: The committed baseline shipped with the analyzer.
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "data",
+                                "baseline.json")
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache"})
+
+
+def collect_files(root: str) -> List[SourceFile]:
+    """Parse every ``*.py`` under ``root`` (sorted, posix-relative)."""
+    files: List[SourceFile] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames
+                             if d not in _SKIP_DIRS)
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, filename)
+            rel = os.path.relpath(full, root).replace(os.sep, "/")
+            with open(full, encoding="utf-8") as handle:
+                source = handle.read()
+            try:
+                tree = ast.parse(source)
+            except SyntaxError as exc:
+                raise ConfigError(
+                    "cannot lint %s: %s" % (rel, exc)) from exc
+            files.append(SourceFile(
+                path=rel, source=source, tree=tree,
+                suppressions=parse_suppressions(source)))
+    if not files:
+        raise ConfigError("no python sources under %r" % root)
+    return files
+
+
+def build_context(root: str,
+                  files: Optional[List[SourceFile]] = None
+                  ) -> LintContext:
+    return LintContext(root, files if files is not None
+                       else collect_files(root))
+
+
+def load_baseline(path: Optional[str] = None
+                  ) -> Set[Tuple[str, str, str]]:
+    """Finding identities grandfathered by the baseline file."""
+    path = path or DEFAULT_BASELINE
+    if not os.path.exists(path):
+        return set()
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except ValueError as exc:
+        raise ConfigError("bad baseline %s: %s" % (path, exc)) from exc
+    entries = data.get("findings", data) if isinstance(data, dict) \
+        else data
+    baseline: Set[Tuple[str, str, str]] = set()
+    for entry in entries:
+        try:
+            baseline.add((entry["rule"], entry["path"],
+                          entry["message"]))
+        except (TypeError, KeyError) as exc:
+            raise ConfigError(
+                "bad baseline entry in %s: %r" % (path, entry)
+            ) from exc
+    return baseline
+
+
+def write_baseline(findings: Iterable[Finding], path: str) -> int:
+    """Grandfather ``findings``; returns the number written."""
+    entries = sorted(
+        {(f.rule, f.path, f.message) for f in findings
+         if f.severity == ERROR})
+    payload = {"findings": [
+        {"rule": rule, "path": fpath, "message": message}
+        for rule, fpath, message in entries]}
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    root: str
+    findings: List[Finding]
+    baseline: Set[Tuple[str, str, str]] = field(default_factory=set)
+
+    @property
+    def failures(self) -> List[Finding]:
+        """Error-severity findings not covered by the baseline."""
+        return [f for f in self.findings
+                if f.severity == ERROR
+                and f.identity not in self.baseline]
+
+    @property
+    def baselined(self) -> List[Finding]:
+        return [f for f in self.findings
+                if f.identity in self.baseline]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def as_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "ok": self.ok,
+            "counts": {
+                "findings": len(self.findings),
+                "failures": len(self.failures),
+                "baselined": len(self.baselined),
+            },
+            "findings": [
+                dict(f.as_dict(),
+                     baselined=f.identity in self.baseline)
+                for f in self.findings],
+        }
+
+
+def select_rules(rule_names: Optional[Sequence[str]] = None):
+    """Instantiate the requested rules (all when names is falsy)."""
+    if not rule_names:
+        return [cls() for cls in RULE_REGISTRY.values()]
+    unknown = [name for name in rule_names
+               if name not in RULE_REGISTRY]
+    if unknown:
+        raise ConfigError(
+            "unknown lint rule(s) %s; known: %s"
+            % (", ".join(sorted(unknown)),
+               ", ".join(RULE_REGISTRY)))
+    return [RULE_REGISTRY[name]() for name in rule_names]
+
+
+def run_lint(root: Optional[str] = None,
+             rule_names: Optional[Sequence[str]] = None,
+             baseline_path: Optional[str] = None,
+             files: Optional[List[SourceFile]] = None) -> LintReport:
+    """Run the selected rules over ``root`` and diff the baseline."""
+    root = root or DEFAULT_ROOT
+    context = build_context(root, files)
+    findings: List[Finding] = []
+
+    def admit(finding: Finding):
+        source = context.file(finding.path)
+        if source is not None and source.suppressed(
+                finding.rule, finding.line):
+            return
+        findings.append(finding)
+
+    for rule in select_rules(rule_names):
+        for source in context.files:
+            for finding in rule.check_file(context, source):
+                admit(finding)
+        for finding in rule.finalize(context):
+            admit(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return LintReport(root=root, findings=findings,
+                      baseline=load_baseline(baseline_path))

@@ -43,7 +43,7 @@ def program_from_dict(payload):
 def save_program(program, path):
     """Write a program image to ``path`` as JSON."""
     with open(path, "w") as handle:
-        json.dump(program_to_dict(program), handle)
+        json.dump(program_to_dict(program), handle, sort_keys=True)
     return path
 
 

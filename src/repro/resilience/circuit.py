@@ -57,9 +57,9 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         with self._lock:
-            return self._advance()
+            return self._advance_locked()
 
-    def _advance(self) -> str:
+    def _advance_locked(self) -> str:
         """Lock held: apply the recovery-time transition."""
         if self._state == OPEN and not self._probing \
                 and self._clock() - self._opened_at \
@@ -74,7 +74,7 @@ class CircuitBreaker:
         until its outcome is recorded.
         """
         with self._lock:
-            state = self._advance()
+            state = self._advance_locked()
             if state == CLOSED:
                 return True
             if state == HALF_OPEN and not self._probing:

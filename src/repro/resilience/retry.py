@@ -166,7 +166,7 @@ class RetryBudget:
         self.spent = 0
         self.refused = 0
 
-    def _refill(self, now: float):
+    def _refill_locked(self, now: float):
         elapsed = max(0.0, now - self._stamp)
         self._stamp = now
         self._tokens = min(float(self.capacity),
@@ -176,7 +176,7 @@ class RetryBudget:
     def try_spend(self) -> bool:
         """Take one token; ``False`` (refusal) when the bucket is dry."""
         with self._lock:
-            self._refill(self._clock())
+            self._refill_locked(self._clock())
             if self._tokens >= 1.0:
                 self._tokens -= 1.0
                 self.spent += 1
@@ -187,5 +187,5 @@ class RetryBudget:
     @property
     def tokens(self) -> float:
         with self._lock:
-            self._refill(self._clock())
+            self._refill_locked(self._clock())
             return self._tokens

@@ -61,7 +61,8 @@ def kill_pool_workers(pool):
     for process in list(processes.values()):
         try:
             process.kill()
-        except Exception:
+        except (OSError, ValueError):
+            # Worker already reaped, or its Process handle closed.
             pass
 
 

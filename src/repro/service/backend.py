@@ -46,7 +46,8 @@ from ..campaign import (CampaignOrchestrator, CampaignSession,
                         execute_trial_payload, merged_adaptive_summary)
 from ..campaign.adaptive import CAPPED, CONVERGED
 from ..campaign.aggregate import trial_cell
-from ..campaign.api import CELL_CONVERGED, TRIAL_STARTED
+from ..campaign.api import (CELL_CONVERGED, TRIAL_FINISHED,
+                            TRIAL_STARTED)
 from ..errors import (OrchestratorStopped, ReproError, ServiceError)
 from ..resilience.circuit import CircuitBreaker
 from ..resilience.retry import RetryPolicy
@@ -111,12 +112,37 @@ class JobRunner(threading.Thread):
         self.breaker = CircuitBreaker(
             failure_threshold=backend.breaker_threshold,
             recovery_time=backend.breaker_recovery)
+        #: Guards the liveness fields below — they are written from
+        #: the runner thread and read by the backend liveness thread.
+        self._progress_lock = threading.Lock()
         #: monotonic() stamp of the last observed progress (submission
         #: or landed record) — the backend liveness thread's lease.
         self.progress_stamp = time.monotonic()
         #: Trials currently in flight on the shared pool (liveness
         #: only kills pool workers for runners that actually wait).
         self.inflight = 0
+
+    def mark_progress(self, inflight: int):
+        """Stamp forward progress and publish the in-flight count
+        (runner thread)."""
+        with self._progress_lock:
+            self.progress_stamp = time.monotonic()
+            self.inflight = inflight
+
+    def set_inflight(self, inflight: int):
+        with self._progress_lock:
+            self.inflight = inflight
+
+    def lease_expired(self, now: float, lease: float) -> bool:
+        """Liveness probe (backend thread): True when in-flight work
+        has not progressed within ``lease`` seconds.  Renews the
+        stamp on expiry so one wedged runner triggers at most one
+        pool kill per lease interval."""
+        with self._progress_lock:
+            if self.inflight and now - self.progress_stamp > lease:
+                self.progress_stamp = now
+                return True
+            return False
 
     def request_stop(self, reason: str):
         """Ask the runner to stop; cancellation wins over drain."""
@@ -251,7 +277,6 @@ class JobRunner(threading.Thread):
             on_resubmit=on_resubmit,
             on_failure=self.breaker.record_failure,
             on_success=self.breaker.record_success)
-        self.supervisor = supervisor
 
         def open_pending() -> int:
             """Trials still schedulable (not yet in flight)."""
@@ -333,8 +358,7 @@ class JobRunner(threading.Thread):
                 supervisor.submit(trial.key, execute_trial_payload,
                                   session.options.trial_payload(trial),
                                   context=trial)
-                self.progress_stamp = time.monotonic()
-                self.inflight = supervisor.inflight
+                self.mark_progress(supervisor.inflight)
                 session._emit(TRIAL_STARTED, done=state["done"],
                               total=total, trial=trial.to_dict())
 
@@ -346,8 +370,9 @@ class JobRunner(threading.Thread):
                     collect(record)
                 backend.slot_pool.release(tenant, executed_trials=1)
             if results:
-                self.progress_stamp = time.monotonic()
-            self.inflight = supervisor.inflight
+                self.mark_progress(supervisor.inflight)
+            else:
+                self.set_inflight(supervisor.inflight)
 
         try:
             while True:
@@ -376,10 +401,14 @@ class JobRunner(threading.Thread):
                 while supervisor.inflight:
                     land(supervisor.wait(timeout=1.0),
                          collect_records=False)
+            # Straggler landing is best-effort cleanup: the exception
+            # already unwinding this frame is the diagnosis and must
+            # not be masked by one from a broken pool here.
+            # repro-lint: disable=except-policy -- cleanup, see above
             except Exception:
-                pass      # the original exception is the diagnosis
+                pass
             finally:
-                self.inflight = 0
+                self.set_inflight(0)
                 # Slots for trials that errored out (popped without a
                 # release above).
                 while held > 0:
@@ -410,7 +439,7 @@ class JobRunner(threading.Thread):
 
             def listener(event):
                 self._listener()(event)
-                if event.kind == "trial_finished":
+                if event.kind == TRIAL_FINISHED:
                     executed["n"] += 1
 
             orchestrator = CampaignOrchestrator(
@@ -733,12 +762,7 @@ class ServiceBackend:
                 return
             now = time.monotonic()
             for runner in self.active_runners():
-                if runner.inflight \
-                        and now - runner.progress_stamp \
-                        > self.runner_lease:
-                    # Re-stamp first so one wedged runner triggers at
-                    # most one kill per lease interval.
-                    runner.progress_stamp = now
+                if runner.lease_expired(now, self.runner_lease):
                     self.hung_runners += 1
                     self.kill_pool_workers()
                     break

@@ -461,9 +461,13 @@ class LoadDriver:
         for thread in threads:
             thread.join()
         wall = time.monotonic() - start
+        # All tenant threads were join()ed above, so these reads are
+        # ordered after every worker write without taking the lock.
         report = {"wall_seconds": round(wall, 3), "tenants": {},
+                  # repro-lint: disable=lock-discipline -- join() above
                   "errors": list(self.errors)}
         for tenant in sorted(self.workloads):
+            # repro-lint: disable=lock-discipline -- join() happens-before
             entries = self.submissions.get(tenant, [])
             latencies = [entry["submit_latency"] for entry in entries]
             trials = sum(entry["trials"] for entry in entries)
@@ -535,6 +539,8 @@ class LoadDriver:
         byte-for-byte with the service's merged results.  Returns
         mismatch descriptions (empty = identical)."""
         mismatches = []
+        # Runs after run() returned, i.e. after every worker joined.
+        # repro-lint: disable=lock-discipline -- post-join, single thread
         for tenant in sorted(self.submissions):
             for entry in self.submissions[tenant]:
                 if entry["state"] != "done":

@@ -266,14 +266,14 @@ class FairScheduler:
             else:
                 self._demands[key] = demand
 
-    def _demand_by_tenant(self) -> Dict[str, int]:
+    def _demand_by_tenant_locked(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}
         for (tenant, _consumer), demand in self._demands.items():
             totals[tenant] = totals.get(tenant, 0) + demand
         return totals
 
     def _allocation_locked(self) -> Dict[str, int]:
-        demands = self._demand_by_tenant()
+        demands = self._demand_by_tenant_locked()
         # In-flight grants count as demand even if the consumer has
         # already lowered its declaration — a granted slot must stay
         # covered by the allocation until released.
@@ -295,7 +295,7 @@ class FairScheduler:
 
     def _tick_locked(self):
         now = self._clock()
-        demands = self._demand_by_tenant()
+        demands = self._demand_by_tenant_locked()
         for name, state in self._tenants.items():
             state.integrate(now, demands.get(name, 0))
 
@@ -351,7 +351,7 @@ class FairScheduler:
         """
         with self._lock:
             self._tick_locked()
-            demands = self._demand_by_tenant()
+            demands = self._demand_by_tenant_locked()
             allocation = self._allocation_locked()
             tenants = {}
             for name in sorted(self._tenants):

@@ -40,6 +40,8 @@ SMOKE_ARGS = {
     # tests/test_service_server.py and tests/test_loadgen.py.
     "serve": None,
     "load": None,
+    # The static analyzer over the installed src tree (must be clean).
+    "lint": [],
 }
 
 

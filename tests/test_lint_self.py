@@ -1,0 +1,107 @@
+"""Self-lint: the repo's own source tree must pass ``repro-ft lint``.
+
+This is the tier-1 wiring of the analyzer — plus the two mutation
+checks from the issue's acceptance list: editing a copy of the frozen
+oracle, or seeding ``time.time()`` into a copy of
+``campaign/outcome.py``, must turn the lint run (library and CLI
+alike) red.
+"""
+
+import json
+import os
+import shutil
+
+from repro.harness.cli import main
+from repro.lint import DEFAULT_ROOT, run_lint
+from repro.lint.oracle import REFERENCE_PATH
+
+OUTCOME_PATH = "repro/campaign/outcome.py"
+
+
+def copy_into_tree(tmp_path, rel):
+    """Copy one real source file into a fixture tree; returns its
+    destination path."""
+    dest = tmp_path / rel
+    dest.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(os.path.join(DEFAULT_ROOT, rel), dest)
+    return dest
+
+
+class TestSelfLint:
+    def test_repo_is_lint_clean(self):
+        report = run_lint()
+        assert report.ok, "lint failures:\n%s" % "\n".join(
+            finding.render() for finding in report.failures)
+
+    def test_cli_exit_code_zero_on_clean_repo(self, capsys):
+        assert main(["lint"]) == 0
+        assert "lint: OK" in capsys.readouterr().out
+
+    def test_cli_json_report(self, capsys):
+        assert main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["counts"]["failures"] == 0
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("determinism", "frozen-oracle", "wire-parity",
+                     "lock-discipline", "except-policy"):
+            assert rule in out
+
+
+class TestOracleMutation:
+    def test_edited_oracle_copy_fails_lint(self, tmp_path):
+        dest = copy_into_tree(tmp_path, REFERENCE_PATH)
+        dest.write_text(dest.read_text()
+                        + "\n\ndef backdoor():\n    return 0\n")
+        report = run_lint(root=str(tmp_path),
+                          rule_names=["frozen-oracle"])
+        assert not report.ok
+        assert any("fingerprint" in f.message
+                   for f in report.failures)
+
+    def test_edited_oracle_copy_fails_cli(self, tmp_path, capsys):
+        dest = copy_into_tree(tmp_path, REFERENCE_PATH)
+        dest.write_text(dest.read_text().replace(
+            "def ", "def x_", 1))
+        assert main(["lint", "--root", str(tmp_path),
+                     "--rule", "frozen-oracle"]) == 1
+        assert "frozen-oracle" in capsys.readouterr().out
+
+    def test_pristine_oracle_copy_passes(self, tmp_path):
+        copy_into_tree(tmp_path, REFERENCE_PATH)
+        report = run_lint(root=str(tmp_path),
+                          rule_names=["frozen-oracle"])
+        assert report.ok
+
+
+class TestDeterminismSeeding:
+    def test_wall_clock_in_outcome_copy_fails_lint(self, tmp_path):
+        dest = copy_into_tree(tmp_path, OUTCOME_PATH)
+        dest.write_text(dest.read_text()
+                        + "\n\nimport time\n\n"
+                          "def _leaked_stamp():\n"
+                          "    return time.time()\n")
+        report = run_lint(root=str(tmp_path),
+                          rule_names=["determinism"])
+        assert not report.ok
+        assert any("time.time" in f.message for f in report.failures)
+
+    def test_wall_clock_in_outcome_copy_fails_cli(self, tmp_path,
+                                                  capsys):
+        dest = copy_into_tree(tmp_path, OUTCOME_PATH)
+        dest.write_text(dest.read_text()
+                        + "\n\nimport time\n"
+                          "_T0 = time.monotonic()\n")
+        assert main(["lint", "--root", str(tmp_path),
+                     "--rule", "determinism"]) == 1
+        out = capsys.readouterr().out
+        assert "determinism" in out and "0 failing" not in out
+
+    def test_pristine_outcome_copy_passes(self, tmp_path):
+        copy_into_tree(tmp_path, OUTCOME_PATH)
+        report = run_lint(root=str(tmp_path),
+                          rule_names=["determinism"])
+        assert report.ok
