@@ -166,6 +166,16 @@ class ExecutionOptions:
     so a transient write error does not discard a finished simulation.
     The serial path (``workers == 1``, the benchmark hot path) is
     untouched by the first two — zero overhead.
+
+    The throughput knobs select record-identical fast paths:
+    ``checkpointing`` snapshots each cell's fault-free baseline so
+    fault trials fast-forward past their shared prefix
+    (:mod:`repro.campaign.checkpoint`), ``checkpoint_interval``
+    overrides the auto-tuned snapshot spacing (committed
+    instructions), and ``persistent_workers`` warms every pool worker
+    at startup — a pool ``initializer`` pre-runs each cell's
+    fault-free twin so decoded programs, golden traces and checkpoints
+    are hot before the first real trial lands.
     """
 
     simulator: str = "fast"
@@ -178,6 +188,9 @@ class ExecutionOptions:
     trial_timeout: Optional[float] = None
     trial_retries: int = 2
     store_retry: Optional[RetryPolicy] = None
+    checkpointing: bool = False
+    checkpoint_interval: Optional[int] = None
+    persistent_workers: bool = False
 
     def __post_init__(self):
         if self.simulator not in SIMULATORS:
@@ -219,6 +232,17 @@ class ExecutionOptions:
             raise ConfigError(
                 "store_retry must be a RetryPolicy or None, got %r"
                 % (self.store_retry,))
+        if self.checkpoint_interval is not None and (
+                not isinstance(self.checkpoint_interval, int)
+                or isinstance(self.checkpoint_interval, bool)
+                or self.checkpoint_interval < 1):
+            raise ConfigError(
+                "checkpoint_interval must be a positive integer or "
+                "None, got %r" % (self.checkpoint_interval,))
+        if self.checkpoint_interval is not None \
+                and not self.checkpointing:
+            raise ConfigError(
+                "checkpoint_interval requires checkpointing=True")
 
     @property
     def adaptive(self) -> bool:
@@ -246,6 +270,14 @@ class ExecutionOptions:
             data["trial_retries"] = self.trial_retries
         if self.store_retry is not None:
             data["store_retry"] = self.store_retry.to_dict()
+        # Throughput fields likewise ride along only when enabled, so
+        # payloads stay byte-compatible with pre-checkpointing runs.
+        if self.checkpointing:
+            data["checkpointing"] = True
+        if self.checkpoint_interval is not None:
+            data["checkpoint_interval"] = self.checkpoint_interval
+        if self.persistent_workers:
+            data["persistent_workers"] = True
         return data
 
     @classmethod
@@ -266,10 +298,15 @@ class ExecutionOptions:
 
     def trial_payload(self, trial: Trial) -> dict:
         """The worker-pool payload for one trial (plain dicts only)."""
-        return {"trial": trial.to_dict(),
-                "simulator": self.simulator,
-                "golden_cache": self.golden_cache,
-                "reuse_faultfree": self.reuse_faultfree}
+        payload = {"trial": trial.to_dict(),
+                   "simulator": self.simulator,
+                   "golden_cache": self.golden_cache,
+                   "reuse_faultfree": self.reuse_faultfree}
+        if self.checkpointing:
+            payload["checkpointing"] = True
+            if self.checkpoint_interval is not None:
+                payload["checkpoint_interval"] = self.checkpoint_interval
+        return payload
 
 
 # -- results ---------------------------------------------------------------
@@ -335,9 +372,59 @@ def execute_trial_payload(payload):
             simulator=payload.get("simulator", "fast"),
             golden_cache=payload.get("golden_cache", True),
             reuse_faultfree=payload.get("reuse_faultfree", True),
+            checkpointing=payload.get("checkpointing", False),
+            checkpoint_interval=payload.get("checkpoint_interval"),
         ).to_record()
     trial = Trial.from_dict(payload)
     return run_trial(trial).to_record()
+
+
+#: Cells warmed per worker by the persistent-worker initializer; a
+#: bound, not coverage — workers warm the rest lazily as trials land.
+_WARM_CELL_LIMIT = 8
+
+
+def _warm_worker(payloads):
+    """Persistent-worker pool initializer: pre-run fault-free twins.
+
+    Executes each warm payload (a cell's trial with the rate forced to
+    zero and sites stripped) so the worker's decoded-program, golden-
+    trace, fault-free-baseline and checkpoint caches are hot before
+    its first real trial.  Purely a warm-up: results are discarded,
+    and a failing twin is skipped — an initializer exception would
+    permanently break the pool, and the real trial will surface the
+    same error as a normal record or worker failure.
+    """
+    for payload in payloads:
+        try:
+            execute_trial_payload(payload)
+        except Exception:  # repro-lint: disable=except-policy
+            # Warm-up only: any error here will recur on the real
+            # trial and surface through the normal record/retry path;
+            # raising instead would permanently break the pool.
+            continue
+
+
+def warm_payloads(options: ExecutionOptions, trials) -> list:
+    """Fault-free warm-up payloads, one per distinct cell of ``trials``
+    (capped at ``_WARM_CELL_LIMIT`` cells)."""
+    seen = set()
+    payloads = []
+    for trial in trials:
+        cell = (trial.workload, trial.workload_seed, trial.model,
+                trial.machine_overrides, trial.instructions,
+                trial.warmup, trial.max_cycles)
+        if cell in seen:
+            continue
+        seen.add(cell)
+        twin = trial.to_dict()
+        twin["rate_per_million"] = 0.0
+        twin.pop("sites", None)
+        twin.pop("site_config", None)
+        payloads.append(options.trial_payload(Trial.from_dict(twin)))
+        if len(payloads) >= _WARM_CELL_LIMIT:
+            break
+    return payloads
 
 
 #: The aggregation cell a trial (as a dict) belongs to — shared with
@@ -607,7 +694,7 @@ class CampaignSession:
 
         return collect, state
 
-    def _pool_supervisor(self, state, total):
+    def _pool_supervisor(self, state, total, warm=None):
         """A :class:`~repro.resilience.watchdog.PoolSupervisor` over a
         session-private process pool.
 
@@ -618,15 +705,23 @@ class CampaignSession:
         instead of the whole session.  Every resubmission re-emits
         ``trial_started`` — listeners see the retry, and the record
         that eventually lands is byte-identical (trial seeds derive
-        from trial keys, not scheduling).
+        from trial keys, not scheduling).  ``warm`` (persistent-worker
+        mode) is a list of fault-free warm-up payloads every worker —
+        including rebuilt ones — runs through :func:`_warm_worker`
+        before taking trials.
         """
         workers = self.options.workers
         holder = {"pool": None}
 
         def get_pool():
             if holder["pool"] is None:
-                holder["pool"] = ProcessPoolExecutor(
-                    max_workers=workers)
+                if warm:
+                    holder["pool"] = ProcessPoolExecutor(
+                        max_workers=workers,
+                        initializer=_warm_worker, initargs=(warm,))
+                else:
+                    holder["pool"] = ProcessPoolExecutor(
+                        max_workers=workers)
             return holder["pool"]
 
         def reset_pool(broken=None):
@@ -668,7 +763,10 @@ class CampaignSession:
                 collect(execute_trial_payload(
                     self.options.trial_payload(trial)))
             return records
-        supervisor, holder = self._pool_supervisor(state, total)
+        warm = warm_payloads(self.options, todo) \
+            if self.options.persistent_workers else None
+        supervisor, holder = self._pool_supervisor(state, total,
+                                                   warm=warm)
         try:
             for trial in todo:
                 supervisor.submit(trial.key, execute_trial_payload,
@@ -729,7 +827,10 @@ class CampaignSession:
                 collect(execute_trial_payload(
                     self.options.trial_payload(trial)))
             return records
-        supervisor, holder = self._pool_supervisor(state, total)
+        warm = warm_payloads(self.options, self.spec.trials()) \
+            if self.options.persistent_workers else None
+        supervisor, holder = self._pool_supervisor(state, total,
+                                                   warm=warm)
 
         def refill():
             while supervisor.inflight < workers:

@@ -1,0 +1,315 @@
+"""Checkpointed fast-forward: skip a fault trial's shared prefix.
+
+Every fault trial of a cell re-simulates the same fault-free prefix up
+to its first strike — for low rates and directed site lists that prefix
+is most of the run.  This module removes it without changing a single
+record byte:
+
+* :func:`run_windowed_capturing` runs the cell's fault-free baseline
+  through the exact warmup-then-measure protocol of
+  :func:`repro.harness.experiment.run_windowed`, pausing at periodic
+  instruction boundaries to take a
+  :class:`~repro.uarch.snapshot.ProcessorSnapshot`.  Chained
+  ``Processor.run`` calls check their budgets before every step, so
+  the segmented run is cycle-for-cycle identical to the straight one.
+* :class:`CellCheckpoints` owns one cell's snapshots plus a memoized
+  injector RNG pre-walk (:meth:`CellCheckpoints.prewalk`): a single
+  replay of the injector's draw stream yields *both* the silent-trial
+  verdict and, per checkpoint boundary, the RNG state a restored run
+  must continue from — the walk
+  :func:`repro.campaign.outcome._injector_stays_silent` used to do per
+  trial now runs once and serves both consumers.
+* :func:`resume_windowed` restores a snapshot into a freshly built
+  fault-armed processor, re-seats the injector RNG, and finishes the
+  windowed protocol from the snapshot's position.
+
+Why the prefix is exactly equivalent: before its first hit the rate
+injector only *draws* (one ``pc`` draw per group when the mix has
+``pc`` weight, one draw per redundant copy — see
+``Replicator.build_group``), and a miss leaves machine state untouched;
+site policies strike only at dispatched-group index >= their
+``site.index``.  So a snapshot taken at dispatched-group count ``D``
+with ``D <= first_strike_group`` plus the RNG state recorded at draw
+position ``D`` reproduces the struck run's machine and draw stream
+exactly.
+
+The store is per-process (snapshots share decoded-instruction objects
+with the live program and cannot cross pickling boundaries) and
+LRU-bounded so long multi-cell campaigns do not grow without limit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..core.faults import FaultInjector
+from ..harness.experiment import cycle_budget
+from ..uarch.snapshot import ProcessorSnapshot
+
+#: Cells whose checkpoints are retained per process (each cell holds a
+#: handful of full memory images; see CHECKPOINTS_PER_CELL).
+_STORE_LIMIT = 4
+
+#: Snapshot boundaries per cell when no explicit interval is given.
+CHECKPOINTS_PER_CELL = 8
+
+#: Never checkpoint more often than this many committed instructions.
+MIN_INTERVAL = 50
+
+
+def default_interval(instructions, warmup=0):
+    """The auto-tuned snapshot spacing for one cell's budget."""
+    return max(MIN_INTERVAL,
+               (instructions + warmup) // CHECKPOINTS_PER_CELL)
+
+
+def _prewalk_injector(fault_config, redundancy, boundaries, max_groups):
+    """One replay of the injector's miss stream over the baseline run.
+
+    Returns ``(first_hit, states)``: ``first_hit`` is the 0-based
+    dispatched-group index whose draws contain the first hit (``None``
+    if every draw over ``max_groups`` groups misses — the trial is
+    provably silent), and ``states`` maps each requested boundary
+    ``D <= first_hit`` to the RNG state after consuming exactly the
+    draws of groups ``0..D-1`` — what a run restored at ``D`` must
+    continue from.  Draw order mirrors ``Replicator.build_group``
+    (and `_injector_stays_silent`) exactly.
+    """
+    probe = FaultInjector(fault_config)
+    rng = probe._rng
+    random = rng.random
+    rate = probe._rate
+    pc_rate = probe._pc_rate
+    states = {}
+    want = sorted(set(boundaries))
+    position = 0
+    for group in range(max_groups):
+        while position < len(want) and want[position] == group:
+            states[group] = rng.getstate()
+            position += 1
+        if pc_rate > 0 and random() < pc_rate:
+            return group, states
+        for _ in range(redundancy):
+            if random() < rate:
+                return group, states
+    while position < len(want) and want[position] <= max_groups:
+        states[want[position]] = rng.getstate()
+        position += 1
+    return None, states
+
+
+class CellCheckpoints:
+    """The snapshot ladder plus pre-walk memo of one campaign cell."""
+
+    def __init__(self, snapshots):
+        self.snapshots = sorted(snapshots,
+                                key=lambda s: s.dispatched_groups)
+        self.boundaries = tuple(s.dispatched_groups
+                                for s in self.snapshots)
+        self.program = self.snapshots[0].program if self.snapshots \
+            else None
+        self._prewalks = {}
+
+    def prewalk(self, fault_config, redundancy, max_groups):
+        """Memoized :func:`_prewalk_injector` for one trial's injector.
+
+        The silent-trial check and the checkpoint selection both need
+        this walk; the memo makes the second ask free.  Keyed by the
+        injector identity (rate, seed, kind mix) — each trial seeds its
+        own injector, so this is a within-trial dedup, not a
+        cross-trial cache.
+        """
+        key = (fault_config.rate_per_million, fault_config.seed,
+               tuple(sorted(fault_config.kind_weights.items())),
+               redundancy, max_groups)
+        entry = self._prewalks.get(key)
+        if entry is None:
+            entry = _prewalk_injector(fault_config, redundancy,
+                                      self.boundaries, max_groups)
+            # One live memo entry: trials arrive one at a time per
+            # process, so keeping only the latest walk is enough.
+            self._prewalks.clear()
+            self._prewalks[key] = entry
+        return entry
+
+    def best_before(self, group_index):
+        """The latest snapshot safe for a first strike at ``group_index``.
+
+        Safe means ``snapshot.dispatched_groups <= group_index``: the
+        restored machine has dispatched only groups that provably
+        carried no strike.  Returns ``(snapshot, boundary)`` or
+        ``None`` when even the earliest snapshot is past the strike.
+        """
+        best = None
+        for snapshot in self.snapshots:
+            if snapshot.dispatched_groups <= group_index:
+                best = snapshot
+            else:
+                break
+        if best is None:
+            return None
+        return best, best.dispatched_groups
+
+
+class CheckpointStore:
+    """LRU cell-checkpoint store with hit/miss/eviction counters."""
+
+    def __init__(self, limit=_STORE_LIMIT):
+        self.limit = limit
+        self._cells = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        cell = self._cells.get(key)
+        if cell is None:
+            self.misses += 1
+            return None
+        self._cells.move_to_end(key)
+        self.hits += 1
+        return cell
+
+    def put(self, key, cell):
+        self._cells[key] = cell
+        self._cells.move_to_end(key)
+        while len(self._cells) > self.limit:
+            self._cells.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key):
+        """Drop one cell (stale program identity)."""
+        self._cells.pop(key, None)
+
+    def clear(self):
+        self._cells.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self):
+        return len(self._cells)
+
+    def stats(self):
+        return {"size": len(self._cells), "limit": self.limit,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+_STORE = CheckpointStore()
+
+
+def get_store():
+    """The per-process checkpoint store."""
+    return _STORE
+
+
+def clear_checkpoints():
+    """Drop all cell checkpoints and reset counters (for tests)."""
+    _STORE.clear()
+
+
+def checkpoint_store_stats():
+    """Counters of the per-process checkpoint store."""
+    return _STORE.stats()
+
+
+def run_windowed_capturing(processor, max_instructions,
+                           warmup_instructions=0, max_cycles=None,
+                           interval=None, capture=None):
+    """`run_windowed`, segmented to snapshot at instruction boundaries.
+
+    Chains ``processor.run`` calls toward absolute instruction targets
+    (each chunk recomputed from the actual committed count, so
+    commit-width overshoot never drifts the protocol), stamping the
+    warmup extras exactly where the straight protocol does, and calling
+    ``capture(processor)`` after each crossed multiple of ``interval``
+    — after any warmup stamping due at the same boundary, never at the
+    final target, never once the machine halted or exhausted its cycle
+    budget.  Returns ``(stats,
+    warm_cycles, warm_instructions)`` exactly like
+    :func:`repro.harness.experiment.run_windowed`.
+    """
+    if max_cycles is None:
+        max_cycles = cycle_budget(max_instructions, warmup_instructions)
+    if interval is None:
+        interval = default_interval(max_instructions,
+                                    warmup_instructions)
+    # The straight protocol's measurement run targets are *relative*
+    # to the committed count after warmup, overshoot included — the
+    # final absolute target is only known once warmup completes.
+    final = max_instructions if not warmup_instructions else None
+    stats = processor.stats
+    warm_cycles = warm_instructions = 0
+    warm_pending = bool(warmup_instructions)
+    next_mark = interval
+    while True:
+        current = stats.instructions
+        phase_end = warmup_instructions if warm_pending else final
+        target = min(phase_end, next_mark)
+        if target <= current:
+            # A previous chunk overshot this boundary; advance the
+            # mark without stepping.
+            pass
+        else:
+            stats = processor.run(max_instructions=target - current,
+                                  max_cycles=max_cycles)
+        current = stats.instructions
+        stalled = processor.halted or processor.cycle >= max_cycles
+        if warm_pending and (current >= warmup_instructions or stalled):
+            # The straight protocol stamps after run(warmup) returns,
+            # whether or not the warmup budget was actually reached.
+            warm_cycles = processor.cycle
+            warm_instructions = current
+            stats.extras["warmup_cycles"] = warm_cycles
+            stats.extras["warmup_instructions"] = warm_instructions
+            warm_pending = False
+            final = warm_instructions + max_instructions
+        if stalled or (final is not None and current >= final):
+            break
+        if current >= next_mark:
+            if capture is not None:
+                capture(processor)
+            next_mark = current - current % interval + interval
+    stats.cycles = processor.cycle
+    return stats, warm_cycles, warm_instructions
+
+
+def resume_windowed(processor, snapshot, rng_state, max_instructions,
+                    warmup_instructions=0, max_cycles=None):
+    """Finish the windowed protocol from a restored snapshot.
+
+    ``processor`` must be freshly built with this trial's injector or
+    policy; ``rng_state`` (from :meth:`CellCheckpoints.prewalk`)
+    re-seats the rate injector's RNG at the snapshot's draw position —
+    ``None`` for site policies, which consume no randomness after
+    construction.  Returns ``(stats, warm_cycles, warm_instructions)``
+    exactly like the full-run protocol.
+    """
+    snapshot.restore_into(processor)
+    if rng_state is not None:
+        processor.injector._rng.setstate(rng_state)
+    if max_cycles is None:
+        max_cycles = cycle_budget(max_instructions, warmup_instructions)
+    stats = processor.stats
+    current = stats.instructions
+    if warmup_instructions and current < warmup_instructions:
+        stats = processor.run(
+            max_instructions=warmup_instructions - current,
+            max_cycles=max_cycles)
+        warm_cycles = processor.cycle
+        warm_instructions = stats.instructions
+        stats.extras["warmup_cycles"] = warm_cycles
+        stats.extras["warmup_instructions"] = warm_instructions
+    else:
+        # Snapshots past the warmup boundary carry the stamps the
+        # capturing run made at the crossing.
+        warm_cycles = stats.extras.get("warmup_cycles", 0)
+        warm_instructions = stats.extras.get("warmup_instructions", 0)
+    # Measurement targets are relative to the post-warmup committed
+    # count, overshoot included, exactly like the straight protocol.
+    final = warm_instructions + max_instructions
+    stats = processor.run(
+        max_instructions=final - stats.instructions,
+        max_cycles=max_cycles)
+    return stats, warm_cycles, warm_instructions

@@ -27,7 +27,8 @@ __all__ = ["CampaignResult", "execute_trial_payload", "run_campaign"]
 
 def run_campaign(spec, workers=1, store=None, resume=False,
                  progress=None, simulator="fast", golden_cache=True,
-                 reuse_faultfree=True):
+                 reuse_faultfree=True, checkpointing=False,
+                 checkpoint_interval=None, persistent_workers=False):
     """Execute every trial of ``spec`` not already in ``store``.
 
     .. deprecated::
@@ -47,7 +48,10 @@ def run_campaign(spec, workers=1, store=None, resume=False,
     options = ExecutionOptions(simulator=simulator,
                                golden_cache=golden_cache,
                                reuse_faultfree=reuse_faultfree,
-                               workers=workers)
+                               workers=workers,
+                               checkpointing=checkpointing,
+                               checkpoint_interval=checkpoint_interval,
+                               persistent_workers=persistent_workers)
     listeners = []
     if progress is not None:
         def relay(event):

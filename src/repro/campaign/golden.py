@@ -40,6 +40,7 @@ from ..isa.registers import NUM_LOGICAL_REGS
 #: simulated memory).
 _TRACE_CACHE_LIMIT = 8
 _TRACE_CACHE = OrderedDict()
+_TRACE_CACHE_COUNTERS = {"hits": 0, "misses": 0, "evictions": 0}
 
 # Undo-record slot kinds.
 _UNDO_NONE = 0
@@ -112,18 +113,31 @@ def cached_trace(key, program, mem_size=None):
     trace = _TRACE_CACHE.get(key)
     if trace is not None and trace.program is program:
         _TRACE_CACHE.move_to_end(key)
+        _TRACE_CACHE_COUNTERS["hits"] += 1
         return trace
+    _TRACE_CACHE_COUNTERS["misses"] += 1
     trace = GoldenTrace(program, mem_size=mem_size)
     _TRACE_CACHE[key] = trace
     _TRACE_CACHE.move_to_end(key)
     while len(_TRACE_CACHE) > _TRACE_CACHE_LIMIT:
         _TRACE_CACHE.popitem(last=False)
+        _TRACE_CACHE_COUNTERS["evictions"] += 1
     return trace
 
 
+def trace_cache_stats():
+    """Size, limit and hit/miss/eviction counters of the trace cache."""
+    stats = dict(_TRACE_CACHE_COUNTERS)
+    stats["size"] = len(_TRACE_CACHE)
+    stats["limit"] = _TRACE_CACHE_LIMIT
+    return stats
+
+
 def clear_trace_cache():
-    """Drop all memoized traces (for tests)."""
+    """Drop all memoized traces and reset counters (for tests)."""
     _TRACE_CACHE.clear()
+    for name in _TRACE_CACHE_COUNTERS:
+        _TRACE_CACHE_COUNTERS[name] = 0
 
 
 def compare_with_golden(arch, golden_state):

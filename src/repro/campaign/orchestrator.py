@@ -412,6 +412,13 @@ class CampaignOrchestrator:
                         repr(self.heartbeat_interval)]
         if self.options.workers > 1:
             command += ["--workers", str(self.options.workers)]
+        if self.options.checkpointing:
+            command.append("--checkpointing")
+            if self.options.checkpoint_interval is not None:
+                command += ["--checkpoint-interval",
+                            str(self.options.checkpoint_interval)]
+        if self.options.persistent_workers:
+            command.append("--persistent-workers")
         plan = self.options.sampling
         if plan is not None and plan.is_adaptive:
             command += ["--adaptive", repr(plan.target_halfwidth),

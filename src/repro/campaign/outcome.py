@@ -33,7 +33,9 @@ from ..harness.experiment import cycle_budget, run_windowed
 from ..program.cache import cached_workload as _cached_workload
 from ..uarch.processor import Processor
 from ..uarch.reference import ReferenceProcessor
-from .golden import cached_trace, compare_with_golden
+from ..program.cache import workload_cache_stats
+from . import checkpoint as _checkpoint
+from .golden import cached_trace, compare_with_golden, trace_cache_stats
 
 MASKED = "masked"
 DETECTED_RECOVERED = "detected_recovered"
@@ -50,6 +52,38 @@ SIMULATORS = ("fast", "reference")
 #: simulation is a pure function of (workload, model, budgets), so all
 #: replicates of a rate-0 cell share one execution.
 _FAULTFREE_CACHE = {}
+
+#: Optional monotonic clock injected by the bench harness (see
+#: :func:`set_phase_clock`); ``None`` — the default — keeps this
+#: module free of wall-clock reads, which the determinism lint bans.
+_PHASE_CLOCK = None
+
+#: Accumulated seconds per execution phase while a clock is installed.
+_PHASE_TIMES = {"decode": 0.0, "golden": 0.0, "simulate": 0.0,
+                "classify": 0.0}
+
+
+def set_phase_clock(clock):
+    """Install (or with ``None`` remove) the phase-timing clock.
+
+    ``clock`` is a zero-argument callable returning seconds (the bench
+    passes ``time.perf_counter``).  While installed, trial execution
+    accumulates per-phase wall time into :func:`phase_times`; the
+    default ``None`` costs one predicate per phase and keeps the
+    module deterministic.
+    """
+    global _PHASE_CLOCK
+    _PHASE_CLOCK = clock
+
+
+def phase_times():
+    """A copy of the accumulated per-phase seconds."""
+    return dict(_PHASE_TIMES)
+
+
+def reset_phase_times():
+    for name in _PHASE_TIMES:
+        _PHASE_TIMES[name] = 0.0
 
 
 @dataclass
@@ -108,7 +142,8 @@ class TrialResult:
 
 
 def run_trial(trial, simulator="fast", golden_cache=True,
-              reuse_faultfree=True):
+              reuse_faultfree=True, checkpointing=False,
+              checkpoint_interval=None):
     """Execute one :class:`~repro.campaign.spec.Trial` and classify it.
 
     ``simulator`` selects the optimized engine (``"fast"``) or the
@@ -117,7 +152,12 @@ def run_trial(trial, simulator="fast", golden_cache=True,
     golden trace versus a fresh per-trial functional run; with
     ``reuse_faultfree`` all replicates of a fault-free cell share one
     execution, and fault trials whose injector provably never fires
-    (see :func:`_injector_stays_silent`) reuse it too.  Every
+    (see :func:`_injector_stays_silent`) reuse it too.  With
+    ``checkpointing`` (fast engine only) the cell's fault-free baseline
+    is snapshotted at ``checkpoint_interval``-instruction boundaries
+    (auto-spaced when ``None``) and each fault trial fast-forwards to
+    the latest snapshot preceding its first planned strike, simulating
+    only the suffix (:mod:`repro.campaign.checkpoint`).  Every
     combination produces byte-identical records — the switches exist
     for A/B benchmarking and divergence detection.
     """
@@ -125,6 +165,7 @@ def run_trial(trial, simulator="fast", golden_cache=True,
         raise ValueError("unknown simulator %r (choose from %s)"
                          % (simulator, "/".join(SIMULATORS)))
     fast = simulator == "fast"
+    use_checkpoints = checkpointing and fast
     policy = trial.injection_policy()
     if policy is not None:
         # Addressed site strikes: no rate injector, and never a
@@ -134,11 +175,12 @@ def run_trial(trial, simulator="fast", golden_cache=True,
             raise ValueError(
                 "fault-site trials require the fast simulator (the "
                 "frozen reference engine predates the site subsystem)")
-        result, _ = _execute_and_classify(trial, None, True,
-                                          golden_cache, policy=policy)
+        result, _ = _execute_site_trial(trial, policy, golden_cache,
+                                        use_checkpoints,
+                                        checkpoint_interval)
         return result
     fault_config = trial.fault_config()
-    if reuse_faultfree and fast:
+    if fast and (reuse_faultfree or use_checkpoints):
         baseline_key = (trial.workload, trial.workload_seed, trial.model,
                         trial.machine_overrides,
                         trial.instructions, trial.warmup,
@@ -146,25 +188,89 @@ def run_trial(trial, simulator="fast", golden_cache=True,
         if fault_config is None:
             entry = _FAULTFREE_CACHE.get(baseline_key)
             if entry is None:
-                entry = _run_baseline(trial, baseline_key, golden_cache)
+                entry = _run_baseline(trial, baseline_key, golden_cache,
+                                      use_checkpoints,
+                                      checkpoint_interval)
             return replace(entry[0], trial=trial.to_dict())
         entry = _FAULTFREE_CACHE.get(baseline_key)
-        if entry is None and _worth_baseline(trial, fault_config):
-            entry = _run_baseline(trial, baseline_key, golden_cache)
-        if entry is not None and _injector_stays_silent(
-                fault_config, entry[1], entry[2]):
-            # The injector's rate draws all miss over the exact number
-            # of dispatched groups: the trial is the fault-free run.
-            return replace(entry[0], trial=trial.to_dict())
+        if entry is None and (use_checkpoints
+                              or _worth_baseline(trial, fault_config)):
+            entry = _run_baseline(trial, baseline_key, golden_cache,
+                                  use_checkpoints, checkpoint_interval)
+        if entry is not None:
+            if use_checkpoints:
+                cell = _cell_checkpoints(baseline_key, trial)
+                if cell is not None:
+                    first_hit, states = cell.prewalk(
+                        fault_config, entry[2], entry[1])
+                    if first_hit is None:
+                        # Every draw misses over the baseline's exact
+                        # dispatch count: the trial *is* the fault-free
+                        # run (same theorem as _injector_stays_silent).
+                        return replace(entry[0], trial=trial.to_dict())
+                    pick = cell.best_before(first_hit)
+                    if pick is not None:
+                        snapshot, boundary = pick
+                        result, _ = _execute_resumed(
+                            trial, fault_config, golden_cache,
+                            snapshot, states[boundary])
+                        return result
+                elif _injector_stays_silent(fault_config, entry[1],
+                                            entry[2]):
+                    return replace(entry[0], trial=trial.to_dict())
+            elif _injector_stays_silent(fault_config, entry[1],
+                                        entry[2]):
+                # The injector's rate draws all miss over the exact
+                # number of dispatched groups: the trial is the
+                # fault-free run.
+                return replace(entry[0], trial=trial.to_dict())
     result, _ = _execute_and_classify(trial, fault_config, fast,
                                       golden_cache)
     return result
 
 
-def _run_baseline(trial, baseline_key, golden_cache):
-    """Run and memoize the fault-free twin of ``trial``."""
-    result, groups = _execute_and_classify(trial, None, True,
-                                           golden_cache)
+def _cell_checkpoints(baseline_key, trial):
+    """This cell's snapshot ladder, identity-checked against the live
+    program object (snapshots share decoded metadata with it, so a
+    workload-cache eviction invalidates the ladder)."""
+    store = _checkpoint.get_store()
+    cell = store.get(baseline_key)
+    if cell is None:
+        return None
+    program = _cached_workload(trial.workload, trial.workload_seed)
+    if cell.program is not program:
+        store.invalidate(baseline_key)
+        return None
+    return cell
+
+
+def _run_baseline(trial, baseline_key, golden_cache, capture=False,
+                  checkpoint_interval=None):
+    """Run and memoize the fault-free twin of ``trial``.
+
+    With ``capture`` the run is segmented through
+    :func:`repro.campaign.checkpoint.run_windowed_capturing` and the
+    resulting snapshot ladder is stored for the cell — stats and
+    classification stay byte-identical to the straight run.
+    """
+    if capture:
+        snapshots = []
+
+        def runner(processor, max_cycles):
+            return _checkpoint.run_windowed_capturing(
+                processor, trial.instructions, trial.warmup, max_cycles,
+                interval=checkpoint_interval,
+                capture=lambda p: snapshots.append(
+                    _checkpoint.ProcessorSnapshot(p)))
+
+        result, groups = _execute_and_classify(trial, None, True,
+                                               golden_cache,
+                                               runner=runner)
+        _checkpoint.get_store().put(
+            baseline_key, _checkpoint.CellCheckpoints(snapshots))
+    else:
+        result, groups = _execute_and_classify(trial, None, True,
+                                               golden_cache)
     model = trial.resolve_model()
     entry = (result, groups, model.ft.redundancy)
     _FAULTFREE_CACHE[baseline_key] = entry
@@ -217,8 +323,10 @@ def _injector_stays_silent(fault_config, dispatched_groups, redundancy):
 
 
 def _execute_and_classify(trial, fault_config, fast, golden_cache,
-                          policy=None):
+                          policy=None, runner=None):
     """Simulate one trial; return (TrialResult, dispatched groups)."""
+    clock = _PHASE_CLOCK
+    started = clock() if clock is not None else 0.0
     program = _cached_workload(trial.workload, trial.workload_seed)
     model = trial.resolve_model()
     if policy is not None:
@@ -229,14 +337,104 @@ def _execute_and_classify(trial, fault_config, fast, golden_cache,
         processor = processor_class(program, config=model.config,
                                     ft=model.ft,
                                     fault_config=fault_config)
+    if clock is not None:
+        _PHASE_TIMES["decode"] += clock() - started
+    if runner is None:
+        def runner(proc, max_cycles):
+            return run_windowed(proc, trial.instructions, trial.warmup,
+                                max_cycles)
+    return _finish_trial(trial, program, model, processor,
+                         golden_cache and fast, runner)
+
+
+def _execute_resumed(trial, fault_config, golden_cache, snapshot,
+                     rng_state):
+    """Fast-forward a rate trial from a cell snapshot and finish it."""
+    clock = _PHASE_CLOCK
+    started = clock() if clock is not None else 0.0
+    program = _cached_workload(trial.workload, trial.workload_seed)
+    model = trial.resolve_model()
+    processor = Processor(program, config=model.config, ft=model.ft,
+                          fault_config=fault_config)
+    if clock is not None:
+        _PHASE_TIMES["decode"] += clock() - started
+
+    def runner(proc, max_cycles):
+        return _checkpoint.resume_windowed(
+            proc, snapshot, rng_state, trial.instructions, trial.warmup,
+            max_cycles)
+
+    return _finish_trial(trial, program, model, processor, golden_cache,
+                         runner)
+
+
+def _execute_site_trial(trial, policy, golden_cache, use_checkpoints,
+                        checkpoint_interval):
+    """Run a directed-site trial, fast-forwarded when provably safe.
+
+    No site can strike before dispatched-group index
+    ``min(site.index)`` (``plan_group``/``plan_copy`` gate on
+    ``gseq >= site.index``), so any snapshot at-or-before that index
+    is a valid restore point; cycle windows need no special handling
+    because the restored run replays the same absolute cycles.
+    """
+    clock = _PHASE_CLOCK
+    started = clock() if clock is not None else 0.0
+    program = _cached_workload(trial.workload, trial.workload_seed)
+    model = trial.resolve_model()
+    processor = Processor(program, config=model.config, ft=model.ft,
+                          policy=policy)
+    if clock is not None:
+        _PHASE_TIMES["decode"] += clock() - started
+    snapshot = None
+    if use_checkpoints:
+        baseline_key = (trial.workload, trial.workload_seed, trial.model,
+                        trial.machine_overrides,
+                        trial.instructions, trial.warmup,
+                        trial.max_cycles)
+        if _FAULTFREE_CACHE.get(baseline_key) is None:
+            _run_baseline(trial, baseline_key, golden_cache, True,
+                          checkpoint_interval)
+        cell = _cell_checkpoints(baseline_key, trial)
+        if cell is not None:
+            # Sites are armed by construction (bind + reset ran).
+            earliest = min(site.index for site in policy.pending)
+            pick = cell.best_before(earliest)
+            if pick is not None:
+                snapshot = pick[0]
+    if snapshot is not None:
+        def runner(proc, max_cycles):
+            return _checkpoint.resume_windowed(
+                proc, snapshot, None, trial.instructions, trial.warmup,
+                max_cycles)
+    else:
+        def runner(proc, max_cycles):
+            return run_windowed(proc, trial.instructions, trial.warmup,
+                                max_cycles)
+    return _finish_trial(trial, program, model, processor, golden_cache,
+                         runner)
+
+
+def _finish_trial(trial, program, model, processor, golden_cache,
+                  runner):
+    """Run ``processor`` through ``runner`` and classify the outcome.
+
+    ``runner(processor, max_cycles)`` must return ``(stats,
+    warm_cycles, warm_instructions)`` following the
+    :func:`~repro.harness.experiment.run_windowed` protocol — the
+    straight run, the snapshot-capturing baseline run and the
+    checkpoint-resumed run all classify through this single path.
+    """
     budget = trial.instructions + trial.warmup
     max_cycles = trial.max_cycles
     if max_cycles is None:
         max_cycles = cycle_budget(trial.instructions, trial.warmup)
     result = TrialResult(trial=trial.to_dict(), outcome=TIMEOUT)
+    clock = _PHASE_CLOCK
+    started = clock() if clock is not None else 0.0
     try:
-        stats, warm_cycles, warm_instructions = run_windowed(
-            processor, trial.instructions, trial.warmup, max_cycles)
+        stats, warm_cycles, warm_instructions = runner(processor,
+                                                       max_cycles)
     except SimulationError as exc:
         stats = processor.stats
         stats.cycles = processor.cycle
@@ -245,6 +443,9 @@ def _execute_and_classify(trial, fault_config, fast, golden_cache,
                        stats.extras.get("warmup_instructions", 0))
         result.detail = "simulation error: %s" % exc
         return result, stats.dispatched_groups
+    finally:
+        if clock is not None:
+            _PHASE_TIMES["simulate"] += clock() - started
     _fill_counters(result, stats, warm_cycles, warm_instructions)
     committed = stats.instructions
     if stats.crashed:
@@ -254,9 +455,12 @@ def _execute_and_classify(trial, fault_config, fast, golden_cache,
         result.detail = ("cycle budget exhausted: %d/%d instructions "
                          "in %d cycles" % (committed, budget, stats.cycles))
         return result, stats.dispatched_groups
+    started = clock() if clock is not None else 0.0
     result.outcome, result.detail = _classify_against_golden(
         processor, program, model, committed, result,
-        golden_cache=golden_cache and fast)
+        golden_cache=golden_cache)
+    if clock is not None:
+        _PHASE_TIMES["classify"] += clock() - started
     if processor.halted and committed < budget:
         # HALT committed before the budget: either the program really
         # ends here (golden agrees: masked/recovered) or a fault
@@ -269,12 +473,28 @@ def _execute_and_classify(trial, fault_config, fast, golden_cache,
 
 
 def clear_result_caches():
-    """Drop the fault-free result memo (for tests)."""
+    """Drop the fault-free result memo and the cell checkpoints (for
+    tests and bench repeats)."""
     _FAULTFREE_CACHE.clear()
+    _checkpoint.clear_checkpoints()
+
+
+def cache_stats():
+    """Hit/miss/eviction counters of every per-process trial cache.
+
+    Covers the golden-trace LRU, the workload-program LRU and the
+    cell-checkpoint store.  Also stamped into each executed trial's
+    ``stats.extras["cache_stats"]`` (never into records — only
+    ``site_strikes`` crosses from extras into records).
+    """
+    return {"golden_trace": trace_cache_stats(),
+            "workload": workload_cache_stats(),
+            "checkpoints": _checkpoint.checkpoint_store_stats()}
 
 
 def _fill_counters(result, stats, warm_cycles, warm_instructions):
     """Copy run counters; IPC refers to the post-warmup window."""
+    stats.extras["cache_stats"] = cache_stats()
     cycles = stats.cycles - warm_cycles
     instructions = stats.instructions - warm_instructions
     result.cycles = stats.cycles
@@ -302,19 +522,26 @@ def _classify_against_golden(processor, program, model, committed,
     functional simulation and a full-state scan are used (the pre-PR
     path).  Results are byte-identical either way.
     """
+    clock = _PHASE_CLOCK
     if golden_cache:
+        started = clock() if clock is not None else 0.0
         mem_size = model.config.mem_size_words
         trace = cached_trace((program.name, id(program), mem_size),
                              program, mem_size=mem_size)
         golden_state = trace.seek(committed)
+        if clock is not None:
+            _PHASE_TIMES["golden"] += clock() - started
         diff = compare_with_golden(processor.arch, golden_state)
     else:
+        started = clock() if clock is not None else 0.0
         golden = FunctionalSimulator(program,
                                      mem_size=model.config.mem_size_words)
         for _ in range(committed):
             if not golden.step():
                 break
         golden_state = golden.state
+        if clock is not None:
+            _PHASE_TIMES["golden"] += clock() - started
         diff = compare_states(processor.arch, golden_state)
     pc_clean = (processor.committed_next_pc == golden_state.pc
                 or golden_state.halted)

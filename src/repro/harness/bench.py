@@ -35,7 +35,9 @@ import time
 
 from ..campaign.api import CampaignSession, ExecutionOptions
 from ..campaign.golden import clear_trace_cache
-from ..campaign.outcome import clear_result_caches
+from ..campaign.outcome import (cache_stats, clear_result_caches,
+                                phase_times, reset_phase_times,
+                                set_phase_clock)
 from ..campaign.spec import CampaignSpec
 from ..models.presets import get_model
 from ..program.cache import cached_workload
@@ -137,13 +139,21 @@ def bench_engine(workloads=ENGINE_WORKLOADS, models=ENGINE_MODELS,
     return {"instructions": instructions, "rows": rows}
 
 
-def bench_campaign(quick=False, workers=1, repeats=3):
+def bench_campaign(quick=False, workers=1, repeats=3,
+                   checkpointing=False):
     """Campaign-path A/B run; returns a JSON-ready dict.
 
     Each path is timed ``repeats`` times and the best wall clock kept
-    (scheduler noise only ever adds time).  Raises
-    :class:`BenchDivergence` unless the optimized path's records are
-    byte-identical to the unoptimized path's.
+    (scheduler noise only ever adds time).  ``checkpointing`` runs the
+    optimized side with checkpointed fast-forward (and persistent
+    workers when ``workers > 1``) — the divergence check is the same
+    either way.  The optimized side's best run also reports a
+    per-phase wall-time breakdown (decode / golden / simulate /
+    classify) and the trial-cache counters; both are measured
+    in-process, so they read zero when ``workers > 1`` moves trial
+    execution into pool children.  Raises :class:`BenchDivergence`
+    unless the optimized path's records are byte-identical to the
+    unoptimized path's.
     """
     spec = campaign_bench_spec(quick=quick)
     if quick:
@@ -152,7 +162,9 @@ def bench_campaign(quick=False, workers=1, repeats=3):
                                          golden_cache=False,
                                          reuse_faultfree=False,
                                          workers=workers)
-    optimized_options = ExecutionOptions(workers=workers)
+    optimized_options = ExecutionOptions(
+        workers=workers, checkpointing=checkpointing,
+        persistent_workers=checkpointing and workers > 1)
     reference = optimized = None
     reference_seconds = optimized_seconds = None
     for _ in range(repeats):
@@ -164,15 +176,23 @@ def bench_campaign(quick=False, workers=1, repeats=3):
         elapsed = time.perf_counter() - start
         if reference_seconds is None or elapsed < reference_seconds:
             reference_seconds = elapsed
-    for _ in range(repeats):
-        clear_result_caches()
-        clear_trace_cache()
-        start = time.perf_counter()
-        optimized = CampaignSession(spec,
-                                    options=optimized_options).run()
-        elapsed = time.perf_counter() - start
-        if optimized_seconds is None or elapsed < optimized_seconds:
-            optimized_seconds = elapsed
+    phases = caches = None
+    set_phase_clock(time.perf_counter)
+    try:
+        for _ in range(repeats):
+            clear_result_caches()
+            clear_trace_cache()
+            reset_phase_times()
+            start = time.perf_counter()
+            optimized = CampaignSession(spec,
+                                        options=optimized_options).run()
+            elapsed = time.perf_counter() - start
+            if optimized_seconds is None or elapsed < optimized_seconds:
+                optimized_seconds = elapsed
+                phases = phase_times()
+                caches = cache_stats()
+    finally:
+        set_phase_clock(None)
     if reference.records != optimized.records:
         differing = [left["key"] for left, right
                      in zip(reference.records, optimized.records)
@@ -187,7 +207,12 @@ def bench_campaign(quick=False, workers=1, repeats=3):
         "spec": spec.to_dict(),
         "trials": trials,
         "workers": workers,
+        "checkpointing": checkpointing,
         "identical_records": True,
+        "optimized_phase_seconds": {
+            name: round(seconds, 3)
+            for name, seconds in sorted(phases.items())},
+        "optimized_cache_stats": caches,
         "reference_seconds": round(reference_seconds, 3),
         "optimized_seconds": round(optimized_seconds, 3),
         "reference_trials_per_sec": round(trials / reference_seconds,
@@ -220,7 +245,8 @@ def _load_history(out):
     return history[-MAX_HISTORY:]
 
 
-def run_bench(quick=False, out=DEFAULT_OUT, workers=1, note=""):
+def run_bench(quick=False, out=DEFAULT_OUT, workers=1, note="",
+              checkpointing=False):
     """Run both benches; write ``out`` (unless empty); return the dict.
 
     ``out`` is an append-per-PR history: the new measurement becomes
@@ -235,7 +261,8 @@ def run_bench(quick=False, out=DEFAULT_OUT, workers=1, note=""):
                               instructions=600, repeats=1)
     else:
         engine = bench_engine()
-    campaign = bench_campaign(quick=quick, workers=workers)
+    campaign = bench_campaign(quick=quick, workers=workers,
+                              checkpointing=checkpointing)
     payload = {
         "version": BENCH_VERSION,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -284,10 +311,19 @@ def format_bench_summary(payload):
         "  unoptimized path  %7.2fs  (%.2f trials/s)"
         % (campaign["reference_seconds"],
            campaign["reference_trials_per_sec"]),
-        "  optimized path    %7.2fs  (%.2f trials/s)"
+        "  optimized path    %7.2fs  (%.2f trials/s)%s"
         % (campaign["optimized_seconds"],
-           campaign["optimized_trials_per_sec"]),
+           campaign["optimized_trials_per_sec"],
+           "  [checkpointing]" if campaign.get("checkpointing")
+           else ""),
         "  speedup           %6.2fx  (records byte-identical)"
         % campaign["speedup"],
     ]
+    phases = campaign.get("optimized_phase_seconds") or {}
+    if any(phases.values()):
+        lines.append(
+            "  phases            " + "  ".join(
+                "%s %.2fs" % (name, phases[name])
+                for name in ("decode", "golden", "simulate",
+                             "classify") if name in phases))
     return "\n".join(lines)

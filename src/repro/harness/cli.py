@@ -356,7 +356,11 @@ def _cmd_campaign(args):
         spec = _campaign_spec_from_args(args)
         options = ExecutionOptions(
             workers=args.workers,
-            sampling=_sampling_plan_from_args(args))
+            sampling=_sampling_plan_from_args(args),
+            checkpointing=args.checkpointing
+            or args.checkpoint_interval is not None,
+            checkpoint_interval=args.checkpoint_interval,
+            persistent_workers=args.persistent_workers)
         session = CampaignSession(spec, options=options, store=store)
     except (ConfigError, ValueError, TypeError, OSError) as exc:
         raise SystemExit("repro-ft campaign: %s" % exc)
@@ -416,7 +420,11 @@ def _cmd_orchestrate(args):
         spec = _campaign_spec_from_args(args)
         options = ExecutionOptions(
             workers=args.workers,
-            sampling=_sampling_plan_from_args(args))
+            sampling=_sampling_plan_from_args(args),
+            checkpointing=args.checkpointing
+            or args.checkpoint_interval is not None,
+            checkpoint_interval=args.checkpoint_interval,
+            persistent_workers=args.persistent_workers)
         orchestrator = CampaignOrchestrator(
             spec, shards=args.shards, store_dir=args.store_dir,
             options=options, mode=args.mode,
@@ -486,7 +494,8 @@ def _cmd_bench(args):
     from .bench import BenchDivergence, format_bench_summary, run_bench
     try:
         payload = run_bench(quick=args.quick, out=args.out,
-                            workers=args.workers, note=args.note)
+                            workers=args.workers, note=args.note,
+                            checkpointing=args.checkpointing)
     except BenchDivergence as exc:
         raise SystemExit("repro-ft bench: DIVERGENCE: %s" % exc)
     if args.json:
@@ -619,6 +628,10 @@ def _add_bench_args(sub):
                      help="result JSON path ('' disables the file)")
     sub.add_argument("--workers", type=int, default=1,
                      help="campaign process-pool width for both paths")
+    sub.add_argument("--checkpointing", action="store_true",
+                     help="run the fast side with checkpointed "
+                          "fast-forward (the A/B still fails on any "
+                          "record divergence)")
     sub.add_argument("--note", default="",
                      help="free-form label recorded with the entry")
     sub.add_argument("--json", action="store_true",
@@ -667,6 +680,19 @@ def _add_grid_args(sub):
     sub.add_argument("--workers", type=int, default=1,
                      help="process-pool width per session "
                           "(1 = in-process serial)")
+    sub.add_argument("--checkpointing", action="store_true",
+                     help="fast-forward each fault trial from the "
+                          "cell's fault-free checkpoints (records are "
+                          "byte-identical either way)")
+    sub.add_argument("--checkpoint-interval", type=int, default=None,
+                     metavar="N",
+                     help="committed instructions between checkpoints "
+                          "(default: budget/8; implies "
+                          "--checkpointing)")
+    sub.add_argument("--persistent-workers", action="store_true",
+                     help="pre-warm each pool worker's per-process "
+                          "caches with the campaign's fault-free "
+                          "baselines (needs --workers > 1 to matter)")
     sub.add_argument("--json", action="store_true",
                      help="print the aggregate as JSON instead of a "
                           "table")

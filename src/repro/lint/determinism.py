@@ -45,6 +45,7 @@ DETERMINISTIC_MODULES = (
     "repro/campaign/aggregate.py",
     "repro/campaign/adaptive.py",
     "repro/campaign/engine.py",
+    "repro/campaign/checkpoint.py",
 )
 
 #: The frozen differential oracle — guarded by ``frozen-oracle``.

@@ -21,6 +21,8 @@ Two layers, both transparent to callers:
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from ..functional.kernel import _BRANCH_CONDITIONS, _VALUE_HANDLERS
 from ..isa.opcodes import OP_INFO, FuClass, Kind
 
@@ -109,8 +111,12 @@ def decode_program(program, config):
     return table
 
 
-#: Per-process cache of generated workload programs.
-_WORKLOAD_CACHE = {}
+#: Per-process LRU cache of generated workload programs.  Bounded so a
+#: long multi-cell campaign cannot grow it without limit; generous
+#: enough that any realistic grid's working set fits.
+_WORKLOAD_CACHE_LIMIT = 32
+_WORKLOAD_CACHE = OrderedDict()
+_WORKLOAD_CACHE_COUNTERS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def cached_workload(name, seed=1_000_003):
@@ -122,15 +128,33 @@ def cached_workload(name, seed=1_000_003):
     """
     key = (name, seed)
     program = _WORKLOAD_CACHE.get(key)
-    if program is None:
-        # Imported lazily: repro.workloads itself builds Programs, so a
-        # module-level import would be circular.
-        from ..workloads.generator import build_workload
-        program = build_workload(name, seed=seed)
-        _WORKLOAD_CACHE[key] = program
+    if program is not None:
+        _WORKLOAD_CACHE.move_to_end(key)
+        _WORKLOAD_CACHE_COUNTERS["hits"] += 1
+        return program
+    _WORKLOAD_CACHE_COUNTERS["misses"] += 1
+    # Imported lazily: repro.workloads itself builds Programs, so a
+    # module-level import would be circular.
+    from ..workloads.generator import build_workload
+    program = build_workload(name, seed=seed)
+    _WORKLOAD_CACHE[key] = program
+    while len(_WORKLOAD_CACHE) > _WORKLOAD_CACHE_LIMIT:
+        _WORKLOAD_CACHE.popitem(last=False)
+        _WORKLOAD_CACHE_COUNTERS["evictions"] += 1
     return program
+
+
+def workload_cache_stats():
+    """Size, limit and hit/miss/eviction counters of the workload
+    cache."""
+    stats = dict(_WORKLOAD_CACHE_COUNTERS)
+    stats["size"] = len(_WORKLOAD_CACHE)
+    stats["limit"] = _WORKLOAD_CACHE_LIMIT
+    return stats
 
 
 def clear_caches():
     """Drop all cached workloads and decode tables (for tests)."""
     _WORKLOAD_CACHE.clear()
+    for name in _WORKLOAD_CACHE_COUNTERS:
+        _WORKLOAD_CACHE_COUNTERS[name] = 0
