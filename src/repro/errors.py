@@ -53,6 +53,14 @@ class TrialHangError(ResilienceError):
     never came back — an infrastructure failure."""
 
 
+class HistoryError(ReproError):
+    """Raised when the bench history file (``BENCH_simulator.json``)
+    cannot be loaded, validated or resolved — a torn write, a hand
+    edit that broke an entry's schema, or a version reference that
+    does not exist.  The performance version system refuses to guess:
+    silently dropping history would defeat regression gating."""
+
+
 class ServiceError(ReproError):
     """Raised when the campaign service cannot honour a request
     (unknown job, invalid submission, service not running)."""

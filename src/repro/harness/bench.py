@@ -21,14 +21,16 @@ bench`` subcommand):
 
 Divergence between the two paths raises :class:`BenchDivergence` — the
 CI smoke job relies on that to fail the build.  Absolute timings are
-recorded, never asserted (shared runners are noisy); the committed
-``BENCH_simulator.json`` documents the measured trajectory per host.
+recorded, never asserted in-process (shared runners are noisy); the
+committed ``BENCH_simulator.json`` documents the measured trajectory
+per host, and ``repro.perf`` (``repro-ft bench --diff/--check``) turns
+that history into statistically-gated regression detection — each
+entry stores *per-repeat* wall-time samples per phase (schema v3) so
+comparisons have a distribution, not a point.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import platform
 import sys
 import time
@@ -40,18 +42,22 @@ from ..campaign.outcome import (cache_stats, clear_result_caches,
                                 set_phase_clock)
 from ..campaign.spec import CampaignSpec
 from ..models.presets import get_model
+from ..perf.history import (SCHEMA_VERSION, BenchHistory,
+                            host_fingerprint)
 from ..program.cache import cached_workload
 from ..uarch.processor import Processor
 from ..uarch.reference import ReferenceProcessor
 
-#: v2: the written file became an append-per-PR history — the top
-#: level is still the latest entry (so consumers of the v1 schema keep
-#: working), with prior entries under ``history``.
-BENCH_VERSION = 2
+#: v2 made the written file an append-per-PR history (top level = the
+#: latest entry, prior entries under ``history``); v3 adds per-repeat
+#: wall-time samples per phase and a host fingerprint to every new
+#: entry.  See :mod:`repro.perf.history` for the authoritative schema.
+BENCH_VERSION = SCHEMA_VERSION
 DEFAULT_OUT = "BENCH_simulator.json"
 
-#: Safety cap on retained history entries (newest kept).
-MAX_HISTORY = 100
+#: Campaign-path timing repeats when the caller does not say (the
+#: quick CI grids keep a single repeat unless --repeats is explicit).
+DEFAULT_REPEATS = 3
 
 #: Single-simulation grid: paper-canonical workloads on the baseline
 #: and the dual-redundant machine.
@@ -139,25 +145,32 @@ def bench_engine(workloads=ENGINE_WORKLOADS, models=ENGINE_MODELS,
     return {"instructions": instructions, "rows": rows}
 
 
-def bench_campaign(quick=False, workers=1, repeats=3,
+def bench_campaign(quick=False, workers=1, repeats=None,
                    checkpointing=False):
     """Campaign-path A/B run; returns a JSON-ready dict.
 
-    Each path is timed ``repeats`` times and the best wall clock kept
-    (scheduler noise only ever adds time).  ``checkpointing`` runs the
-    optimized side with checkpointed fast-forward (and persistent
+    Each path is timed ``repeats`` times (``None``: 3, or 1 with
+    ``quick``).  The headline numbers keep the *best* wall clock
+    (scheduler noise only ever adds time), and every repeat's wall
+    time is additionally recorded — ``reference_sample_seconds`` /
+    ``optimized_sample_seconds``, plus a per-phase sample matrix
+    ``optimized_phase_sample_seconds`` — so ``repro-ft bench --diff``
+    has a distribution to test, not a point.  ``checkpointing`` runs
+    the optimized side with checkpointed fast-forward (and persistent
     workers when ``workers > 1``) — the divergence check is the same
     either way.  The optimized side's best run also reports a
     per-phase wall-time breakdown (decode / golden / simulate /
-    classify) and the trial-cache counters; both are measured
+    classify) and the trial-cache counters; phases are measured
     in-process, so they read zero when ``workers > 1`` moves trial
     execution into pool children.  Raises :class:`BenchDivergence`
     unless the optimized path's records are byte-identical to the
     unoptimized path's.
     """
     spec = campaign_bench_spec(quick=quick)
-    if quick:
-        repeats = 1
+    if repeats is None:
+        repeats = 1 if quick else DEFAULT_REPEATS
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1, got %d" % repeats)
     reference_options = ExecutionOptions(simulator="reference",
                                          golden_cache=False,
                                          reuse_faultfree=False,
@@ -166,17 +179,18 @@ def bench_campaign(quick=False, workers=1, repeats=3,
         workers=workers, checkpointing=checkpointing,
         persistent_workers=checkpointing and workers > 1)
     reference = optimized = None
-    reference_seconds = optimized_seconds = None
+    reference_samples = []
+    optimized_samples = []
+    phase_samples = {}
     for _ in range(repeats):
         clear_result_caches()
         clear_trace_cache()
         start = time.perf_counter()
         reference = CampaignSession(spec,
                                     options=reference_options).run()
-        elapsed = time.perf_counter() - start
-        if reference_seconds is None or elapsed < reference_seconds:
-            reference_seconds = elapsed
+        reference_samples.append(time.perf_counter() - start)
     phases = caches = None
+    optimized_seconds = None
     set_phase_clock(time.perf_counter)
     try:
         for _ in range(repeats):
@@ -187,9 +201,13 @@ def bench_campaign(quick=False, workers=1, repeats=3,
             optimized = CampaignSession(spec,
                                         options=optimized_options).run()
             elapsed = time.perf_counter() - start
+            optimized_samples.append(elapsed)
+            run_phases = phase_times()
+            for name, seconds in run_phases.items():
+                phase_samples.setdefault(name, []).append(seconds)
             if optimized_seconds is None or elapsed < optimized_seconds:
                 optimized_seconds = elapsed
-                phases = phase_times()
+                phases = run_phases
                 caches = cache_stats()
     finally:
         set_phase_clock(None)
@@ -203,18 +221,27 @@ def bench_campaign(quick=False, workers=1, repeats=3,
             % (len(differing), len(reference.records),
                ", ".join(differing[:8])))
     trials = len(reference.records)
+    reference_seconds = min(reference_samples)
     return {
         "spec": spec.to_dict(),
         "trials": trials,
         "workers": workers,
+        "repeats": repeats,
         "checkpointing": checkpointing,
         "identical_records": True,
         "optimized_phase_seconds": {
             name: round(seconds, 3)
             for name, seconds in sorted(phases.items())},
+        "optimized_phase_sample_seconds": {
+            name: [round(seconds, 6) for seconds in samples]
+            for name, samples in sorted(phase_samples.items())},
         "optimized_cache_stats": caches,
         "reference_seconds": round(reference_seconds, 3),
         "optimized_seconds": round(optimized_seconds, 3),
+        "reference_sample_seconds": [round(seconds, 6)
+                                     for seconds in reference_samples],
+        "optimized_sample_seconds": [round(seconds, 6)
+                                     for seconds in optimized_samples],
         "reference_trials_per_sec": round(trials / reference_seconds,
                                           3),
         "optimized_trials_per_sec": round(trials / optimized_seconds,
@@ -223,38 +250,21 @@ def bench_campaign(quick=False, workers=1, repeats=3,
     }
 
 
-def _load_history(out):
-    """Prior bench entries at ``out``, oldest first.
-
-    The previous file's top level *is* its latest entry; it joins the
-    history list behind any entries it already carried.  Unreadable or
-    foreign files contribute nothing (never an error — the bench must
-    still run on a fresh checkout).
-    """
-    try:
-        with open(out) as handle:
-            previous = json.load(handle)
-    except (OSError, ValueError):
-        return []
-    if not isinstance(previous, dict) or "engine" not in previous:
-        return []
-    history = previous.pop("history", [])
-    if not isinstance(history, list):
-        history = []
-    history.append(previous)
-    return history[-MAX_HISTORY:]
-
-
 def run_bench(quick=False, out=DEFAULT_OUT, workers=1, note="",
-              checkpointing=False):
+              checkpointing=False, repeats=None):
     """Run both benches; write ``out`` (unless empty); return the dict.
 
-    ``out`` is an append-per-PR history: the new measurement becomes
-    the file's top level (schema-compatible with the v1 single-entry
-    file and the CI divergence check), and every earlier entry is
-    preserved, oldest first, under ``history``.  ``note`` is a
-    free-form label recorded with the entry (what this measurement
-    demonstrates — e.g. which PR's overhead claim it pins).
+    ``out`` is an append-per-PR history (see
+    :class:`repro.perf.history.BenchHistory` for the schema): the new
+    measurement becomes the file's top level (schema-compatible with
+    the v1 single-entry file and the CI divergence check), and every
+    earlier entry is preserved, oldest first, under ``history``.  A
+    missing ``out`` starts a fresh history; a *corrupt* one raises
+    :class:`~repro.errors.HistoryError` instead of silently dropping
+    the recorded trajectory.  ``note`` is a free-form label recorded
+    with the entry (what this measurement demonstrates — e.g. which
+    PR's overhead claim it pins); ``repeats`` is the campaign-path
+    sample count per side (``None``: 3 full / 1 quick).
     """
     if quick:
         engine = bench_engine(workloads=("gcc", "fpppp"),
@@ -262,14 +272,19 @@ def run_bench(quick=False, out=DEFAULT_OUT, workers=1, note="",
     else:
         engine = bench_engine()
     campaign = bench_campaign(quick=quick, workers=workers,
-                              checkpointing=checkpointing)
+                              checkpointing=checkpointing,
+                              repeats=repeats)
+    host_platform = platform.platform()
+    host_python = sys.version.split()[0]
     payload = {
         "version": BENCH_VERSION,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "quick": quick,
         "host": {
-            "platform": platform.platform(),
-            "python": sys.version.split()[0],
+            "platform": host_platform,
+            "python": host_python,
+            "fingerprint": host_fingerprint(host_platform,
+                                            host_python),
         },
         "engine": engine,
         "campaign": campaign,
@@ -277,14 +292,10 @@ def run_bench(quick=False, out=DEFAULT_OUT, workers=1, note="",
     if note:
         payload["note"] = note
     if out:
-        history = _load_history(out) if os.path.exists(out) else []
-        written = dict(payload)
-        if history:
-            written["history"] = history
-        with open(out, "w") as handle:
-            json.dump(written, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        payload = written
+        history = BenchHistory.load(out)
+        history.append(payload)
+        history.save(out)
+        payload = history.to_payload()
     return payload
 
 

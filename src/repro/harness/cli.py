@@ -490,14 +490,104 @@ def _cmd_faults(args):
                                 KIND_MIX_PRESETS, policies))
 
 
+def _diff_config_from_args(args):
+    from ..perf import DiffConfig
+    return DiffConfig(alpha=args.alpha, min_effect=args.min_effect)
+
+
+def _cmd_bench_diff(args):
+    """``bench --diff A B``: compare two history entries; exit 1 when
+    a gate metric (throughput, or the speedup ratio cross-host) is
+    statistically DEGRADED."""
+    import json as _json
+
+    from ..perf import (BenchHistory, diff_refs, format_diff_report)
+    history = BenchHistory.load(args.out)
+    diff = diff_refs(history, args.diff[0], args.diff[1],
+                     _diff_config_from_args(args))
+    if args.json:
+        print(_json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_diff_report(diff))
+    return 0 if diff.ok else 1
+
+
+def _cmd_bench_check(args):
+    """``bench --check``: the CI gate — latest entry vs its best
+    comparable baseline; exit 1 on a significant regression."""
+    import json as _json
+
+    from ..perf import (BenchHistory, check_history,
+                        format_diff_report)
+    history = BenchHistory.load(args.out)
+    diff = check_history(history, _diff_config_from_args(args))
+    if diff is None:
+        message = ("bench check: %d entr%s in %s — nothing to "
+                   "regress against, pass"
+                   % (len(history),
+                      "y" if len(history) == 1 else "ies", args.out))
+        if args.json:
+            print(_json.dumps({"check": None, "ok": True,
+                               "note": message}, indent=2,
+                              sort_keys=True))
+        else:
+            print(message)
+        return 0
+    if args.json:
+        print(_json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_diff_report(diff))
+        print()
+        print("bench check: %s" % ("OK" if diff.ok
+                                   else "FAILED — significant "
+                                        "performance regression"))
+    return 0 if diff.ok else 1
+
+
+def _cmd_bench_history(args):
+    """``bench --history``: the whole-history degradation report."""
+    import json as _json
+
+    from ..perf import (BenchHistory, format_history_report,
+                        history_report)
+    history = BenchHistory.load(args.out)
+    config = _diff_config_from_args(args)
+    if args.json:
+        print(_json.dumps(history_report(history, config), indent=2,
+                          sort_keys=True))
+    else:
+        print(format_history_report(history, config))
+    return 0
+
+
 def _cmd_bench(args):
+    from ..errors import HistoryError
     from .bench import BenchDivergence, format_bench_summary, run_bench
+    modes = [name for name, active in
+             (("--diff", args.diff is not None),
+              ("--check", args.check),
+              ("--history", args.history)) if active]
+    if len(modes) > 1:
+        raise SystemExit("repro-ft bench: %s are mutually exclusive"
+                         % " and ".join(modes))
+    try:
+        if args.diff is not None:
+            return _cmd_bench_diff(args)
+        if args.check:
+            return _cmd_bench_check(args)
+        if args.history:
+            return _cmd_bench_history(args)
+    except HistoryError as exc:
+        raise SystemExit("repro-ft bench: %s" % exc)
     try:
         payload = run_bench(quick=args.quick, out=args.out,
                             workers=args.workers, note=args.note,
-                            checkpointing=args.checkpointing)
+                            checkpointing=args.checkpointing,
+                            repeats=args.repeats)
     except BenchDivergence as exc:
         raise SystemExit("repro-ft bench: DIVERGENCE: %s" % exc)
+    except HistoryError as exc:
+        raise SystemExit("repro-ft bench: %s" % exc)
     if args.json:
         import json as _json
         print(_json.dumps(payload, indent=2, sort_keys=True))
@@ -625,15 +715,43 @@ def _add_bench_args(sub):
     sub.add_argument("--quick", action="store_true",
                      help="small grids for CI smoke runs")
     sub.add_argument("--out", default="BENCH_simulator.json",
-                     help="result JSON path ('' disables the file)")
+                     help="bench history JSON path ('' disables the "
+                          "file); --diff/--check/--history read it")
     sub.add_argument("--workers", type=int, default=1,
                      help="campaign process-pool width for both paths")
+    sub.add_argument("--repeats", type=int, default=None, metavar="N",
+                     help="campaign-path timing repeats per side; "
+                          "every repeat's wall time is recorded as a "
+                          "sample for --diff (default: 3, or 1 with "
+                          "--quick)")
     sub.add_argument("--checkpointing", action="store_true",
                      help="run the fast side with checkpointed "
                           "fast-forward (the A/B still fails on any "
                           "record divergence)")
     sub.add_argument("--note", default="",
                      help="free-form label recorded with the entry")
+    # Performance-version-system modes (repro.perf): read the history
+    # at --out instead of running the bench.
+    sub.add_argument("--diff", nargs=2, default=None,
+                     metavar=("A", "B"),
+                     help="compare two history entries (indices, "
+                          "'latest'/'HEAD' or 'HEAD~N') with a seeded "
+                          "permutation test; exit 1 when a gate "
+                          "metric is DEGRADED")
+    sub.add_argument("--check", action="store_true",
+                     help="gate on the latest entry vs its best "
+                          "comparable baseline: exit 1 on a "
+                          "statistically significant regression")
+    sub.add_argument("--history", action="store_true",
+                     help="render the degradation report over the "
+                          "whole bench history")
+    sub.add_argument("--alpha", type=float, default=0.05,
+                     help="two-sided significance level for "
+                          "--diff/--check/--history (default 0.05)")
+    sub.add_argument("--min-effect", type=float, default=0.05,
+                     help="minimum |relative change| before a "
+                          "significant difference counts (default "
+                          "0.05 = 5%%)")
     sub.add_argument("--json", action="store_true",
                      help="print the full payload as JSON")
 

@@ -1,0 +1,41 @@
+"""``repro.perf`` — a performance version system over the bench
+history (``BENCH_simulator.json``).
+
+Perun-style VCS-like tracking of performance profiles: every
+``repro-ft bench`` run appends a typed entry (schema v3: per-repeat
+wall-time samples per phase, host fingerprint), and the tools here
+read them back —
+
+* :mod:`repro.perf.history` — load / validate / append / migrate the
+  entry file (:class:`BenchHistory`, :class:`BenchEntry`);
+* :mod:`repro.perf.stats` — deterministic seeded permutation test
+  with an effect-size gate, stdlib only;
+* :mod:`repro.perf.diff` — ``bench --diff A B`` / ``--check``
+  verdicts (DEGRADED / IMPROVED / UNCHANGED per metric, cross-host
+  absolute comparisons refused into ratio-only mode);
+* :mod:`repro.perf.report` — the rendered degradation report
+  (``bench --history``).
+"""
+
+from .diff import (ABSOLUTE, RATIO_ONLY, BenchDiff, DiffConfig,
+                   MetricDiff, check_history, diff_entries, diff_refs,
+                   find_baseline)
+from .history import (MAX_HISTORY, PHASES, SCHEMA_VERSION, BenchEntry,
+                      BenchHistory, host_fingerprint, validate_entry)
+from .report import (format_diff_report, format_history_report,
+                     history_report)
+from .stats import (DEGRADED, HIGHER_IS_BETTER, IMPROVED,
+                    LOWER_IS_BETTER, UNCHANGED, PermutationResult,
+                    SampleComparison, compare_samples,
+                    permutation_test, relative_change)
+
+__all__ = [
+    "ABSOLUTE", "RATIO_ONLY", "BenchDiff", "DiffConfig", "MetricDiff",
+    "check_history", "diff_entries", "diff_refs", "find_baseline",
+    "MAX_HISTORY", "PHASES", "SCHEMA_VERSION", "BenchEntry",
+    "BenchHistory", "host_fingerprint", "validate_entry",
+    "format_diff_report", "format_history_report", "history_report",
+    "DEGRADED", "HIGHER_IS_BETTER", "IMPROVED", "LOWER_IS_BETTER",
+    "UNCHANGED", "PermutationResult", "SampleComparison",
+    "compare_samples", "permutation_test", "relative_change",
+]

@@ -1,0 +1,255 @@
+"""Comparing two bench entries: ``repro-ft bench --diff A B``.
+
+A diff is a set of per-metric verdicts (DEGRADED / IMPROVED /
+UNCHANGED), each backed by the seeded permutation test in
+:mod:`repro.perf.stats`:
+
+* **trials_per_sec** — optimized-path campaign throughput, the
+  headline gate metric (higher is better);
+* **phase_<name>_seconds** — per-phase wall time of the optimized
+  path (decode / golden / simulate / classify, lower is better):
+  different campaign shapes regress in different phases, so a single
+  throughput number hides *where* a regression lives;
+* **speedup** — the optimized/reference wall-time ratio.
+  Dimensionless, so it is the only metric that survives a host
+  change.
+
+**Cross-host refusal.** Absolute wall-clock metrics from different
+hosts are not comparable — the history documents a mid-stream host
+change — so when the two entries' host fingerprints (or campaign
+specs) differ, the diff drops to *ratio-only* mode with an explicit
+warning: only ``speedup`` is tested, and it becomes the gate metric.
+
+``--check`` gates CI: the latest entry against the nearest earlier
+entry it is absolutely comparable with (same host, same spec),
+falling back to its immediate predecessor in ratio-only mode.  A
+DEGRADED gate metric exits 1, the same way result divergence already
+fails the build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import HistoryError
+from .history import PHASES, BenchEntry, BenchHistory
+from .stats import (DEGRADED, DEFAULT_PERMUTATIONS, HIGHER_IS_BETTER,
+                    IMPROVED, LOWER_IS_BETTER, UNCHANGED,
+                    compare_samples)
+
+#: Diff modes.
+ABSOLUTE = "absolute"
+RATIO_ONLY = "ratio-only"
+
+
+@dataclass(frozen=True)
+class DiffConfig:
+    """Knobs of the statistical gate (CLI: --alpha / --min-effect)."""
+
+    alpha: float = 0.05             # two-sided significance level
+    min_effect: float = 0.05        # minimum |relative change|
+    permutations: int = DEFAULT_PERMUTATIONS
+    seed: int = 2001                # Monte Carlo fallback seed
+
+    def __post_init__(self):
+        if not 0 < self.alpha < 1:
+            raise HistoryError("alpha must be in (0, 1), got %r"
+                               % (self.alpha,))
+        if self.min_effect < 0:
+            raise HistoryError("min_effect must be >= 0, got %r"
+                               % (self.min_effect,))
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One metric's comparison between two entries."""
+
+    metric: str
+    direction: str
+    baseline_mean: float
+    candidate_mean: float
+    rel_change: float
+    p_value: Optional[float]
+    verdict: str
+    gate: bool                      # counts toward the exit-1 gate
+    note: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "metric": self.metric,
+            "direction": self.direction,
+            "baseline_mean": round(self.baseline_mean, 6),
+            "candidate_mean": round(self.candidate_mean, 6),
+            "rel_change": round(self.rel_change, 6),
+            "p_value": None if self.p_value is None
+            else round(self.p_value, 6),
+            "verdict": self.verdict,
+            "gate": self.gate,
+            "note": self.note,
+        }
+
+
+@dataclass
+class BenchDiff:
+    """The full comparison of two bench entries."""
+
+    baseline: BenchEntry
+    candidate: BenchEntry
+    mode: str                       # ABSOLUTE or RATIO_ONLY
+    config: DiffConfig
+    warnings: List[str] = field(default_factory=list)
+    metrics: List[MetricDiff] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> List[MetricDiff]:
+        return [m for m in self.metrics if m.verdict == DEGRADED]
+
+    @property
+    def improved(self) -> List[MetricDiff]:
+        return [m for m in self.metrics if m.verdict == IMPROVED]
+
+    @property
+    def gate_verdict(self) -> str:
+        """The diff's overall verdict, judged on gate metrics only.
+
+        Per-phase attribution rows inform but never gate: a phase can
+        shift while total throughput holds (work moving between
+        phases is not a regression of the product).
+        """
+        gates = [m for m in self.metrics if m.gate]
+        if any(m.verdict == DEGRADED for m in gates):
+            return DEGRADED
+        if any(m.verdict == IMPROVED for m in gates):
+            return IMPROVED
+        return UNCHANGED
+
+    @property
+    def ok(self) -> bool:
+        return self.gate_verdict != DEGRADED
+
+    def as_dict(self) -> dict:
+        return {
+            "baseline": {"index": self.baseline.index,
+                         "generated_at": self.baseline.generated_at,
+                         "fingerprint": self.baseline.fingerprint},
+            "candidate": {"index": self.candidate.index,
+                          "generated_at": self.candidate.generated_at,
+                          "fingerprint": self.candidate.fingerprint},
+            "mode": self.mode,
+            "alpha": self.config.alpha,
+            "min_effect": self.config.min_effect,
+            "warnings": list(self.warnings),
+            "metrics": [metric.as_dict() for metric in self.metrics],
+            "verdict": self.gate_verdict,
+            "ok": self.ok,
+        }
+
+
+def _compared(metric, direction, baseline_samples, candidate_samples,
+              config, gate) -> MetricDiff:
+    comparison = compare_samples(
+        baseline_samples, candidate_samples, direction=direction,
+        alpha=config.alpha, min_effect=config.min_effect,
+        seed=config.seed, permutations=config.permutations)
+    return MetricDiff(
+        metric=metric, direction=direction,
+        baseline_mean=comparison.baseline_mean,
+        candidate_mean=comparison.candidate_mean,
+        rel_change=comparison.rel_change,
+        p_value=comparison.p_value, verdict=comparison.verdict,
+        gate=gate, note=comparison.note)
+
+
+def diff_entries(baseline: BenchEntry, candidate: BenchEntry,
+                 config: Optional[DiffConfig] = None) -> BenchDiff:
+    """Compare two entries; decides absolute vs ratio-only itself."""
+    config = config or DiffConfig()
+    warnings = []
+    mode = ABSOLUTE
+    if baseline.fingerprint != candidate.fingerprint:
+        mode = RATIO_ONLY
+        warnings.append(
+            "hosts differ (%s vs %s): absolute wall-clock metrics "
+            "are not comparable across machines; comparing the "
+            "dimensionless optimized/reference speedup ratio only"
+            % (baseline.fingerprint, candidate.fingerprint))
+    if baseline.spec != candidate.spec:
+        mode = RATIO_ONLY
+        warnings.append(
+            "campaign specs differ (e.g. quick vs full grids): "
+            "absolute metrics describe different workloads; "
+            "comparing the speedup ratio only")
+    diff = BenchDiff(baseline=baseline, candidate=candidate,
+                     mode=mode, config=config, warnings=warnings)
+    if mode == ABSOLUTE:
+        diff.metrics.append(_compared(
+            "trials_per_sec", HIGHER_IS_BETTER,
+            baseline.throughput_samples(),
+            candidate.throughput_samples(), config, gate=True))
+        base_phases = baseline.phase_samples()
+        cand_phases = candidate.phase_samples()
+        for name in PHASES:
+            base = base_phases.get(name)
+            cand = cand_phases.get(name)
+            if not base or not cand:
+                continue
+            if sum(base) == 0 or sum(cand) == 0:
+                # Pool runs (workers > 1) measure phases in-process
+                # and read zero; an all-zero side carries no signal.
+                continue
+            diff.metrics.append(_compared(
+                "phase_%s_seconds" % name, LOWER_IS_BETTER,
+                base, cand, config, gate=False))
+    diff.metrics.append(_compared(
+        "speedup", HIGHER_IS_BETTER, baseline.speedup_samples(),
+        candidate.speedup_samples(), config,
+        gate=(mode == RATIO_ONLY)))
+    return diff
+
+
+def diff_refs(history: BenchHistory, baseline_ref, candidate_ref,
+              config: Optional[DiffConfig] = None) -> BenchDiff:
+    """Resolve two version references and diff them."""
+    baseline = history.entry(baseline_ref)
+    candidate = history.entry(candidate_ref)
+    if baseline.index == candidate.index:
+        raise HistoryError(
+            "refusing to diff entry #%d against itself (%r and %r "
+            "resolve to the same entry)"
+            % (baseline.index, baseline_ref, candidate_ref))
+    return diff_entries(baseline, candidate, config)
+
+
+def find_baseline(history: BenchHistory,
+                  candidate: BenchEntry) -> Optional[BenchEntry]:
+    """The nearest earlier entry absolutely comparable to
+    ``candidate`` (same host fingerprint and campaign spec); falls
+    back to the immediate predecessor (a ratio-only diff), or None
+    when ``candidate`` is the only entry."""
+    for index in range(candidate.index - 1, -1, -1):
+        earlier = history[index]
+        if earlier.fingerprint == candidate.fingerprint \
+                and earlier.spec == candidate.spec:
+            return earlier
+    if candidate.index > 0:
+        return history[candidate.index - 1]
+    return None
+
+
+def check_history(history: BenchHistory,
+                  config: Optional[DiffConfig] = None
+                  ) -> Optional[BenchDiff]:
+    """The ``--check`` gate: latest entry vs its best baseline.
+
+    Returns the diff (``diff.ok`` drives the exit code), or None when
+    the history holds fewer than two entries — nothing to regress
+    against is a pass, not a failure.
+    """
+    if len(history) < 2:
+        return None
+    candidate = history[len(history) - 1]
+    baseline = find_baseline(history, candidate)
+    if baseline is None:
+        return None
+    return diff_entries(baseline, candidate, config)

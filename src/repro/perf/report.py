@@ -1,0 +1,161 @@
+"""Rendering bench diffs and the whole-history degradation report.
+
+Two consumers: a human on a terminal (``repro-ft bench --diff`` /
+``--history``) and the CI artifact (the same text uploaded next to
+the JSON payload).  Formatting only — every number here is computed
+by :mod:`repro.perf.diff`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .diff import (ABSOLUTE, BenchDiff, DiffConfig, check_history,
+                   diff_entries)
+from .history import BenchHistory
+from .stats import DEGRADED, IMPROVED, UNCHANGED
+
+
+def _format_value(metric: str, value: float) -> str:
+    if metric == "trials_per_sec":
+        return "%.2f/s" % value
+    if metric == "speedup":
+        return "%.3fx" % value
+    return "%.3fs" % value
+
+
+def _format_p(p_value: Optional[float]) -> str:
+    if p_value is None:
+        return "-"
+    if p_value < 0.001:
+        return "<0.001"
+    return "%.3f" % p_value
+
+
+def format_diff_report(diff: BenchDiff) -> str:
+    """Multi-line human rendering of one diff."""
+    lines = [
+        "bench diff: %s  ->  %s"
+        % (diff.baseline.label(), diff.candidate.label()),
+        "mode: %s   alpha %.3g   min effect %.1f%%"
+        % (diff.mode, diff.config.alpha,
+           diff.config.min_effect * 100.0),
+    ]
+    for warning in diff.warnings:
+        lines.append("warning: %s" % warning)
+    lines.append("")
+    lines.append("  %-24s %12s %12s %8s %8s  %s"
+                 % ("metric", "baseline", "candidate", "change",
+                    "p", "verdict"))
+    for metric in diff.metrics:
+        verdict = metric.verdict
+        if metric.gate and verdict != UNCHANGED:
+            verdict += " [gate]"
+        lines.append(
+            "  %-24s %12s %12s %+7.1f%% %8s  %s"
+            % (metric.metric,
+               _format_value(metric.metric, metric.baseline_mean),
+               _format_value(metric.metric, metric.candidate_mean),
+               metric.rel_change * 100.0,
+               _format_p(metric.p_value), verdict))
+        if metric.note:
+            lines.append("  %-24s   note: %s" % ("", metric.note))
+    lines.append("")
+    lines.append("verdict: %s%s"
+                 % (diff.gate_verdict,
+                    "" if diff.ok
+                    else "  (gate metric regressed; see above)"))
+    return "\n".join(lines)
+
+
+def history_report(history: BenchHistory,
+                   config: Optional[DiffConfig] = None) -> dict:
+    """The degradation report as a JSON-ready dict.
+
+    Every entry is diffed against its immediate predecessor (the
+    differ downgrades to ratio-only by itself when host or spec
+    changed mid-history), plus the ``--check`` verdict of the latest
+    entry against its best comparable baseline.
+    """
+    config = config or DiffConfig()
+    rows = []
+    for entry in history:
+        row = {
+            "index": entry.index,
+            "generated_at": entry.generated_at,
+            "version": entry.version,
+            "fingerprint": entry.fingerprint,
+            "quick": entry.quick,
+            "repeats": len(entry.optimized_samples()),
+            "trials_per_sec": entry.trials_per_sec,
+            "speedup": entry.speedup,
+            "note": entry.note,
+        }
+        if entry.index > 0:
+            diff = diff_entries(history[entry.index - 1], entry,
+                                config)
+            row["vs_previous"] = {
+                "mode": diff.mode,
+                "verdict": diff.gate_verdict,
+                "degraded": [m.metric for m in diff.degraded],
+                "improved": [m.metric for m in diff.improved],
+            }
+        rows.append(row)
+    check = check_history(history, config)
+    return {
+        "entries": rows,
+        "alpha": config.alpha,
+        "min_effect": config.min_effect,
+        "check": None if check is None else check.as_dict(),
+    }
+
+
+def format_history_report(history: BenchHistory,
+                          config: Optional[DiffConfig] = None) -> str:
+    """Human rendering of the whole-history degradation report."""
+    if not len(history):
+        return "bench history: empty"
+    config = config or DiffConfig()
+    report = history_report(history, config)
+    lines = [
+        "bench history: %d entr%s (alpha %.3g, min effect %.1f%%)"
+        % (len(history), "y" if len(history) == 1 else "ies",
+           config.alpha, config.min_effect * 100.0),
+        "",
+        "  %3s %-25s %-12s %4s %9s %8s  %-11s %s"
+        % ("#", "generated", "host", "reps", "trials/s", "speedup",
+           "vs prev", "note"),
+    ]
+    for row in report["entries"]:
+        versus = row.get("vs_previous")
+        if versus is None:
+            verdict = "-"
+        else:
+            verdict = versus["verdict"]
+            if versus["mode"] != ABSOLUTE:
+                verdict += " (ratio)"
+        flags = " [quick]" if row["quick"] else ""
+        lines.append(
+            "  %3d %-25s %-12s %4d %9.2f %7.2fx  %-11s %s%s"
+            % (row["index"], row["generated_at"], row["fingerprint"],
+               row["repeats"], row["trials_per_sec"], row["speedup"],
+               verdict, row["note"][:40], flags))
+    degraded = [row for row in report["entries"]
+                if row.get("vs_previous", {}).get("verdict")
+                == DEGRADED]
+    improved = [row for row in report["entries"]
+                if row.get("vs_previous", {}).get("verdict")
+                == IMPROVED]
+    lines.append("")
+    lines.append("degradations: %d   improvements: %d"
+                 % (len(degraded), len(improved)))
+    for row in degraded:
+        lines.append("  entry %d degraded: %s"
+                     % (row["index"],
+                        ", ".join(row["vs_previous"]["degraded"])))
+    check = report["check"]
+    if check is not None:
+        lines.append(
+            "check (latest vs #%d): %s"
+            % (check["baseline"]["index"], check["verdict"]))
+    return "\n".join(lines)

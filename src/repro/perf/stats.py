@@ -1,0 +1,211 @@
+"""Deterministic two-sample significance testing, stdlib only.
+
+The differ needs one statistical primitive: *did this metric's
+distribution actually move between two bench entries, or is the
+difference scheduler noise?*  The classic answer on small samples with
+no distributional assumptions is a **permutation test** on the
+difference of means: under the null hypothesis the two samples come
+from the same distribution, so every re-assignment of the pooled
+observations to two groups is equally likely, and the p-value is the
+fraction of re-assignments whose statistic is at least as extreme as
+the observed one.
+
+Design constraints, all deliberate:
+
+* **No scipy / numpy** — exhaustive enumeration via
+  :func:`itertools.combinations` when the split count is small enough
+  (it almost always is at bench repeat counts), otherwise a Monte
+  Carlo sample drawn from a ``random.Random(seed)`` instance.  Either
+  way the result is a pure function of (samples, seed, config).
+* **Order invariance** — both samples are sorted before pooling, so a
+  verdict can never depend on the order repeats happened to be listed
+  in a JSON file.
+* **Effect-size gate** — statistical significance alone is not a
+  regression: on a quiet host a 0.4% slowdown can be "significant".
+  :func:`compare_samples` requires the relative change to clear
+  ``min_effect`` as well before it says anything but UNCHANGED.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from math import comb
+from typing import Optional, Sequence
+
+from ..errors import HistoryError
+
+#: Metric verdicts (per-metric and for a whole diff).
+DEGRADED = "DEGRADED"
+IMPROVED = "IMPROVED"
+UNCHANGED = "UNCHANGED"
+VERDICTS = (DEGRADED, IMPROVED, UNCHANGED)
+
+#: Metric directions: which way is good.
+HIGHER_IS_BETTER = "higher_is_better"
+LOWER_IS_BETTER = "lower_is_better"
+
+#: Exhaustive enumeration limit: below this many distinct splits the
+#: test enumerates every one (exact, seed-independent); above it, a
+#: seeded Monte Carlo sample stands in.
+MAX_EXACT_SPLITS = 20_000
+
+#: Monte Carlo resamples when enumeration is too large.
+DEFAULT_PERMUTATIONS = 10_000
+
+#: Minimum samples per side for the test to have any power at all.
+MIN_SAMPLES = 2
+
+
+@dataclass(frozen=True)
+class PermutationResult:
+    """Outcome of one two-sided permutation test."""
+
+    statistic: float        # mean(candidate) - mean(baseline)
+    p_value: float
+    splits: int             # permutations examined
+    exact: bool             # enumerated exhaustively vs Monte Carlo
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def permutation_test(baseline: Sequence[float],
+                     candidate: Sequence[float],
+                     seed: int = 0,
+                     permutations: int = DEFAULT_PERMUTATIONS,
+                     max_exact: int = MAX_EXACT_SPLITS
+                     ) -> PermutationResult:
+    """Two-sided permutation test on the difference of means.
+
+    Returns the observed statistic ``mean(candidate) -
+    mean(baseline)`` and the probability, under the
+    same-distribution null, of a split at least that extreme.  Exact
+    (and seed-independent) when ``C(n+m, n) <= max_exact``; otherwise
+    a Monte Carlo estimate with the add-one correction
+    ``(hits + 1) / (permutations + 1)`` so the estimate is never an
+    impossible zero.
+    """
+    baseline = sorted(float(value) for value in baseline)
+    candidate = sorted(float(value) for value in candidate)
+    if not baseline or not candidate:
+        raise HistoryError("permutation test needs non-empty samples")
+    n_base = len(baseline)
+    pooled = baseline + candidate
+    total = len(pooled)
+    pooled_sum = sum(pooled)
+    n_cand = total - n_base
+    observed = _mean(candidate) - _mean(baseline)
+    # Permuted statistics that tie the observed one must count as "at
+    # least as extreme"; compare against a threshold eased by a
+    # relative epsilon so float summation order cannot drop ties.
+    threshold = abs(observed) - 1e-12 * max(1.0, abs(observed))
+
+    def statistic_from_baseline_sum(base_sum: float) -> float:
+        return (pooled_sum - base_sum) / n_cand - base_sum / n_base
+
+    splits = comb(total, n_base)
+    if splits <= max_exact:
+        hits = 0
+        for chosen in itertools.combinations(range(total), n_base):
+            base_sum = 0.0
+            for index in chosen:
+                base_sum += pooled[index]
+            if abs(statistic_from_baseline_sum(base_sum)) >= threshold:
+                hits += 1
+        return PermutationResult(statistic=observed,
+                                 p_value=hits / splits,
+                                 splits=splits, exact=True)
+    rng = random.Random(seed)
+    scratch = list(pooled)
+    hits = 0
+    for _ in range(permutations):
+        rng.shuffle(scratch)
+        base_sum = 0.0
+        for index in range(n_base):
+            base_sum += scratch[index]
+        if abs(statistic_from_baseline_sum(base_sum)) >= threshold:
+            hits += 1
+    return PermutationResult(statistic=observed,
+                             p_value=(hits + 1) / (permutations + 1),
+                             splits=permutations, exact=False)
+
+
+def relative_change(baseline_mean: float,
+                    candidate_mean: float) -> float:
+    """Signed fractional change from baseline to candidate."""
+    if baseline_mean == 0:
+        return 0.0
+    return (candidate_mean - baseline_mean) / abs(baseline_mean)
+
+
+@dataclass(frozen=True)
+class SampleComparison:
+    """A verdict on one metric's two sample sets."""
+
+    baseline_mean: float
+    candidate_mean: float
+    rel_change: float               # signed fraction
+    p_value: Optional[float]        # None when underpowered
+    verdict: str
+    note: str = ""
+
+    @property
+    def significant(self) -> bool:
+        return self.verdict in (DEGRADED, IMPROVED)
+
+
+def compare_samples(baseline: Sequence[float],
+                    candidate: Sequence[float],
+                    direction: str = LOWER_IS_BETTER,
+                    alpha: float = 0.05,
+                    min_effect: float = 0.05,
+                    seed: int = 0,
+                    permutations: int = DEFAULT_PERMUTATIONS
+                    ) -> SampleComparison:
+    """Gate a metric's movement on significance AND effect size.
+
+    ``direction`` says which sign of movement is a degradation
+    (:data:`LOWER_IS_BETTER` for wall seconds, ``HIGHER_IS_BETTER``
+    for throughput).  The verdict is UNCHANGED unless the permutation
+    p-value reaches ``alpha`` *and* the relative change clears
+    ``min_effect``; with fewer than :data:`MIN_SAMPLES` observations
+    on either side the test is refused outright (``p_value=None``) —
+    one point cannot witness a distribution.
+    """
+    if direction not in (HIGHER_IS_BETTER, LOWER_IS_BETTER):
+        raise HistoryError("unknown metric direction %r" % direction)
+    if not baseline or not candidate:
+        raise HistoryError("compare_samples needs non-empty samples")
+    baseline_mean = _mean([float(value) for value in baseline])
+    candidate_mean = _mean([float(value) for value in candidate])
+    change = relative_change(baseline_mean, candidate_mean)
+    if len(baseline) < MIN_SAMPLES or len(candidate) < MIN_SAMPLES:
+        return SampleComparison(
+            baseline_mean=baseline_mean,
+            candidate_mean=candidate_mean,
+            rel_change=change, p_value=None, verdict=UNCHANGED,
+            note="insufficient samples (%d vs %d; need >= %d per "
+                 "side)" % (len(baseline), len(candidate),
+                            MIN_SAMPLES))
+    result = permutation_test(baseline, candidate, seed=seed,
+                              permutations=permutations)
+    note = ""
+    if result.exact and 2.0 / result.splits > alpha:
+        # The achievable two-sided p-value floor for these sample
+        # sizes sits above alpha: the verdict below is honest, but
+        # the caller should know more repeats are needed for power.
+        note = ("alpha %.3g unreachable at these sample sizes "
+                "(p-value floor %.3g); add repeats for power"
+                % (alpha, 2.0 / result.splits))
+    verdict = UNCHANGED
+    if result.p_value <= alpha and abs(change) >= min_effect:
+        worse = change > 0 if direction == LOWER_IS_BETTER \
+            else change < 0
+        verdict = DEGRADED if worse else IMPROVED
+    return SampleComparison(
+        baseline_mean=baseline_mean, candidate_mean=candidate_mean,
+        rel_change=change, p_value=result.p_value, verdict=verdict,
+        note=note)

@@ -163,3 +163,60 @@ class TestCli:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestBenchCampaignAccounting:
+    """The bench's internal bookkeeping: the per-phase wall-clock
+    breakdown must actually account for the measured run, and the
+    trial-cache counters it records must be internally consistent —
+    the perf differ treats both as trustworthy inputs."""
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        from repro.harness.bench import bench_campaign
+        return bench_campaign(quick=True, repeats=2)
+
+    def test_sample_lists_match_repeats(self, payload):
+        assert payload["repeats"] == 2
+        assert len(payload["optimized_sample_seconds"]) == 2
+        assert len(payload["reference_sample_seconds"]) == 2
+        for samples in \
+                payload["optimized_phase_sample_seconds"].values():
+            assert len(samples) == 2
+
+    def test_headline_numbers_are_best_of_samples(self, payload):
+        assert payload["optimized_seconds"] == pytest.approx(
+            min(payload["optimized_sample_seconds"]), abs=1e-3)
+        assert payload["reference_seconds"] == pytest.approx(
+            min(payload["reference_sample_seconds"]), abs=1e-3)
+
+    def test_phases_sum_to_optimized_seconds(self, payload):
+        """Per repeat, the four phase timers must cover the bulk of
+        the optimized wall time and never exceed it: the phase clock
+        wraps the per-trial loop, so untimed work is only session
+        setup and aggregation."""
+        phases = payload["optimized_phase_sample_seconds"]
+        assert set(phases) <= {"decode", "golden", "simulate",
+                               "classify"}
+        for repeat, total in \
+                enumerate(payload["optimized_sample_seconds"]):
+            covered = sum(samples[repeat]
+                          for samples in phases.values())
+            assert 0 < covered <= total + 0.02
+            assert covered >= 0.5 * total
+
+    def test_cache_stats_internally_consistent(self, payload):
+        caches = payload["optimized_cache_stats"]
+        assert set(caches) == {"golden_trace", "workload",
+                               "checkpoints"}
+        for name, stats in caches.items():
+            for key in ("hits", "misses", "evictions", "size",
+                        "limit"):
+                assert stats[key] >= 0, (name, key)
+            assert stats["hits"] + stats["misses"] \
+                >= stats["evictions"], name
+            assert stats["size"] <= stats["limit"], name
+        # The quick grid re-simulates one workload at several rates:
+        # the decoded-program cache must actually get hits.
+        assert caches["workload"]["hits"] > 0
+        assert caches["workload"]["size"] >= 1

@@ -1,0 +1,323 @@
+"""``bench --diff`` / ``--check`` end-to-end on fixture histories.
+
+None of these tests run the real bench — they build synthetic
+histories (the same file layout ``repro-ft bench`` writes) and drive
+the differ and the CLI against them: an injected 20% regression must
+gate DEGRADED and exit 1, an improvement must pass, identical reruns
+must read UNCHANGED deterministically across seeds, and a host change
+mid-history — which the committed history actually contains — must be
+refused into ratio-only mode instead of comparing wall seconds across
+machines.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.harness.cli import main
+from repro.perf import (ABSOLUTE, DEGRADED, IMPROVED, RATIO_ONLY,
+                        UNCHANGED, BenchHistory, DiffConfig,
+                        check_history, diff_entries, diff_refs,
+                        find_baseline, format_diff_report,
+                        format_history_report, history_report)
+from repro.perf.history import BenchEntry
+
+from test_perf_history import COMMITTED, make_entry
+
+
+def entry_with(optimized, reference=None, plat="linux-test",
+               spec=None, generated="2026-08-07T00:00:00+0000",
+               note=""):
+    """A v3 fixture entry around explicit per-repeat second lists."""
+    reference = reference or [value * 4.0 for value in optimized]
+    return make_entry(optimized=optimized, reference=reference,
+                      plat=plat, spec=spec, generated=generated,
+                      note=note,
+                      phases={"decode": [0.1] * len(optimized),
+                              "simulate": [value * 0.7
+                                           for value in optimized]})
+
+
+#: Five nearly-constant repeats around one second — the shape a real
+#: ``--repeats 5`` run produces on a quiet host.
+BASE = [1.0, 1.001, 1.002, 1.003, 1.004]
+SLOWER = [value * 1.2 for value in BASE]     # the acceptance criterion
+FASTER = [value * 0.8 for value in BASE]
+
+
+def history_of(*entries):
+    return BenchHistory(list(entries))
+
+
+def diff_raw(baseline, candidate, config=None):
+    """diff_entries over raw fixture dicts."""
+    return diff_entries(BenchEntry(raw=baseline, index=0),
+                        BenchEntry(raw=candidate, index=1), config)
+
+
+def write_history(tmp_path, *entries):
+    path = str(tmp_path / "bench.json")
+    history = history_of(*entries)
+    history.save(path)
+    return path
+
+
+def metric(diff, name):
+    found = [m for m in diff.metrics if m.metric == name]
+    assert found, "no metric %r in %s" % (name,
+                                          [m.metric for m in diff.metrics])
+    return found[0]
+
+
+# -- the differ -------------------------------------------------------------
+
+def test_injected_regression_gates_degraded():
+    diff = diff_raw(entry_with(BASE), entry_with(SLOWER))
+    assert diff.mode == ABSOLUTE
+    assert diff.gate_verdict == DEGRADED
+    assert not diff.ok
+    throughput = metric(diff, "trials_per_sec")
+    assert throughput.gate
+    assert throughput.verdict == DEGRADED
+    assert throughput.rel_change == pytest.approx(-1 / 6, abs=1e-3)
+    assert throughput.p_value is not None
+    assert throughput.p_value <= 0.05
+
+
+def test_improvement_reads_improved_and_passes():
+    diff = diff_raw(entry_with(BASE), entry_with(FASTER))
+    assert diff.gate_verdict == IMPROVED
+    assert diff.ok                          # only DEGRADED fails the gate
+
+
+def test_identical_reruns_unchanged_across_seeds():
+    """Re-measuring the same build must read UNCHANGED whatever seed
+    the Monte Carlo fallback would use — at five repeats the test is
+    exact, so the seed cannot enter at all."""
+    for seed in (0, 1, 2001, 999983):
+        diff = diff_raw(entry_with(BASE), entry_with(list(BASE)),
+                            DiffConfig(seed=seed))
+        assert diff.gate_verdict == UNCHANGED
+        assert diff.ok
+        assert [m.verdict for m in diff.metrics] \
+            == [UNCHANGED] * len(diff.metrics)
+
+
+def test_phase_rows_attribute_but_never_gate():
+    """A phase shifting while throughput holds is attribution, not a
+    regression: the simulate row reads DEGRADED, the diff passes."""
+    baseline = entry_with(BASE)
+    candidate = entry_with(list(BASE))
+    candidate["campaign"]["optimized_phase_sample_seconds"] = {
+        "decode": [0.1] * 5,
+        "simulate": [value * 0.7 * 1.3 for value in BASE]}
+    diff = diff_raw(baseline, candidate)
+    simulate = metric(diff, "phase_simulate_seconds")
+    assert simulate.verdict == DEGRADED
+    assert not simulate.gate
+    assert metric(diff, "trials_per_sec").verdict == UNCHANGED
+    assert diff.gate_verdict == UNCHANGED
+    assert diff.ok
+
+
+def test_cross_host_refused_into_ratio_only():
+    """Wall seconds from different machines are not comparable: the
+    diff must drop every absolute metric, warn, and gate on the
+    dimensionless speedup instead."""
+    diff = diff_raw(entry_with(BASE, plat="host-a"),
+                        entry_with(SLOWER, plat="host-b"))
+    assert diff.mode == RATIO_ONLY
+    assert any("hosts differ" in warning for warning in diff.warnings)
+    assert [m.metric for m in diff.metrics] == ["speedup"]
+    assert metric(diff, "speedup").gate
+    # reference scaled with optimized, so the ratio held: no verdict
+    # despite the 20% wall-clock difference the mode refused to judge.
+    assert diff.gate_verdict == UNCHANGED
+
+
+def test_cross_host_ratio_regression_still_gates():
+    """The speedup ratio survives a host change — an optimization
+    genuinely lost (ratio down 20%) fails even cross-host."""
+    worse_ratio = entry_with(SLOWER, reference=[v * 4.0 for v in BASE],
+                             plat="host-b")
+    diff = diff_raw(entry_with(BASE, plat="host-a"), worse_ratio)
+    assert diff.mode == RATIO_ONLY
+    assert diff.gate_verdict == DEGRADED
+    assert not diff.ok
+
+
+def test_cross_spec_refused_into_ratio_only():
+    quick_spec = {"name": "fixture-quick", "instructions": 60}
+    diff = diff_raw(entry_with(BASE),
+                        entry_with(BASE, spec=quick_spec))
+    assert diff.mode == RATIO_ONLY
+    assert any("specs differ" in warning for warning in diff.warnings)
+
+
+def test_diff_refs_resolves_and_refuses_self_diff():
+    history = history_of(entry_with(BASE), entry_with(SLOWER))
+    diff = diff_refs(history, "HEAD~1", "latest")
+    assert diff.baseline.index == 0 and diff.candidate.index == 1
+    with pytest.raises(HistoryError, match="against itself"):
+        diff_refs(history, "latest", 1)
+
+
+def test_diff_as_dict_is_json_ready():
+    diff = diff_raw(entry_with(BASE), entry_with(SLOWER))
+    payload = json.loads(json.dumps(diff.as_dict()))
+    assert payload["verdict"] == DEGRADED
+    assert payload["ok"] is False
+    assert payload["mode"] == ABSOLUTE
+    assert {m["metric"] for m in payload["metrics"]} \
+        >= {"trials_per_sec", "speedup"}
+
+
+# -- the --check gate -------------------------------------------------------
+
+def test_check_empty_and_single_entry_pass():
+    assert check_history(history_of()) is None
+    assert check_history(history_of(entry_with(BASE))) is None
+
+
+def test_check_flags_latest_regression():
+    check = check_history(history_of(entry_with(BASE),
+                                     entry_with(SLOWER)))
+    assert check is not None
+    assert not check.ok
+
+
+def test_check_baseline_skips_other_hosts():
+    """The committed history changed hosts mid-stream; --check must
+    reach past the foreign entry to the nearest same-host baseline
+    and stay in absolute mode."""
+    history = history_of(
+        entry_with(BASE, plat="host-a",
+                   generated="2026-08-01T00:00:00+0000"),
+        entry_with(FASTER, plat="host-b",
+                   generated="2026-08-02T00:00:00+0000"),
+        entry_with(SLOWER, plat="host-a",
+                   generated="2026-08-03T00:00:00+0000"))
+    baseline = find_baseline(history, history[2])
+    assert baseline is not None and baseline.index == 0
+    check = check_history(history)
+    assert check.mode == ABSOLUTE
+    assert not check.ok
+
+
+def test_check_falls_back_to_ratio_only_predecessor():
+    history = history_of(entry_with(BASE, plat="host-a"),
+                         entry_with(BASE, plat="host-b"))
+    check = check_history(history)
+    assert check.mode == RATIO_ONLY
+    assert check.baseline.index == 0
+    assert check.ok
+
+
+# -- reports ----------------------------------------------------------------
+
+def test_reports_render_verdicts_and_counts():
+    history = history_of(
+        entry_with(BASE, generated="2026-08-01T00:00:00+0000"),
+        entry_with(SLOWER, generated="2026-08-02T00:00:00+0000",
+                   note="regressed on purpose"))
+    report = history_report(history)
+    assert report["entries"][1]["vs_previous"]["verdict"] == DEGRADED
+    assert "trials_per_sec" \
+        in report["entries"][1]["vs_previous"]["degraded"]
+    text = format_history_report(history)
+    assert "degradations: 1" in text
+    assert "regressed on purpose" in text
+    diff_text = format_diff_report(check_history(history))
+    assert "DEGRADED [gate]" in diff_text
+    assert format_history_report(history_of()) == "bench history: empty"
+
+
+# -- CLI end-to-end ---------------------------------------------------------
+
+def test_cli_diff_detects_regression(tmp_path, capsys):
+    path = write_history(tmp_path, entry_with(BASE),
+                         entry_with(SLOWER))
+    assert main(["bench", "--out", path, "--diff", "HEAD~1",
+                 "latest"]) == 1
+    out = capsys.readouterr().out
+    assert "trials_per_sec" in out
+    assert "DEGRADED" in out
+
+
+def test_cli_diff_unchanged_for_identical_rerun(tmp_path, capsys):
+    path = write_history(tmp_path, entry_with(BASE),
+                         entry_with(list(BASE)))
+    assert main(["bench", "--out", path, "--diff", "0", "1"]) == 0
+    assert "verdict: UNCHANGED" in capsys.readouterr().out
+
+
+def test_cli_diff_json_payload(tmp_path, capsys):
+    path = write_history(tmp_path, entry_with(BASE),
+                         entry_with(FASTER))
+    assert main(["bench", "--out", path, "--diff", "0", "latest",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["verdict"] == IMPROVED
+
+
+def test_cli_check_exit_codes(tmp_path, capsys):
+    regressed = write_history(tmp_path, entry_with(BASE),
+                              entry_with(SLOWER))
+    assert main(["bench", "--out", regressed, "--check"]) == 1
+    assert "FAILED" in capsys.readouterr().out
+    improved = str(tmp_path / "improved.json")
+    history_of(entry_with(BASE), entry_with(FASTER)).save(improved)
+    assert main(["bench", "--out", improved, "--check"]) == 0
+    assert "bench check: OK" in capsys.readouterr().out
+
+
+def test_cli_check_empty_history_passes(tmp_path, capsys):
+    missing = str(tmp_path / "missing.json")
+    assert main(["bench", "--out", missing, "--check"]) == 0
+    assert "nothing to regress against" in capsys.readouterr().out
+
+
+def test_cli_check_honors_alpha_and_min_effect(tmp_path, capsys):
+    """A 20% regression passes a gate told to ignore anything under
+    30% — the knobs must actually reach the differ."""
+    path = write_history(tmp_path, entry_with(BASE),
+                         entry_with(SLOWER))
+    assert main(["bench", "--out", path, "--check",
+                 "--min-effect", "0.3"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_history_report(tmp_path, capsys):
+    path = write_history(
+        tmp_path,
+        entry_with(BASE, generated="2026-08-01T00:00:00+0000"),
+        entry_with(BASE, plat="other-host",
+                   generated="2026-08-02T00:00:00+0000"))
+    assert main(["bench", "--out", path, "--history"]) == 0
+    out = capsys.readouterr().out
+    assert "bench history: 2 entries" in out
+    assert "(ratio)" in out                 # host change annotated
+
+
+def test_cli_modes_are_mutually_exclusive(tmp_path):
+    path = write_history(tmp_path, entry_with(BASE))
+    with pytest.raises(SystemExit, match="mutually exclusive"):
+        main(["bench", "--out", path, "--check", "--history"])
+
+
+def test_cli_surfaces_history_errors_cleanly(tmp_path):
+    torn = tmp_path / "torn.json"
+    torn.write_text('{"version": 3,', encoding="utf-8")
+    with pytest.raises(SystemExit, match="not valid JSON"):
+        main(["bench", "--out", str(torn), "--check"])
+    path = write_history(tmp_path, entry_with(BASE))
+    with pytest.raises(SystemExit, match="no entry"):
+        main(["bench", "--out", path, "--diff", "0", "9"])
+
+
+def test_cli_check_against_committed_history(capsys):
+    """The real committed BENCH_simulator.json must pass --check — CI
+    runs exactly this after every merge."""
+    assert main(["bench", "--out", COMMITTED, "--check"]) == 0
+    capsys.readouterr()

@@ -1,0 +1,306 @@
+"""The bench history file: lossless migration, strict validation.
+
+The load-bearing promise of :mod:`repro.perf.history` is that it
+*never rewrites the past*: loading ``BENCH_simulator.json`` — any
+generation, including the file committed in this repository — and
+saving it back reproduces the bytes exactly.  v1/v2 entries are
+migrated by synthesising sample views on access, not by touching the
+stored dicts.  The other promise is the opposite of silence: a torn
+write or a hand edit raises :class:`~repro.errors.HistoryError`
+naming the entry and the field, because quietly dropping seven PRs of
+measured trajectory would defeat the regression gate built on it.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.perf.history import (MAX_HISTORY, SCHEMA_VERSION, BenchEntry,
+                                BenchHistory, host_fingerprint,
+                                validate_entry)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+COMMITTED = os.path.join(REPO_ROOT, "BENCH_simulator.json")
+
+
+def serialize(payload):
+    """Exactly the byte layout :meth:`BenchHistory.save` writes."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def make_entry(version=SCHEMA_VERSION, generated="2026-08-07T00:00:00+0000",
+               plat="linux-test", python="3.11.0", optimized=None,
+               reference=None, phases=None, spec=None, note="",
+               quick=False, trials=64):
+    """A synthetic valid entry; v3 unless ``version`` says otherwise.
+
+    ``optimized`` / ``reference`` are per-repeat second lists; v1/v2
+    entries keep only the derived point values, the way real old
+    entries do.
+    """
+    optimized = optimized or [1.0, 1.05, 1.1]
+    reference = reference or [4.0, 4.2, 4.4]
+    best_opt = min(optimized)
+    best_ref = min(reference)
+    campaign = {
+        "spec": spec or {"name": "fixture", "instructions": 600},
+        "trials": trials,
+        "optimized_seconds": round(best_opt, 6),
+        "reference_seconds": round(best_ref, 6),
+        "optimized_trials_per_sec": round(trials / best_opt, 3),
+        "reference_trials_per_sec": round(trials / best_ref, 3),
+        "speedup": round(best_ref / best_opt, 3),
+    }
+    host = {"platform": plat, "python": python}
+    if version >= 3:
+        campaign["optimized_sample_seconds"] = list(optimized)
+        campaign["reference_sample_seconds"] = list(reference)
+        campaign["optimized_phase_sample_seconds"] = phases or {
+            "decode": [0.1] * len(optimized),
+            "simulate": [0.7] * len(optimized),
+        }
+        host["fingerprint"] = host_fingerprint(plat, python)
+    entry = {
+        "version": version,
+        "generated_at": generated,
+        "quick": quick,
+        "host": host,
+        "engine": {"instructions": 600, "rows": []},
+        "campaign": campaign,
+    }
+    if note:
+        entry["note"] = note
+    return entry
+
+
+# -- lossless round trips ---------------------------------------------------
+
+def test_committed_history_round_trips_byte_for_byte():
+    """The real file, as committed: load -> save must be the identity.
+
+    This is the acceptance criterion that matters most — the v1 entry
+    at the bottom of the history and every v2 entry above it must
+    survive re-serialization untouched.
+    """
+    with open(COMMITTED, encoding="utf-8") as handle:
+        original = handle.read()
+    history = BenchHistory.load(COMMITTED)
+    assert len(history) >= 7
+    assert history[0].version == 1           # the seed's single entry
+    assert serialize(history.to_payload()) == original
+
+
+def test_v1_single_entry_file_round_trips(tmp_path):
+    path = str(tmp_path / "bench.json")
+    v1 = make_entry(version=1, generated="2026-07-01T00:00:00+0000")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize(v1))
+    history = BenchHistory.load(path)
+    assert len(history) == 1
+    assert history[0].version == 1
+    assert serialize(history.to_payload()) == serialize(v1)
+
+
+def test_v2_history_round_trips_and_orders_oldest_first(tmp_path):
+    path = str(tmp_path / "bench.json")
+    oldest = make_entry(version=1, generated="2026-07-01T00:00:00+0000")
+    middle = make_entry(version=2, generated="2026-07-10T00:00:00+0000")
+    latest = dict(make_entry(version=2,
+                             generated="2026-07-20T00:00:00+0000"))
+    latest["history"] = [oldest, middle]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(serialize(latest))
+    history = BenchHistory.load(path)
+    assert [entry.generated_at for entry in history] == [
+        "2026-07-01T00:00:00+0000", "2026-07-10T00:00:00+0000",
+        "2026-07-20T00:00:00+0000"]
+    assert [entry.index for entry in history] == [0, 1, 2]
+    assert serialize(history.to_payload()) == serialize(latest)
+
+
+def test_append_save_reload_identity(tmp_path):
+    path = str(tmp_path / "bench.json")
+    history = BenchHistory.load(path)        # missing file: empty
+    assert len(history) == 0
+    history.append(make_entry(generated="2026-08-01T00:00:00+0000"))
+    history.append(make_entry(generated="2026-08-02T00:00:00+0000"))
+    history.save(path)
+    reloaded = BenchHistory.load(path)
+    assert len(reloaded) == 2
+    assert reloaded.to_payload() == history.to_payload()
+    with open(path, encoding="utf-8") as handle:
+        assert handle.read() == serialize(history.to_payload())
+
+
+def test_append_caps_history_at_max(tmp_path):
+    history = BenchHistory(path=str(tmp_path / "bench.json"))
+    for index in range(MAX_HISTORY + 5):
+        history.append(make_entry(
+            generated="2026-08-01T00:00:%02d+0000" % (index % 60),
+            note="n%d" % index))
+    assert len(history) == MAX_HISTORY
+    assert history[0].note == "n5"           # oldest five dropped
+    assert [entry.index for entry in history] == list(range(MAX_HISTORY))
+
+
+# -- migration views --------------------------------------------------------
+
+def test_old_entries_become_single_sample_views():
+    """v1/v2 point values surface as one-sample lists — downstream
+    code never branches on version — without touching the raw dict."""
+    raw = make_entry(version=2)
+    before = json.dumps(raw, sort_keys=True)
+    entry = BenchEntry(raw=raw, index=0)
+    assert entry.optimized_samples() == [raw["campaign"]["optimized_seconds"]]
+    assert entry.reference_samples() == [raw["campaign"]["reference_seconds"]]
+    assert len(entry.throughput_samples()) == 1
+    assert len(entry.speedup_samples()) == 1
+    assert entry.phase_samples() == {}       # predates the phase clock
+    assert json.dumps(raw, sort_keys=True) == before
+
+
+def test_v2_point_phases_become_single_sample_matrix():
+    raw = make_entry(version=2)
+    raw["campaign"]["optimized_phase_seconds"] = {"decode": 0.2,
+                                                  "simulate": 0.8}
+    entry = BenchEntry(raw=raw, index=0)
+    assert entry.phase_samples() == {"decode": [0.2], "simulate": [0.8]}
+
+
+def test_fingerprint_derived_for_old_entries_matches_stored():
+    """A v1 entry from the same host must fingerprint identically to a
+    v3 entry that stores the field — that is what keeps absolute
+    comparisons alive across the schema migration."""
+    old = BenchEntry(raw=make_entry(version=1), index=0)
+    new = BenchEntry(raw=make_entry(version=3), index=1)
+    assert old.fingerprint == new.fingerprint
+    assert old.fingerprint == host_fingerprint("linux-test", "3.11.0")
+    assert len(old.fingerprint) == 12
+
+
+def test_v3_samples_and_derived_metrics():
+    entry = BenchEntry(raw=make_entry(optimized=[2.0, 2.5],
+                                      reference=[8.0, 7.5],
+                                      trials=64), index=0)
+    assert entry.optimized_samples() == [2.0, 2.5]
+    assert entry.throughput_samples() == [32.0, 25.6]
+    assert entry.speedup_samples() == [4.0, 3.0]
+
+
+# -- strict validation ------------------------------------------------------
+
+def broken(mutate):
+    entry = make_entry()
+    mutate(entry)
+    return entry
+
+
+@pytest.mark.parametrize("payload,fragment", [
+    ("not a dict", "not a JSON object"),
+    (broken(lambda e: e.pop("version")), "non-integer 'version'"),
+    (broken(lambda e: e.update(version=True)), "non-integer 'version'"),
+    (broken(lambda e: e.update(version=SCHEMA_VERSION + 1)),
+     "newer than this tool"),
+    (broken(lambda e: e.pop("generated_at")),
+     "non-string 'generated_at'"),
+    (broken(lambda e: e["host"].pop("platform")),
+     "non-string 'host.platform'"),
+    (broken(lambda e: e.pop("engine")), "'engine.rows'"),
+    (broken(lambda e: e["campaign"].pop("speedup")),
+     "non-numeric 'campaign.speedup'"),
+    (broken(lambda e: e["campaign"].update(speedup="4.1x")),
+     "non-numeric 'campaign.speedup'"),
+    (broken(lambda e: e["campaign"].update(trials=0)),
+     "'campaign.trials' must be positive"),
+    (broken(lambda e: e["campaign"].update(optimized_seconds=0)),
+     "must be positive"),
+    (broken(lambda e: e["campaign"]["optimized_sample_seconds"]
+            .append(-0.5)), "non-negative"),
+    (broken(lambda e: e["campaign"]["optimized_sample_seconds"]
+            .append(True)), "non-negative"),
+    (broken(lambda e: e["campaign"].update(
+        optimized_sample_seconds=[])), "non-empty list"),
+    (broken(lambda e: e["campaign"]
+            ["optimized_phase_sample_seconds"].update(warmup=[0.1] * 3)),
+     "unknown phase 'warmup'"),
+    (broken(lambda e: e["campaign"]
+            ["optimized_phase_sample_seconds"].update(decode=[0.1])),
+     "disagree on repeat count"),
+    (broken(lambda e: e["campaign"].pop("optimized_sample_seconds")),
+     "lacks 'campaign.optimized_sample_seconds'"),
+])
+def test_validation_rejects_torn_or_hand_edited_entries(payload,
+                                                        fragment):
+    with pytest.raises(HistoryError, match=fragment):
+        validate_entry(payload, label="entry 3")
+
+
+def test_validation_error_names_the_entry():
+    with pytest.raises(HistoryError, match="entry 3:"):
+        validate_entry({"version": "x"}, label="entry 3")
+
+
+def test_hand_edited_sample_list_caught_even_in_v2_entry():
+    """The v3 fields are validated whenever present, so planting a
+    corrupt sample list in an old-version entry is still an error."""
+    entry = make_entry(version=2)
+    entry["campaign"]["optimized_sample_seconds"] = [1.0, "fast"]
+    with pytest.raises(HistoryError, match="non-negative"):
+        validate_entry(entry)
+
+
+def test_load_rejects_invalid_json(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text('{"version": 3, "truncated', encoding="utf-8")
+    with pytest.raises(HistoryError, match="not valid JSON"):
+        BenchHistory.load(str(path))
+
+
+def test_load_rejects_foreign_payloads(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text("[1, 2, 3]\n", encoding="utf-8")
+    with pytest.raises(HistoryError, match="not a JSON object"):
+        BenchHistory.load(str(path))
+    path.write_text(serialize({"version": 3}), encoding="utf-8")
+    with pytest.raises(HistoryError, match="entry 0"):
+        BenchHistory.load(str(path))
+
+
+def test_empty_history_has_no_payload_and_no_refs(tmp_path):
+    history = BenchHistory.load(str(tmp_path / "missing.json"))
+    assert len(history) == 0
+    with pytest.raises(HistoryError, match="empty history"):
+        history.to_payload()
+    with pytest.raises(HistoryError, match="history is empty"):
+        history.resolve("latest")
+
+
+# -- version references -----------------------------------------------------
+
+def test_resolve_version_references():
+    history = BenchHistory([make_entry(note="n%d" % index)
+                            for index in range(4)])
+    assert history.resolve("latest") == 3
+    assert history.resolve("HEAD") == 3
+    assert history.resolve("head~1") == 2
+    assert history.resolve("HEAD~3") == 0
+    assert history.resolve(1) == 1
+    assert history.resolve("2") == 2
+    assert history.resolve(-1) == 3
+    assert history.resolve("-2") == 2
+    assert history.entry("HEAD~2").note == "n1"
+
+
+@pytest.mark.parametrize("ref,fragment", [
+    ("HEAD~9", "no entry"),
+    (7, "no entry"),
+    (-5, "no entry"),
+    ("HEAD~x", "non-negative integer"),
+    ("v1.2", "bad version reference"),
+])
+def test_resolve_rejects_bad_references(ref, fragment):
+    history = BenchHistory([make_entry() for _ in range(4)])
+    with pytest.raises(HistoryError, match=fragment):
+        history.resolve(ref)

@@ -1,0 +1,227 @@
+"""Property suite for the bench differ's statistical core.
+
+``repro.perf.stats`` is the primitive every ``bench --diff`` verdict
+rests on, so its promises get pinned here directly:
+
+* identical-distribution inputs must not produce significant verdicts
+  beyond the configured alpha (the false-positive bound, checked over
+  many seeds and data draws);
+* an injected 20% slowdown — the regression the ISSUE's acceptance
+  criteria name — must be detected at bench-realistic repeat counts;
+* the verdict is invariant under sample order (a JSON file's listing
+  order is not evidence) and a pure function of (samples, seed,
+  config) on the Monte Carlo path;
+* the exact-enumeration path ignores the seed entirely.
+
+Hypothesis drives the invariants; the false-positive bound uses plain
+seeded ``random.Random`` draws so the observed rate is one fixed,
+reproducible number rather than a flaky sample.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.perf.stats import (DEGRADED, HIGHER_IS_BETTER, IMPROVED,
+                              LOWER_IS_BETTER, MAX_EXACT_SPLITS,
+                              UNCHANGED, compare_samples,
+                              permutation_test, relative_change)
+
+pytest.importorskip(
+    "hypothesis",
+    reason="property suite needs the optional 'test' extra "
+           "(pip install .[test])")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+#: Dyadic rationals near a 1-second wall time: exactly representable,
+#: so permuted partial sums are float-exact and ties are real ties.
+dyadic_seconds = st.integers(min_value=32, max_value=192).map(
+    lambda n: n / 64.0)
+
+sample_lists = st.lists(dyadic_seconds, min_size=2, max_size=7)
+
+
+# -- invariants (Hypothesis) ------------------------------------------------
+
+@given(samples=sample_lists)
+@settings(max_examples=60, deadline=None)
+def test_identical_samples_are_never_significant(samples):
+    """x vs x is the strongest same-distribution case: the observed
+    statistic is exactly zero, every permutation ties it, p = 1."""
+    for direction in (LOWER_IS_BETTER, HIGHER_IS_BETTER):
+        comparison = compare_samples(samples, list(samples),
+                                     direction=direction)
+        assert comparison.verdict == UNCHANGED
+        assert not comparison.significant
+        assert comparison.p_value == 1.0
+
+
+@given(samples=sample_lists, scale=st.sampled_from((0.5, 1.0, 4.0)))
+@settings(max_examples=60, deadline=None)
+def test_injected_slowdown_detected(samples, scale):
+    """A 20% slowdown on five near-constant repeats must be flagged.
+
+    Five repeats per side is the CI bench-diff shape: C(10,5) = 252
+    splits, exact enumeration, achievable p = 2/252 < 0.05.
+    """
+    baseline = [scale * (1.0 + 0.0001 * index)
+                for index in range(5)]
+    candidate = [value * 1.2 for value in baseline]
+    slower = compare_samples(baseline, candidate,
+                             direction=LOWER_IS_BETTER)
+    assert slower.verdict == DEGRADED
+    assert slower.p_value is not None and slower.p_value <= 0.05
+    assert slower.rel_change == pytest.approx(0.2, abs=1e-6)
+    # The same movement on a higher-is-better metric is an improvement.
+    faster = compare_samples(baseline, candidate,
+                             direction=HIGHER_IS_BETTER)
+    assert faster.verdict == IMPROVED
+    del samples  # draws only vary the Hypothesis schedule
+
+
+@given(baseline=sample_lists, candidate=sample_lists,
+       seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_order_invariance(baseline, candidate, seed):
+    """Reversing or shuffling either sample list changes nothing."""
+    reference = compare_samples(baseline, candidate, seed=0)
+    rng = random.Random(seed)
+    shuffled_base = list(baseline)
+    shuffled_cand = list(candidate)
+    rng.shuffle(shuffled_base)
+    rng.shuffle(shuffled_cand)
+    for left, right in ((list(reversed(baseline)), candidate),
+                        (baseline, list(reversed(candidate))),
+                        (shuffled_base, shuffled_cand)):
+        assert compare_samples(left, right, seed=0) == reference
+
+
+@given(baseline=sample_lists, candidate=sample_lists,
+       seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=60, deadline=None)
+def test_exact_path_is_seed_independent(baseline, candidate, seed):
+    """Small samples enumerate every split; the seed must not matter."""
+    default = permutation_test(baseline, candidate, seed=0)
+    assert default.exact
+    assert permutation_test(baseline, candidate, seed=seed) == default
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       shift=st.sampled_from((0.0, 0.25)))
+@settings(max_examples=30, deadline=None)
+def test_monte_carlo_path_is_seed_deterministic(seed, shift):
+    """Above MAX_EXACT_SPLITS the test samples permutations; the same
+    seed must reproduce the same p-value bit-for-bit."""
+    rng = random.Random(20011209)
+    baseline = [1.0 + rng.random() * 0.1 for _ in range(10)]
+    candidate = [value + shift for value in baseline]
+    first = permutation_test(baseline, candidate, seed=seed,
+                             permutations=500)
+    again = permutation_test(baseline, candidate, seed=seed,
+                             permutations=500)
+    assert not first.exact
+    assert first.splits == 500
+    assert first == again
+
+
+# -- false-positive bound ---------------------------------------------------
+
+def test_false_positive_bound_over_seeds():
+    """Same-distribution draws must stay below alpha false positives.
+
+    400 independent pairs, both sides drawn from the same uniform
+    noise distribution, each compared at alpha = 0.05 with its own
+    seed.  The permutation test is exact at these sizes (C(12,6) =
+    924), so validity promises P(p <= alpha) <= alpha; the effect-size
+    gate only ever suppresses further.  Everything is seeded, so the
+    observed rate is one fixed number — asserted with headroom (1.5x)
+    against the discreteness of the achievable p-values.
+    """
+    alpha = 0.05
+    trials = 400
+    significant = 0
+    for trial in range(trials):
+        rng = random.Random(1000 + trial)
+        baseline = [1.0 + rng.uniform(-0.1, 0.1) for _ in range(6)]
+        candidate = [1.0 + rng.uniform(-0.1, 0.1) for _ in range(6)]
+        comparison = compare_samples(baseline, candidate,
+                                     direction=LOWER_IS_BETTER,
+                                     alpha=alpha, min_effect=0.05,
+                                     seed=trial)
+        if comparison.significant:
+            significant += 1
+    assert significant <= alpha * trials * 1.5
+
+
+# -- gates and refusals -----------------------------------------------------
+
+def test_effect_size_gate_suppresses_tiny_shifts():
+    """Significant but minuscule movement stays UNCHANGED: a perfectly
+    clean 1% shift reaches the p-value floor yet sits far below the 5%
+    minimum effect."""
+    baseline = [1.0, 1.0001, 1.0002, 1.0003, 1.0004]
+    candidate = [value * 1.01 for value in baseline]
+    comparison = compare_samples(baseline, candidate,
+                                 direction=LOWER_IS_BETTER,
+                                 alpha=0.05, min_effect=0.05)
+    assert comparison.p_value is not None
+    assert comparison.p_value <= 0.05
+    assert comparison.verdict == UNCHANGED
+
+
+def test_single_sample_sides_are_refused():
+    """One point cannot witness a distribution: p_value None, verdict
+    UNCHANGED, and the note says why."""
+    comparison = compare_samples([1.0], [2.0, 2.1, 2.2])
+    assert comparison.p_value is None
+    assert comparison.verdict == UNCHANGED
+    assert "insufficient samples" in comparison.note
+
+
+def test_underpowered_alpha_is_noted():
+    """2v2 has a p-value floor of 2/6 — even total separation cannot
+    reach alpha 0.05, and the comparison must say so."""
+    comparison = compare_samples([1.0, 1.01], [2.0, 2.01],
+                                 direction=LOWER_IS_BETTER,
+                                 alpha=0.05)
+    assert comparison.verdict == UNCHANGED
+    assert "add repeats" in comparison.note
+
+
+def test_monte_carlo_p_value_never_zero():
+    """The add-one correction keeps Monte Carlo estimates off an
+    impossible zero even under total separation."""
+    baseline = [1.0 + 0.001 * index for index in range(12)]
+    candidate = [value + 10.0 for value in baseline]
+    result = permutation_test(baseline, candidate, seed=7,
+                              permutations=200)
+    assert not result.exact
+    assert result.p_value == pytest.approx(1.0 / 201.0)
+
+
+def test_exact_threshold_matches_module_constant():
+    """9v9 pools overflow MAX_EXACT_SPLITS (C(18,9) = 48620) and must
+    fall back to Monte Carlo; 8v8 (12870) stays exact."""
+    eight = permutation_test([1.0] * 8, [1.0] * 8)
+    nine = permutation_test([1.0] * 9, [1.0] * 9, permutations=100)
+    assert eight.exact and eight.splits <= MAX_EXACT_SPLITS
+    assert not nine.exact
+
+
+def test_relative_change_signs_and_zero_baseline():
+    assert relative_change(2.0, 3.0) == pytest.approx(0.5)
+    assert relative_change(2.0, 1.0) == pytest.approx(-0.5)
+    assert relative_change(0.0, 5.0) == 0.0
+
+
+def test_bad_inputs_raise_history_error():
+    with pytest.raises(HistoryError, match="non-empty"):
+        permutation_test([], [1.0, 2.0])
+    with pytest.raises(HistoryError, match="non-empty"):
+        compare_samples([1.0, 2.0], [])
+    with pytest.raises(HistoryError, match="direction"):
+        compare_samples([1.0, 2.0], [1.0, 2.0],
+                        direction="sideways")
